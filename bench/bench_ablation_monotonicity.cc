@@ -1,0 +1,70 @@
+// Ablation E8: FD-only analysis vs FD + monotonicity (Theorem 5).
+// Over a family of decreasing-bounded recursions (the Example 13
+// shape), the FD-only analyzer proves none safe while the monotonicity
+// analyzer proves them all; the `detected_safe` counter is the
+// detection-rate row recorded in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/analyzer.h"
+
+namespace hornsafe {
+namespace {
+
+/// `count` independent Example 13 instances in one program.
+Program Example13Family(int count) {
+  std::string text =
+      ".infinite f/2.\n.fd f: 2 -> 1.\n.mono f: 2 > 1.\n"
+      ".mono f: 1 > const(0).\n";
+  for (int i = 0; i < count; ++i) {
+    text += StrCat("r", i, "(X) :- f(X,Y), r", i, "(Y).\n");
+    text += StrCat("r", i, "(X) :- b(X).\n");
+    text += StrCat("?- r", i, "(X).\n");
+  }
+  return bench::MustParse(text);
+}
+
+void BM_AblationMono_DetectionRate(benchmark::State& state) {
+  Program p = Example13Family(static_cast<int>(state.range(0)));
+  AnalyzerOptions opts;
+  opts.use_monotonicity = state.range(1) != 0;
+  int detected = 0;
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p, opts);
+    detected = 0;
+    for (const QueryAnalysis& q : analyzer->AnalyzeQueries()) {
+      if (q.overall == Safety::kSafe) ++detected;
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["queries"] = static_cast<double>(state.range(0));
+  state.counters["detected_safe"] = static_cast<double>(detected);
+}
+BENCHMARK(BM_AblationMono_DetectionRate)
+    ->ArgsProduct({{1, 2, 4, 8}, {0, 1}});
+
+void BM_AblationMono_MixedFamily(benchmark::State& state) {
+  // Random mix of guarded (FD-provable) and unguarded (only
+  // monotonicity-provable) recursions.
+  Program p = bench::MustParse(
+      bench::RandomFamilyText(/*seed=*/99, static_cast<int>(state.range(0)),
+                              /*guard_num=*/1, /*guard_den=*/2));
+  AnalyzerOptions opts;
+  opts.use_monotonicity = state.range(1) != 0;
+  int detected = 0;
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p, opts);
+    detected = 0;
+    for (const QueryAnalysis& q : analyzer->AnalyzeQueries()) {
+      if (q.overall == Safety::kSafe) ++detected;
+    }
+    benchmark::DoNotOptimize(detected);
+  }
+  state.counters["queries"] = static_cast<double>(state.range(0));
+  state.counters["detected_safe"] = static_cast<double>(detected);
+}
+BENCHMARK(BM_AblationMono_MixedFamily)->ArgsProduct({{4, 8, 16}, {0, 1}});
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,58 @@
+// Algorithm 1 (canonicalization) scaling: rule count and function-term
+// nesting depth. Flattening is linear in the total term size, so both
+// sweeps should look linear.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "canonical/canonical.h"
+
+namespace hornsafe {
+namespace {
+
+void BM_CanonicalizeRuleCount(benchmark::State& state) {
+  Program p =
+      bench::DeepTermProgram(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto r = Canonicalize(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CanonicalizeRuleCount)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_CanonicalizeTermDepth(benchmark::State& state) {
+  Program p =
+      bench::DeepTermProgram(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = Canonicalize(p);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_CanonicalizeTermDepth)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity(benchmark::oN);
+
+void BM_CanonicalizeConcat(benchmark::State& state) {
+  // The Example 7 shape, replicated: many rules sharing one function
+  // symbol exercise the shared-predicate interning path.
+  std::string text;
+  for (int i = 0; i < state.range(0); ++i) {
+    text += StrCat("c", i, "([X|Y], Z, [X|U]) :- c", i,
+                          "(Y, Z, U).\nc", i, "([], Z, Z).\n");
+  }
+  Program p = bench::MustParse(text);
+  for (auto _ : state) {
+    auto r = Canonicalize(p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CanonicalizeConcat)->RangeMultiplier(2)->Range(1, 64);
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,89 @@
+// Attribute-set closure and Armstrong-implication scaling (Theorem 1
+// machinery). The classic iterate-to-fixpoint closure is O(|fds|²)
+// worst case; the benchmark sweeps the dependency-set size to expose
+// the shape.
+
+#include <benchmark/benchmark.h>
+
+#include "fd/fd.h"
+#include "util/rng.h"
+
+namespace hornsafe {
+namespace {
+
+std::vector<FiniteDependency> MakeFds(int count, uint32_t arity,
+                                      uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FiniteDependency> fds;
+  uint64_t universe = (uint64_t{1} << arity) - 1;
+  for (int i = 0; i < count; ++i) {
+    fds.push_back(FiniteDependency{0, AttrSet(rng.Next() & universe),
+                                   AttrSet(rng.Next() & universe)});
+  }
+  return fds;
+}
+
+/// Worst case for the naive fixpoint: a chain 0⇝1, 1⇝2, ... presented
+/// in reverse order, forcing one pass per dependency.
+std::vector<FiniteDependency> ReverseChain(int count) {
+  std::vector<FiniteDependency> fds;
+  for (int i = count - 1; i >= 0; --i) {
+    fds.push_back(FiniteDependency{
+        0, AttrSet::Single(static_cast<uint32_t>(i % 63)),
+        AttrSet::Single(static_cast<uint32_t>((i + 1) % 63))});
+  }
+  return fds;
+}
+
+void BM_AttrClosureRandom(benchmark::State& state) {
+  auto fds = MakeFds(static_cast<int>(state.range(0)), 16, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttrClosure(AttrSet::Single(0), fds));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AttrClosureRandom)->RangeMultiplier(4)->Range(4, 4096)
+    ->Complexity();
+
+void BM_AttrClosureReverseChainWorstCase(benchmark::State& state) {
+  auto fds = ReverseChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AttrClosure(AttrSet::Single(0), fds));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_AttrClosureReverseChainWorstCase)
+    ->RangeMultiplier(2)
+    ->Range(8, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Implies(benchmark::State& state) {
+  auto fds = MakeFds(static_cast<int>(state.range(0)), 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Implies(fds, AttrSet::Single(0), AttrSet::Single(15)));
+  }
+}
+BENCHMARK(BM_Implies)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_MinimalCover(benchmark::State& state) {
+  auto fds = MakeFds(static_cast<int>(state.range(0)), 8, 11);
+  for (auto _ : state) {
+    auto copy = fds;
+    benchmark::DoNotOptimize(MinimalCover(std::move(copy)));
+  }
+}
+BENCHMARK(BM_MinimalCover)->RangeMultiplier(2)->Range(4, 128);
+
+void BM_MinimalDeterminants(benchmark::State& state) {
+  // Exponential in arity by design (subset enumeration).
+  auto fds = MakeFds(16, static_cast<uint32_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MinimalDeterminants(
+        fds, static_cast<uint32_t>(state.range(0)), 0));
+  }
+}
+BENCHMARK(BM_MinimalDeterminants)->DenseRange(2, 12, 2);
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,81 @@
+// Derived-FD inference and program-simplification benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "fd/derived.h"
+#include "transform/simplify.h"
+
+namespace hornsafe {
+namespace {
+
+/// A layered join pipeline: each level joins the previous through an
+/// FD'd infinite relation, so dependencies chain all the way up.
+Program JoinPipeline(int depth) {
+  std::string text = ".infinite f/2.\n.fd f: 1 -> 2.\n";
+  text += "p0(X,Y) :- f(X,Y).\n";
+  for (int i = 1; i < depth; ++i) {
+    text += StrCat("p", i, "(X,Z) :- p", i - 1, "(X,Y), f(Y,Z).\n");
+  }
+  return bench::MustParse(text);
+}
+
+void BM_InferDerivedFdsPipeline(benchmark::State& state) {
+  Program p = JoinPipeline(static_cast<int>(state.range(0)));
+  size_t inferred = 0;
+  for (auto _ : state) {
+    auto fds = InferDerivedFds(p);
+    inferred = fds.size();
+    benchmark::DoNotOptimize(fds);
+  }
+  state.counters["inferred"] = static_cast<double>(inferred);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_InferDerivedFdsPipeline)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_InferDerivedFdsArity(benchmark::State& state) {
+  // Candidate space is 2^arity per predicate.
+  int arity = static_cast<int>(state.range(0));
+  std::string head = "p(", body = "b(";
+  for (int i = 0; i < arity; ++i) {
+    head += StrCat(i ? "," : "", "X", i);
+    body += StrCat(i ? "," : "", "X", i);
+  }
+  Program p = bench::MustParse(StrCat(head, ") :- ", body, ").\n"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(InferDerivedFds(p));
+  }
+}
+BENCHMARK(BM_InferDerivedFdsArity)->DenseRange(2, 10, 2);
+
+void BM_SimplifyDeadWeight(benchmark::State& state) {
+  // Half the predicates are ungrounded recursion (dead), half live.
+  int n = static_cast<int>(state.range(0));
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += StrCat("dead", i, "(X) :- dead", i, "(X).\n");
+    text += StrCat("live", i, "(X) :- b(X).\n");
+  }
+  text += "b(1).\n?- live0(X).\n";
+  size_t removed = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Program p = bench::MustParse(text);
+    state.ResumeTiming();
+    auto stats = SimplifyProgram(&p);
+    removed = stats->TotalRemoved();
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["removed"] = static_cast<double>(removed);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SimplifyDeadWeight)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+}  // namespace
+}  // namespace hornsafe

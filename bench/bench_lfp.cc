@@ -1,0 +1,57 @@
+// Least-fixpoint evaluation of And-Or_H — experiment E10. Unit
+// propagation with per-rule counters is linear in total rule size.
+
+#include <benchmark/benchmark.h>
+
+#include "andor/build.h"
+#include "andor/lfp.h"
+#include "bench/bench_util.h"
+
+namespace hornsafe {
+namespace {
+
+void BM_LfpGuardedChain(benchmark::State& state) {
+  Program p = bench::GuardedChain(static_cast<int>(state.range(0)));
+  auto h = BuildAdornedProgram(p);
+  auto s = BuildAndOrSystem(p, *h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LeastFixpoint(*s));
+  }
+  state.counters["rules"] = static_cast<double>(s->num_rules());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LfpGuardedChain)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_LfpUnguardedChain(benchmark::State& state) {
+  Program p = bench::UnguardedChain(static_cast<int>(state.range(0)));
+  auto h = BuildAdornedProgram(p);
+  auto s = BuildAndOrSystem(p, *h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LeastFixpoint(*s));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LfpUnguardedChain)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_LfpParallelRules(benchmark::State& state) {
+  Program p = bench::ParallelRules(static_cast<int>(state.range(0)));
+  auto h = BuildAdornedProgram(p);
+  auto s = BuildAndOrSystem(p, *h);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LeastFixpoint(*s));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LfpParallelRules)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace hornsafe

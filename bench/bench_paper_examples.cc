@@ -1,0 +1,118 @@
+// Experiment E1 as a benchmark: full-pipeline decision latency for each
+// worked example of the paper. The `verdict` counter encodes the result
+// (1 = safe, 0 = unsafe) so the bench output doubles as the paper-vs-
+// tool table recorded in EXPERIMENTS.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/analyzer.h"
+
+namespace hornsafe {
+namespace {
+
+void RunCase(benchmark::State& state, const char* text,
+             Safety expected) {
+  Program p = bench::MustParse(text);
+  Safety got = Safety::kUndecided;
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p);
+    got = analyzer->AnalyzeQueries()[0].overall;
+    benchmark::DoNotOptimize(got);
+  }
+  state.counters["verdict_safe"] = got == Safety::kSafe ? 1 : 0;
+  state.counters["matches_paper"] = got == expected ? 1 : 0;
+}
+
+void BM_Example1_Ancestor(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite successor/2.
+    .fd successor: 1 -> 2.
+    .fd successor: 2 -> 1.
+    parent(sem, abel).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+    ?- ancestor(sem, Y, J).)",
+          Safety::kUnsafe);
+}
+BENCHMARK(BM_Example1_Ancestor);
+
+void BM_Example3_Unguarded(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite t/2.
+    r(X) :- t(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).)",
+          Safety::kUnsafe);
+}
+BENCHMARK(BM_Example3_Unguarded);
+
+void BM_Example4_Guarded(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite t/2.
+    .fd t: 2 -> 1.
+    r(X) :- t(X,Y), r(Y), a(Y).
+    r(X) :- b(X).
+    ?- r(X).)",
+          Safety::kSafe);
+}
+BENCHMARK(BM_Example4_Guarded);
+
+void BM_Example7_ConcatBound(benchmark::State& state) {
+  RunCase(state, R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+    ?- concat(A, B, [1,2,3]).)",
+          Safety::kSafe);
+}
+BENCHMARK(BM_Example7_ConcatBound);
+
+void BM_Example8_Incomplete(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite integer/1.
+    r(X) :- p(Y), q(Y), integer(X).
+    p([1]).
+    q([1,1]).
+    ?- r(X).)",
+          Safety::kUnsafe);
+}
+BENCHMARK(BM_Example8_Incomplete);
+
+void BM_Example11_NeedsAlgorithm3(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).)",
+          Safety::kSafe);
+}
+BENCHMARK(BM_Example11_NeedsAlgorithm3);
+
+void BM_Example13_Monotone(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite f/2.
+    .infinite g/2.
+    .fd f: 2 -> 1.
+    .fd g: 2 -> 1.
+    .mono f: 2 > 1.
+    .mono g: 2 > 1.
+    .mono f: 1 > const(0).
+    .mono g: 1 > const(0).
+    r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+    r(X,U) :- b(X,U).
+    ?- r(X,U).)",
+          Safety::kSafe);
+}
+BENCHMARK(BM_Example13_Monotone);
+
+void BM_Example14_Projection(benchmark::State& state) {
+  RunCase(state, R"(
+    .infinite f/1.
+    r(X) :- f(X).
+    ?- r(X).)",
+          Safety::kUnsafe);
+}
+BENCHMARK(BM_Example14_Projection);
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,82 @@
+// Algorithm 4 (reduction) — experiment E6. Lemma 10 states the naive
+// O(n²) bound in the number of rules; our worklist implementation is
+// linear in total rule size, comfortably inside it. The workload makes
+// every rule eventually deletable (an ungrounded recursive chain after
+// Algorithm 3), so reduction touches everything.
+
+#include <benchmark/benchmark.h>
+
+#include "andor/build.h"
+#include "andor/emptiness.h"
+#include "andor/reduce.h"
+#include "bench/bench_util.h"
+
+namespace hornsafe {
+namespace {
+
+/// Chain with no base case anywhere: all predicates empty, Algorithm 3
+/// deletes the head rules, Algorithm 4 cascades through the rest.
+Program UngroundedChain(int depth) {
+  std::string text = ".infinite f/2.\n.fd f: 2 -> 1.\n";
+  for (int i = 0; i < depth; ++i) {
+    text += StrCat("r", i, "(X) :- f(X,Y), r", (i + 1) % depth, "(Y).\n");
+  }
+  text += "?- r0(X).\n";
+  return bench::MustParse(text);
+}
+
+void BM_ReduceCascade(benchmark::State& state) {
+  Program p = UngroundedChain(static_cast<int>(state.range(0)));
+  auto h = BuildAdornedProgram(p);
+  auto base = BuildAndOrSystem(p, *h);
+  std::vector<bool> empty = EmptyPredicates(p);
+  size_t deleted = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    AndOrSystem system = *base;  // fresh copy each iteration
+    ApplyEmptinessPruning(empty, &system);
+    state.ResumeTiming();
+    ReduceStats stats = ReduceSystem(&system);
+    deleted = stats.rules_deleted;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["rules_deleted"] = static_cast<double>(deleted);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReduceCascade)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_ReduceNoop(benchmark::State& state) {
+  // Fully grounded chain: nothing to delete; measures the scan cost.
+  Program p = bench::GuardedChain(static_cast<int>(state.range(0)));
+  auto h = BuildAdornedProgram(p);
+  auto base = BuildAndOrSystem(p, *h);
+  for (auto _ : state) {
+    state.PauseTiming();
+    AndOrSystem system = *base;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ReduceSystem(&system));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReduceNoop)
+    ->RangeMultiplier(2)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oN);
+
+void BM_EmptinessFixpoint(benchmark::State& state) {
+  Program p = UngroundedChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EmptyPredicates(p));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_EmptinessFixpoint)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity();
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,70 @@
+// End-to-end analysis latency across synthetic program families: the
+// whole pipeline (Algorithm 1, adornment, Algorithm 2, Algorithms 3/4,
+// subset condition) per query, the number a user of the library
+// actually experiences.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/analyzer.h"
+
+namespace hornsafe {
+namespace {
+
+void BM_PipelineGuardedChain(benchmark::State& state) {
+  Program p = bench::GuardedChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p);
+    benchmark::DoNotOptimize(analyzer->AnalyzeQueries());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineGuardedChain)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_PipelineUnguardedChain(benchmark::State& state) {
+  Program p = bench::UnguardedChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p);
+    benchmark::DoNotOptimize(analyzer->AnalyzeQueries());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineUnguardedChain)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_PipelineMixedFamily(benchmark::State& state) {
+  Program p = bench::MustParse(bench::RandomFamilyText(
+      /*seed=*/7, static_cast<int>(state.range(0)), 1, 2));
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p);
+    benchmark::DoNotOptimize(analyzer->AnalyzeQueries());
+  }
+}
+BENCHMARK(BM_PipelineMixedFamily)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PipelineCreateOnly(benchmark::State& state) {
+  // Pipeline construction (no queries): parse-to-pruned-system.
+  Program p = bench::GuardedChain(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto analyzer = SafetyAnalyzer::Create(p);
+    benchmark::DoNotOptimize(analyzer);
+  }
+  auto analyzer = SafetyAnalyzer::Create(p);
+  state.counters["nodes"] =
+      static_cast<double>(analyzer->stats().nodes);
+  state.counters["live_rules"] =
+      static_cast<double>(analyzer->stats().rules_live);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_PipelineCreateOnly)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace hornsafe

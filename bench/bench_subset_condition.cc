@@ -1,0 +1,114 @@
+// Subset-condition decision cost — experiment E5 (Lemma 8). Two knobs:
+// chain depth (the paper's n, the number of distinct literals) and
+// parallel rules per literal (the paper's m). The counterexample search
+// is exponential in the worst case; capability pruning collapses the
+// safe chain family to near-linear, while the m-sweep exposes the
+// per-literal branching factor.
+
+#include <benchmark/benchmark.h>
+
+#include "andor/build.h"
+#include "andor/emptiness.h"
+#include "andor/reduce.h"
+#include "andor/subset.h"
+#include "bench/bench_util.h"
+#include "canonical/canonical.h"
+#include "constraints/mono.h"
+
+namespace hornsafe {
+namespace {
+
+struct Prepared {
+  Program program;
+  AndOrSystem system;
+  NodeId root;
+};
+
+Prepared Prepare(Program p, const char* query_pred) {
+  auto h = BuildAdornedProgram(p);
+  auto s = BuildAndOrSystem(p, *h);
+  AndOrSystem system = std::move(s).value();
+  ApplyEmptinessPruning(EmptyPredicates(p), &system);
+  ReduceSystem(&system);
+  PredicateId pred = p.FindPredicate(query_pred, 1);
+  NodeId root = system.FindHeadArg(pred, 0, 0);
+  return Prepared{std::move(p), std::move(system), root};
+}
+
+void BM_SubsetSafeChainDepth(benchmark::State& state) {
+  Prepared prep =
+      Prepare(bench::GuardedChain(static_cast<int>(state.range(0))), "r0");
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    SubsetResult res = CheckSubsetCondition(prep.system, prep.root, {});
+    steps = res.steps;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubsetSafeChainDepth)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_SubsetUnsafeChainDepth(benchmark::State& state) {
+  Prepared prep = Prepare(
+      bench::UnguardedChain(static_cast<int>(state.range(0))), "r0");
+  uint64_t steps = 0;
+  for (auto _ : state) {
+    SubsetResult res = CheckSubsetCondition(prep.system, prep.root, {});
+    steps = res.steps;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubsetUnsafeChainDepth)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity();
+
+void BM_SubsetRulesPerLiteral(benchmark::State& state) {
+  Prepared prep =
+      Prepare(bench::ParallelRules(static_cast<int>(state.range(0))), "r");
+  uint64_t graphs = 0;
+  for (auto _ : state) {
+    SubsetResult res = CheckSubsetCondition(prep.system, prep.root, {});
+    graphs = res.graphs_checked;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["graphs"] = static_cast<double>(graphs);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubsetRulesPerLiteral)
+    ->RangeMultiplier(2)
+    ->Range(2, 32)
+    ->Complexity();
+
+void BM_SubsetConcatBoundResult(benchmark::State& state) {
+  // The hardest real case in the test suite: Example 7 with the result
+  // bound, decided through constructor FDs + Theorem 5.
+  Program p = bench::MustParse(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  auto canon = Canonicalize(p);
+  auto h = BuildAdornedProgram(canon->program);
+  auto s = BuildAndOrSystem(canon->program, *h);
+  AndOrSystem system = std::move(s).value();
+  ApplyEmptinessPruning(EmptyPredicates(canon->program), &system);
+  ReduceSystem(&system);
+  PredicateId concat = canon->program.FindPredicate("concat", 3);
+  NodeId root = system.FindHeadArg(concat, 0b100, 0);
+  MonotonicityAnalyzer mono(canon->program, *h, system);
+  SubsetOptions opts;
+  opts.escape = mono.MakeEscape();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckSubsetCondition(system, root, opts));
+  }
+}
+BENCHMARK(BM_SubsetConcatBoundResult);
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,136 @@
+#ifndef HORNSAFE_BENCH_BENCH_UTIL_H_
+#define HORNSAFE_BENCH_BENCH_UTIL_H_
+
+// Shared synthetic workload generators for the benchmark suite. Every
+// generator is deterministic so that all runs see identical inputs.
+
+#include <string>
+
+#include "lang/program.h"
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hornsafe::bench {
+
+/// Parses or dies (benchmarks have no error channel worth using).
+inline Program MustParse(const std::string& text) {
+  auto r = ParseProgram(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench program parse error: %s\n%s\n",
+                 r.status().ToString().c_str(), text.c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+/// A chain of `depth` derived predicates, each reading the next through
+/// an FD-guarded infinite relation — a *safe* family whose And-Or graph
+/// grows linearly with depth:
+///   r0(X) :- f(X,Y), r1(Y), g0(Y).   ...   r<depth>(X) :- base(X).
+inline Program GuardedChain(int depth) {
+  std::string text = ".infinite f/2.\n.fd f: 2 -> 1.\n";
+  for (int i = 0; i < depth; ++i) {
+    text += StrCat("r", i, "(X) :- f(X,Y), r", i + 1, "(Y), g", i,
+                   "(Y).\n");
+  }
+  text += StrCat("r", depth, "(X) :- base(X).\n");
+  text += "?- r0(X).\n";
+  return MustParse(text);
+}
+
+/// The chain without the finite guards and with the last predicate
+/// calling back to the first — a grounded recursive cycle through the
+/// FD, i.e. a genuinely *unsafe* family (the Example 4-without-guard
+/// pattern stretched over `depth` predicates).
+inline Program UnguardedChain(int depth) {
+  std::string text = ".infinite f/2.\n.fd f: 2 -> 1.\n";
+  for (int i = 0; i < depth; ++i) {
+    text += StrCat("r", i, "(X) :- f(X,Y), r", i + 1, "(Y).\n");
+  }
+  text += StrCat("r", depth, "(X) :- f(X,Y), r0(Y).\n");
+  text += StrCat("r", depth, "(X) :- base(X).\n");
+  text += "?- r0(X).\n";
+  return MustParse(text);
+}
+
+/// One recursive predicate defined by `m` parallel guarded rules — the
+/// "m rules per literal" knob of Lemma 8.
+inline Program ParallelRules(int m) {
+  std::string text = ".infinite f/2.\n.fd f: 2 -> 1.\n";
+  for (int i = 0; i < m; ++i) {
+    text += StrCat("r(X) :- f(X,Y), r(Y), g", i, "(Y).\n");
+  }
+  text += "r(X) :- base(X).\n?- r(X).\n";
+  return MustParse(text);
+}
+
+/// A single rule over a head predicate of the given arity — the 2^arity
+/// adornment blow-up of Algorithm 2.
+inline Program WideHead(int arity) {
+  std::string head_vars, body;
+  for (int i = 0; i < arity; ++i) {
+    if (i > 0) head_vars += ",";
+    head_vars += StrCat("X", i);
+    body += StrCat(i > 0 ? ", " : "", "b", i, "(X", i, ")");
+  }
+  std::string text = StrCat("r(", head_vars, ") :- ", body, ".\n");
+  text += StrCat("r(", head_vars, ") :- r(", head_vars, "), c(X0).\n");
+  return MustParse(text);
+}
+
+/// A term of the given nesting depth, e.g. f(f(f(a))).
+inline std::string DeepTerm(int depth) {
+  std::string t = "a";
+  for (int i = 0; i < depth; ++i) t = StrCat("f(", t, ")");
+  return t;
+}
+
+/// Rules whose bodies contain nested function terms and constants —
+/// Algorithm 1 stress.
+inline Program DeepTermProgram(int rules, int depth) {
+  std::string text;
+  for (int i = 0; i < rules; ++i) {
+    text += StrCat("r", i, "(X) :- b(X, ", DeepTerm(depth), ", ", i,
+                   ").\n");
+  }
+  return MustParse(text);
+}
+
+/// A linear `edge` chain plus transitive closure — the naive vs
+/// semi-naive evaluation workload.
+inline Program ChainGraph(int n) {
+  std::string text;
+  for (int i = 0; i < n; ++i) {
+    text += StrCat("edge(", i, ",", i + 1, ").\n");
+  }
+  text +=
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- path(X,Z), edge(Z,Y).\n";
+  return MustParse(text);
+}
+
+/// A random mixed program: some finite base predicates, an FD'd
+/// infinite relation, and `rules` derived rules that are guarded with
+/// probability `guard_num`/`guard_den` — the detection-rate workload
+/// for the ablation benches.
+inline std::string RandomFamilyText(uint64_t seed, int rules,
+                                    uint64_t guard_num,
+                                    uint64_t guard_den) {
+  Rng rng(seed);
+  std::string text =
+      ".infinite f/2.\n.fd f: 2 -> 1.\n.mono f: 2 > 1.\n"
+      ".mono f: 1 > const(0).\n";
+  for (int i = 0; i < rules; ++i) {
+    bool guarded = rng.Chance(guard_num, guard_den);
+    text += StrCat("r", i, "(X) :- f(X,Y), r", i, "(Y)",
+                   guarded ? ", a(Y)" : "", ".\n");
+    text += StrCat("r", i, "(X) :- b(X).\n");
+    text += StrCat("?- r", i, "(X).\n");
+  }
+  return text;
+}
+
+}  // namespace hornsafe::bench
+
+#endif  // HORNSAFE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,142 @@
+// Extending the engine with a custom computable infinite relation:
+// fib(N, F) — the Fibonacci relation — with the finiteness
+// dependencies it really satisfies (each side determines the other),
+// and watching the analyzer exploit them.
+//
+// Run: ./build/examples/custom_relation
+
+#include <cstdio>
+
+#include "eval/engine.h"
+#include "parser/parser.h"
+
+namespace {
+
+using hornsafe::AttrSet;
+using hornsafe::FiniteDependency;
+using hornsafe::kInvalidTerm;
+using hornsafe::PredicateId;
+using hornsafe::Program;
+using hornsafe::Status;
+using hornsafe::TermKind;
+using hornsafe::Tuple;
+
+/// fib(N, F): F is the N-th Fibonacci number (N >= 0).
+///
+/// Binding patterns: N bound -> compute F; F bound -> invert by
+/// walking the (monotone for N >= 1) sequence; both bound -> test.
+/// Both-free would enumerate an infinite relation and is unsupported.
+class FibRelation : public hornsafe::InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return !bound.Empty();
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    auto get_int = [&](hornsafe::TermId t, int64_t* v) {
+      const hornsafe::TermData& d = program->terms().Get(t);
+      if (d.kind != TermKind::kInt) return false;
+      *v = d.int_value;
+      return true;
+    };
+    int64_t n = 0, f = 0;
+    bool bn = partial[0] != kInvalidTerm;
+    bool bf = partial[1] != kInvalidTerm;
+    if (bn && !get_int(partial[0], &n)) return Status::Ok();
+    if (bf && !get_int(partial[1], &f)) return Status::Ok();
+
+    if (bn) {
+      if (n < 0 || n > 90) return Status::Ok();  // overflow guard
+      int64_t a = 0, b = 1;
+      for (int64_t i = 0; i < n; ++i) {
+        int64_t next = a + b;
+        a = b;
+        b = next;
+      }
+      if (bf) {
+        if (f == a) out->push_back(partial);
+      } else {
+        out->push_back({partial[0], program->Int(a)});
+      }
+      return Status::Ok();
+    }
+    // F bound: find every N with fib(N) == F (0 and 1 repeat).
+    int64_t a = 0, b = 1;
+    for (int64_t i = 0; i <= 90; ++i) {
+      if (a == f) out->push_back({program->Int(i), partial[1]});
+      if (a > f) break;
+      int64_t next = a + b;
+      a = b;
+      b = next;
+    }
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    // N determines F; F determines (finitely many) N.
+    return {{pred, AttrSet::Single(0), AttrSet::Single(1)},
+            {pred, AttrSet::Single(1), AttrSet::Single(0)}};
+  }
+};
+
+void Run(hornsafe::Engine& engine, const char* text) {
+  std::printf("?- %s.\n", text);
+  auto result = engine.Query(text);
+  if (!result.ok()) {
+    std::printf("   %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("   %zu answer(s) [%s]:\n", result->tuples.size(),
+              result->strategy.c_str());
+  for (const Tuple& t : result->tuples) {
+    std::printf("   ");
+    for (size_t i = 0; i < t.size(); ++i) {
+      std::printf("%s%s",
+                  engine.program()
+                      .terms()
+                      .ToString(t[i], engine.program().symbols())
+                      .c_str(),
+                  i + 1 < t.size() ? ", " : "\n");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  auto parsed = hornsafe::ParseProgram(R"(
+    interesting(10).
+    interesting(20).
+    interesting(55).
+    % The FD fib2 -> fib1 (inverse direction) is what makes this rule's
+    % N column provably finite.
+    fib_index(N) :- interesting(F), fib(N, F).
+    fib_of_interest(F) :- interesting(N), fib(N, F).
+  )");
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = hornsafe::Engine::Create(std::move(parsed).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  if (Status st = engine->RegisterBuiltin("fib", 2,
+                                          std::make_shared<FibRelation>());
+      !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== hornsafe: custom infinite relation (fib/2) ===\n\n");
+  Run(*engine, "fib(10, F)");          // forward
+  Run(*engine, "fib(N, 55)");          // inverse via the declared FD
+  Run(*engine, "fib_of_interest(F)");  // safe: N finite, FD 1 -> 2
+  Run(*engine, "fib_index(N)");        // safe: F finite, FD 2 -> 1
+  Run(*engine, "fib(N, F)");           // refused: all free
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Case study: Andersen-style (inclusion-based) points-to analysis as a
+// Datalog program — the workload that made deductive databases popular
+// in program analysis. Everything is finite, so the safety analyzer
+// clears every query and the semi-naive engine materialises the
+// fixpoint.
+//
+// Run: ./build/examples/pointsto [vars]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/analyzer.h"
+#include "eval/bottomup.h"
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace {
+
+constexpr const char* kRules = R"(
+  % p = new Obj()
+  pointsto(V, H) :- alloc(V, H).
+  % p = q
+  pointsto(V, H) :- assign(V, Q), pointsto(Q, H).
+  % p.f = q
+  heappt(H, F, H2) :- store(P, F, Q), pointsto(P, H), pointsto(Q, H2).
+  % p = q.f
+  pointsto(V, H2) :- load(V, Q, F), pointsto(Q, H), heappt(H, F, H2).
+)";
+
+/// A random straight-line program: allocations, assignment chains and
+/// a sprinkle of field stores/loads.
+std::string SyntheticFacts(int vars, uint64_t seed) {
+  hornsafe::Rng rng(seed);
+  std::string text;
+  int heaps = vars / 3 + 1;
+  for (int h = 0; h < heaps; ++h) {
+    text += hornsafe::StrCat("alloc(v", rng.Below(vars), ", h", h, ").\n");
+  }
+  for (int i = 0; i < vars; ++i) {
+    text += hornsafe::StrCat("assign(v", rng.Below(vars), ", v",
+                             rng.Below(vars), ").\n");
+  }
+  for (int i = 0; i < vars / 4 + 1; ++i) {
+    text += hornsafe::StrCat("store(v", rng.Below(vars), ", f",
+                             rng.Below(3), ", v", rng.Below(vars), ").\n");
+    text += hornsafe::StrCat("load(v", rng.Below(vars), ", v",
+                             rng.Below(vars), ", f", rng.Below(3), ").\n");
+  }
+  return text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int vars = argc > 1 ? std::atoi(argv[1]) : 40;
+  std::string text = std::string(kRules) + SyntheticFacts(vars, 2026);
+  auto parsed = hornsafe::ParseProgram(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("=== hornsafe: Andersen points-to over %d variables ===\n\n",
+              vars);
+
+  // Static safety: every column flows from finite base relations.
+  auto analyzer = hornsafe::SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  hornsafe::PredicateId pointsto =
+      analyzer->canonical().FindPredicate("pointsto", 2);
+  hornsafe::QueryAnalysis qa = analyzer->AnalyzePredicate(pointsto, 0);
+  std::printf("pointsto(V, H) all-free: %s\n",
+              hornsafe::SafetyName(qa.overall));
+
+  // Evaluate to fixpoint, semi-naive.
+  hornsafe::BuiltinRegistry registry;
+  hornsafe::BottomUpEvaluator eval(&parsed.value(), &registry);
+  if (hornsafe::Status st = eval.Run(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  hornsafe::PredicateId heappt = parsed->FindPredicate("heappt", 3);
+  std::printf("fixpoint: %zu pointsto facts, %zu heap field facts "
+              "(%llu rule firings, %llu iterations)\n",
+              eval.RelationFor(parsed->FindPredicate("pointsto", 2)).size(),
+              eval.RelationFor(heappt).size(),
+              static_cast<unsigned long long>(eval.stats().rule_firings),
+              static_cast<unsigned long long>(eval.stats().iterations));
+
+  // A few concrete answers.
+  hornsafe::Literal probe = parsed->MakeLiteral(
+      "pointsto", {parsed->Atom("v0"), parsed->Var("H")});
+  auto answers = eval.Query(probe);
+  if (answers.ok()) {
+    std::printf("v0 may point to %zu object(s)\n", answers->size());
+  }
+  return 0;
+}

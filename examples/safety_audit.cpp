@@ -1,0 +1,174 @@
+// Safety audit: runs the full decision procedure over the worked
+// examples of the paper and prints the verdict table that
+// EXPERIMENTS.md records (experiment E1).
+//
+// Run: ./build/examples/safety_audit
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/finiteness.h"
+#include "parser/parser.h"
+
+namespace {
+
+struct Case {
+  const char* name;
+  const char* claim;  // the paper's verdict
+  const char* text;
+};
+
+const Case kCases[] = {
+    {"Example 1 (ancestor, free level counter)", "unsafe", R"(
+      .infinite successor/2.
+      .fd successor: 1 -> 2.
+      .fd successor: 2 -> 1.
+      parent(sem, abel).
+      ancestor(X,Y,1) :- parent(X,Y).
+      ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+      ?- ancestor(sem, Y, J).
+    )"},
+    {"Example 1 (ancestor, bound level counter)", "safe", R"(
+      .infinite successor/2.
+      .fd successor: 1 -> 2.
+      .fd successor: 2 -> 1.
+      parent(sem, abel).
+      ancestor(X,Y,1) :- parent(X,Y).
+      ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+      ?- ancestor(sem, Y, 2).
+    )"},
+    {"Example 6 (constants in rules and query)", "safe", R"(
+      r(X,Y) :- p(X,5), r(5,Y).
+      r(X,Y) :- a(X,Y).
+      p(1,5).
+      a(1,2).
+      ?- r(X,2).
+    )"},
+    {"Example 3 (unguarded recursion through t)", "unsafe", R"(
+      .infinite t/2.
+      r(X) :- t(X,Y), r(Y).
+      r(X) :- b(X).
+      ?- r(X).
+    )"},
+    {"Example 4 (finite guard + FD t2->t1)", "safe", R"(
+      .infinite t/2.
+      .fd t: 2 -> 1.
+      r(X) :- t(X,Y), r(Y), a(Y).
+      r(X) :- b(X).
+      ?- r(X).
+    )"},
+    {"Example 4 without the guard a(Y)", "unsafe", R"(
+      .infinite t/2.
+      .fd t: 2 -> 1.
+      r(X) :- t(X,Y), r(Y).
+      r(X) :- b(X).
+      ?- r(X).
+    )"},
+    {"Example 11 (ungrounded recursion; needs Algorithm 3)", "safe", R"(
+      .infinite f/2.
+      .fd f: 2 -> 1.
+      r(X) :- f(X,Y), r(Y).
+      ?- r(X).
+    )"},
+    {"Example 13 (monotone decreasing, bounded below)", "safe", R"(
+      .infinite f/2.
+      .infinite g/2.
+      .fd f: 2 -> 1.
+      .fd g: 2 -> 1.
+      .mono f: 2 > 1.
+      .mono g: 2 > 1.
+      .mono f: 1 > const(0).
+      .mono g: 1 > const(0).
+      r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+      r(X,U) :- b(X,U).
+      ?- r(X,U).
+    )"},
+    {"Example 13 without monotonicity constraints", "unsafe", R"(
+      .infinite f/2.
+      .infinite g/2.
+      .fd f: 2 -> 1.
+      .fd g: 2 -> 1.
+      r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+      r(X,U) :- b(X,U).
+      ?- r(X,U).
+    )"},
+    {"Example 14 (projection of an infinite relation)", "unsafe", R"(
+      .infinite f/1.
+      r(X) :- f(X).
+      ?- r(X).
+    )"},
+    {"Example 15 free query, FD f2->f1 (still unsafe)", "unsafe", R"(
+      .infinite f/2.
+      .fd f: 2 -> 1.
+      r(X) :- f(X,Y), r(Y).
+      r(X) :- b(X).
+      ?- r(X).
+    )"},
+    {"Example 15 bound query r(5)", "safe", R"(
+      .infinite f/2.
+      r(X) :- f(X,Y), r(Y).
+      r(X) :- b(X).
+      ?- r(5).
+    )"},
+    {"Example 7 concat, result bound (backward run)", "safe", R"(
+      concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+      concat([], Z, Z).
+      ?- concat(A, B, [1,2,3]).
+    )"},
+    {"Example 7 concat, everything free", "unsafe", R"(
+      concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+      concat([], Z, Z).
+      ?- concat(A, B, C).
+    )"},
+    {"Example 8 (canonicalization is not complete)", "unsafe", R"(
+      .infinite integer/1.
+      r(X) :- p(Y), q(Y), integer(X).
+      p([1]).
+      q([1,1]).
+      ?- r(X).
+    )"},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== hornsafe safety audit: paper examples ===\n\n");
+  std::printf("%-52s %-8s %-10s %s\n", "case", "paper", "hornsafe",
+              "finite-intermediate");
+  std::printf("%-52s %-8s %-10s %s\n", "----", "-----", "--------",
+              "-------------------");
+  int mismatches = 0;
+  for (const Case& c : kCases) {
+    auto parsed = hornsafe::ParseProgram(c.text);
+    if (!parsed.ok()) {
+      std::printf("%-52s PARSE ERROR: %s\n", c.name,
+                  parsed.status().ToString().c_str());
+      ++mismatches;
+      continue;
+    }
+    auto analyzer = hornsafe::SafetyAnalyzer::Create(*parsed);
+    if (!analyzer.ok()) {
+      std::printf("%-52s ANALYZER ERROR: %s\n", c.name,
+                  analyzer.status().ToString().c_str());
+      ++mismatches;
+      continue;
+    }
+    auto results = analyzer->AnalyzeQueries();
+    const char* verdict =
+        results.empty() ? "n/a" : hornsafe::SafetyName(results[0].overall);
+    hornsafe::IntermediateFinitenessResult fin =
+        hornsafe::CheckFiniteIntermediateResults(
+            analyzer->canonical(), analyzer->adorned(), analyzer->system(),
+            analyzer->canonical().queries()[0]);
+    bool match = std::string(verdict) == c.claim;
+    if (!match) ++mismatches;
+    std::printf("%-52s %-8s %-10s %-6s %s\n", c.name, c.claim, verdict,
+                fin.exists ? "yes" : "no", match ? "" : "  <-- MISMATCH");
+  }
+  std::printf("\n%s\n", mismatches == 0
+                            ? "All verdicts match the paper."
+                            : "MISMATCHES FOUND — see above.");
+  return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,220 @@
+#include "andor/build.h"
+
+#include <algorithm>
+
+#include "fd/fd.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// Builder for one call to BuildAndOrSystem.
+class SystemBuilder {
+ public:
+  SystemBuilder(const Program& program, const AdornedProgram& adorned,
+                const BuildOptions& opts)
+      : program_(program), adorned_(adorned), opts_(opts) {}
+
+  Result<AndOrSystem> Run() {
+    for (const AdornedRule& ar : adorned_.rules) {
+      ProcessRule(ar);
+    }
+    return std::move(system_);
+  }
+
+ private:
+  NodeId Var(const AdornedRule& ar, TermId v) {
+    return system_.InternVariable(ar.adorned_index, v);
+  }
+
+  NodeId BodyArg(const AdornedRule& ar, const BodyOccurrence& occ,
+                 uint32_t k) {
+    return system_.InternBodyArg(
+        occ.occurrence_id, k, occ.lit.pred, ar.adorned_index,
+        occ.kind == PredicateKind::kInfiniteBase);
+  }
+
+  void ProcessRule(const AdornedRule& ar) {
+    Step1HeadArgs(ar);
+    Step2Variables(ar);
+    for (const BodyOccurrence& occ : ar.body) {
+      if (occ.kind == PredicateKind::kDerived) {
+        Step3DerivedOccurrence(ar, occ);
+      } else if (occ.kind == PredicateKind::kInfiniteBase) {
+        Step4InfiniteOccurrence(ar, occ);
+      }
+      // Finite-base occurrences generate no nodes: they only ground
+      // variables in step 2.
+    }
+  }
+
+  void Step1HeadArgs(const AdornedRule& ar) {
+    for (uint32_t k = 0; k < ar.head.args.size(); ++k) {
+      NodeId head =
+          system_.InternHeadArg(ar.head_pred, ar.adornment.bound_mask, k);
+      if (ar.adornment.IsBound(k)) {
+        system_.AddRule(PropRule{head, {system_.zero()}, ar.adorned_index});
+      } else {
+        system_.AddRule(
+            PropRule{head, {Var(ar, ar.head.args[k])}, ar.adorned_index});
+      }
+    }
+  }
+
+  void Step2Variables(const AdornedRule& ar) {
+    // Distinct variables of the rule, in first-occurrence order.
+    std::vector<TermId> vars;
+    auto note = [&](TermId v) {
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    };
+    for (TermId a : ar.head.args) note(a);
+    for (const BodyOccurrence& occ : ar.body) {
+      for (TermId a : occ.lit.args) note(a);
+    }
+
+    for (TermId v : vars) {
+      NodeId var_node = Var(ar, v);
+      // Bound head positions and finite-base occurrences ground the
+      // variable outright.
+      bool grounded = false;
+      for (uint32_t k = 0; k < ar.head.args.size(); ++k) {
+        if (ar.head.args[k] == v && ar.adornment.IsBound(k)) {
+          grounded = true;
+        }
+      }
+      for (const BodyOccurrence& occ : ar.body) {
+        if (occ.kind != PredicateKind::kFiniteBase) continue;
+        if (std::find(occ.lit.args.begin(), occ.lit.args.end(), v) !=
+            occ.lit.args.end()) {
+          grounded = true;
+        }
+      }
+      if (grounded) {
+        system_.AddRule(
+            PropRule{var_node, {system_.zero()}, ar.adorned_index});
+        continue;
+      }
+      // C_X: every derived/infinite body argument the variable occurs in.
+      std::vector<NodeId> conjunct;
+      for (const BodyOccurrence& occ : ar.body) {
+        if (occ.kind == PredicateKind::kFiniteBase) continue;
+        for (uint32_t k = 0; k < occ.lit.args.size(); ++k) {
+          if (occ.lit.args[k] == v) {
+            conjunct.push_back(BodyArg(ar, occ, k));
+          }
+        }
+      }
+      if (conjunct.empty()) {
+        // The variable occurs only in free head positions: it ranges over
+        // the entire (infinite) domain.
+        system_.AddRule(
+            PropRule{var_node, {system_.one()}, ar.adorned_index});
+      } else {
+        system_.AddRule(
+            PropRule{var_node, std::move(conjunct), ar.adorned_index});
+      }
+    }
+  }
+
+  void Step3DerivedOccurrence(const AdornedRule& ar,
+                              const BodyOccurrence& occ) {
+    std::vector<Adornment> adornments =
+        ConsistentAdornments(program_.terms(), occ.lit);
+    for (uint32_t k = 0; k < occ.lit.args.size(); ++k) {
+      NodeId arg_node = BodyArg(ar, occ, k);
+      std::vector<NodeId> conjunct;
+      for (const Adornment& a1 : adornments) {
+        if (a1.IsBound(k)) continue;
+        NodeId adorned_node = system_.InternBodyArgAdorned(
+            occ.occurrence_id, a1.bound_mask, k, occ.lit.pred,
+            ar.adorned_index);
+        conjunct.push_back(adorned_node);
+        // The strategy is inapplicable if a bound variable is unsafe.
+        std::vector<TermId> bound_vars;
+        for (uint32_t j = 0; j < occ.lit.args.size(); ++j) {
+          if (a1.IsBound(j)) {
+            TermId y = occ.lit.args[j];
+            if (std::find(bound_vars.begin(), bound_vars.end(), y) ==
+                bound_vars.end()) {
+              bound_vars.push_back(y);
+            }
+          }
+        }
+        for (TermId y : bound_vars) {
+          system_.AddRule(
+              PropRule{adorned_node, {Var(ar, y)}, ar.adorned_index});
+        }
+        // Even with safe bindings, the callee's adorned head may be
+        // unsafe.
+        NodeId callee = system_.InternHeadArg(occ.lit.pred, a1.bound_mask, k);
+        system_.AddRule(PropRule{adorned_node, {callee}, ar.adorned_index});
+      }
+      // k is free in the all-free adornment, so the conjunct is never
+      // empty.
+      system_.AddRule(
+          PropRule{arg_node, std::move(conjunct), ar.adorned_index});
+    }
+  }
+
+  void Step4InfiniteOccurrence(const AdornedRule& ar,
+                               const BodyOccurrence& occ) {
+    std::vector<FiniteDependency> fds = program_.FdsFor(occ.lit.pred);
+    uint32_t arity = static_cast<uint32_t>(occ.lit.args.size());
+    for (uint32_t k = 0; k < arity; ++k) {
+      NodeId arg_node = BodyArg(ar, occ, k);
+      std::vector<AttrSet> determinants =
+          opts_.use_fd_closure ? MinimalDeterminants(fds, arity, k)
+                               : DeclaredDeterminants(fds, k);
+      if (determinants.empty()) {
+        // No dependency restricts this argument: unsafe leaf.
+        system_.AddRule(
+            PropRule{arg_node, {system_.one()}, ar.adorned_index});
+        continue;
+      }
+      std::vector<NodeId> conjunct;
+      for (uint32_t i = 0; i < determinants.size(); ++i) {
+        NodeId choice = system_.InternFdChoice(
+            occ.occurrence_id, k, i, occ.lit.pred, ar.adorned_index);
+        conjunct.push_back(choice);
+        if (determinants[i].Empty()) {
+          // An empty antecedent is always applicable: the argument is
+          // finite outright through this dependency.
+          system_.AddRule(
+              PropRule{choice, {system_.zero()}, ar.adorned_index});
+          continue;
+        }
+        std::vector<TermId> antecedent_vars;
+        for (uint32_t j : determinants[i].ToVector()) {
+          TermId y = occ.lit.args[j];
+          if (std::find(antecedent_vars.begin(), antecedent_vars.end(), y) ==
+              antecedent_vars.end()) {
+            antecedent_vars.push_back(y);
+          }
+        }
+        for (TermId y : antecedent_vars) {
+          system_.AddRule(PropRule{choice, {Var(ar, y)}, ar.adorned_index});
+        }
+      }
+      system_.AddRule(
+          PropRule{arg_node, std::move(conjunct), ar.adorned_index});
+    }
+  }
+
+  const Program& program_;
+  const AdornedProgram& adorned_;
+  BuildOptions opts_;
+  AndOrSystem system_;
+};
+
+}  // namespace
+
+Result<AndOrSystem> BuildAndOrSystem(const Program& canonical,
+                                     const AdornedProgram& adorned,
+                                     const BuildOptions& opts) {
+  return SystemBuilder(canonical, adorned, opts).Run();
+}
+
+}  // namespace hornsafe

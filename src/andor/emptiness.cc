@@ -1,0 +1,63 @@
+#include "andor/emptiness.h"
+
+namespace hornsafe {
+
+std::vector<bool> EmptyPredicates(const Program& canonical) {
+  const size_t n = canonical.num_predicates();
+  std::vector<bool> nonempty(n, false);
+  for (PredicateId p = 0; p < n; ++p) {
+    if (!canonical.IsDerived(p)) nonempty[p] = true;
+  }
+  // Fixpoint: a derived predicate is nonempty if some rule's body
+  // predicates are all nonempty.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& r : canonical.rules()) {
+      if (nonempty[r.head.pred]) continue;
+      bool all = true;
+      for (const Literal& b : r.body) {
+        if (!nonempty[b.pred]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        nonempty[r.head.pred] = true;
+        changed = true;
+      }
+    }
+  }
+  std::vector<bool> empty(n);
+  for (PredicateId p = 0; p < n; ++p) empty[p] = !nonempty[p];
+  return empty;
+}
+
+size_t ApplyEmptinessPruning(const std::vector<bool>& empty,
+                             AndOrSystem* system) {
+  size_t deleted = 0;
+  for (size_t ri = 0; ri < system->num_rules(); ++ri) {
+    if (system->rule_deleted(ri)) continue;
+    const PropNode& head = system->node(system->rule(ri).head);
+    bool prune = false;
+    switch (head.kind) {
+      case PropNodeKind::kHeadArg:
+      case PropNodeKind::kBodyArg:
+      case PropNodeKind::kBodyArgAdorned:
+      case PropNodeKind::kFdChoice:
+        prune = head.pred != kInvalidPredicate && empty[head.pred];
+        break;
+      case PropNodeKind::kZero:
+      case PropNodeKind::kOne:
+      case PropNodeKind::kVariable:
+        break;
+    }
+    if (prune) {
+      system->DeleteRule(ri);
+      ++deleted;
+    }
+  }
+  return deleted;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,30 @@
+#ifndef HORNSAFE_ANDOR_EMPTINESS_H_
+#define HORNSAFE_ANDOR_EMPTINESS_H_
+
+#include <vector>
+
+#include "andor/system.h"
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// Algorithm 3, first half: the set T₀ of predicates whose relation is
+/// empty for *every* EDB instance (Lemma 7). Base predicates (finite or
+/// infinite) are never empty — the analysis quantifies over all legal
+/// instances — so only derived predicates without a grounded derivation
+/// are in T₀. Returns one flag per predicate (true = provably empty).
+std::vector<bool> EmptyPredicates(const Program& canonical);
+
+/// Algorithm 3, second half: deletes from `*system` every rule whose
+/// head node is associated with a predicate in T₀ — head-argument nodes
+/// of empty predicates and argument nodes of body occurrences of empty
+/// predicates (DESIGN.md, D2). Without this, the subset condition is
+/// only sufficient (Example 11: an ungrounded recursive rule looks
+/// unsafe but can never produce a binding). Returns the number of rules
+/// deleted.
+size_t ApplyEmptinessPruning(const std::vector<bool>& empty,
+                             AndOrSystem* system);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_EMPTINESS_H_

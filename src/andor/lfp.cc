@@ -1,0 +1,61 @@
+#include "andor/lfp.h"
+
+#include <deque>
+
+namespace hornsafe {
+
+std::vector<char> LeastFixpoint(const AndOrSystem& system) {
+  const size_t num_nodes = system.nodes().size();
+  std::vector<char> value(num_nodes, 0);
+  value[system.one()] = 1;
+
+  // Per-rule count of body nodes not yet known to be 1. kZero never
+  // becomes 1, so rules mentioning it can never fire.
+  std::vector<uint32_t> remaining(system.num_rules(), 0);
+  std::vector<std::vector<uint32_t>> watchers(num_nodes);
+  std::deque<NodeId> queue;
+
+  for (size_t ri = 0; ri < system.num_rules(); ++ri) {
+    if (system.rule_deleted(ri)) continue;
+    const PropRule& r = system.rule(ri);
+    uint32_t need = 0;
+    bool impossible = false;
+    for (NodeId b : r.body) {
+      if (b == system.zero()) {
+        impossible = true;
+        break;
+      }
+      if (b == system.one()) continue;
+      ++need;
+      watchers[b].push_back(static_cast<uint32_t>(ri));
+    }
+    if (impossible) {
+      remaining[ri] = static_cast<uint32_t>(-1);
+      continue;
+    }
+    remaining[ri] = need;
+    if (need == 0 && !value[r.head]) {
+      value[r.head] = 1;
+      queue.push_back(r.head);
+    }
+  }
+
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    for (uint32_t ri : watchers[n]) {
+      if (system.rule_deleted(ri)) continue;
+      if (remaining[ri] == static_cast<uint32_t>(-1)) continue;
+      if (--remaining[ri] == 0) {
+        NodeId head = system.rule(ri).head;
+        if (!value[head]) {
+          value[head] = 1;
+          queue.push_back(head);
+        }
+      }
+    }
+  }
+  return value;
+}
+
+}  // namespace hornsafe

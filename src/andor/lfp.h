@@ -1,0 +1,23 @@
+#ifndef HORNSAFE_ANDOR_LFP_H_
+#define HORNSAFE_ANDOR_LFP_H_
+
+#include <vector>
+
+#include "andor/system.h"
+
+namespace hornsafe {
+
+/// Computes the least fixpoint of the live rules of And-Or_H over
+/// {0, 1}: node value 1 means "derivably unsafe".
+///
+/// The paper (Section 3): if the propositional literal for an argument
+/// position or variable evaluates to 1 in the least fixpoint, it is
+/// unsafe (within the canonical abstraction); value 0 is *inconclusive*
+/// without the emptiness pruning of Algorithm 3 + the subset-condition
+/// test. Runs in time linear in the total size of the rule set (unit
+/// propagation with per-rule counters).
+std::vector<char> LeastFixpoint(const AndOrSystem& system);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_LFP_H_

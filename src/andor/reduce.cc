@@ -1,0 +1,51 @@
+#include "andor/reduce.h"
+
+#include <deque>
+#include <vector>
+
+namespace hornsafe {
+
+ReduceStats ReduceSystem(AndOrSystem* system) {
+  ReduceStats stats;
+  const size_t num_nodes = system->nodes().size();
+
+  // Rules whose body mentions each node.
+  std::vector<std::vector<uint32_t>> used_in(num_nodes);
+  for (size_t ri = 0; ri < system->num_rules(); ++ri) {
+    if (system->rule_deleted(ri)) continue;
+    for (NodeId b : system->rule(ri).body) {
+      used_in[b].push_back(static_cast<uint32_t>(ri));
+    }
+  }
+
+  std::vector<bool> never(num_nodes, false);
+  std::deque<NodeId> queue;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == system->zero() || n == system->one()) continue;
+    if (system->RulesFor(n).empty()) {
+      never[n] = true;
+      ++stats.nodes_neverized;
+      queue.push_back(n);
+    }
+  }
+
+  while (!queue.empty()) {
+    NodeId n = queue.front();
+    queue.pop_front();
+    for (uint32_t ri : used_in[n]) {
+      if (system->rule_deleted(ri)) continue;
+      NodeId head = system->rule(ri).head;
+      system->DeleteRule(ri);
+      ++stats.rules_deleted;
+      if (!never[head] && head != system->zero() && head != system->one() &&
+          system->RulesFor(head).empty()) {
+        never[head] = true;
+        ++stats.nodes_neverized;
+        queue.push_back(head);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,32 @@
+#ifndef HORNSAFE_ANDOR_REDUCE_H_
+#define HORNSAFE_ANDOR_REDUCE_H_
+
+#include <cstddef>
+
+#include "andor/system.h"
+
+namespace hornsafe {
+
+/// Statistics from one ReduceSystem run.
+struct ReduceStats {
+  /// Rules deleted because their body mentions a node that can never
+  /// produce bindings.
+  size_t rules_deleted = 0;
+  /// Nodes found to have no live rules (the paper's "replace by 0";
+  /// we use the distinct terminal meaning *never produces bindings* —
+  /// DESIGN.md, D1 — so `← 0` safety certificates survive).
+  size_t nodes_neverized = 0;
+};
+
+/// Algorithm 4 of the paper: repeatedly (a) treat every non-terminal
+/// node without live rules as "never produces bindings" and (b) delete
+/// every rule whose body mentions such a node, until fixpoint.
+///
+/// By Lemma 9 this never removes a rule that could produce bindings for
+/// its head. Runs in time linear in total rule size (the paper states
+/// the naive O(n²) bound, Lemma 10).
+ReduceStats ReduceSystem(AndOrSystem* system);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_REDUCE_H_

@@ -1,0 +1,367 @@
+#include "andor/subset.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+const char* SafetyName(Safety s) {
+  switch (s) {
+    case Safety::kSafe:
+      return "safe";
+    case Safety::kUnsafe:
+      return "unsafe";
+    case Safety::kUndecided:
+      return "undecided";
+  }
+  return "?";
+}
+
+std::string AndGraph::Describe(const AndOrSystem& system,
+                               const Program& program) const {
+  std::string out = StrCat("AND-graph rooted at ",
+                           system.NodeName(root, program), ":\n");
+  // Stable order: by node id.
+  std::vector<std::pair<NodeId, uint32_t>> entries(chosen.begin(),
+                                                   chosen.end());
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [node, rule_idx] : entries) {
+    const PropRule& r = system.rule(rule_idx);
+    out += StrCat("  ", system.NodeName(node, program), " <- ",
+                  JoinMapped(r.body, ", ",
+                             [&](NodeId b) {
+                               return system.NodeName(b, program);
+                             }),
+                  "\n");
+  }
+  return out;
+}
+
+std::string AndGraph::ToDot(const AndOrSystem& system,
+                            const Program& program) const {
+  std::string out = "digraph and_graph {\n  rankdir=TB;\n";
+  auto quoted = [&](NodeId n) {
+    std::string name = system.NodeName(n, program);
+    std::string escaped;
+    for (char c : name) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    return StrCat("\"", escaped, "\"");
+  };
+  // Stable order: by node id.
+  std::vector<std::pair<NodeId, uint32_t>> entries(chosen.begin(),
+                                                   chosen.end());
+  std::sort(entries.begin(), entries.end());
+  std::unordered_set<NodeId> declared;
+  auto declare = [&](NodeId n) {
+    if (!declared.insert(n).second) return;
+    const PropNode& pn = system.node(n);
+    std::string attrs;
+    if (pn.is_f_node) {
+      attrs = "shape=diamond";
+    } else if (pn.kind == PropNodeKind::kHeadArg) {
+      attrs = "shape=box";
+    } else if (pn.kind == PropNodeKind::kZero ||
+               pn.kind == PropNodeKind::kOne) {
+      attrs = "shape=plaintext";
+    } else {
+      attrs = "shape=ellipse";
+    }
+    if (n == root) attrs += ",peripheries=2";
+    out += StrCat("  ", quoted(n), " [", attrs, "];\n");
+  };
+  for (const auto& [node, rule_idx] : entries) {
+    declare(node);
+    const PropRule& r = system.rule(rule_idx);
+    for (NodeId b : r.body) {
+      declare(b);
+      bool forward = system.node(node).kind == PropNodeKind::kHeadArg &&
+                     system.node(b).kind == PropNodeKind::kVariable;
+      out += StrCat("  ", quoted(node), " -> ", quoted(b),
+                    forward ? " [style=dashed]" : "", ";\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+/// Tarjan SCC over the chosen subgraph restricted to non-f-nodes.
+/// Returns component ids; f-nodes get component -1.
+class FFreeScc {
+ public:
+  FFreeScc(const AndOrSystem& system,
+           const std::unordered_map<NodeId, uint32_t>& chosen)
+      : system_(system), chosen_(chosen) {}
+
+  /// node -> SCC id for non-f chosen nodes.
+  std::unordered_map<NodeId, int> Run() {
+    for (const auto& [node, rule] : chosen_) {
+      if (Skip(node)) continue;
+      if (index_.find(node) == index_.end()) Strongconnect(node);
+    }
+    return comp_;
+  }
+
+ private:
+  bool Skip(NodeId n) const {
+    const PropNode& pn = system_.node(n);
+    if (pn.is_f_node) return true;
+    return chosen_.find(n) == chosen_.end();
+  }
+
+  void Strongconnect(NodeId v) {
+    index_[v] = next_index_;
+    low_[v] = next_index_;
+    ++next_index_;
+    stack_.push_back(v);
+    on_stack_.insert(v);
+
+    auto it = chosen_.find(v);
+    if (it != chosen_.end()) {
+      const PropRule& r = system_.rule(it->second);
+      for (NodeId w : r.body) {
+        const PropNode& wn = system_.node(w);
+        if (wn.kind == PropNodeKind::kZero ||
+            wn.kind == PropNodeKind::kOne || wn.is_f_node) {
+          continue;
+        }
+        if (chosen_.find(w) == chosen_.end()) continue;
+        if (index_.find(w) == index_.end()) {
+          Strongconnect(w);
+          low_[v] = std::min(low_[v], low_[w]);
+        } else if (on_stack_.count(w)) {
+          low_[v] = std::min(low_[v], index_[w]);
+        }
+      }
+    }
+
+    if (low_[v] == index_[v]) {
+      while (true) {
+        NodeId w = stack_.back();
+        stack_.pop_back();
+        on_stack_.erase(w);
+        comp_[w] = num_components_;
+        if (w == v) break;
+      }
+      ++num_components_;
+    }
+  }
+
+  const AndOrSystem& system_;
+  const std::unordered_map<NodeId, uint32_t>& chosen_;
+  std::unordered_map<NodeId, int> index_;
+  std::unordered_map<NodeId, int> low_;
+  std::unordered_map<NodeId, int> comp_;
+  std::vector<NodeId> stack_;
+  std::unordered_set<NodeId> on_stack_;
+  int next_index_ = 0;
+  int num_components_ = 0;
+};
+
+class SubsetSearch {
+ public:
+  SubsetSearch(const AndOrSystem& system, NodeId root,
+               const SubsetOptions& opts)
+      : system_(system), root_(root), opts_(opts) {}
+
+  SubsetResult Run() {
+    SubsetResult result;
+    if (root_ == kInvalidNode || system_.RulesFor(root_).empty()) {
+      // No graph can be rooted here: vacuously safe (the node can never
+      // produce a binding).
+      result.verdict = Safety::kSafe;
+      result.steps = steps_;
+      return result;
+    }
+    ComputeCapability();
+    if (!capable_[root_]) {
+      // Every completion of every graph rooted here contains a 0-node:
+      // the subset condition holds without search.
+      result.verdict = Safety::kSafe;
+      result.steps = steps_;
+      return result;
+    }
+    worklist_.push_back(root_);
+    bool found = false;
+    bool exhausted = false;
+    Search(0, &found, &exhausted);
+    result.graphs_checked = graphs_checked_;
+    result.steps = steps_;
+    if (found) {
+      result.verdict = Safety::kUnsafe;
+      AndGraph g;
+      g.root = root_;
+      g.chosen = chosen_;
+      result.witness = std::move(g);
+    } else if (exhausted) {
+      result.verdict = Safety::kUndecided;
+    } else {
+      result.verdict = Safety::kSafe;
+    }
+    return result;
+  }
+
+ private:
+  /// Is the node a terminal leaf in AND-graphs?
+  bool IsTerminal(NodeId n) const {
+    PropNodeKind k = system_.node(n).kind;
+    return k == PropNodeKind::kZero || k == PropNodeKind::kOne;
+  }
+
+  /// A counterexample graph cannot use a rule that mentions 0 (it would
+  /// contain a 0-node) or a node that cannot itself be expanded into a
+  /// 0-free subgraph.
+  bool RuleUsable(const PropRule& r) const {
+    for (NodeId b : r.body) {
+      if (b == system_.zero()) return false;
+      if (!IsTerminal(b) && !capable_[b]) return false;
+    }
+    return true;
+  }
+
+  /// Greatest-fixpoint pre-pass: a node is *capable* of appearing in a
+  /// counterexample graph iff it has a live rule whose body avoids 0 and
+  /// whose non-terminal members are all capable. Pruning incapable
+  /// nodes up front is sound (any counterexample graph is a
+  /// self-supporting 0-free set) and collapses the rule-choice search
+  /// on programs whose branches all bottom out in safety certificates.
+  void ComputeCapability() {
+    const size_t n = system_.nodes().size();
+    capable_.assign(n, true);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!capable_[v] || IsTerminal(v)) continue;
+        bool has_usable = false;
+        for (uint32_t ri : system_.RulesFor(v)) {
+          const PropRule& r = system_.rule(ri);
+          bool usable = true;
+          for (NodeId b : r.body) {
+            if (b == system_.zero() ||
+                (!IsTerminal(b) && !capable_[b])) {
+              usable = false;
+              break;
+            }
+          }
+          if (usable) {
+            has_usable = true;
+            break;
+          }
+        }
+        if (!has_usable) {
+          capable_[v] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// Depth-first choice of rules for the nodes in worklist_[from..].
+  /// Sets *found when a counterexample graph is confirmed; sets
+  /// *exhausted when the budget runs out.
+  void Search(size_t from, bool* found, bool* exhausted) {
+    if (*found || *exhausted) return;
+    if (++steps_ > opts_.budget) {
+      *exhausted = true;
+      return;
+    }
+    // Next unchosen non-terminal node.
+    size_t i = from;
+    while (i < worklist_.size() &&
+           (IsTerminal(worklist_[i]) || chosen_.count(worklist_[i]))) {
+      ++i;
+    }
+    if (i == worklist_.size()) {
+      // Complete graph.
+      ++graphs_checked_;
+      if (!HasFFreeForwardCycle() &&
+          !(opts_.escape && EscapeAccepts())) {
+        *found = true;
+      }
+      return;
+    }
+    NodeId n = worklist_[i];
+    for (uint32_t ri : system_.RulesFor(n)) {
+      const PropRule& r = system_.rule(ri);
+      if (!RuleUsable(r)) continue;
+      chosen_.emplace(n, ri);
+      size_t mark = worklist_.size();
+      bool closes_back_edge = false;
+      for (NodeId b : r.body) {
+        if (!IsTerminal(b)) {
+          worklist_.push_back(b);
+          closes_back_edge |= (chosen_.count(b) > 0);
+        }
+      }
+      // Cycles persist under completion, so once the partial graph
+      // already satisfies the subset condition (an f-free forward cycle,
+      // or the Theorem 5 escape), no completion below this choice can be
+      // a counterexample: prune the whole subtree.
+      bool pruned = false;
+      if (closes_back_edge) {
+        pruned = HasFFreeForwardCycle() || (opts_.escape && EscapeAccepts());
+      }
+      if (!pruned) {
+        Search(i + 1, found, exhausted);
+        if (*found) return;  // keep chosen_ intact as the witness
+      }
+      worklist_.resize(mark);
+      chosen_.erase(n);
+      if (*exhausted) return;
+    }
+  }
+
+  bool EscapeAccepts() {
+    AndGraph g;
+    g.root = root_;
+    g.chosen = chosen_;
+    return opts_.escape(g);
+  }
+
+  /// True iff the chosen subgraph contains a cycle through a forward edge
+  /// (head-argument -> variable) with no f-node on it. Checked by
+  /// computing SCCs of the subgraph minus f-nodes: a forward edge inside
+  /// one SCC closes such a cycle.
+  bool HasFFreeForwardCycle() {
+    std::unordered_map<NodeId, int> comp = FFreeScc(system_, chosen_).Run();
+    for (const auto& [node, rule_idx] : chosen_) {
+      const PropNode& head = system_.node(node);
+      if (head.kind != PropNodeKind::kHeadArg) continue;
+      const PropRule& r = system_.rule(rule_idx);
+      for (NodeId b : r.body) {
+        if (system_.node(b).kind != PropNodeKind::kVariable) continue;
+        auto cu = comp.find(node);
+        auto cv = comp.find(b);
+        if (cu != comp.end() && cv != comp.end() &&
+            cu->second == cv->second) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  const AndOrSystem& system_;
+  NodeId root_;
+  const SubsetOptions& opts_;
+  std::vector<char> capable_;
+  std::vector<NodeId> worklist_;
+  std::unordered_map<NodeId, uint32_t> chosen_;
+  uint64_t steps_ = 0;
+  uint64_t graphs_checked_ = 0;
+};
+
+}  // namespace
+
+SubsetResult CheckSubsetCondition(const AndOrSystem& system, NodeId root,
+                                  const SubsetOptions& opts) {
+  return SubsetSearch(system, root, opts).Run();
+}
+
+}  // namespace hornsafe

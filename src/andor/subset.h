@@ -1,0 +1,90 @@
+#ifndef HORNSAFE_ANDOR_SUBSET_H_
+#define HORNSAFE_ANDOR_SUBSET_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "andor/system.h"
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// Three-valued safety verdict.
+enum class Safety : uint8_t {
+  kSafe,
+  kUnsafe,
+  /// The search budget ran out before the space of AND-graphs was
+  /// exhausted; the argument must be treated as potentially unsafe.
+  kUndecided,
+};
+
+const char* SafetyName(Safety s);
+
+/// One fully chosen AND-graph And_H(p): exactly one live rule per
+/// reachable non-terminal node.
+struct AndGraph {
+  NodeId root = kInvalidNode;
+  /// node -> index of the chosen rule in the AndOrSystem.
+  std::unordered_map<NodeId, uint32_t> chosen;
+
+  /// Multi-line rendering for explanations.
+  std::string Describe(const AndOrSystem& system,
+                       const Program& program) const;
+
+  /// Graphviz rendering: box = head argument, ellipse = variable,
+  /// diamond = f-node (infinite-relation argument), doubled border =
+  /// the root; dashed edges are the forward (head-to-variable) edges.
+  std::string ToDot(const AndOrSystem& system, const Program& program) const;
+};
+
+/// Optional escape hatch for Theorem 5: called on every candidate
+/// counterexample graph (no 0-node, no f-node-free forward cycle); if it
+/// returns true the graph is considered to satisfy the subset condition
+/// anyway (e.g. because monotonicity constraints bound one of its
+/// cycles) and the search continues.
+using GraphEscape = std::function<bool(const AndGraph&)>;
+
+/// Options for the subset-condition search.
+struct SubsetOptions {
+  /// DFS step budget; exceeded -> kUndecided.
+  uint64_t budget = 5'000'000;
+  GraphEscape escape;
+};
+
+/// Outcome of CheckSubsetCondition.
+struct SubsetResult {
+  Safety verdict = Safety::kUndecided;
+  /// Counterexample graph when verdict == kUnsafe.
+  std::optional<AndGraph> witness;
+  /// Complete AND-graphs examined.
+  uint64_t graphs_checked = 0;
+  /// DFS steps consumed.
+  uint64_t steps = 0;
+};
+
+/// Decides the subset condition of Theorems 3/4 for the argument-position
+/// node `root`: `root` is safe iff *every* AND-graph And_H(root)
+/// constructible from the live rules contains a 0-node or a forward cycle
+/// free of f-nodes.
+///
+/// The search enumerates rule choices depth-first, looking for a
+/// *counterexample* graph — one whose chosen rule bodies never mention 0
+/// and whose chosen subgraph, after deleting f-nodes, has no cycle
+/// through a forward edge (head-argument -> variable edge). Nodes without
+/// live rules cannot appear in any complete graph, so rules mentioning
+/// them are skipped (run ReduceSystem first to prune them wholesale).
+///
+/// Sound and, per Theorem 4, complete after ApplyEmptinessPruning.
+/// Worst-case exponential in the number of nodes (the paper's Lemma 8
+/// bound is per-family; the family itself can be exponential), bounded
+/// by `opts.budget`.
+SubsetResult CheckSubsetCondition(const AndOrSystem& system, NodeId root,
+                                  const SubsetOptions& opts = {});
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_SUBSET_H_

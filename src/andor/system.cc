@@ -1,0 +1,217 @@
+#include "andor/system.h"
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// Discriminators for the node interning key.
+enum KeyTag : uint64_t {
+  kTagHeadArg = 1,
+  kTagVariable,
+  kTagBodyArg,
+  kTagBodyArgAdorned,
+  kTagFdChoice,
+};
+
+std::string AdornmentString(uint64_t mask, uint32_t arity) {
+  std::string s;
+  for (uint32_t k = 0; k < arity; ++k) s += ((mask >> k) & 1) ? 'b' : 'f';
+  return s;
+}
+
+}  // namespace
+
+size_t AndOrSystem::KeyHash::operator()(
+    const std::array<uint64_t, 4>& k) const {
+  size_t seed = 0;
+  for (uint64_t v : k) HashCombine(seed, std::hash<uint64_t>{}(v));
+  return seed;
+}
+
+AndOrSystem::AndOrSystem() {
+  zero_ = AddNode(PropNode{PropNodeKind::kZero, kInvalidPredicate, 0, 0, 0,
+                           kInvalidTerm, 0, 0, false});
+  one_ = AddNode(PropNode{PropNodeKind::kOne, kInvalidPredicate, 0, 0, 0,
+                          kInvalidTerm, 0, 0, false});
+}
+
+NodeId AndOrSystem::AddNode(PropNode node) {
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(node);
+  rules_by_head_.emplace_back();
+  return id;
+}
+
+void AndOrSystem::AddRule(PropRule rule) {
+  std::vector<NodeId> key;
+  key.reserve(rule.body.size() + 1);
+  key.push_back(rule.head);
+  key.insert(key.end(), rule.body.begin(), rule.body.end());
+  if (!rule_dedupe_.insert(std::move(key)).second) return;
+  uint32_t idx = static_cast<uint32_t>(rules_.size());
+  rules_by_head_[rule.head].push_back(idx);
+  rules_.push_back(std::move(rule));
+  deleted_.push_back(false);
+}
+
+void AndOrSystem::DeleteRule(size_t i) {
+  if (deleted_[i]) return;
+  deleted_[i] = true;
+  std::vector<uint32_t>& list = rules_by_head_[rules_[i].head];
+  for (size_t j = 0; j < list.size(); ++j) {
+    if (list[j] == i) {
+      list.erase(list.begin() + static_cast<ptrdiff_t>(j));
+      break;
+    }
+  }
+}
+
+const std::vector<uint32_t>& AndOrSystem::RulesFor(NodeId n) const {
+  return rules_by_head_[n];
+}
+
+size_t AndOrSystem::NumLiveRules() const {
+  size_t n = 0;
+  for (bool d : deleted_) {
+    if (!d) ++n;
+  }
+  return n;
+}
+
+NodeId AndOrSystem::InternKeyed(const std::array<uint64_t, 4>& key,
+                                PropNode node) {
+  auto it = node_index_.find(key);
+  if (it != node_index_.end()) return it->second;
+  NodeId id = AddNode(node);
+  node_index_.emplace(key, id);
+  return id;
+}
+
+NodeId AndOrSystem::InternHeadArg(PredicateId pred, uint64_t adornment_mask,
+                                  uint32_t position) {
+  PropNode n;
+  n.kind = PropNodeKind::kHeadArg;
+  n.pred = pred;
+  n.adornment_mask = adornment_mask;
+  n.position = position;
+  return InternKeyed({kTagHeadArg, (uint64_t{pred} << 32) | position,
+                      adornment_mask, 0},
+                     n);
+}
+
+NodeId AndOrSystem::InternVariable(uint32_t adorned_rule, TermId var) {
+  PropNode n;
+  n.kind = PropNodeKind::kVariable;
+  n.adorned_rule = adorned_rule;
+  n.var = var;
+  return InternKeyed({kTagVariable, adorned_rule, var, 0}, n);
+}
+
+NodeId AndOrSystem::InternBodyArg(uint32_t occurrence, uint32_t position,
+                                  PredicateId pred, uint32_t adorned_rule,
+                                  bool is_f_node) {
+  PropNode n;
+  n.kind = PropNodeKind::kBodyArg;
+  n.pred = pred;
+  n.position = position;
+  n.occurrence = occurrence;
+  n.adorned_rule = adorned_rule;
+  n.is_f_node = is_f_node;
+  return InternKeyed({kTagBodyArg, (uint64_t{occurrence} << 32) | position,
+                      0, 0},
+                     n);
+}
+
+NodeId AndOrSystem::InternBodyArgAdorned(uint32_t occurrence,
+                                         uint64_t adornment_mask,
+                                         uint32_t position, PredicateId pred,
+                                         uint32_t adorned_rule) {
+  PropNode n;
+  n.kind = PropNodeKind::kBodyArgAdorned;
+  n.pred = pred;
+  n.adornment_mask = adornment_mask;
+  n.position = position;
+  n.occurrence = occurrence;
+  n.adorned_rule = adorned_rule;
+  return InternKeyed({kTagBodyArgAdorned,
+                      (uint64_t{occurrence} << 32) | position,
+                      adornment_mask, 0},
+                     n);
+}
+
+NodeId AndOrSystem::InternFdChoice(uint32_t occurrence, uint32_t position,
+                                   uint32_t fd_index, PredicateId pred,
+                                   uint32_t adorned_rule) {
+  PropNode n;
+  n.kind = PropNodeKind::kFdChoice;
+  n.pred = pred;
+  n.position = position;
+  n.occurrence = occurrence;
+  n.fd_index = fd_index;
+  n.adorned_rule = adorned_rule;
+  n.is_f_node = true;
+  return InternKeyed({kTagFdChoice, (uint64_t{occurrence} << 32) | position,
+                      fd_index, 0},
+                     n);
+}
+
+NodeId AndOrSystem::FindHeadArg(PredicateId pred, uint64_t adornment_mask,
+                                uint32_t position) const {
+  auto it = node_index_.find({kTagHeadArg,
+                              (uint64_t{pred} << 32) | position,
+                              adornment_mask, 0});
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+NodeId AndOrSystem::FindVariable(uint32_t adorned_rule, TermId var) const {
+  auto it = node_index_.find({kTagVariable, adorned_rule, var, 0});
+  return it == node_index_.end() ? kInvalidNode : it->second;
+}
+
+std::string AndOrSystem::NodeName(NodeId id, const Program& program) const {
+  const PropNode& n = nodes_[id];
+  switch (n.kind) {
+    case PropNodeKind::kZero:
+      return "0";
+    case PropNodeKind::kOne:
+      return "1";
+    case PropNodeKind::kHeadArg:
+      return StrCat(program.PredicateName(n.pred), "^",
+                    AdornmentString(n.adornment_mask,
+                                    program.predicate(n.pred).arity),
+                    ".", n.position + 1);
+    case PropNodeKind::kVariable:
+      return StrCat(program.terms().ToString(n.var, program.symbols()), "@",
+                    n.adorned_rule);
+    case PropNodeKind::kBodyArg:
+      return StrCat(program.PredicateName(n.pred), "#", n.occurrence, ".",
+                    n.position + 1);
+    case PropNodeKind::kBodyArgAdorned:
+      return StrCat(program.PredicateName(n.pred), "#", n.occurrence, "^",
+                    AdornmentString(n.adornment_mask,
+                                    program.predicate(n.pred).arity),
+                    ".", n.position + 1);
+    case PropNodeKind::kFdChoice:
+      return StrCat(program.PredicateName(n.pred), "#", n.occurrence, ".",
+                    n.position + 1, "~fd", n.fd_index);
+  }
+  return "?";
+}
+
+std::string AndOrSystem::ToString(const Program& program) const {
+  std::string out;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (deleted_[i]) continue;
+    const PropRule& r = rules_[i];
+    out += NodeName(r.head, program);
+    out += " <- ";
+    out += JoinMapped(r.body, ", ",
+                      [&](NodeId b) { return NodeName(b, program); });
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,157 @@
+#include "constraints/argmap.h"
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+VariableOrder::VariableOrder(const Program& program, const Rule& rule) {
+  vars_ = RuleVariables(program.terms(), rule);
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    index_.emplace(vars_[i], static_cast<int>(i));
+  }
+  size_t n = vars_.size();
+  greater_.assign(n, std::vector<bool>(n, false));
+  lower_bounded_.assign(n, false);
+  upper_bounded_.assign(n, false);
+
+  for (const Literal& b : rule.body) {
+    if (program.IsDerived(b.pred)) continue;
+    for (const MonotonicityConstraint& mc : program.MonosFor(b.pred)) {
+      switch (mc.kind) {
+        case MonoKind::kAttrGreaterAttr: {
+          int gi = IndexOf(b.args[mc.lhs_attr]);
+          int li = IndexOf(b.args[mc.rhs_attr]);
+          if (gi >= 0 && li >= 0 && gi != li) greater_[gi][li] = true;
+          break;
+        }
+        case MonoKind::kAttrGreaterConst: {
+          int i = IndexOf(b.args[mc.lhs_attr]);
+          if (i >= 0) lower_bounded_[i] = true;
+          break;
+        }
+        case MonoKind::kAttrLessConst: {
+          int i = IndexOf(b.args[mc.lhs_attr]);
+          if (i >= 0) upper_bounded_[i] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Transitive closure (Floyd-Warshall; rules have few variables).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!greater_[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (greater_[k][j]) greater_[i][j] = true;
+      }
+    }
+  }
+  // x > y and y bounded below => x bounded below; x < y (y > x) and y
+  // bounded above => x bounded above.
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      if (greater_[i][j] && lower_bounded_[j]) lower_bounded_[i] = true;
+      if (greater_[j][i] && upper_bounded_[j]) upper_bounded_[i] = true;
+    }
+  }
+}
+
+int VariableOrder::IndexOf(TermId v) const {
+  auto it = index_.find(v);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool VariableOrder::Greater(TermId x, TermId y) const {
+  int i = IndexOf(x);
+  int j = IndexOf(y);
+  return i >= 0 && j >= 0 && greater_[i][j];
+}
+
+bool VariableOrder::BoundedBelow(TermId x) const {
+  int i = IndexOf(x);
+  return i >= 0 && lower_bounded_[i];
+}
+
+bool VariableOrder::BoundedAbove(TermId x) const {
+  int i = IndexOf(x);
+  return i >= 0 && upper_bounded_[i];
+}
+
+ArgumentMapping::ArgumentMapping(uint32_t head_arity, uint32_t occ_arity)
+    : head_arity_(head_arity),
+      occ_arity_(occ_arity),
+      rel_(head_arity * occ_arity, kRelNone) {}
+
+ArgumentMapping ArgumentMapping::Build(const Program& program,
+                                       const Rule& rule,
+                                       const VariableOrder& order,
+                                       const Literal& occ) {
+  (void)program;
+  ArgumentMapping m(static_cast<uint32_t>(rule.head.args.size()),
+                    static_cast<uint32_t>(occ.args.size()));
+  for (uint32_t i = 0; i < m.head_arity_; ++i) {
+    for (uint32_t j = 0; j < m.occ_arity_; ++j) {
+      TermId a = rule.head.args[i];
+      TermId b = occ.args[j];
+      uint8_t bits = kRelNone;
+      if (a == b) bits |= kRelEq;
+      if (order.Greater(a, b)) bits |= kRelGt;
+      if (order.Greater(b, a)) bits |= kRelLt;
+      m.set_rel(i, j, bits);
+    }
+  }
+  return m;
+}
+
+ArgumentMapping ArgumentMapping::Compose(const ArgumentMapping& next) const {
+  ArgumentMapping out(head_arity_, next.occ_arity_);
+  for (uint32_t i = 0; i < head_arity_; ++i) {
+    for (uint32_t k = 0; k < next.occ_arity_; ++k) {
+      uint8_t bits = kRelNone;
+      for (uint32_t j = 0; j < occ_arity_; ++j) {
+        uint8_t a = rel(i, j);
+        uint8_t b = next.rel(j, k);
+        if ((a & kRelEq) && (b & kRelEq)) bits |= kRelEq;
+        // head_i > mid_j >= end_k or head_i >= mid_j > end_k.
+        if (((a & kRelGt) && (b & (kRelEq | kRelGt))) ||
+            ((a & kRelEq) && (b & kRelGt))) {
+          bits |= kRelGt;
+        }
+        if (((a & kRelLt) && (b & (kRelEq | kRelLt))) ||
+            ((a & kRelEq) && (b & kRelLt))) {
+          bits |= kRelLt;
+        }
+      }
+      out.set_rel(i, k, bits);
+    }
+  }
+  return out;
+}
+
+bool ArgumentMapping::Invalid() const {
+  for (uint8_t bits : rel_) {
+    bool gt = bits & kRelGt;
+    bool lt = bits & kRelLt;
+    bool eq = bits & kRelEq;
+    if ((gt && lt) || (gt && eq) || (lt && eq)) return true;
+  }
+  return false;
+}
+
+std::string ArgumentMapping::ToString() const {
+  std::string out;
+  for (uint32_t i = 0; i < head_arity_; ++i) {
+    for (uint32_t j = 0; j < occ_arity_; ++j) {
+      uint8_t bits = rel(i, j);
+      if (bits == kRelNone) continue;
+      if (!out.empty()) out += " ";
+      if (bits & kRelEq) out += StrCat(i + 1, "=", j + 1, "'");
+      if (bits & kRelGt) out += StrCat(i + 1, ">", j + 1, "'");
+      if (bits & kRelLt) out += StrCat(i + 1, "<", j + 1, "'");
+    }
+  }
+  return out.empty() ? "(empty)" : out;
+}
+
+}  // namespace hornsafe

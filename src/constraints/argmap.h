@@ -1,0 +1,108 @@
+#ifndef HORNSAFE_CONSTRAINTS_ARGMAP_H_
+#define HORNSAFE_CONSTRAINTS_ARGMAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// The partial order on one rule's variables induced by the monotonicity
+/// constraints of its body literals (paper, Section 4).
+///
+/// For every body occurrence of a base predicate with constraint
+/// `pᵢ > pⱼ`, the variable in position i is strictly greater than the
+/// variable in position j in every satisfying assignment; `pᵢ > c` /
+/// `pᵢ < c` bound the variable by the constant c. `VariableOrder`
+/// closes these facts transitively.
+class VariableOrder {
+ public:
+  /// Builds the order for `rule`, which must be canonical (all-variable
+  /// arguments). Constraints are looked up in `program`.
+  VariableOrder(const Program& program, const Rule& rule);
+
+  /// True iff x > y is derivable (strictly) for every satisfying tuple.
+  bool Greater(TermId x, TermId y) const;
+
+  /// True iff x is bounded below by some constant (x > c, possibly
+  /// through a chain x > y > ... > c).
+  bool BoundedBelow(TermId x) const;
+
+  /// True iff x is bounded above by some constant.
+  bool BoundedAbove(TermId x) const;
+
+ private:
+  int IndexOf(TermId v) const;
+
+  std::vector<TermId> vars_;
+  std::unordered_map<TermId, int> index_;
+  /// greater_[i][j]: var i > var j (transitive closure).
+  std::vector<std::vector<bool>> greater_;
+  std::vector<bool> lower_bounded_;
+  std::vector<bool> upper_bounded_;
+};
+
+/// Relation bits between one head position and one occurrence position
+/// of an argument mapping.
+enum ArgRel : uint8_t {
+  kRelNone = 0,
+  /// Same value (the paper's undirected edge: shared variable).
+  kRelEq = 1,
+  /// head value > occurrence value (arc head -> occ).
+  kRelGt = 2,
+  /// head value < occurrence value (arc occ -> head).
+  kRelLt = 4,
+};
+
+/// An argument mapping (p, q) between the head literal of a rule and a
+/// body literal occurrence (paper, Section 4): a mixed graph over the
+/// argument positions of p and q with undirected edges for shared
+/// variables and arcs for inferred strict inequalities. Mappings compose
+/// along rule sequences; the summary of a cyclic composition classifies
+/// the cycle as increasing/decreasing (Theorem 5).
+class ArgumentMapping {
+ public:
+  ArgumentMapping(uint32_t head_arity, uint32_t occ_arity);
+
+  /// Builds the mapping from `rule`'s head to body literal `occ`
+  /// (which must be a literal of `rule`), using `order` for inferred
+  /// inequalities.
+  static ArgumentMapping Build(const Program& program, const Rule& rule,
+                               const VariableOrder& order,
+                               const Literal& occ);
+
+  /// Composes `this` (p -> q) with `next` (q -> r) into (p -> r): the
+  /// paper's summarised composite mapping. Requires
+  /// `occ_arity() == next.head_arity()`.
+  ArgumentMapping Compose(const ArgumentMapping& next) const;
+
+  uint32_t head_arity() const { return head_arity_; }
+  uint32_t occ_arity() const { return occ_arity_; }
+
+  uint8_t rel(uint32_t i, uint32_t j) const {
+    return rel_[i * occ_arity_ + j];
+  }
+  void set_rel(uint32_t i, uint32_t j, uint8_t bits) {
+    rel_[i * occ_arity_ + j] = bits;
+  }
+
+  /// True iff some pair carries contradictory relations (x > y together
+  /// with x < y or x = y). An invalid mapping (or composition) can
+  /// produce no answers — the paper discards such rules/cycles.
+  bool Invalid() const;
+
+  /// "1=1' 1>2' ..." rendering (primes mark occurrence positions).
+  std::string ToString() const;
+
+ private:
+  uint32_t head_arity_;
+  uint32_t occ_arity_;
+  std::vector<uint8_t> rel_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CONSTRAINTS_ARGMAP_H_

@@ -1,0 +1,94 @@
+#include "constraints/consistency.h"
+
+#include <limits>
+#include <map>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+std::vector<ConsistencyWarning> CheckConstraintConsistency(
+    const Program& program) {
+  std::vector<ConsistencyWarning> warnings;
+
+  for (PredicateId pred = 0; pred < program.num_predicates(); ++pred) {
+    if (program.IsDerived(pred)) continue;
+    uint32_t arity = program.predicate(pred).arity;
+    if (arity == 0) continue;
+
+    std::vector<MonotonicityConstraint> monos = program.MonosFor(pred);
+    std::vector<FiniteDependency> fds = program.FdsFor(pred);
+    if (monos.empty() && fds.empty()) continue;
+
+    // --- Strict-arc cycles ------------------------------------------------
+    std::vector<std::vector<bool>> greater(arity,
+                                           std::vector<bool>(arity, false));
+    for (const MonotonicityConstraint& mc : monos) {
+      if (mc.kind == MonoKind::kAttrGreaterAttr) {
+        greater[mc.lhs_attr][mc.rhs_attr] = true;
+      }
+    }
+    for (uint32_t k = 0; k < arity; ++k) {
+      for (uint32_t i = 0; i < arity; ++i) {
+        if (!greater[i][k]) continue;
+        for (uint32_t j = 0; j < arity; ++j) {
+          if (greater[k][j]) greater[i][j] = true;
+        }
+      }
+    }
+    for (uint32_t i = 0; i < arity; ++i) {
+      if (greater[i][i]) {
+        warnings.push_back(ConsistencyWarning{
+            pred,
+            StrCat("monotonicity constraints over '",
+                   program.PredicateName(pred), "' form a strict cycle "
+                   "through attribute ",
+                   i + 1,
+                   ": no tuple can satisfy them, the relation is "
+                   "necessarily empty")});
+        break;  // one report per predicate is enough
+      }
+    }
+
+    // --- Contradictory constant bounds -------------------------------------
+    std::vector<int64_t> lower(arity, std::numeric_limits<int64_t>::min());
+    std::vector<int64_t> upper(arity, std::numeric_limits<int64_t>::max());
+    for (const MonotonicityConstraint& mc : monos) {
+      if (mc.kind == MonoKind::kAttrGreaterConst) {
+        lower[mc.lhs_attr] = std::max(lower[mc.lhs_attr], mc.bound);
+      } else if (mc.kind == MonoKind::kAttrLessConst) {
+        upper[mc.lhs_attr] = std::min(upper[mc.lhs_attr], mc.bound);
+      }
+    }
+    for (uint32_t i = 0; i < arity; ++i) {
+      if (lower[i] == std::numeric_limits<int64_t>::min() ||
+          upper[i] == std::numeric_limits<int64_t>::max()) {
+        continue;
+      }
+      // Over the integers, c₁ < x < c₂ needs c₂ ≥ c₁ + 2.
+      if (upper[i] <= lower[i] + 1) {
+        warnings.push_back(ConsistencyWarning{
+            pred, StrCat("attribute ", i + 1, " of '",
+                         program.PredicateName(pred), "' is bounded to the "
+                         "empty interval (",
+                         lower[i], ", ", upper[i],
+                         "): the relation is necessarily empty")});
+      }
+    }
+
+    // --- Duplicate finiteness dependencies ---------------------------------
+    std::map<std::pair<uint64_t, uint64_t>, int> seen;
+    for (const FiniteDependency& fd : fds) {
+      if (++seen[{fd.lhs.bits(), fd.rhs.bits()}] == 2) {
+        warnings.push_back(ConsistencyWarning{
+            pred, StrCat("finiteness dependency ", fd.lhs.ToString(),
+                         " -> ", fd.rhs.ToString(), " on '",
+                         program.PredicateName(pred),
+                         "' is declared more than once")});
+      }
+    }
+  }
+  return warnings;
+}
+
+}  // namespace hornsafe

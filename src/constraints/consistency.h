@@ -1,0 +1,39 @@
+#ifndef HORNSAFE_CONSTRAINTS_CONSISTENCY_H_
+#define HORNSAFE_CONSTRAINTS_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// One constraint-consistency finding.
+struct ConsistencyWarning {
+  PredicateId pred = kInvalidPredicate;
+  std::string message;
+};
+
+/// Checks the declared integrity constraints of `program` for
+/// per-tuple unsatisfiability — the schema-level analogue of the
+/// paper's *invalid* argument mappings (Section 4: a mapping with arcs
+/// both ways "cannot produce any answers").
+///
+/// Detected:
+///  * a cycle of strict monotonicity arcs among the attributes of one
+///    predicate (e.g. `1 > 2` and `2 > 1`): no tuple satisfies them,
+///    so the relation is necessarily empty;
+///  * contradictory constant bounds on one attribute
+///    (`i > const(c₁)` and `i < const(c₂)` with c₂ ≤ c₁ + 1 over the
+///    integers): same conclusion;
+///  * a duplicate finiteness dependency (harmless, flagged as a
+///    likely authoring mistake).
+///
+/// An empty result means no inconsistency was *detected*, not a
+/// satisfiability proof.
+std::vector<ConsistencyWarning> CheckConstraintConsistency(
+    const Program& program);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CONSTRAINTS_CONSISTENCY_H_

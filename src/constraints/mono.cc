@@ -1,0 +1,248 @@
+#include "constraints/mono.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+namespace hornsafe {
+
+namespace {
+
+/// Iterative Tarjan SCC over the chosen subgraph of an AND-graph.
+/// Returns node -> component id.
+std::unordered_map<NodeId, int> ChosenScc(const AndOrSystem& system,
+                                          const AndGraph& g) {
+  std::unordered_map<NodeId, int> comp;
+  std::unordered_map<NodeId, int> index;
+  std::unordered_map<NodeId, int> low;
+  std::vector<NodeId> stack;
+  std::unordered_set<NodeId> on_stack;
+  int next_index = 0;
+  int next_comp = 0;
+
+  std::function<void(NodeId)> connect = [&](NodeId v) {
+    index[v] = low[v] = next_index++;
+    stack.push_back(v);
+    on_stack.insert(v);
+    auto it = g.chosen.find(v);
+    if (it != g.chosen.end()) {
+      for (NodeId w : system.rule(it->second).body) {
+        if (g.chosen.find(w) == g.chosen.end()) continue;
+        if (index.find(w) == index.end()) {
+          connect(w);
+          low[v] = std::min(low[v], low[w]);
+        } else if (on_stack.count(w)) {
+          low[v] = std::min(low[v], index[w]);
+        }
+      }
+    }
+    if (low[v] == index[v]) {
+      while (true) {
+        NodeId w = stack.back();
+        stack.pop_back();
+        on_stack.erase(w);
+        comp[w] = next_comp;
+        if (w == v) break;
+      }
+      ++next_comp;
+    }
+  };
+
+  for (const auto& [node, rule] : g.chosen) {
+    if (index.find(node) == index.end()) connect(node);
+  }
+  return comp;
+}
+
+}  // namespace
+
+MonotonicityAnalyzer::MonotonicityAnalyzer(const Program& canonical,
+                                           const AdornedProgram& adorned,
+                                           const AndOrSystem& system)
+    : program_(canonical), adorned_(adorned), system_(system) {
+  orders_.reserve(canonical.rules().size());
+  for (const Rule& r : canonical.rules()) {
+    orders_.emplace_back(canonical, r);
+  }
+  for (uint32_t t = 0; t < adorned_.rules.size(); ++t) {
+    const AdornedRule& ar = adorned_.rules[t];
+    for (uint32_t bi = 0; bi < ar.body.size(); ++bi) {
+      uint32_t occ = ar.body[bi].occurrence_id;
+      if (occ >= occurrence_index_.size()) {
+        occurrence_index_.resize(occ + 1, {0, 0});
+      }
+      occurrence_index_[occ] = {t, bi};
+    }
+  }
+}
+
+GraphEscape MonotonicityAnalyzer::MakeEscape() const {
+  return [this](const AndGraph& g) { return GraphSatisfiesTheorem5(g); };
+}
+
+std::vector<MonotonicityAnalyzer::MetaEdge>
+MonotonicityAnalyzer::CyclicCallEdges(const AndGraph& g) const {
+  std::unordered_map<NodeId, int> comp = ChosenScc(system_, g);
+  std::vector<MetaEdge> edges;
+  for (const auto& [node, rule_idx] : g.chosen) {
+    const PropNode& pn = system_.node(node);
+    if (pn.kind != PropNodeKind::kBodyArgAdorned) continue;
+    const PropRule& pr = system_.rule(rule_idx);
+    // Only the "call" rule q^a_k <- l^a_k links two rule instances.
+    if (pr.body.size() != 1) continue;
+    NodeId callee = pr.body[0];
+    if (system_.node(callee).kind != PropNodeKind::kHeadArg) continue;
+    auto chosen_callee = g.chosen.find(callee);
+    if (chosen_callee == g.chosen.end()) continue;
+    // The call must lie on a cycle of the chosen subgraph.
+    auto cu = comp.find(node);
+    auto cv = comp.find(callee);
+    if (cu == comp.end() || cv == comp.end() || cu->second != cv->second) {
+      continue;
+    }
+    const auto& [from_rule, body_idx] = occurrence_index_[pn.occurrence];
+    uint32_t to_rule =
+        system_.rule(chosen_callee->second).source_adorned_rule;
+    const Literal* occ_lit = &adorned_.rules[from_rule].body[body_idx].lit;
+    edges.push_back(MetaEdge{from_rule, to_rule, occ_lit, node, callee});
+  }
+  return edges;
+}
+
+bool MonotonicityAnalyzer::CycleCertified(
+    const std::vector<const MetaEdge*>& cycle) const {
+  // Certification may depend on which rule anchors the composition (a
+  // bound position of one participating adornment bounds the whole
+  // track), so try every rotation.
+  std::vector<const MetaEdge*> rotated = cycle;
+  for (size_t r = 0; r < cycle.size(); ++r) {
+    if (CycleCertifiedAtPivot(rotated)) return true;
+    std::rotate(rotated.begin(), rotated.begin() + 1, rotated.end());
+  }
+  return false;
+}
+
+bool MonotonicityAnalyzer::CycleCertifiedAtPivot(
+    const std::vector<const MetaEdge*>& cycle) const {
+  // Compose the argument mappings head(t₁) -> occ(t₁) = head(t₂) -> ...
+  // around the cycle into a self-mapping on the pivot predicate.
+  ArgumentMapping total(0, 0);
+  bool first = true;
+  for (const MetaEdge* e : cycle) {
+    const AdornedRule& ar = adorned_.rules[e->from_rule];
+    const Rule& rule = program_.rules()[ar.source_rule];
+    ArgumentMapping m = ArgumentMapping::Build(
+        program_, rule, orders_[ar.source_rule], *e->occ);
+    total = first ? m : total.Compose(m);
+    first = false;
+  }
+  if (total.Invalid()) return true;  // contradictory: derives nothing
+
+  const MetaEdge* pivot = cycle.front();
+  const AdornedRule& par = adorned_.rules[pivot->from_rule];
+  const Rule& pivot_rule = program_.rules()[par.source_rule];
+  const VariableOrder& order = orders_[par.source_rule];
+  for (uint32_t i = 0; i < total.head_arity() && i < total.occ_arity();
+       ++i) {
+    uint8_t bits = total.rel(i, i);
+    TermId head_var = pivot_rule.head.args[i];
+    TermId occ_var = pivot->occ->args[i];
+    // "A cycle is bounded above and below if it contains a safe node":
+    // a strictly monotone cycle through a position bound by the
+    // adornment draws its values from a finite set and can only be
+    // traversed finitely often.
+    if ((bits & (kRelGt | kRelLt)) && par.adornment.IsBound(i)) {
+      return true;
+    }
+    if (bits & kRelLt) {
+      // Decreasing cycle: bounded below => finitely traversable.
+      if (order.BoundedBelow(head_var) || order.BoundedBelow(occ_var)) {
+        return true;
+      }
+    }
+    if (bits & kRelGt) {
+      // Increasing cycle: bounded above => finitely traversable.
+      if (order.BoundedAbove(head_var) || order.BoundedAbove(occ_var)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool MonotonicityAnalyzer::GraphSatisfiesTheorem5(
+    const AndGraph& g) const {
+  std::vector<MetaEdge> edges = CyclicCallEdges(g);
+  if (edges.empty()) return false;
+
+  // Group outgoing edges per rule.
+  std::unordered_map<uint32_t, std::vector<const MetaEdge*>> out;
+  for (const MetaEdge& e : edges) out[e.from_rule].push_back(&e);
+
+  // Enumerate simple meta cycles up to kMaxCycleLength by DFS; the prop
+  // nodes of every certified cycle become finite seeds.
+  std::unordered_set<NodeId> finite;
+  std::vector<const MetaEdge*> path;
+  std::unordered_set<uint32_t> on_path;
+
+  std::function<void(uint32_t, uint32_t)> dfs = [&](uint32_t start,
+                                                    uint32_t at) {
+    auto it = out.find(at);
+    if (it == out.end()) return;
+    for (const MetaEdge* e : it->second) {
+      if (e->to_rule == start) {
+        // Closing the cycle: certify it.
+        path.push_back(e);
+        if (CycleCertified(path)) {
+          for (const MetaEdge* c : path) {
+            finite.insert(c->call_node);
+            finite.insert(c->callee_node);
+          }
+        }
+        path.pop_back();
+        continue;
+      }
+      if (on_path.count(e->to_rule)) continue;
+      if (path.size() + 1 >= static_cast<size_t>(kMaxCycleLength)) continue;
+      path.push_back(e);
+      on_path.insert(e->to_rule);
+      dfs(start, e->to_rule);
+      on_path.erase(e->to_rule);
+      path.pop_back();
+    }
+  };
+
+  std::vector<uint32_t> starts;
+  for (const auto& [rule, _] : out) starts.push_back(rule);
+  std::sort(starts.begin(), starts.end());
+  for (uint32_t st : starts) {
+    path.clear();
+    on_path.clear();
+    on_path.insert(st);
+    dfs(st, st);
+  }
+  if (finite.empty()) return false;
+
+  // Propagate finiteness to the root: a chosen rule's body is an
+  // intersection of binding sources, so one finite member makes the
+  // head finite.
+  bool changed = true;
+  while (changed && !finite.count(g.root)) {
+    changed = false;
+    for (const auto& [node, rule_idx] : g.chosen) {
+      if (finite.count(node)) continue;
+      const PropRule& pr = system_.rule(rule_idx);
+      for (NodeId b : pr.body) {
+        if (finite.count(b) ||
+            system_.node(b).kind == PropNodeKind::kZero) {
+          finite.insert(node);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return finite.count(g.root) > 0;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,156 @@
+#include "core/analyzer.h"
+
+#include "andor/build.h"
+#include "andor/emptiness.h"
+#include "andor/lfp.h"
+#include "andor/reduce.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+std::string QueryAnalysis::Summary(const Program& program) const {
+  std::string out =
+      StrCat(program.ToString(query), ": ", SafetyName(overall));
+  if (!args.empty()) {
+    out += " [";
+    out += JoinMapped(args, ", ", [](const ArgumentVerdict& a) {
+      return StrCat(a.position + 1, "=", SafetyName(a.safety));
+    });
+    out += "]";
+  }
+  return out;
+}
+
+Result<SafetyAnalyzer> SafetyAnalyzer::Create(
+    const Program& program, const AnalyzerOptions& options) {
+  SafetyAnalyzer a;
+  a.state_ = std::make_unique<State>();
+  State& s = *a.state_;
+  s.options = options;
+
+  HORNSAFE_RETURN_IF_ERROR(program.Validate());
+  HORNSAFE_ASSIGN_OR_RETURN(s.canon,
+                            Canonicalize(program, options.canonicalize));
+  HORNSAFE_ASSIGN_OR_RETURN(s.adorned, BuildAdornedProgram(s.canon.program));
+  BuildOptions bopts;
+  bopts.use_fd_closure = options.use_fd_closure;
+  HORNSAFE_ASSIGN_OR_RETURN(
+      s.system, BuildAndOrSystem(s.canon.program, s.adorned, bopts));
+
+  s.stats.canonical_rules = s.canon.program.rules().size();
+  s.stats.adorned_rules = s.adorned.rules.size();
+  s.stats.nodes = s.system.nodes().size();
+  s.stats.rules_total = s.system.num_rules();
+
+  if (options.apply_emptiness) {
+    s.stats.rules_pruned_emptiness =
+        ApplyEmptinessPruning(EmptyPredicates(s.canon.program), &s.system);
+  }
+  if (options.apply_reduction) {
+    s.stats.rules_pruned_reduction = ReduceSystem(&s.system).rules_deleted;
+  }
+  s.stats.rules_live = s.system.NumLiveRules();
+
+  if (options.use_monotonicity && !s.canon.program.monos().empty()) {
+    s.mono = std::make_unique<MonotonicityAnalyzer>(s.canon.program,
+                                                    s.adorned, s.system);
+  }
+  return a;
+}
+
+SubsetOptions SafetyAnalyzer::MakeSubsetOptions() {
+  SubsetOptions opts;
+  opts.budget = state_->options.subset_budget;
+  if (state_->mono) opts.escape = state_->mono->MakeEscape();
+  return opts;
+}
+
+QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
+                                               uint64_t adornment_mask) {
+  Program& p = state_->canon.program;
+  const AndOrSystem& system = state_->system;
+  QueryAnalysis out;
+  const uint32_t arity = p.predicate(pred).arity;
+  // Synthesise a display literal with fresh variables.
+  Literal lit;
+  lit.pred = pred;
+  for (uint32_t k = 0; k < arity; ++k) {
+    lit.args.push_back(p.Var(StrCat("A", k + 1)));
+  }
+  out.query = lit;
+
+  SubsetOptions sopts = MakeSubsetOptions();
+  bool any_unsafe = false;
+  bool any_undecided = false;
+  for (uint32_t k = 0; k < arity; ++k) {
+    ArgumentVerdict v;
+    v.position = k;
+    if ((adornment_mask >> k) & 1) {
+      v.safety = Safety::kSafe;
+      v.explanation = "bound by the query";
+    } else if (p.IsFiniteBase(pred)) {
+      v.safety = Safety::kSafe;
+      v.explanation = "finite base predicate";
+    } else if (p.IsInfiniteBase(pred)) {
+      // A free argument of a bare infinite-EDB query (Example 14) is
+      // safe only if finitely determined by the bound arguments.
+      AttrSet bound(adornment_mask);
+      bool determined = false;
+      for (const FiniteDependency& fd : p.FdsFor(pred)) {
+        if (fd.lhs.SubsetOf(bound) && fd.rhs.Contains(k)) determined = true;
+      }
+      v.safety = determined ? Safety::kSafe : Safety::kUnsafe;
+      v.explanation = determined
+                          ? "finitely determined by bound arguments"
+                          : "free argument of an infinite base predicate";
+    } else {
+      NodeId root = system.FindHeadArg(pred, adornment_mask, k);
+      SubsetResult res = CheckSubsetCondition(system, root, sopts);
+      v.safety = res.verdict;
+      switch (res.verdict) {
+        case Safety::kSafe:
+          v.explanation =
+              root == kInvalidNode || system.RulesFor(root).empty()
+                  ? "no rule can bind this argument (empty predicate)"
+                  : StrCat("every AND-graph satisfies the subset condition (",
+                           res.graphs_checked, " graphs checked)");
+          break;
+        case Safety::kUnsafe:
+          v.explanation = res.witness
+                              ? res.witness->Describe(system, p)
+                              : "counterexample AND-graph found";
+          break;
+        case Safety::kUndecided:
+          v.explanation =
+              StrCat("search budget exhausted after ", res.steps, " steps");
+          break;
+      }
+    }
+    any_unsafe |= (v.safety == Safety::kUnsafe);
+    any_undecided |= (v.safety == Safety::kUndecided);
+    out.args.push_back(std::move(v));
+  }
+  out.overall = any_unsafe      ? Safety::kUnsafe
+                : any_undecided ? Safety::kUndecided
+                                : Safety::kSafe;
+  return out;
+}
+
+QueryAnalysis SafetyAnalyzer::AnalyzeQueryLiteral(const Literal& query) {
+  // Canonical queries have all-distinct-variable arguments, so the
+  // relevant adornment is all-free.
+  QueryAnalysis out = AnalyzePredicate(query.pred, 0);
+  out.query = query;
+  return out;
+}
+
+std::vector<QueryAnalysis> SafetyAnalyzer::AnalyzeQueries() {
+  std::vector<QueryAnalysis> out;
+  std::vector<Literal> queries = state_->canon.program.queries();
+  for (const Literal& q : queries) {
+    out.push_back(AnalyzeQueryLiteral(q));
+  }
+  return out;
+}
+
+}  // namespace hornsafe

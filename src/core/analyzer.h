@@ -1,0 +1,135 @@
+#ifndef HORNSAFE_CORE_ANALYZER_H_
+#define HORNSAFE_CORE_ANALYZER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "andor/adorn.h"
+#include "andor/subset.h"
+#include "andor/system.h"
+#include "canonical/canonical.h"
+#include "constraints/mono.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Options controlling the full safety-analysis pipeline.
+struct AnalyzerOptions {
+  /// Algorithm 3: prune rules of provably empty predicates. Required for
+  /// the subset condition to be exact (Theorem 4); disable only for
+  /// ablation studies (Example 11 then reports a false "unsafe").
+  bool apply_emptiness = true;
+  /// Algorithm 4: prune rules mentioning never-binding nodes. Pure
+  /// optimisation (Lemma 9); never changes verdicts.
+  bool apply_reduction = true;
+  /// Theorem 5: use monotonicity constraints to discharge candidate
+  /// counterexample graphs whose cycles are finitely traversable.
+  bool use_monotonicity = true;
+  /// Algorithm 2, step 4: derive determinants from the Armstrong closure
+  /// of the declared FDs instead of the declared FDs only.
+  bool use_fd_closure = false;
+  /// Canonicalization options (Algorithm 1).
+  CanonicalizeOptions canonicalize;
+  /// DFS budget for the subset-condition search.
+  uint64_t subset_budget = 5'000'000;
+};
+
+/// Verdict for one argument position of an analyzed literal.
+struct ArgumentVerdict {
+  /// 0-based argument position.
+  uint32_t position = 0;
+  Safety safety = Safety::kUndecided;
+  /// For unsafe positions: a rendering of the counterexample AND-graph;
+  /// for safe/undecided positions: a short note.
+  std::string explanation;
+};
+
+/// Result of analyzing one query (or one predicate/adornment pair).
+struct QueryAnalysis {
+  /// The analyzed literal, in the analyzer's canonical program.
+  Literal query;
+  /// kSafe iff every argument is safe; kUnsafe if any argument is
+  /// unsafe; kUndecided otherwise.
+  Safety overall = Safety::kUndecided;
+  std::vector<ArgumentVerdict> args;
+  /// Human-readable one-line summary.
+  std::string Summary(const Program& program) const;
+};
+
+/// End-to-end implementation of the paper's decision procedure:
+///
+///   canonicalize (Alg. 1) -> adorn (H*) -> And-Or_H (Alg. 2)
+///   -> emptiness pruning (Alg. 3) -> reduction (Alg. 4)
+///   -> subset condition (Thms. 3/4) [+ monotonicity escape (Thm. 5)]
+///
+/// Construction runs the pipeline once; query analyses then share the
+/// pruned propositional system.
+class SafetyAnalyzer {
+ public:
+  /// Builds the analyzer for `program` (any Horn program; Algorithm 1 is
+  /// applied internally). Fails on invalid programs.
+  static Result<SafetyAnalyzer> Create(const Program& program,
+                                       const AnalyzerOptions& options = {});
+
+  /// Analyzes every query registered in the program. (Non-const only
+  /// because display literals intern fresh variable names.)
+  std::vector<QueryAnalysis> AnalyzeQueries();
+
+  /// Analyzes one predicate of the *canonical* program under the given
+  /// adornment (bit k set = argument k bound).
+  QueryAnalysis AnalyzePredicate(PredicateId pred, uint64_t adornment_mask);
+
+  /// Analyzes a literal of the canonical program. Canonical queries are
+  /// all-variable, so the all-free adornment applies.
+  QueryAnalysis AnalyzeQueryLiteral(const Literal& query);
+
+  // --- Introspection ----------------------------------------------------
+
+  const Program& canonical() const { return state_->canon.program; }
+  const CanonicalizationResult& canonicalization() const {
+    return state_->canon;
+  }
+  const AdornedProgram& adorned() const { return state_->adorned; }
+  const AndOrSystem& system() const { return state_->system; }
+  const AnalyzerOptions& options() const { return state_->options; }
+
+  /// Pipeline size statistics (used by benches and EXPERIMENTS.md).
+  struct Stats {
+    size_t canonical_rules = 0;
+    size_t adorned_rules = 0;
+    size_t nodes = 0;
+    size_t rules_total = 0;
+    size_t rules_live = 0;
+    size_t rules_pruned_emptiness = 0;
+    size_t rules_pruned_reduction = 0;
+  };
+  const Stats& stats() const { return state_->stats; }
+
+  SafetyAnalyzer(SafetyAnalyzer&&) = default;
+  SafetyAnalyzer& operator=(SafetyAnalyzer&&) = default;
+
+ private:
+  SafetyAnalyzer() = default;
+
+  SubsetOptions MakeSubsetOptions();
+
+  /// All pipeline state lives behind one pointer so that moving the
+  /// analyzer never invalidates the internal references held by the
+  /// monotonicity analyzer.
+  struct State {
+    AnalyzerOptions options;
+    CanonicalizationResult canon;
+    AdornedProgram adorned;
+    AndOrSystem system;
+    std::unique_ptr<MonotonicityAnalyzer> mono;
+    Stats stats;
+  };
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_ANALYZER_H_

@@ -1,0 +1,161 @@
+#include "core/finiteness.h"
+
+#include <map>
+#include <set>
+
+#include "andor/build.h"
+#include "andor/lfp.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+using StateKey = std::pair<PredicateId, uint64_t>;
+
+}  // namespace
+
+IntermediateFinitenessResult CheckFiniteIntermediateResults(
+    const Program& canonical, const AdornedProgram& adorned,
+    const AndOrSystem& system, const Literal& query) {
+  IntermediateFinitenessResult out;
+
+  // Base-predicate queries short-circuit (Example 14).
+  if (canonical.IsFiniteBase(query.pred)) {
+    out.exists = true;
+    return out;
+  }
+  if (canonical.IsInfiniteBase(query.pred)) {
+    out.exists = false;
+    out.offenders.push_back(
+        StrCat("query enumerates the infinite base predicate '",
+               canonical.PredicateName(query.pred), "'"));
+    return out;
+  }
+
+  std::vector<char> lfp = LeastFixpoint(system);
+  auto var_infinite = [&](uint32_t adorned_rule, TermId v) {
+    NodeId n = system.FindVariable(adorned_rule, v);
+    return n != kInvalidNode && lfp[n] == 1;
+  };
+
+  // Greatest fixpoint over (predicate, adornment) states: start
+  // everything good, remove states until stable.
+  std::map<StateKey, bool> good;
+  std::map<StateKey, std::vector<const AdornedRule*>> rules_of;
+  for (const AdornedRule& ar : adorned.rules) {
+    StateKey key{ar.head_pred, ar.adornment.bound_mask};
+    good[key] = true;
+    rules_of[key].push_back(&ar);
+  }
+
+  std::map<StateKey, std::vector<std::string>> state_offenders;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [key, is_good] : good) {
+      if (!is_good) continue;
+      std::vector<std::string> offenders;
+      for (const AdornedRule* ar : rules_of[key]) {
+        const Rule& rule = canonical.rules()[ar->source_rule];
+        // Every variable of the rule must have a finite per-step value
+        // set (Section 5 access assumptions).
+        for (TermId v : RuleVariables(canonical.terms(), rule)) {
+          if (var_infinite(ar->adorned_index, v)) {
+            offenders.push_back(StrCat(
+                "variable ",
+                canonical.terms().ToString(v, canonical.symbols()),
+                " in rule '", canonical.ToString(rule),
+                "' (adornment ", ar->adornment.ToString(),
+                ") has a potentially infinite per-step binding set"));
+          }
+        }
+        // Every derived occurrence needs a usable sideways strategy.
+        for (const BodyOccurrence& occ : ar->body) {
+          if (occ.kind != PredicateKind::kDerived) continue;
+          bool usable = false;
+          for (const Adornment& a1 :
+               ConsistentAdornments(canonical.terms(), occ.lit)) {
+            bool bound_ok = true;
+            for (uint32_t j = 0; j < occ.lit.args.size(); ++j) {
+              if (a1.IsBound(j) &&
+                  var_infinite(ar->adorned_index, occ.lit.args[j])) {
+                bound_ok = false;
+                break;
+              }
+            }
+            if (!bound_ok) continue;
+            auto it = good.find({occ.lit.pred, a1.bound_mask});
+            if (it == good.end()) {
+              // Callee has no rules: empty predicate, trivially fine.
+              usable = true;
+              break;
+            }
+            if (it->second) {
+              usable = true;
+              break;
+            }
+          }
+          if (!usable) {
+            offenders.push_back(
+                StrCat("no usable sideways strategy for occurrence '",
+                       canonical.ToString(occ.lit), "' in rule '",
+                       canonical.ToString(rule), "'"));
+          }
+        }
+      }
+      if (!offenders.empty()) {
+        is_good = false;
+        state_offenders[key] = std::move(offenders);
+        changed = true;
+      }
+    }
+  }
+
+  StateKey root{query.pred, 0};
+  auto it = good.find(root);
+  out.exists = (it == good.end()) || it->second;
+  if (!out.exists) {
+    // Report offenders of the root state first, then any others (the
+    // root may fail only transitively).
+    auto so = state_offenders.find(root);
+    if (so != state_offenders.end()) out.offenders = so->second;
+    if (out.offenders.empty()) {
+      for (auto& [key, offs] : state_offenders) {
+        out.offenders.insert(out.offenders.end(), offs.begin(), offs.end());
+      }
+    }
+  }
+  return out;
+}
+
+IntermediateFinitenessResult CheckFiniteIntermediateResultsUnder(
+    const Program& canonical, const AdornedProgram& adorned,
+    const AndOrSystem& system, const Literal& query,
+    const AccessAssumptions& assumptions) {
+  if (assumptions.fd_access) {
+    return CheckFiniteIntermediateResults(canonical, adorned, system,
+                                          query);
+  }
+  // Strip every finiteness dependency and rebuild the propositional
+  // system: infinite-relation arguments then have no determinants, so
+  // only finite base literals and bound positions ground variables.
+  Program stripped = canonical;
+  (void)stripped.TakeFds();
+  auto stripped_adorned = BuildAdornedProgram(stripped);
+  if (!stripped_adorned.ok()) {
+    IntermediateFinitenessResult out;
+    out.offenders.push_back(stripped_adorned.status().ToString());
+    return out;
+  }
+  auto stripped_system = BuildAndOrSystem(stripped, *stripped_adorned);
+  if (!stripped_system.ok()) {
+    IntermediateFinitenessResult out;
+    out.offenders.push_back(stripped_system.status().ToString());
+    return out;
+  }
+  return CheckFiniteIntermediateResults(stripped, *stripped_adorned,
+                                        *stripped_system, query);
+}
+
+}  // namespace hornsafe

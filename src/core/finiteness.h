@@ -1,0 +1,74 @@
+#ifndef HORNSAFE_CORE_FINITENESS_H_
+#define HORNSAFE_CORE_FINITENESS_H_
+
+#include <string>
+#include <vector>
+
+#include "andor/adorn.h"
+#include "andor/system.h"
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// Result of the finite-intermediate-results analysis (Theorem 6).
+struct IntermediateFinitenessResult {
+  /// True iff some computation enumerates all answers while examining
+  /// only finite subsets of every relation at each step.
+  bool exists = false;
+  /// When `exists` is false: the variables/positions that force an
+  /// infinite intermediate relation under every strategy.
+  std::vector<std::string> offenders;
+};
+
+/// Theorem 6 of the paper (implementation per DESIGN.md D8): decides
+/// whether a computation with finite intermediate relations exists for
+/// `query` (a canonical, all-variable query literal).
+///
+/// A (predicate, adornment) state is *good* if for each of its adorned
+/// rules every rule variable has least-fixpoint value 0 in And-Or_H
+/// (each step then touches only finite value sets, per the Section 5
+/// access assumptions), and every derived body occurrence has at least
+/// one usable sideways strategy — a consistent adornment whose bound
+/// variables are themselves finite and whose callee state is good.
+/// Goodness is a greatest fixpoint, so recursion through a cycle is
+/// fine: safety of the *step* is what matters, not of the total (an
+/// unsafe query may still have finite intermediate relations —
+/// Example 15).
+///
+/// Queries over finite base predicates trivially qualify; queries over
+/// infinite base predicates never do unless every free argument is
+/// finitely determined by the bound ones (Example 14).
+IntermediateFinitenessResult CheckFiniteIntermediateResults(
+    const Program& canonical, const AdornedProgram& adorned,
+    const AndOrSystem& system, const Literal& query);
+
+/// The access assumptions of Section 5 of the paper, as an explicit
+/// knob. The paper: "There is nothing sacrosanct about this set of
+/// assumptions — several equally reasonable alternatives are
+/// conceivable", and the framework should "reason about finiteness of
+/// intermediate relations under different assumptions".
+struct AccessAssumptions {
+  /// Assumption 1: membership `f(a)` is testable against a finite
+  /// subset. (Always on; turning it off makes every infinite-relation
+  /// access infinite, which no reasonable computation model uses.)
+  /// Assumption 3: with `X ⇝ Y`, binding X lets a finite subset of f
+  /// produce the matching Ys. Turning this off models relations whose
+  /// dependencies hold semantically but cannot be *accessed* finitely
+  /// (e.g. no index exists) — stricter than the paper's default.
+  bool fd_access = true;
+};
+
+/// Variant of CheckFiniteIntermediateResults under explicit access
+/// assumptions. With `fd_access = false` the analysis rebuilds the
+/// propositional system with every finiteness dependency stripped, so
+/// only finite base predicates and bound positions ground variables.
+/// `canonical` is copied; the default assumptions delegate to the
+/// overload above.
+IntermediateFinitenessResult CheckFiniteIntermediateResultsUnder(
+    const Program& canonical, const AdornedProgram& adorned,
+    const AndOrSystem& system, const Literal& query,
+    const AccessAssumptions& assumptions);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_FINITENESS_H_

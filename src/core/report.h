@@ -1,0 +1,32 @@
+#ifndef HORNSAFE_CORE_REPORT_H_
+#define HORNSAFE_CORE_REPORT_H_
+
+#include <string>
+
+#include "core/analyzer.h"
+
+namespace hornsafe {
+
+/// Options for GenerateReport.
+struct ReportOptions {
+  /// Include the safety-by-adornment matrix for every derived predicate
+  /// (2^arity rows each); predicates wider than `max_matrix_arity` get a
+  /// summary line instead.
+  bool include_adornment_matrix = true;
+  uint32_t max_matrix_arity = 6;
+  /// Include the Theorem 6 (finite intermediate results) and Section 5
+  /// termination verdicts for each query.
+  bool include_section5 = true;
+};
+
+/// Renders a complete human-readable analysis report for the analyzer's
+/// program: constraint inventory, pipeline statistics, per-query
+/// verdicts (safety / finite-intermediate / termination), and the
+/// per-adornment safety matrix of every derived predicate. This is what
+/// `hornsafe report <file>` prints.
+std::string GenerateReport(SafetyAnalyzer& analyzer,
+                           const ReportOptions& options = {});
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_REPORT_H_

@@ -1,0 +1,400 @@
+#include "eval/bottomup.h"
+
+#include <algorithm>
+
+#include "lang/unify.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// Collects the variables of `lit` that are unbound under `subst`.
+bool ArgGroundUnderSubst(TermPool& pool, const Substitution& subst,
+                         TermId arg) {
+  TermId applied = ApplySubstitution(pool, subst, arg);
+  return pool.IsGround(applied);
+}
+
+}  // namespace
+
+BottomUpEvaluator::BottomUpEvaluator(Program* program,
+                                     const BuiltinRegistry* builtins,
+                                     const BottomUpOptions& options)
+    : program_(program), builtins_(builtins), options_(options) {
+  full_.resize(program_->num_predicates());
+  delta_.resize(program_->num_predicates());
+  facts_rel_.resize(program_->num_predicates());
+  for (const Literal& f : program_->facts()) {
+    facts_rel_[f.pred].Insert(f.args);
+  }
+}
+
+Result<std::vector<size_t>> BottomUpEvaluator::PlanRule(
+    const Rule& rule) const {
+  std::vector<size_t> order;
+  std::vector<bool> placed(rule.body.size(), false);
+  std::vector<TermId> bound_vars;
+  auto vars_bound = [&](TermId arg) {
+    std::vector<TermId> vars;
+    program_->terms().CollectVariables(arg, &vars);
+    for (TermId v : vars) {
+      if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
+          bound_vars.end()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  auto bind_literal_vars = [&](const Literal& lit) {
+    for (TermId a : lit.args) {
+      std::vector<TermId> vars;
+      program_->terms().CollectVariables(a, &vars);
+      for (TermId v : vars) {
+        if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
+            bound_vars.end()) {
+          bound_vars.push_back(v);
+        }
+      }
+    }
+  };
+
+  while (order.size() < rule.body.size()) {
+    bool progress = false;
+    // Finite base and derived literals can always be scanned.
+    for (size_t i = 0; i < rule.body.size() && !progress; ++i) {
+      if (placed[i]) continue;
+      PredicateId pred = rule.body[i].pred;
+      if (!program_->IsInfiniteBase(pred)) {
+        order.push_back(i);
+        placed[i] = true;
+        bind_literal_vars(rule.body[i]);
+        progress = true;
+      }
+    }
+    if (progress) continue;
+    // Otherwise an infinite occurrence with a supported binding pattern.
+    bool saw_unregistered = false;
+    for (size_t i = 0; i < rule.body.size() && !progress; ++i) {
+      if (placed[i]) continue;
+      const Literal& lit = rule.body[i];
+      const InfiniteRelation* rel = builtins_->Find(lit.pred);
+      if (rel == nullptr) {
+        saw_unregistered = true;
+        continue;
+      }
+      AttrSet bound;
+      for (uint32_t k = 0; k < lit.args.size(); ++k) {
+        if (vars_bound(lit.args[k])) bound.Add(k);
+      }
+      if (rel->SupportsBinding(bound)) {
+        order.push_back(i);
+        placed[i] = true;
+        bind_literal_vars(lit);
+        progress = true;
+      }
+    }
+    if (!progress) {
+      if (saw_unregistered) {
+        return Status::Unsupported(
+            StrCat("no generator registered for an infinite predicate in "
+                   "rule ",
+                   program_->ToString(rule)));
+      }
+      return Status::UnsafeQuery(
+          StrCat("no sideways-information-passing order evaluates rule ",
+                 program_->ToString(rule),
+                 " bottom-up: an infinite relation is accessed with an "
+                 "unsupported binding pattern"));
+    }
+  }
+  return order;
+}
+
+Status BottomUpEvaluator::EmitHead(const Rule& rule, uint32_t rule_index,
+                                   Substitution* subst,
+                                   std::vector<Derivation>* new_tuples) {
+  ++stats_.rule_firings;
+  Tuple head;
+  head.reserve(rule.head.args.size());
+  for (TermId a : rule.head.args) {
+    TermId g = ApplySubstitution(program_->terms(), *subst, a);
+    if (!program_->terms().IsGround(g)) {
+      return Status::UnsafeQuery(
+          StrCat("rule ", program_->ToString(rule),
+                 " derives a non-ground head (range-unrestricted "
+                 "variable)"));
+    }
+    head.push_back(g);
+  }
+  if (!full_[rule.head.pred].Contains(head)) {
+    if (options_.track_provenance) {
+      provenance_.emplace(FactRef{rule.head.pred, head},
+                          ProvenanceEntry{rule_index, trail_});
+    }
+    new_tuples->push_back(Derivation{rule.head.pred, std::move(head)});
+  }
+  return Status::Ok();
+}
+
+Status BottomUpEvaluator::JoinFrom(const Rule& rule, uint32_t rule_index,
+                                   const std::vector<size_t>& order,
+                                   int delta_index, size_t step,
+                                   Substitution* subst,
+                                   std::vector<Derivation>* new_tuples) {
+  if (step == order.size()) {
+    return EmitHead(rule, rule_index, subst, new_tuples);
+  }
+  const Literal& lit = rule.body[order[step]];
+  PredicateId pred = lit.pred;
+
+  auto try_tuple = [&](const Tuple& tuple) -> Status {
+    Substitution saved = *subst;
+    bool ok = true;
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      if (!Unify(program_->terms(), lit.args[k], tuple[k], subst)) {
+        ok = false;
+        break;
+      }
+    }
+    Status st;
+    if (ok) {
+      if (options_.track_provenance) {
+        trail_.push_back(FactRef{pred, tuple});
+      }
+      st = JoinFrom(rule, rule_index, order, delta_index, step + 1, subst,
+                    new_tuples);
+      if (options_.track_provenance) trail_.pop_back();
+    }
+    *subst = std::move(saved);
+    return st;
+  };
+
+  if (program_->IsFiniteBase(pred)) {
+    return ForEachCandidate(facts_rel_[pred], lit, *subst, try_tuple);
+  }
+  if (program_->IsDerived(pred)) {
+    const Relation& rel = (static_cast<int>(step) == delta_index)
+                              ? delta_[pred]
+                              : full_[pred];
+    return ForEachCandidate(rel, lit, *subst, try_tuple);
+  }
+  // Infinite builtin.
+  const InfiniteRelation* rel = builtins_->Find(pred);
+  if (rel == nullptr) {
+    return Status::Unsupported(
+        StrCat("no generator for '", program_->PredicateName(pred), "'"));
+  }
+  Tuple partial(lit.args.size(), kInvalidTerm);
+  for (size_t k = 0; k < lit.args.size(); ++k) {
+    if (ArgGroundUnderSubst(program_->terms(), *subst, lit.args[k])) {
+      partial[k] = ApplySubstitution(program_->terms(), *subst, lit.args[k]);
+    }
+  }
+  std::vector<Tuple> matches;
+  HORNSAFE_RETURN_IF_ERROR(rel->Enumerate(program_, partial, &matches));
+  for (const Tuple& t : matches) {
+    HORNSAFE_RETURN_IF_ERROR(try_tuple(t));
+  }
+  return Status::Ok();
+}
+
+template <typename Fn>
+Status BottomUpEvaluator::ForEachCandidate(const Relation& rel,
+                                           const Literal& lit,
+                                           const Substitution& subst,
+                                           Fn try_tuple) {
+  if (options_.use_index) {
+    for (uint32_t k = 0; k < lit.args.size(); ++k) {
+      TermId applied = ApplySubstitution(program_->terms(), subst,
+                                         lit.args[k]);
+      if (!program_->terms().IsGround(applied)) continue;
+      // Hash-consing makes ground-term equality id equality, so an
+      // index probe on the first ground column is exact.
+      for (const Tuple* t : rel.Probe(k, applied)) {
+        HORNSAFE_RETURN_IF_ERROR(try_tuple(*t));
+      }
+      return Status::Ok();
+    }
+  }
+  for (const Tuple& t : rel) {
+    HORNSAFE_RETURN_IF_ERROR(try_tuple(t));
+  }
+  return Status::Ok();
+}
+
+Status BottomUpEvaluator::EvalRule(const Rule& rule, uint32_t rule_index,
+                                   const std::vector<size_t>& order,
+                                   int delta_index,
+                                   std::vector<Derivation>* new_tuples) {
+  Substitution subst;
+  return JoinFrom(rule, rule_index, order, delta_index, 0, &subst,
+                  new_tuples);
+}
+
+Status BottomUpEvaluator::Run() {
+  ran_ = true;
+  // Plan every rule once.
+  std::vector<std::vector<size_t>> plans;
+  plans.reserve(program_->rules().size());
+  for (const Rule& rule : program_->rules()) {
+    HORNSAFE_ASSIGN_OR_RETURN(std::vector<size_t> plan, PlanRule(rule));
+    plans.push_back(std::move(plan));
+  }
+
+  // Iteration 0: all rules against the (initially empty) full relations.
+  std::vector<Derivation> fresh;
+  for (size_t r = 0; r < program_->rules().size(); ++r) {
+    HORNSAFE_RETURN_IF_ERROR(EvalRule(program_->rules()[r],
+                                      static_cast<uint32_t>(r), plans[r],
+                                      -1, &fresh));
+  }
+
+  while (true) {
+    ++stats_.iterations;
+    if (stats_.iterations > options_.max_iterations) {
+      return Status::BudgetExhausted(
+          StrCat("fixpoint not reached after ", options_.max_iterations,
+                 " iterations"));
+    }
+    // Install fresh tuples as the next delta.
+    for (Relation& d : delta_) d.clear();
+    bool any = false;
+    for (Derivation& d : fresh) {
+      Tuple copy = d.tuple;
+      if (full_[d.pred].Insert(std::move(d.tuple))) {
+        delta_[d.pred].Insert(std::move(copy));
+        any = true;
+        if (++stats_.tuples_derived > options_.max_tuples) {
+          return Status::BudgetExhausted(
+              StrCat("more than ", options_.max_tuples,
+                     " tuples derived; the query may be unsafe"));
+        }
+      }
+    }
+    if (!any) break;
+    fresh.clear();
+
+    for (size_t r = 0; r < program_->rules().size(); ++r) {
+      const Rule& rule = program_->rules()[r];
+      if (options_.semi_naive) {
+        // One evaluation per derived occurrence, reading the delta there.
+        for (size_t s = 0; s < plans[r].size(); ++s) {
+          if (!program_->IsDerived(rule.body[plans[r][s]].pred)) continue;
+          HORNSAFE_RETURN_IF_ERROR(EvalRule(rule,
+                                            static_cast<uint32_t>(r),
+                                            plans[r],
+                                            static_cast<int>(s), &fresh));
+        }
+      } else {
+        HORNSAFE_RETURN_IF_ERROR(EvalRule(rule, static_cast<uint32_t>(r),
+                                          plans[r], -1, &fresh));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+const Relation& BottomUpEvaluator::RelationFor(PredicateId pred) const {
+  return full_[pred];
+}
+
+void BottomUpEvaluator::AppendExplanation(PredicateId pred,
+                                          const Tuple& tuple,
+                                          const std::string& indent,
+                                          bool last, std::string* out,
+                                          int depth) const {
+  std::string fact =
+      program_->ToString(Literal{pred, tuple});
+  *out += indent;
+  if (depth > 0) *out += last ? "`- " : "|- ";
+  *out += fact;
+  auto it = provenance_.find(FactRef{pred, tuple});
+  if (it == provenance_.end()) {
+    if (program_->IsInfiniteBase(pred)) {
+      *out += "  [computed]";
+    } else if (program_->IsFiniteBase(pred)) {
+      *out += "  [fact]";
+    }
+    *out += "\n";
+    return;
+  }
+  const ProvenanceEntry& prov = it->second;
+  *out += StrCat("  [rule: ",
+                 program_->ToString(program_->rules()[prov.rule_index]),
+                 "]\n");
+  std::string child_indent =
+      depth == 0 ? indent : indent + (last ? "   " : "|  ");
+  for (size_t i = 0; i < prov.premises.size(); ++i) {
+    AppendExplanation(prov.premises[i].pred, prov.premises[i].tuple,
+                      child_indent, i + 1 == prov.premises.size(), out,
+                      depth + 1);
+  }
+}
+
+Result<std::string> BottomUpEvaluator::Explain(PredicateId pred,
+                                               const Tuple& tuple) const {
+  if (!options_.track_provenance) {
+    return Status::Unsupported(
+        "provenance tracking was not enabled (BottomUpOptions)");
+  }
+  if (!provenance_.count(FactRef{pred, tuple})) {
+    if (program_->IsDerived(pred)) {
+      return Status::NotFound(
+          StrCat("no derivation recorded for ",
+                 program_->ToString(Literal{pred, tuple})));
+    }
+  }
+  std::string out;
+  AppendExplanation(pred, tuple, "", true, &out, 0);
+  return out;
+}
+
+Result<std::vector<Tuple>> BottomUpEvaluator::Query(const Literal& query) {
+  if (!ran_) {
+    return Status::Internal("call Run() before Query()");
+  }
+  std::vector<Tuple> out;
+  auto match = [&](const Tuple& tuple) {
+    Substitution subst;
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      if (!Unify(program_->terms(), query.args[k], tuple[k], &subst)) {
+        return;
+      }
+    }
+    out.push_back(tuple);
+  };
+  PredicateId pred = query.pred;
+  if (program_->IsFiniteBase(pred)) {
+    for (const Tuple& t : facts_rel_[pred]) match(t);
+    return out;
+  }
+  if (program_->IsDerived(pred)) {
+    for (const Tuple& t : full_[pred]) match(t);
+    return out;
+  }
+  const InfiniteRelation* rel = builtins_->Find(pred);
+  if (rel == nullptr) {
+    return Status::Unsupported(
+        StrCat("no generator for '", program_->PredicateName(pred), "'"));
+  }
+  Tuple partial(query.args.size(), kInvalidTerm);
+  AttrSet bound;
+  for (size_t k = 0; k < query.args.size(); ++k) {
+    if (program_->terms().IsGround(query.args[k])) {
+      partial[k] = query.args[k];
+      bound.Add(static_cast<uint32_t>(k));
+    }
+  }
+  if (!rel->SupportsBinding(bound)) {
+    return Status::UnsafeQuery(
+        StrCat("query ", program_->ToString(query),
+               " enumerates an infinite relation"));
+  }
+  std::vector<Tuple> matches;
+  HORNSAFE_RETURN_IF_ERROR(rel->Enumerate(program_, partial, &matches));
+  for (const Tuple& t : matches) match(t);
+  return out;
+}
+
+}  // namespace hornsafe

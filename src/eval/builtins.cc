@@ -1,0 +1,472 @@
+#include "eval/builtins.h"
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+bool IsBound(const Tuple& partial, uint32_t k) {
+  return partial[k] != kInvalidTerm;
+}
+
+/// Reads an integer payload; false if the term is not an integer.
+bool GetInt(const Program& p, TermId t, int64_t* out) {
+  const TermData& d = p.terms().Get(t);
+  if (d.kind != TermKind::kInt) return false;
+  *out = d.int_value;
+  return true;
+}
+
+class SuccessorRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return !bound.Empty();
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t i = 0, j = 0;
+    bool bi = IsBound(partial, 0) && GetInt(*program, partial[0], &i);
+    bool bj = IsBound(partial, 1) && GetInt(*program, partial[1], &j);
+    if (IsBound(partial, 0) && !bi) return Status::Ok();  // non-integer
+    if (IsBound(partial, 1) && !bj) return Status::Ok();
+    if (bi && bj) {
+      if (j == i + 1) out->push_back(partial);
+      return Status::Ok();
+    }
+    if (bi) {
+      out->push_back({partial[0], program->Int(i + 1)});
+      return Status::Ok();
+    }
+    if (bj) {
+      out->push_back({program->Int(j - 1), partial[1]});
+      return Status::Ok();
+    }
+    return Status::UnsafeQuery("successor/2 requires a bound argument");
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::Single(0), AttrSet::Single(1)},
+            {pred, AttrSet::Single(1), AttrSet::Single(0)}};
+  }
+
+  std::vector<MonotonicityConstraint> Monos(PredicateId pred) const override {
+    return {{pred, MonoKind::kAttrGreaterAttr, 1, 0, 0}};
+  }
+};
+
+class PlusRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return bound.Count() >= 2;
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t v[3] = {0, 0, 0};
+    int free_pos = -1;
+    for (int k = 0; k < 3; ++k) {
+      if (!IsBound(partial, k)) {
+        if (free_pos >= 0) {
+          return Status::UnsafeQuery("plus/3 requires two bound arguments");
+        }
+        free_pos = k;
+      } else if (!GetInt(*program, partial[k], &v[k])) {
+        return Status::Ok();  // non-integer: no match
+      }
+    }
+    if (free_pos == -1) {
+      if (v[0] + v[1] == v[2]) out->push_back(partial);
+      return Status::Ok();
+    }
+    Tuple t = partial;
+    switch (free_pos) {
+      case 0: t[0] = program->Int(v[2] - v[1]); break;
+      case 1: t[1] = program->Int(v[2] - v[0]); break;
+      default: t[2] = program->Int(v[0] + v[1]); break;
+    }
+    out->push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::Of({0, 1}), AttrSet::Single(2)},
+            {pred, AttrSet::Of({0, 2}), AttrSet::Single(1)},
+            {pred, AttrSet::Of({1, 2}), AttrSet::Single(0)}};
+  }
+};
+
+class TimesRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return bound.Count() >= 2;
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t v[3] = {0, 0, 0};
+    int free_pos = -1;
+    for (int k = 0; k < 3; ++k) {
+      if (!IsBound(partial, k)) {
+        if (free_pos >= 0) {
+          return Status::UnsafeQuery("times/3 requires two bound arguments");
+        }
+        free_pos = k;
+      } else if (!GetInt(*program, partial[k], &v[k])) {
+        return Status::Ok();
+      }
+    }
+    if (free_pos == -1) {
+      if (v[0] * v[1] == v[2]) out->push_back(partial);
+      return Status::Ok();
+    }
+    Tuple t = partial;
+    if (free_pos == 2) {
+      t[2] = program->Int(v[0] * v[1]);
+      out->push_back(std::move(t));
+      return Status::Ok();
+    }
+    // Inverse direction: divide, when defined. X * 0 = Z has infinitely
+    // many X for Z == 0; refuse that case.
+    int64_t divisor = (free_pos == 0) ? v[1] : v[0];
+    int64_t product = v[2];
+    if (divisor == 0) {
+      if (product == 0) {
+        return Status::UnsafeQuery(
+            "times/3: quotient of 0/0 has infinitely many solutions");
+      }
+      return Status::Ok();  // 0 * X = nonzero: no solution
+    }
+    if (product % divisor != 0) return Status::Ok();
+    t[free_pos] = program->Int(product / divisor);
+    out->push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    // Only the forward direction holds unconditionally as a finiteness
+    // dependency ({1,3} does not determine 2 when both are 0 — still
+    // *finitely* many? no: 0*Y=0 for every Y). Hence only {1,2} -> 3.
+    return {{pred, AttrSet::Of({0, 1}), AttrSet::Single(2)}};
+  }
+};
+
+class LessRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return bound.Count() == 2;
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    if (!IsBound(partial, 0) || !IsBound(partial, 1)) {
+      return Status::UnsafeQuery("less/2 is a test: both arguments bound");
+    }
+    int64_t x = 0, y = 0;
+    if (!GetInt(*program, partial[0], &x) ||
+        !GetInt(*program, partial[1], &y)) {
+      return Status::Ok();
+    }
+    if (x < y) out->push_back(partial);
+    return Status::Ok();
+  }
+
+  std::vector<MonotonicityConstraint> Monos(PredicateId pred) const override {
+    return {{pred, MonoKind::kAttrGreaterAttr, 1, 0, 0}};
+  }
+};
+
+class IntegerRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return bound.Count() == 1;
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    if (!IsBound(partial, 0)) {
+      return Status::UnsafeQuery("integer/1 is a membership test");
+    }
+    int64_t v = 0;
+    if (GetInt(*program, partial[0], &v)) out->push_back(partial);
+    return Status::Ok();
+  }
+};
+
+class BetweenRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    // Both ends bound -> finite enumeration; X bound -> membership (the
+    // ends then only need testing if bound too, so any superset works).
+    return AttrSet::Of({0, 1}).SubsetOf(bound) || bound.Contains(2);
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t lo = 0, hi = 0, x = 0;
+    bool blo = IsBound(partial, 0), bhi = IsBound(partial, 1),
+         bx = IsBound(partial, 2);
+    if (blo && !GetInt(*program, partial[0], &lo)) return Status::Ok();
+    if (bhi && !GetInt(*program, partial[1], &hi)) return Status::Ok();
+    if (bx && !GetInt(*program, partial[2], &x)) return Status::Ok();
+    if (bx) {
+      // Membership/projection with X known: the ends are only testable.
+      if ((blo && lo > x) || (bhi && hi < x)) return Status::Ok();
+      if (blo && bhi) {
+        out->push_back(partial);
+        return Status::Ok();
+      }
+      return Status::UnsafeQuery(
+          "between/3 with free range ends has infinitely many matches");
+    }
+    if (!blo || !bhi) {
+      return Status::UnsafeQuery(
+          "between/3 requires both ends (or the value) bound");
+    }
+    static constexpr int64_t kMaxRange = 1'000'000;
+    if (hi - lo > kMaxRange) {
+      return Status::BudgetExhausted(
+          StrCat("between/3 range wider than ", kMaxRange));
+    }
+    for (int64_t v = lo; v <= hi; ++v) {
+      out->push_back({partial[0], partial[1], program->Int(v)});
+    }
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::Of({0, 1}), AttrSet::Single(2)}};
+  }
+};
+
+class AbsRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return !bound.Empty();
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t x = 0, y = 0;
+    bool bx = IsBound(partial, 0) && GetInt(*program, partial[0], &x);
+    bool by = IsBound(partial, 1) && GetInt(*program, partial[1], &y);
+    if (IsBound(partial, 0) && !bx) return Status::Ok();
+    if (IsBound(partial, 1) && !by) return Status::Ok();
+    if (bx) {
+      int64_t a = x < 0 ? -x : x;
+      if (by) {
+        if (y == a) out->push_back(partial);
+      } else {
+        out->push_back({partial[0], program->Int(a)});
+      }
+      return Status::Ok();
+    }
+    if (by) {
+      if (y < 0) return Status::Ok();
+      out->push_back({program->Int(y), partial[1]});
+      if (y != 0) out->push_back({program->Int(-y), partial[1]});
+      return Status::Ok();
+    }
+    return Status::UnsafeQuery("abs/2 requires a bound argument");
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::Single(0), AttrSet::Single(1)},
+            {pred, AttrSet::Single(1), AttrSet::Single(0)}};
+  }
+};
+
+class ModRelation : public InfiniteRelation {
+ public:
+  bool SupportsBinding(AttrSet bound) const override {
+    return AttrSet::Of({0, 1}).SubsetOf(bound);
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    int64_t x = 0, m = 0, r = 0;
+    if (!IsBound(partial, 0) || !IsBound(partial, 1)) {
+      return Status::UnsafeQuery("mod/3 requires dividend and modulus");
+    }
+    if (!GetInt(*program, partial[0], &x) ||
+        !GetInt(*program, partial[1], &m)) {
+      return Status::Ok();
+    }
+    if (m <= 0) return Status::Ok();
+    int64_t result = ((x % m) + m) % m;  // canonical non-negative residue
+    if (IsBound(partial, 2)) {
+      if (GetInt(*program, partial[2], &r) && r == result) {
+        out->push_back(partial);
+      }
+      return Status::Ok();
+    }
+    out->push_back({partial[0], partial[1], program->Int(result)});
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::Of({0, 1}), AttrSet::Single(2)}};
+  }
+};
+
+class ConstructorRelation : public InfiniteRelation {
+ public:
+  ConstructorRelation(SymbolId symbol, uint32_t k)
+      : symbol_(symbol), k_(k) {}
+
+  bool SupportsBinding(AttrSet bound) const override {
+    // All constructor arguments bound, or the constructed term bound.
+    return AttrSet::AllBelow(k_).SubsetOf(bound) || bound.Contains(k_);
+  }
+
+  Status Enumerate(Program* program, const Tuple& partial,
+                   std::vector<Tuple>* out) const override {
+    if (IsBound(partial, k_)) {
+      // Destructure.
+      const TermData& d = program->terms().Get(partial[k_]);
+      if (d.kind != TermKind::kFunction || d.symbol != symbol_ ||
+          d.args.size() != k_) {
+        return Status::Ok();
+      }
+      Tuple t = partial;
+      for (uint32_t i = 0; i < k_; ++i) {
+        if (IsBound(partial, i)) {
+          if (partial[i] != d.args[i]) return Status::Ok();
+        } else {
+          t[i] = d.args[i];
+        }
+      }
+      out->push_back(std::move(t));
+      return Status::Ok();
+    }
+    // Construct.
+    std::vector<TermId> args;
+    for (uint32_t i = 0; i < k_; ++i) {
+      if (!IsBound(partial, i)) {
+        return Status::UnsafeQuery(
+            "constructor relation needs all arguments or the result bound");
+      }
+      args.push_back(partial[i]);
+    }
+    Tuple t = partial;
+    t[k_] = program->terms().MakeFunction(symbol_, std::move(args));
+    out->push_back(std::move(t));
+    return Status::Ok();
+  }
+
+  std::vector<FiniteDependency> Fds(PredicateId pred) const override {
+    return {{pred, AttrSet::AllBelow(k_), AttrSet::Single(k_)},
+            {pred, AttrSet::Single(k_), AttrSet::AllBelow(k_)}};
+  }
+
+ private:
+  SymbolId symbol_;
+  uint32_t k_;
+};
+
+}  // namespace
+
+Status BuiltinRegistry::Register(Program* program, std::string_view name,
+                                 uint32_t arity,
+                                 std::shared_ptr<InfiniteRelation> relation) {
+  PredicateId pred = program->InternPredicate(name, arity);
+  if (!program->IsInfiniteBase(pred)) {
+    HORNSAFE_RETURN_IF_ERROR(program->DeclareInfinite(pred));
+  }
+  for (const FiniteDependency& fd : relation->Fds(pred)) {
+    // Skip duplicates when re-registering into a program that already
+    // declares them.
+    bool present = false;
+    for (const FiniteDependency& existing : program->FdsFor(pred)) {
+      if (existing == fd) present = true;
+    }
+    if (!present) HORNSAFE_RETURN_IF_ERROR(program->AddFiniteDependency(fd));
+  }
+  for (const MonotonicityConstraint& mc : relation->Monos(pred)) {
+    bool present = false;
+    for (const MonotonicityConstraint& existing : program->MonosFor(pred)) {
+      if (existing == mc) present = true;
+    }
+    if (!present) HORNSAFE_RETURN_IF_ERROR(program->AddMonotonicity(mc));
+  }
+  relations_[pred] = std::move(relation);
+  return Status::Ok();
+}
+
+const InfiniteRelation* BuiltinRegistry::Find(PredicateId pred) const {
+  auto it = relations_.find(pred);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<InfiniteRelation> MakeSuccessorRelation() {
+  return std::make_shared<SuccessorRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakePlusRelation() {
+  return std::make_shared<PlusRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeTimesRelation() {
+  return std::make_shared<TimesRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeLessRelation() {
+  return std::make_shared<LessRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeIntegerRelation() {
+  return std::make_shared<IntegerRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeBetweenRelation() {
+  return std::make_shared<BetweenRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeAbsRelation() {
+  return std::make_shared<AbsRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeModRelation() {
+  return std::make_shared<ModRelation>();
+}
+std::shared_ptr<InfiniteRelation> MakeConstructorRelation(SymbolId symbol,
+                                                          uint32_t k) {
+  return std::make_shared<ConstructorRelation>(symbol, k);
+}
+
+namespace {
+
+struct StandardBuiltin {
+  const char* name;
+  uint32_t arity;
+  std::shared_ptr<InfiniteRelation> (*make)();
+};
+
+const StandardBuiltin kStandardBuiltins[] = {
+    {"successor", 2, MakeSuccessorRelation},
+    {"plus", 3, MakePlusRelation},
+    {"times", 3, MakeTimesRelation},
+    {"less", 2, MakeLessRelation},
+    {"integer", 1, MakeIntegerRelation},
+    {"between", 3, MakeBetweenRelation},
+    {"abs", 2, MakeAbsRelation},
+    {"mod", 3, MakeModRelation},
+};
+
+}  // namespace
+
+Status RegisterStandardBuiltins(Program* program, BuiltinRegistry* registry) {
+  for (const StandardBuiltin& b : kStandardBuiltins) {
+    HORNSAFE_RETURN_IF_ERROR(
+        registry->Register(program, b.name, b.arity, b.make()));
+  }
+  return Status::Ok();
+}
+
+Status RegisterReferencedStandardBuiltins(Program* program,
+                                          BuiltinRegistry* registry) {
+  for (const StandardBuiltin& b : kStandardBuiltins) {
+    if (program->FindPredicate(b.name, b.arity) == kInvalidPredicate) {
+      continue;
+    }
+    HORNSAFE_RETURN_IF_ERROR(
+        registry->Register(program, b.name, b.arity, b.make()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,127 @@
+#ifndef HORNSAFE_EVAL_BUILTINS_H_
+#define HORNSAFE_EVAL_BUILTINS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "eval/relation.h"
+#include "lang/attr_set.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// A computable infinite EDB relation, exposed through *binding
+/// patterns*: the evaluator may only access it with a set of bound
+/// argument positions for which the matching tuple set is finite — the
+/// operational counterpart of the paper's Section 5 access assumptions
+/// (membership tests are always finite; projections are finite exactly
+/// when a finiteness dependency covers the free positions).
+class InfiniteRelation {
+ public:
+  virtual ~InfiniteRelation() = default;
+
+  /// True iff the relation can finitely enumerate all tuples whose
+  /// positions in `bound` are fixed.
+  virtual bool SupportsBinding(AttrSet bound) const = 0;
+
+  /// Enumerates the tuples matching `partial` (entries equal to
+  /// `kInvalidTerm` are free; everything else is a ground term) into
+  /// `*out`. `SupportsBinding` must hold for the bound set of `partial`.
+  /// May create terms in `*program`'s pool.
+  virtual Status Enumerate(Program* program, const Tuple& partial,
+                           std::vector<Tuple>* out) const = 0;
+
+  /// Finiteness dependencies that hold over this relation (attached to
+  /// the predicate at registration).
+  virtual std::vector<FiniteDependency> Fds(PredicateId pred) const {
+    (void)pred;
+    return {};
+  }
+
+  /// Monotonicity constraints that hold over this relation.
+  virtual std::vector<MonotonicityConstraint> Monos(PredicateId pred) const {
+    (void)pred;
+    return {};
+  }
+};
+
+/// Maps infinite predicates of one program to their generators.
+class BuiltinRegistry {
+ public:
+  /// Declares `name/arity` infinite in `*program`, attaches the
+  /// relation's FDs and monotonicity constraints, and registers the
+  /// generator. Fails if the predicate is derived or has facts.
+  Status Register(Program* program, std::string_view name, uint32_t arity,
+                  std::shared_ptr<InfiniteRelation> relation);
+
+  /// The generator for `pred`, or nullptr.
+  const InfiniteRelation* Find(PredicateId pred) const;
+
+ private:
+  std::unordered_map<PredicateId, std::shared_ptr<InfiniteRelation>>
+      relations_;
+};
+
+// --- Standard builtins ----------------------------------------------------
+
+/// `successor(I, J)` with J = I + 1 over the integers (Example 1 of the
+/// paper). FDs 1⇝2 and 2⇝1; monotonicity 2 > 1.
+std::shared_ptr<InfiniteRelation> MakeSuccessorRelation();
+
+/// `plus(X, Y, Z)` with Z = X + Y. Any two arguments determine the third.
+std::shared_ptr<InfiniteRelation> MakePlusRelation();
+
+/// `times(X, Y, Z)` with Z = X * Y. {1,2}⇝3 always; the inverse
+/// directions enumerate only when the quotient is defined.
+std::shared_ptr<InfiniteRelation> MakeTimesRelation();
+
+/// `less(X, Y)` with X < Y over the integers: a pure test (both
+/// arguments must be bound); no finiteness dependencies, monotonicity
+/// 2 > 1.
+std::shared_ptr<InfiniteRelation> MakeLessRelation();
+
+/// `integer(X)`: membership test for integer terms (Example 8's
+/// "integer" predicate); no finiteness dependencies.
+std::shared_ptr<InfiniteRelation> MakeIntegerRelation();
+
+/// `between(L, H, X)` with L ≤ X ≤ H: an infinite relation whose
+/// finiteness dependency {1,2}⇝3 lets bounded ranges *enumerate* —
+/// the textbook "safe range query". Monotonicity: 2 ≥ ... only the
+/// strict facts X > L-1 and X < H+1 hold per-tuple, which the
+/// constraint language cannot express relative to attributes, so no
+/// monotonicity constraints are attached.
+std::shared_ptr<InfiniteRelation> MakeBetweenRelation();
+
+/// `abs(X, Y)` with Y = |X|. 1⇝2 always; 2⇝1 as well: each Y has at
+/// most two preimages.
+std::shared_ptr<InfiniteRelation> MakeAbsRelation();
+
+/// `mod(X, M, R)` with R = X mod M (M > 0). {1,2}⇝3; the inverse
+/// directions are infinite and unsupported.
+std::shared_ptr<InfiniteRelation> MakeModRelation();
+
+/// The relation of a k-ary constructor `symbol`: tuples
+/// (t₁,...,tₖ, symbol(t₁,...,tₖ)). {1..k}⇝k+1 and, constructors being
+/// injective, {k+1}⇝{1..k} — the `h` predicates of Example 7.
+std::shared_ptr<InfiniteRelation> MakeConstructorRelation(SymbolId symbol,
+                                                          uint32_t k);
+
+/// Registers successor/plus/times/less/integer/between/abs/mod under
+/// their standard names into `*program`.
+Status RegisterStandardBuiltins(Program* program, BuiltinRegistry* registry);
+
+/// Registers only the standard builtins whose predicate (name and
+/// arity) already occurs in `*program`. Use for analysis of program
+/// text that references builtins without declaring them — the CLI's
+/// `check`/`report` path — so the static verdicts agree with what the
+/// engine (which registers everything) would do, without polluting
+/// program printouts with unused declarations.
+Status RegisterReferencedStandardBuiltins(Program* program,
+                                          BuiltinRegistry* registry);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_EVAL_BUILTINS_H_

@@ -1,0 +1,125 @@
+#include "eval/engine.h"
+
+#include "eval/magic.h"
+#include "parser/parser.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+Result<Engine> Engine::Create(Program program, const EngineOptions& options) {
+  Engine e;
+  e.program_ = std::make_unique<Program>(std::move(program));
+  e.options_ = options;
+  HORNSAFE_RETURN_IF_ERROR(
+      RegisterStandardBuiltins(e.program_.get(), &e.builtins_));
+  HORNSAFE_RETURN_IF_ERROR(e.program_->Validate());
+  return e;
+}
+
+Status Engine::RegisterBuiltin(std::string_view name, uint32_t arity,
+                               std::shared_ptr<InfiniteRelation> relation) {
+  analyzer_.reset();  // constraints may have changed
+  return builtins_.Register(program_.get(), name, arity,
+                            std::move(relation));
+}
+
+Result<SafetyAnalyzer*> Engine::GetAnalyzer() {
+  if (!analyzer_) {
+    HORNSAFE_ASSIGN_OR_RETURN(
+        SafetyAnalyzer a, SafetyAnalyzer::Create(*program_,
+                                                 options_.analyzer));
+    analyzer_ = std::make_unique<SafetyAnalyzer>(std::move(a));
+  }
+  return analyzer_.get();
+}
+
+Result<QueryAnalysis> Engine::Analyze(const Literal& query) {
+  HORNSAFE_ASSIGN_OR_RETURN(SafetyAnalyzer* analyzer, GetAnalyzer());
+  // Ground arguments are bound; non-ground compound arguments are
+  // conservatively treated as free.
+  uint64_t mask = 0;
+  for (size_t k = 0; k < query.args.size(); ++k) {
+    if (program_->terms().IsGround(query.args[k])) {
+      mask |= uint64_t{1} << k;
+    }
+  }
+  // The analyzer works on its canonical program, whose predicate ids
+  // coincide with ours for predicates that existed before
+  // canonicalization (Canonicalize copies the program and only appends).
+  QueryAnalysis analysis = analyzer->AnalyzePredicate(query.pred, mask);
+  analysis.query = query;
+  return analysis;
+}
+
+Result<Engine::QueryResult> Engine::Query(const Literal& query) {
+  QueryResult result;
+  HORNSAFE_ASSIGN_OR_RETURN(QueryAnalysis analysis, Analyze(query));
+  result.safety = analysis.overall;
+  if (options_.enforce_safety && analysis.overall != Safety::kSafe) {
+    std::string detail;
+    for (const ArgumentVerdict& a : analysis.args) {
+      if (a.safety != Safety::kSafe) {
+        detail = StrCat("argument ", a.position + 1, ": ", a.explanation);
+        break;
+      }
+    }
+    return Status::UnsafeQuery(
+        StrCat("query ", program_->ToString(query), " is ",
+               SafetyName(analysis.overall), "; refusing to evaluate. ",
+               detail));
+  }
+
+  // Bound queries (or queries bottom-up cannot order) run top-down —
+  // or through the magic-sets rewriting when enabled; all-free queries
+  // materialise bottom-up.
+  bool any_ground = false;
+  for (TermId a : query.args) {
+    if (program_->terms().IsGround(a)) any_ground = true;
+  }
+  if (any_ground && options_.use_magic && program_->IsDerived(query.pred)) {
+    auto magic = MagicTransform(*program_, query);
+    if (magic.ok()) {
+      BottomUpEvaluator bottom_up(&magic->program, &builtins_,
+                                  options_.bottom_up);
+      Status st = bottom_up.Run();
+      if (st.ok()) {
+        HORNSAFE_ASSIGN_OR_RETURN(result.tuples,
+                                  bottom_up.Query(magic->query));
+        result.strategy = "magic";
+        return result;
+      }
+      if (st.code() != StatusCode::kUnsafeQuery &&
+          st.code() != StatusCode::kUnsupported) {
+        return st;
+      }
+      // Fall through to top-down.
+    }
+  }
+  if (!any_ground) {
+    BottomUpEvaluator bottom_up(program_.get(), &builtins_,
+                                options_.bottom_up);
+    Status st = bottom_up.Run();
+    if (st.ok()) {
+      HORNSAFE_ASSIGN_OR_RETURN(result.tuples, bottom_up.Query(query));
+      result.strategy = "bottom-up";
+      return result;
+    }
+    if (st.code() != StatusCode::kUnsafeQuery &&
+        st.code() != StatusCode::kUnsupported) {
+      return st;
+    }
+    // Fall through to top-down.
+  }
+  TopDownEvaluator top_down(program_.get(), &builtins_, options_.top_down);
+  HORNSAFE_ASSIGN_OR_RETURN(result.tuples, top_down.Solve(query));
+  result.strategy = "top-down";
+  return result;
+}
+
+Result<Engine::QueryResult> Engine::Query(std::string_view literal_text) {
+  HORNSAFE_ASSIGN_OR_RETURN(Literal lit,
+                            ParseLiteralInto(literal_text, program_.get()));
+  return Query(lit);
+}
+
+}  // namespace hornsafe

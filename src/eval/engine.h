@@ -1,0 +1,93 @@
+#ifndef HORNSAFE_EVAL_ENGINE_H_
+#define HORNSAFE_EVAL_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "eval/bottomup.h"
+#include "eval/builtins.h"
+#include "eval/topdown.h"
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Options for the safety-gated query engine.
+struct EngineOptions {
+  /// Refuse to evaluate queries the analyzer cannot prove safe. This is
+  /// the paper's point: a complete Horn-clause language admits only
+  /// provably safe queries. Disable to run with budget guards instead.
+  bool enforce_safety = true;
+  /// Evaluate bound queries with the magic-sets rewriting + semi-naive
+  /// bottom-up instead of SLD resolution. Terminates on cyclic data and
+  /// left recursion where untabled SLD loops; SLD remains the fallback.
+  bool use_magic = false;
+  AnalyzerOptions analyzer;
+  BottomUpOptions bottom_up;
+  TopDownOptions top_down;
+};
+
+/// The deductive-database engine: parses/holds a program, registers
+/// computable infinite relations (successor, plus, times, less, integer
+/// by default), statically checks query safety with `SafetyAnalyzer`,
+/// and evaluates safe queries bottom-up (all-free queries) or top-down
+/// (bound queries, or when bottom-up cannot be ordered).
+class Engine {
+ public:
+  /// Takes ownership of `program` and registers the standard builtins
+  /// (declaring them infinite and attaching their FDs/monotonicity
+  /// constraints).
+  static Result<Engine> Create(Program program,
+                               const EngineOptions& options = {});
+
+  /// Registers an additional computable infinite relation.
+  Status RegisterBuiltin(std::string_view name, uint32_t arity,
+                         std::shared_ptr<InfiniteRelation> relation);
+
+  Program& program() { return *program_; }
+  const Program& program() const { return *program_; }
+
+  /// Statically analyzes `query` (constants count as bound arguments).
+  Result<QueryAnalysis> Analyze(const Literal& query);
+
+  /// Outcome of one evaluated query.
+  struct QueryResult {
+    std::vector<Tuple> tuples;
+    /// The analyzer's verdict for the query.
+    Safety safety = Safety::kUndecided;
+    /// "bottom-up" or "top-down".
+    std::string strategy;
+  };
+
+  /// Analyzes and evaluates `query`. With `enforce_safety`, queries not
+  /// proved safe fail with UnsafeQuery and are never executed; without
+  /// it, evaluation proceeds under the budget guards.
+  Result<QueryResult> Query(const Literal& query);
+
+  /// Convenience overload: parses `literal_text` (e.g.
+  /// "ancestor(sem, Y, J)") against the engine's program.
+  Result<QueryResult> Query(std::string_view literal_text);
+
+  Engine(Engine&&) = default;
+  Engine& operator=(Engine&&) = default;
+
+ private:
+  Engine() = default;
+
+  Result<SafetyAnalyzer*> GetAnalyzer();
+
+  /// Holds the program at a stable address (the analyzer and evaluators
+  /// reference it).
+  std::unique_ptr<Program> program_;
+  EngineOptions options_;
+  BuiltinRegistry builtins_;
+  /// Lazily built, invalidated when constraints change.
+  std::unique_ptr<SafetyAnalyzer> analyzer_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_EVAL_ENGINE_H_

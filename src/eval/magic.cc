@@ -1,0 +1,204 @@
+#include "eval/magic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+using StateKey = std::pair<PredicateId, uint64_t>;
+
+std::string AdornmentSuffix(uint64_t mask, uint32_t arity) {
+  std::string s;
+  for (uint32_t k = 0; k < arity; ++k) s += ((mask >> k) & 1) ? 'b' : 'f';
+  return s;
+}
+
+class MagicRewriter {
+ public:
+  MagicRewriter(const Program& input, const Literal& query)
+      : input_(input), input_query_(query) {
+    out_.program = input;
+  }
+
+  Result<MagicProgram> Run() {
+    Program& p = out_.program;
+    // Drop the original rules and queries; EDB facts and constraints
+    // stay. Adorned copies are regenerated below.
+    original_rules_ = p.TakeRules();
+    (void)p.TakeQueries();
+
+    if (!input_.IsDerived(input_query_.pred)) {
+      return Status::InvalidProgram(
+          "magic transformation applies to queries on derived predicates");
+    }
+
+    // Query adornment: ground arguments are bound.
+    uint64_t mask = 0;
+    for (size_t k = 0; k < input_query_.args.size(); ++k) {
+      if (p.terms().IsGround(input_query_.args[k])) {
+        mask |= uint64_t{1} << k;
+      }
+    }
+    StateKey root{input_query_.pred, mask};
+    worklist_.push_back(root);
+    seen_.insert(root);
+    while (!worklist_.empty()) {
+      StateKey state = worklist_.back();
+      worklist_.pop_back();
+      HORNSAFE_RETURN_IF_ERROR(ProcessState(state));
+    }
+
+    // Seed the query's magic predicate with its bound arguments.
+    std::vector<TermId> seed;
+    for (size_t k = 0; k < input_query_.args.size(); ++k) {
+      if ((mask >> k) & 1) seed.push_back(input_query_.args[k]);
+    }
+    Literal seed_head{MagicPredicate(root), std::move(seed)};
+    HORNSAFE_RETURN_IF_ERROR(p.AddRule(Rule{seed_head, {}}));
+
+    out_.query = Literal{AdornedPredicate(root), input_query_.args};
+    HORNSAFE_RETURN_IF_ERROR(p.AddQuery(out_.query));
+    HORNSAFE_RETURN_IF_ERROR(p.Validate());
+    return std::move(out_);
+  }
+
+ private:
+  Program& p() { return out_.program; }
+
+  uint32_t ArityOf(PredicateId pred) const {
+    return input_.predicate(pred).arity;
+  }
+
+  /// Adorned copy `p__a` of a derived predicate.
+  PredicateId AdornedPredicate(const StateKey& state) {
+    auto it = adorned_preds_.find(state);
+    if (it != adorned_preds_.end()) return it->second;
+    uint32_t arity = ArityOf(state.first);
+    SymbolId name = p().symbols().InternFresh(
+        StrCat(input_.PredicateName(state.first), "__",
+               AdornmentSuffix(state.second, arity)));
+    PredicateId pred = p().InternPredicate(name, arity);
+    adorned_preds_.emplace(state, pred);
+    return pred;
+  }
+
+  /// Magic predicate `m_p__a` over the bound positions of `state`.
+  PredicateId MagicPredicate(const StateKey& state) {
+    auto it = magic_preds_.find(state);
+    if (it != magic_preds_.end()) return it->second;
+    uint32_t arity = ArityOf(state.first);
+    uint32_t bound = static_cast<uint32_t>(
+        __builtin_popcountll(state.second));
+    SymbolId name = p().symbols().InternFresh(
+        StrCat("m_", input_.PredicateName(state.first), "__",
+               AdornmentSuffix(state.second, arity)));
+    PredicateId pred = p().InternPredicate(name, bound);
+    magic_preds_.emplace(state, pred);
+    return pred;
+  }
+
+  void Enqueue(const StateKey& state) {
+    if (seen_.insert(state).second) worklist_.push_back(state);
+  }
+
+  /// The terms at the bound positions of `lit` under `mask`.
+  std::vector<TermId> BoundArgs(const Literal& lit, uint64_t mask) const {
+    std::vector<TermId> out;
+    for (size_t k = 0; k < lit.args.size(); ++k) {
+      if ((mask >> k) & 1) out.push_back(lit.args[k]);
+    }
+    return out;
+  }
+
+  Status ProcessState(const StateKey& state) {
+    for (const Rule& rule : original_rules_) {
+      if (rule.head.pred != state.first) continue;
+      HORNSAFE_RETURN_IF_ERROR(RewriteRule(state, rule));
+    }
+    return Status::Ok();
+  }
+
+  Status RewriteRule(const StateKey& state, const Rule& rule) {
+    Program& prog = p();
+    // Variables bound so far: those in bound head positions (constants
+    // in the head are ground and need no tracking).
+    std::set<TermId> bound_vars;
+    for (size_t k = 0; k < rule.head.args.size(); ++k) {
+      if ((state.second >> k) & 1) {
+        std::vector<TermId> vars;
+        prog.terms().CollectVariables(rule.head.args[k], &vars);
+        bound_vars.insert(vars.begin(), vars.end());
+      }
+    }
+
+    Literal magic_guard{MagicPredicate(state),
+                        BoundArgs(rule.head, state.second)};
+    std::vector<Literal> new_body = {magic_guard};
+
+    // Left-to-right sideways pass over the body.
+    for (const Literal& b : rule.body) {
+      if (!input_.IsDerived(b.pred)) {
+        // Base literal (finite or infinite): keep, bind its variables.
+        new_body.push_back(b);
+        for (TermId a : b.args) {
+          std::vector<TermId> vars;
+          prog.terms().CollectVariables(a, &vars);
+          bound_vars.insert(vars.begin(), vars.end());
+        }
+        continue;
+      }
+      // Derived occurrence: its adornment is what the pass has bound.
+      uint64_t occ_mask = 0;
+      for (size_t k = 0; k < b.args.size(); ++k) {
+        std::vector<TermId> vars;
+        prog.terms().CollectVariables(b.args[k], &vars);
+        bool all_bound = true;
+        for (TermId v : vars) all_bound &= bound_vars.count(v) > 0;
+        if (all_bound) occ_mask |= uint64_t{1} << k;
+      }
+      StateKey callee{b.pred, occ_mask};
+      Enqueue(callee);
+      // Magic rule: the callee's bound arguments are derivable from the
+      // guard and the body prefix.
+      Literal magic_head{MagicPredicate(callee),
+                         BoundArgs(b, occ_mask)};
+      HORNSAFE_RETURN_IF_ERROR(
+          prog.AddRule(Rule{magic_head, new_body}));
+      // Replace the occurrence by its adorned copy, then its outputs
+      // are bound for the rest of the pass.
+      new_body.push_back(Literal{AdornedPredicate(callee), b.args});
+      for (TermId a : b.args) {
+        std::vector<TermId> vars;
+        prog.terms().CollectVariables(a, &vars);
+        bound_vars.insert(vars.begin(), vars.end());
+      }
+    }
+
+    Literal new_head{AdornedPredicate(state), rule.head.args};
+    return prog.AddRule(Rule{new_head, std::move(new_body)});
+  }
+
+  const Program& input_;
+  const Literal& input_query_;
+  MagicProgram out_;
+  std::vector<Rule> original_rules_;
+  std::vector<StateKey> worklist_;
+  std::set<StateKey> seen_;
+  std::map<StateKey, PredicateId> adorned_preds_;
+  std::map<StateKey, PredicateId> magic_preds_;
+};
+
+}  // namespace
+
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const Literal& query) {
+  return MagicRewriter(program, query).Run();
+}
+
+}  // namespace hornsafe

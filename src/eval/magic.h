@@ -1,0 +1,42 @@
+#ifndef HORNSAFE_EVAL_MAGIC_H_
+#define HORNSAFE_EVAL_MAGIC_H_
+
+#include <string>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Output of the magic-sets transformation.
+struct MagicProgram {
+  /// The rewritten program: adorned copies of the derived predicates
+  /// reachable from the query, guarded by magic predicates that
+  /// propagate the query's bindings; EDB facts and constraints are
+  /// shared with the original.
+  Program program;
+  /// The query against the adorned entry predicate.
+  Literal query;
+};
+
+/// Magic-sets rewriting of `program` for `query` (ground arguments are
+/// bound). Bottom-up evaluation of the result derives only tuples
+/// relevant to the query — the classic bottom-up counterpart of
+/// top-down resolution with sideways information passing, and unlike
+/// untabled SLD it terminates on cyclic data whenever the relevant
+/// tuple space is finite.
+///
+/// The construction is the textbook one, using this library's
+/// adornment machinery: for each reachable (predicate, adornment) pair
+/// an adorned copy `p__a` is produced whose rules are guarded by
+/// `m_p__a(bound head arguments)`; each derived body occurrence, with
+/// the adornment induced by a left-to-right sideways pass, contributes
+/// a magic rule `m_q__a1(bound occurrence arguments) :- m_p__a(...),
+/// <preceding body literals>`. The query seeds `m_q__a0` with its
+/// ground arguments.
+Result<MagicProgram> MagicTransform(const Program& program,
+                                    const Literal& query);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_EVAL_MAGIC_H_

@@ -1,0 +1,86 @@
+#ifndef HORNSAFE_EVAL_RELATION_H_
+#define HORNSAFE_EVAL_RELATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lang/term.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+/// A tuple of ground terms.
+using Tuple = std::vector<TermId>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t seed = t.size();
+    for (TermId v : t) HashCombine(seed, std::hash<uint64_t>{}(v));
+    return seed;
+  }
+};
+
+/// A materialised finite relation: a set of ground tuples, with lazily
+/// built per-column hash indexes for join probes.
+///
+/// Terms are hash-consed, so tuple equality is element-wise id equality
+/// and a column index keys directly on `TermId` — this covers compound
+/// ground terms too. The backing container is node-based, so tuple
+/// pointers handed out by `Probe` stay valid across inserts.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Inserts `t`; returns true iff it was new. Maintains any indexes
+  /// already built.
+  bool Insert(Tuple t) {
+    auto [it, inserted] = tuples_.insert(std::move(t));
+    if (inserted && !indexes_.empty()) {
+      for (auto& [col, index] : indexes_) {
+        if (col < it->size()) index[(*it)[col]].push_back(&*it);
+      }
+    }
+    return inserted;
+  }
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  void clear() {
+    tuples_.clear();
+    indexes_.clear();
+  }
+
+  /// The tuples whose column `col` holds exactly `value`. Builds the
+  /// column index on first use (O(size)); later probes are O(matches).
+  const std::vector<const Tuple*>& Probe(uint32_t col, TermId value) const {
+    auto idx = indexes_.find(col);
+    if (idx == indexes_.end()) {
+      ColumnIndex index;
+      for (const Tuple& t : tuples_) {
+        if (col < t.size()) index[t[col]].push_back(&t);
+      }
+      idx = indexes_.emplace(col, std::move(index)).first;
+    }
+    auto hit = idx->second.find(value);
+    static const std::vector<const Tuple*> kEmpty;
+    return hit == idx->second.end() ? kEmpty : hit->second;
+  }
+
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+ private:
+  using ColumnIndex =
+      std::unordered_map<TermId, std::vector<const Tuple*>>;
+
+  std::unordered_set<Tuple, TupleHash> tuples_;
+  /// Built lazily by Probe; mutable because probing is logically const.
+  mutable std::unordered_map<uint32_t, ColumnIndex> indexes_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_EVAL_RELATION_H_

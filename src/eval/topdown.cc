@@ -1,0 +1,201 @@
+#include "eval/topdown.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+TopDownEvaluator::TopDownEvaluator(Program* program,
+                                   const BuiltinRegistry* builtins,
+                                   const TopDownOptions& options)
+    : program_(program), builtins_(builtins), options_(options) {
+  facts_by_pred_.resize(program_->num_predicates());
+  rules_by_pred_.resize(program_->num_predicates());
+  for (const Literal& f : program_->facts()) {
+    facts_by_pred_[f.pred].push_back(&f);
+  }
+  for (const Rule& r : program_->rules()) {
+    rules_by_pred_[r.head.pred].push_back(&r);
+  }
+}
+
+Rule TopDownEvaluator::RenameRule(const Rule& rule) {
+  Substitution renaming;
+  for (TermId v : RuleVariables(program_->terms(), rule)) {
+    const TermData& d = program_->terms().Get(v);
+    SymbolId fresh = program_->symbols().Intern(
+        StrCat(program_->symbols().Name(d.symbol), "_", rename_counter_));
+    renaming[v] = program_->terms().MakeVariable(fresh);
+  }
+  ++rename_counter_;
+  Rule out = rule;
+  for (TermId& a : out.head.args) {
+    a = ApplySubstitution(program_->terms(), renaming, a);
+  }
+  for (Literal& b : out.body) {
+    for (TermId& a : b.args) {
+      a = ApplySubstitution(program_->terms(), renaming, a);
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Tuple>> TopDownEvaluator::Solve(const Literal& query) {
+  std::vector<Tuple> out;
+  Relation seen;
+  Substitution subst;
+  enough_ = false;
+  Status st = SolveGoals({query}, &subst, 0, query, &out, &seen);
+  HORNSAFE_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Status TopDownEvaluator::SolveGoals(std::vector<Literal> goals,
+                                    Substitution* subst, size_t depth,
+                                    const Literal& query,
+                                    std::vector<Tuple>* out,
+                                    Relation* seen) {
+  if (enough_) return Status::Ok();
+  if (++stats_.steps > options_.max_steps) {
+    return Status::BudgetExhausted(
+        StrCat("SLD resolution exceeded ", options_.max_steps,
+               " steps; the query may be unsafe or non-terminating"));
+  }
+  if (depth > options_.max_depth) {
+    return Status::BudgetExhausted("SLD resolution exceeded maximum depth");
+  }
+  if (goals.empty()) {
+    // Success: record the (possibly non-ground) solution.
+    Tuple solution;
+    bool ground = true;
+    for (TermId a : query.args) {
+      TermId g = ApplySubstitution(program_->terms(), *subst, a);
+      ground &= program_->terms().IsGround(g);
+      solution.push_back(g);
+    }
+    if (!ground) {
+      return Status::UnsafeQuery(
+          StrCat("query ", program_->ToString(query),
+                 " succeeded with unbound variables (infinitely many "
+                 "instances)"));
+    }
+    if (seen->Insert(solution)) {
+      out->push_back(std::move(solution));
+      if (options_.max_solutions != 0 &&
+          out->size() >= options_.max_solutions) {
+        enough_ = true;
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Goal selection: first evaluable goal (finite base / derived /
+  // supported builtin); infinite goals whose binding pattern is not yet
+  // supported — or that have no generator at all — are delayed.
+  size_t pick = goals.size();
+  bool saw_unregistered = false;
+  for (size_t i = 0; i < goals.size(); ++i) {
+    PredicateId pred = goals[i].pred;
+    if (!program_->IsInfiniteBase(pred)) {
+      pick = i;
+      break;
+    }
+    const InfiniteRelation* rel = builtins_->Find(pred);
+    if (rel == nullptr) {
+      saw_unregistered = true;
+      continue;
+    }
+    AttrSet bound;
+    for (uint32_t k = 0; k < goals[i].args.size(); ++k) {
+      TermId g = ApplySubstitution(program_->terms(), *subst,
+                                   goals[i].args[k]);
+      if (program_->terms().IsGround(g)) bound.Add(k);
+    }
+    if (rel->SupportsBinding(bound)) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick == goals.size()) {
+    if (saw_unregistered) {
+      return Status::Unsupported(
+          StrCat("no generator registered for infinite predicate '",
+                 program_->PredicateName(goals[0].pred),
+                 "'; it cannot be solved"));
+    }
+    return Status::UnsafeQuery(
+        StrCat("derivation floundered: every remaining goal enumerates an "
+               "infinite relation (first: ",
+               program_->ToString(goals[0]), ")"));
+  }
+
+  Literal goal = goals[pick];
+  goals.erase(goals.begin() + static_cast<ptrdiff_t>(pick));
+  PredicateId pred = goal.pred;
+
+  auto try_against_tuple = [&](const Tuple& tuple) -> Status {
+    Substitution saved = *subst;
+    bool ok = true;
+    for (size_t k = 0; k < tuple.size(); ++k) {
+      if (!Unify(program_->terms(), goal.args[k], tuple[k], subst)) {
+        ok = false;
+        break;
+      }
+    }
+    Status st;
+    if (ok) st = SolveGoals(goals, subst, depth + 1, query, out, seen);
+    *subst = std::move(saved);
+    return st;
+  };
+
+  if (program_->IsFiniteBase(pred)) {
+    for (const Literal* f : facts_by_pred_[pred]) {
+      HORNSAFE_RETURN_IF_ERROR(try_against_tuple(f->args));
+      if (enough_) return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  if (program_->IsInfiniteBase(pred)) {
+    const InfiniteRelation* rel = builtins_->Find(pred);
+    Tuple partial(goal.args.size(), kInvalidTerm);
+    for (size_t k = 0; k < goal.args.size(); ++k) {
+      TermId g = ApplySubstitution(program_->terms(), *subst, goal.args[k]);
+      if (program_->terms().IsGround(g)) partial[k] = g;
+    }
+    std::vector<Tuple> matches;
+    HORNSAFE_RETURN_IF_ERROR(rel->Enumerate(program_, partial, &matches));
+    for (const Tuple& t : matches) {
+      HORNSAFE_RETURN_IF_ERROR(try_against_tuple(t));
+      if (enough_) return Status::Ok();
+    }
+    return Status::Ok();
+  }
+
+  // Derived: resolve against each rule.
+  for (const Rule* r : rules_by_pred_[pred]) {
+    ++stats_.rule_resolutions;
+    Rule renamed = RenameRule(*r);
+    Substitution saved = *subst;
+    bool ok = true;
+    for (size_t k = 0; k < goal.args.size(); ++k) {
+      if (!Unify(program_->terms(), goal.args[k], renamed.head.args[k],
+                 subst)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      std::vector<Literal> next = renamed.body;
+      next.insert(next.end(), goals.begin(), goals.end());
+      HORNSAFE_RETURN_IF_ERROR(
+          SolveGoals(std::move(next), subst, depth + 1, query, out, seen));
+    }
+    *subst = std::move(saved);
+    if (enough_) return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,74 @@
+#ifndef HORNSAFE_EVAL_TOPDOWN_H_
+#define HORNSAFE_EVAL_TOPDOWN_H_
+
+#include <vector>
+
+#include "eval/builtins.h"
+#include "eval/relation.h"
+#include "lang/program.h"
+#include "lang/unify.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Options for top-down (SLD resolution) evaluation.
+struct TopDownOptions {
+  /// Abort with BudgetExhausted after this many resolution steps (the
+  /// guard rail against non-terminating derivations: SLD has no tabling).
+  uint64_t max_steps = 200'000;
+  /// Maximum goal-stack depth. Left-recursive programs dive straight to
+  /// this limit, and the goal list grows with depth, so keep it modest.
+  size_t max_depth = 2'000;
+  /// Stop after this many solutions (0 = unlimited).
+  size_t max_solutions = 0;
+};
+
+/// Statistics for one Solve call.
+struct TopDownStats {
+  uint64_t steps = 0;
+  uint64_t rule_resolutions = 0;
+};
+
+/// Depth-first SLD resolution over Horn rules, EDB facts and computable
+/// infinite relations.
+///
+/// Goal selection delays infinite-relation goals until their binding
+/// pattern is supported (the paper's sideways information passing); a
+/// state where only unsupported infinite goals remain *flounders* and
+/// fails with UnsafeQuery. Bound structural recursion (e.g. Example 7's
+/// `concat` with a bound first list) terminates; unbounded recursion is
+/// caught by the step budget.
+class TopDownEvaluator {
+ public:
+  /// `program` and `builtins` must outlive the evaluator. `program` is
+  /// mutated only by interning fresh variables and computed terms.
+  TopDownEvaluator(Program* program, const BuiltinRegistry* builtins,
+                   const TopDownOptions& options = {});
+
+  /// Proves `query`, returning the distinct ground(ed) argument tuples
+  /// of the solutions, in discovery order.
+  Result<std::vector<Tuple>> Solve(const Literal& query);
+
+  const TopDownStats& stats() const { return stats_; }
+
+ private:
+  Status SolveGoals(std::vector<Literal> goals, Substitution* subst,
+                    size_t depth, const Literal& query,
+                    std::vector<Tuple>* out, Relation* seen);
+
+  /// Clones `rule` with fresh variables.
+  Rule RenameRule(const Rule& rule);
+
+  Program* program_;
+  const BuiltinRegistry* builtins_;
+  TopDownOptions options_;
+  TopDownStats stats_;
+  std::vector<std::vector<const Literal*>> facts_by_pred_;
+  std::vector<std::vector<const Rule*>> rules_by_pred_;
+  uint64_t rename_counter_ = 0;
+  bool enough_ = false;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_EVAL_TOPDOWN_H_

@@ -1,0 +1,69 @@
+#include "fd/armstrong.h"
+
+#include <cassert>
+
+namespace hornsafe {
+
+ArmstrongEngine::ArmstrongEngine(uint32_t arity,
+                                 std::vector<FiniteDependency> base)
+    : arity_(arity), base_(std::move(base)) {
+  assert(arity <= 12 && "saturation table would exceed 16M entries");
+  derived_.assign(size_t{1} << (2 * arity_), false);
+}
+
+bool ArmstrongEngine::Mark(AttrSet lhs, AttrSet rhs) {
+  size_t idx = IndexOf(lhs, rhs);
+  if (derived_[idx]) return false;
+  derived_[idx] = true;
+  return true;
+}
+
+void ArmstrongEngine::Saturate() {
+  const uint64_t universe = uint64_t{1} << arity_;
+  // Axiom 1 (reflexivity): X ⇝ Y for every Y ⊆ X.
+  for (uint64_t x = 0; x < universe; ++x) {
+    // Enumerate submasks of x.
+    uint64_t y = x;
+    while (true) {
+      Mark(AttrSet(x), AttrSet(y));
+      if (y == 0) break;
+      y = (y - 1) & x;
+    }
+  }
+  // Base dependencies.
+  for (const FiniteDependency& fd : base_) {
+    Mark(fd.lhs, fd.rhs);
+  }
+  // Axioms 2 and 3 (augmentation, transitivity) to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (uint64_t x = 0; x < universe; ++x) {
+      for (uint64_t y = 0; y < universe; ++y) {
+        if (!derived_[IndexOf(AttrSet(x), AttrSet(y))]) continue;
+        // Augmentation: X ⇝ Y derives XZ ⇝ YZ.
+        for (uint64_t z = 0; z < universe; ++z) {
+          changed |= Mark(AttrSet(x | z), AttrSet(y | z));
+        }
+        // Transitivity: X ⇝ Y and Y ⇝ Z derive X ⇝ Z.
+        for (uint64_t z = 0; z < universe; ++z) {
+          if (derived_[IndexOf(AttrSet(y), AttrSet(z))]) {
+            changed |= Mark(AttrSet(x), AttrSet(z));
+          }
+        }
+      }
+    }
+  }
+}
+
+bool ArmstrongEngine::Derivable(AttrSet lhs, AttrSet rhs) const {
+  return derived_[IndexOf(lhs, rhs)];
+}
+
+size_t ArmstrongEngine::DerivedCount() const {
+  size_t n = 0;
+  for (bool b : derived_) n += b;
+  return n;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,65 @@
+#ifndef HORNSAFE_FD_ARMSTRONG_H_
+#define HORNSAFE_FD_ARMSTRONG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/attr_set.h"
+#include "lang/dependency.h"
+
+namespace hornsafe {
+
+/// Syntactic Armstrong derivation engine over a fixed attribute universe
+/// `{0..arity-1}` (Theorem 1 of the paper: reflexivity, augmentation,
+/// transitivity are sound and complete for finiteness dependencies).
+///
+/// `Saturate` enumerates *every* dependency `X ⇝ Y` derivable from the
+/// input by the three axioms, by saturating the 2^arity × 2^arity pair
+/// space; it is exponential and exists to validate the closure-based
+/// implication test (`Implies`) against the axioms in property tests.
+class ArmstrongEngine {
+ public:
+  /// `arity` must be ≤ 16 (the saturation table has 4^arity entries).
+  ArmstrongEngine(uint32_t arity, std::vector<FiniteDependency> base);
+
+  /// Runs saturation to fixpoint.
+  void Saturate();
+
+  /// True iff `lhs ⇝ rhs` has been derived. Call `Saturate()` first.
+  bool Derivable(AttrSet lhs, AttrSet rhs) const;
+
+  /// Number of derivable dependencies (including trivial ones).
+  size_t DerivedCount() const;
+
+ private:
+  size_t IndexOf(AttrSet lhs, AttrSet rhs) const {
+    return (lhs.bits() << arity_) | rhs.bits();
+  }
+  bool Mark(AttrSet lhs, AttrSet rhs);
+
+  uint32_t arity_;
+  std::vector<FiniteDependency> base_;
+  std::vector<bool> derived_;
+};
+
+/// The "standard counterexample" instance used in the completeness proof
+/// of Theorem 1, in symbolic form: the relation whose projection onto an
+/// attribute set `A` is finite iff `A ⊆ finite_attrs`. An FD `X ⇝ Y`
+/// holds in it iff `X ⊄ finite_attrs` or `Y ⊆ finite_attrs`.
+struct SymbolicInstance {
+  AttrSet finite_attrs;
+
+  bool Satisfies(const FiniteDependency& fd) const {
+    return !fd.lhs.SubsetOf(finite_attrs) || fd.rhs.SubsetOf(finite_attrs);
+  }
+  bool SatisfiesAll(const std::vector<FiniteDependency>& fds) const {
+    for (const FiniteDependency& fd : fds) {
+      if (!Satisfies(fd)) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_FD_ARMSTRONG_H_

@@ -1,0 +1,150 @@
+#include "fd/derived.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "fd/fd.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// Predicates wider than this are skipped (candidate space is
+/// 2^arity · arity).
+constexpr uint32_t kMaxInferenceArity = 10;
+
+using Candidate = std::pair<uint64_t, uint32_t>;  // (lhs mask, rhs attr)
+
+/// True iff the rule transfers `lhs ⇝ {rhs}` from its head, given the
+/// current candidate sets for derived predicates.
+bool RuleTransfers(
+    const Program& program, const Rule& rule, AttrSet lhs, uint32_t rhs,
+    const std::map<PredicateId, std::set<Candidate>>& candidates) {
+  std::set<TermId> finite;
+  // Seed: head variables at lhs positions.
+  for (uint32_t k : lhs.ToVector()) {
+    finite.insert(rule.head.args[k]);
+  }
+  // Finite base literals ground all their variables.
+  for (const Literal& b : rule.body) {
+    if (program.IsFiniteBase(b.pred)) {
+      finite.insert(b.args.begin(), b.args.end());
+    }
+  }
+  // Close under body dependencies.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& b : rule.body) {
+      auto apply = [&](AttrSet fd_lhs, AttrSet fd_rhs) {
+        for (uint32_t j : fd_lhs.ToVector()) {
+          if (!finite.count(b.args[j])) return;
+        }
+        for (uint32_t j : fd_rhs.ToVector()) {
+          if (finite.insert(b.args[j]).second) changed = true;
+        }
+      };
+      if (program.IsInfiniteBase(b.pred)) {
+        for (const FiniteDependency& fd : program.FdsFor(b.pred)) {
+          apply(fd.lhs, fd.rhs);
+        }
+      } else if (program.IsDerived(b.pred)) {
+        auto it = candidates.find(b.pred);
+        if (it == candidates.end()) continue;
+        for (const Candidate& c : it->second) {
+          apply(AttrSet(c.first), AttrSet::Single(c.second));
+        }
+      }
+    }
+  }
+  return finite.count(rule.head.args[rhs]) > 0;
+}
+
+}  // namespace
+
+std::vector<FiniteDependency> InferDerivedFds(const Program& program) {
+  // Greatest fixpoint: assume everything, discard what fails.
+  std::map<PredicateId, std::set<Candidate>> candidates;
+  std::map<PredicateId, std::vector<const Rule*>> rules_of;
+  for (const Rule& r : program.rules()) {
+    rules_of[r.head.pred].push_back(&r);
+  }
+  for (const auto& [pred, rules] : rules_of) {
+    uint32_t arity = program.predicate(pred).arity;
+    if (arity == 0 || arity > kMaxInferenceArity) continue;
+    std::set<Candidate>& set = candidates[pred];
+    for (uint64_t mask = 0; mask < (uint64_t{1} << arity); ++mask) {
+      for (uint32_t rhs = 0; rhs < arity; ++rhs) {
+        if ((mask >> rhs) & 1) continue;  // trivial
+        set.insert({mask, rhs});
+      }
+    }
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [pred, set] : candidates) {
+      for (auto it = set.begin(); it != set.end();) {
+        bool holds = true;
+        for (const Rule* r : rules_of[pred]) {
+          if (!RuleTransfers(program, *r, AttrSet(it->first), it->second,
+                             candidates)) {
+            holds = false;
+            break;
+          }
+        }
+        if (!holds) {
+          it = set.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+
+  // Emit minimal-interesting results: drop candidates whose left-hand
+  // side is a strict superset of another surviving candidate with the
+  // same right-hand side (they follow by augmentation).
+  std::vector<FiniteDependency> out;
+  for (const auto& [pred, set] : candidates) {
+    for (const Candidate& c : set) {
+      bool dominated = false;
+      for (const Candidate& other : set) {
+        if (other.second != c.second) continue;
+        if (other.first != c.first &&
+            (other.first & ~c.first) == 0) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        out.push_back(FiniteDependency{pred, AttrSet(c.first),
+                                       AttrSet::Single(c.second)});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FiniteDependency& a, const FiniteDependency& b) {
+              if (a.pred != b.pred) return a.pred < b.pred;
+              if (a.lhs.bits() != b.lhs.bits()) {
+                return a.lhs.bits() < b.lhs.bits();
+              }
+              return a.rhs.bits() < b.rhs.bits();
+            });
+  return out;
+}
+
+bool DerivedFdHolds(const Program& program, PredicateId pred, AttrSet lhs,
+                    AttrSet rhs) {
+  std::vector<FiniteDependency> inferred = InferDerivedFds(program);
+  std::vector<FiniteDependency> for_pred;
+  for (const FiniteDependency& fd : inferred) {
+    if (fd.pred == pred) for_pred.push_back(fd);
+  }
+  return Implies(for_pred, lhs, rhs);
+}
+
+}  // namespace hornsafe

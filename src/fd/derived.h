@@ -1,0 +1,43 @@
+#ifndef HORNSAFE_FD_DERIVED_H_
+#define HORNSAFE_FD_DERIVED_H_
+
+#include <vector>
+
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// Infers the finiteness dependencies that provably hold over the
+/// *derived* predicates of a canonical program, given the declared
+/// dependencies over its EDB predicates.
+///
+/// The paper states FDs only over base predicates; this module extends
+/// the notion upward: `X ⇝ Y` holds on a derived predicate `p` iff it
+/// holds in every relation `p` can denote. The inference is a greatest
+/// fixpoint: start by assuming every dependency on every derived
+/// predicate, then repeatedly discard a candidate `X ⇝ Y` on `p` if
+/// some rule for `p` fails to *transfer* it — where a rule transfers
+/// the dependency iff, seeding the variables of the head positions in X
+/// as finite and closing under (a) body-literal dependencies (EDB
+/// declared FDs, derived candidate FDs) and (b) finite base literals
+/// grounding their variables outright, every variable of the head
+/// positions in Y becomes finite.
+///
+/// The result is sound (assuming the declared EDB dependencies): every
+/// reported dependency holds in all models. It is not complete — e.g.
+/// dependencies that hold only because a rule can never fire are
+/// missed (run Algorithm 3 pruning upstream if that matters).
+///
+/// `program` must be canonical (all rule arguments variables); use
+/// `Canonicalize` first. Only dependencies with singleton right-hand
+/// sides are returned (the general form follows by union).
+std::vector<FiniteDependency> InferDerivedFds(const Program& program);
+
+/// True iff `lhs ⇝ rhs` over derived predicate `pred` is among the
+/// consequences of `InferDerivedFds` closed under the Armstrong axioms.
+bool DerivedFdHolds(const Program& program, PredicateId pred, AttrSet lhs,
+                    AttrSet rhs);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_FD_DERIVED_H_

@@ -1,0 +1,116 @@
+#include "fd/fd.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace hornsafe {
+
+AttrSet AttrClosure(AttrSet attrs, const std::vector<FiniteDependency>& fds) {
+  AttrSet closure = attrs;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FiniteDependency& fd : fds) {
+      if (fd.lhs.SubsetOf(closure) && !fd.rhs.SubsetOf(closure)) {
+        closure = closure.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return closure;
+}
+
+bool Implies(const std::vector<FiniteDependency>& fds, AttrSet lhs,
+             AttrSet rhs) {
+  return rhs.SubsetOf(AttrClosure(lhs, fds));
+}
+
+bool IsRedundant(const std::vector<FiniteDependency>& fds, size_t index) {
+  std::vector<FiniteDependency> rest;
+  rest.reserve(fds.size() - 1);
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (i != index) rest.push_back(fds[i]);
+  }
+  return Implies(rest, fds[index].lhs, fds[index].rhs);
+}
+
+std::vector<FiniteDependency> MinimalCover(std::vector<FiniteDependency> fds) {
+  // 1. Split right-hand sides into single attributes.
+  std::vector<FiniteDependency> split;
+  for (const FiniteDependency& fd : fds) {
+    for (uint32_t a : fd.rhs.ToVector()) {
+      split.push_back(FiniteDependency{fd.pred, fd.lhs, AttrSet::Single(a)});
+    }
+  }
+  // 2. Remove extraneous left-hand-side attributes.
+  for (FiniteDependency& fd : split) {
+    for (uint32_t a : fd.lhs.ToVector()) {
+      AttrSet smaller = fd.lhs;
+      smaller.Remove(a);
+      if (Implies(split, smaller, fd.rhs)) fd.lhs = smaller;
+    }
+  }
+  // 3. Remove redundant dependencies (re-checking after each removal).
+  for (size_t i = 0; i < split.size();) {
+    if (IsRedundant(split, i)) {
+      split.erase(split.begin() + static_cast<ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  // 4. Drop trivial dependencies (rhs ⊆ lhs).
+  split.erase(std::remove_if(split.begin(), split.end(),
+                             [](const FiniteDependency& fd) {
+                               return fd.rhs.SubsetOf(fd.lhs);
+                             }),
+              split.end());
+  return split;
+}
+
+std::vector<AttrSet> MinimalDeterminants(
+    const std::vector<FiniteDependency>& fds, uint32_t arity, uint32_t attr) {
+  std::vector<AttrSet> minimal;
+  AttrSet others = AttrSet::AllBelow(arity);
+  others.Remove(attr);
+  std::vector<uint32_t> other_list = others.ToVector();
+  uint64_t limit = uint64_t{1} << other_list.size();
+  for (uint64_t mask = 0; mask < limit; ++mask) {
+    AttrSet candidate;
+    for (size_t i = 0; i < other_list.size(); ++i) {
+      if ((mask >> i) & 1) candidate.Add(other_list[i]);
+    }
+    if (!AttrClosure(candidate, fds).Contains(attr)) continue;
+    bool dominated = false;
+    for (const AttrSet& m : minimal) {
+      if (m.SubsetOf(candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (dominated) continue;
+    // Remove any supersets already collected (enumeration order is by
+    // mask value, not cardinality, so supersets can precede subsets).
+    minimal.erase(std::remove_if(minimal.begin(), minimal.end(),
+                                 [&](const AttrSet& m) {
+                                   return candidate.SubsetOf(m);
+                                 }),
+                  minimal.end());
+    minimal.push_back(candidate);
+  }
+  return minimal;
+}
+
+std::vector<AttrSet> DeclaredDeterminants(
+    const std::vector<FiniteDependency>& fds, uint32_t attr) {
+  std::vector<AttrSet> out;
+  for (const FiniteDependency& fd : fds) {
+    if (fd.rhs.Contains(attr) && !fd.lhs.Contains(attr)) {
+      if (std::find(out.begin(), out.end(), fd.lhs) == out.end()) {
+        out.push_back(fd.lhs);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hornsafe

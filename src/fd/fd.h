@@ -1,0 +1,49 @@
+#ifndef HORNSAFE_FD_FD_H_
+#define HORNSAFE_FD_FD_H_
+
+#include <vector>
+
+#include "lang/attr_set.h"
+#include "lang/dependency.h"
+
+namespace hornsafe {
+
+/// Computes the closure `attrs⁺` of an attribute set under the finiteness
+/// dependencies `fds` (all assumed to be over the same predicate): the
+/// largest set of attributes whose finiteness follows from the finiteness
+/// of `attrs` by the Armstrong axioms (Theorem 1). Runs in
+/// O(|fds|²) worst case with the classic iterate-to-fixpoint scheme.
+AttrSet AttrClosure(AttrSet attrs, const std::vector<FiniteDependency>& fds);
+
+/// True iff `fds ⊨ lhs ⇝ rhs`, i.e. `rhs ⊆ lhs⁺`. By Theorem 1 this is
+/// exactly Armstrong derivability.
+bool Implies(const std::vector<FiniteDependency>& fds, AttrSet lhs,
+             AttrSet rhs);
+
+/// True iff `fd` is redundant given the other dependencies in `fds`
+/// (implied by `fds \ {fd}`).
+bool IsRedundant(const std::vector<FiniteDependency>& fds, size_t index);
+
+/// A minimal cover: an equivalent set of dependencies where every
+/// right-hand side is a single attribute, no left-hand side contains an
+/// extraneous attribute, and no dependency is redundant.
+std::vector<FiniteDependency> MinimalCover(std::vector<FiniteDependency> fds);
+
+/// All minimal attribute sets `S ⊆ {0..arity-1} \ {attr}` with
+/// `attr ∈ S⁺`, i.e. the minimal ways the other attributes can finitely
+/// determine `attr` under the *closure* of `fds`. Exponential in `arity`
+/// (arity is a predicate arity, so tiny in practice). Used by the
+/// analyzer's `use_fd_closure` option; the paper's Algorithm 2 uses only
+/// the declared dependencies.
+std::vector<AttrSet> MinimalDeterminants(
+    const std::vector<FiniteDependency>& fds, uint32_t arity, uint32_t attr);
+
+/// The left-hand sides of the *declared* dependencies in `fds` whose
+/// right-hand side covers `attr` — the "n FDs that determine the kth
+/// argument" of Algorithm 2 step 4.
+std::vector<AttrSet> DeclaredDeterminants(
+    const std::vector<FiniteDependency>& fds, uint32_t attr);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_FD_FD_H_

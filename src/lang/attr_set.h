@@ -1,0 +1,99 @@
+#ifndef HORNSAFE_LANG_ATTR_SET_H_
+#define HORNSAFE_LANG_ATTR_SET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace hornsafe {
+
+/// A set of attribute (argument) positions of one predicate, 0-based.
+///
+/// Backed by a 64-bit mask, so predicates may have at most 64 arguments —
+/// far beyond anything the safety analysis meets in practice. Used to
+/// state finiteness dependencies `lhs ⇝ rhs` and to run attribute-set
+/// closure (Theorem 1 machinery).
+class AttrSet {
+ public:
+  /// Maximum representable attribute index + 1.
+  static constexpr uint32_t kMaxAttrs = 64;
+
+  constexpr AttrSet() : bits_(0) {}
+  constexpr explicit AttrSet(uint64_t bits) : bits_(bits) {}
+
+  /// The singleton set {i}.
+  static AttrSet Single(uint32_t i) {
+    assert(i < kMaxAttrs);
+    return AttrSet(uint64_t{1} << i);
+  }
+
+  /// The set of the listed positions.
+  static AttrSet Of(std::initializer_list<uint32_t> attrs) {
+    AttrSet s;
+    for (uint32_t a : attrs) s.Add(a);
+    return s;
+  }
+
+  /// The full set {0, 1, ..., arity-1}.
+  static AttrSet AllBelow(uint32_t arity) {
+    assert(arity <= kMaxAttrs);
+    return arity == kMaxAttrs ? AttrSet(~uint64_t{0})
+                              : AttrSet((uint64_t{1} << arity) - 1);
+  }
+
+  void Add(uint32_t i) {
+    assert(i < kMaxAttrs);
+    bits_ |= uint64_t{1} << i;
+  }
+  void Remove(uint32_t i) {
+    assert(i < kMaxAttrs);
+    bits_ &= ~(uint64_t{1} << i);
+  }
+
+  bool Contains(uint32_t i) const {
+    return i < kMaxAttrs && (bits_ >> i) & 1;
+  }
+  bool Empty() const { return bits_ == 0; }
+  int Count() const { return __builtin_popcountll(bits_); }
+
+  AttrSet Union(AttrSet o) const { return AttrSet(bits_ | o.bits_); }
+  AttrSet Intersect(AttrSet o) const { return AttrSet(bits_ & o.bits_); }
+  AttrSet Minus(AttrSet o) const { return AttrSet(bits_ & ~o.bits_); }
+  bool SubsetOf(AttrSet o) const { return (bits_ & ~o.bits_) == 0; }
+
+  uint64_t bits() const { return bits_; }
+
+  bool operator==(const AttrSet& o) const { return bits_ == o.bits_; }
+  bool operator!=(const AttrSet& o) const { return bits_ != o.bits_; }
+
+  /// Member positions in increasing order.
+  std::vector<uint32_t> ToVector() const {
+    std::vector<uint32_t> out;
+    for (uint64_t b = bits_; b != 0; b &= b - 1) {
+      out.push_back(static_cast<uint32_t>(__builtin_ctzll(b)));
+    }
+    return out;
+  }
+
+  /// Renders as 1-based positions, the paper's convention: "{1,3}".
+  std::string ToString() const {
+    std::string out = "{";
+    bool first = true;
+    for (uint32_t a : ToVector()) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(a + 1);
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_ATTR_SET_H_

@@ -1,0 +1,35 @@
+#include "lang/symbol.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+SymbolId SymbolTable::Intern(std::string_view name) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId SymbolTable::Lookup(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidSymbol : it->second;
+}
+
+SymbolId SymbolTable::InternFresh(std::string_view base) {
+  if (Lookup(base) == kInvalidSymbol) return Intern(base);
+  int& next = fresh_counters_[std::string(base)];
+  for (int i = std::max(next, 1);; ++i) {
+    std::string candidate = StrCat(base, "$", i);
+    if (Lookup(candidate) == kInvalidSymbol) {
+      next = i + 1;
+      return Intern(candidate);
+    }
+  }
+}
+
+}  // namespace hornsafe

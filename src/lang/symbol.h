@@ -1,0 +1,57 @@
+#ifndef HORNSAFE_LANG_SYMBOL_H_
+#define HORNSAFE_LANG_SYMBOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hornsafe {
+
+/// Dense identifier of an interned name (predicate, variable, atom or
+/// function symbol). Ids are indices into the owning `SymbolTable`.
+using SymbolId = uint32_t;
+
+/// Sentinel for "no symbol".
+inline constexpr SymbolId kInvalidSymbol = static_cast<SymbolId>(-1);
+
+/// Interns strings to dense `SymbolId`s.
+///
+/// All names in a `Program` (predicates, atoms, function symbols,
+/// variables) share one table, so equal names always map to equal ids and
+/// comparisons downstream are integer comparisons.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = default;
+  SymbolTable& operator=(const SymbolTable&) = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  SymbolId Intern(std::string_view name);
+
+  /// Returns the id of `name` or `kInvalidSymbol` if never interned.
+  SymbolId Lookup(std::string_view name) const;
+
+  /// The string spelled by `id`. `id` must be valid for this table.
+  const std::string& Name(SymbolId id) const { return names_[id]; }
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+  /// Interns a name guaranteed not to collide with any existing symbol by
+  /// appending a numeric suffix when needed ("base", "base$1", "base$2"...).
+  /// Used by program transformations that introduce fresh predicates.
+  SymbolId InternFresh(std::string_view base);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, SymbolId> index_;
+  /// Next suffix to try per InternFresh base, so generating n fresh
+  /// names costs O(n) instead of O(n²).
+  std::unordered_map<std::string, int> fresh_counters_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_SYMBOL_H_

@@ -1,0 +1,122 @@
+#include "lang/term.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+size_t TermPool::KeyHash::operator()(const Key& k) const {
+  size_t seed = static_cast<size_t>(k.kind);
+  HashCombine(seed, std::hash<uint64_t>{}(k.symbol));
+  HashCombine(seed, std::hash<int64_t>{}(k.int_value));
+  for (TermId a : k.args) HashCombine(seed, std::hash<uint64_t>{}(a));
+  return seed;
+}
+
+TermId TermPool::Intern(Key key) {
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(TermData{key.kind, key.symbol, key.int_value, key.args});
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId TermPool::MakeVariable(SymbolId name) {
+  return Intern(Key{TermKind::kVariable, name, 0, {}});
+}
+
+TermId TermPool::MakeAtom(SymbolId name) {
+  return Intern(Key{TermKind::kAtom, name, 0, {}});
+}
+
+TermId TermPool::MakeInt(int64_t value) {
+  return Intern(Key{TermKind::kInt, kInvalidSymbol, value, {}});
+}
+
+TermId TermPool::MakeFunction(SymbolId symbol, std::vector<TermId> args) {
+  return Intern(Key{TermKind::kFunction, symbol, 0, std::move(args)});
+}
+
+bool TermPool::IsGround(TermId id) const {
+  const TermData& t = Get(id);
+  switch (t.kind) {
+    case TermKind::kVariable:
+      return false;
+    case TermKind::kAtom:
+    case TermKind::kInt:
+      return true;
+    case TermKind::kFunction:
+      return std::all_of(t.args.begin(), t.args.end(),
+                         [this](TermId a) { return IsGround(a); });
+  }
+  return true;
+}
+
+void TermPool::CollectVariables(TermId id, std::vector<TermId>* out) const {
+  const TermData& t = Get(id);
+  switch (t.kind) {
+    case TermKind::kVariable:
+      out->push_back(id);
+      return;
+    case TermKind::kAtom:
+    case TermKind::kInt:
+      return;
+    case TermKind::kFunction:
+      for (TermId a : t.args) CollectVariables(a, out);
+      return;
+  }
+}
+
+int TermPool::Depth(TermId id) const {
+  const TermData& t = Get(id);
+  if (t.kind != TermKind::kFunction) return 1;
+  int d = 0;
+  for (TermId a : t.args) d = std::max(d, Depth(a));
+  return d + 1;
+}
+
+std::string TermPool::ToString(TermId id, const SymbolTable& symbols) const {
+  const TermData& t = Get(id);
+  switch (t.kind) {
+    case TermKind::kVariable:
+    case TermKind::kAtom:
+      return symbols.Name(t.symbol);
+    case TermKind::kInt:
+      return std::to_string(t.int_value);
+    case TermKind::kFunction:
+      break;
+  }
+  // Cons chains are re-sugared into list notation.
+  if (symbols.Name(t.symbol) == kConsName && t.args.size() == 2) {
+    std::string out = "[";
+    out += ToString(t.args[0], symbols);
+    TermId tail = t.args[1];
+    while (true) {
+      const TermData& td = Get(tail);
+      if (td.kind == TermKind::kAtom && symbols.Name(td.symbol) == kNilName) {
+        out += "]";
+        return out;
+      }
+      if (td.kind == TermKind::kFunction &&
+          symbols.Name(td.symbol) == kConsName && td.args.size() == 2) {
+        out += ",";
+        out += ToString(td.args[0], symbols);
+        tail = td.args[1];
+        continue;
+      }
+      out += "|";
+      out += ToString(tail, symbols);
+      out += "]";
+      return out;
+    }
+  }
+  std::string out = symbols.Name(t.symbol);
+  out += "(";
+  out += JoinMapped(t.args, ",", [&](TermId a) { return ToString(a, symbols); });
+  out += ")";
+  return out;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,116 @@
+#ifndef HORNSAFE_LANG_TERM_H_
+#define HORNSAFE_LANG_TERM_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/symbol.h"
+
+namespace hornsafe {
+
+/// Dense identifier of a hash-consed term inside a `TermPool`.
+///
+/// Structural equality of terms is id equality: the pool never stores two
+/// structurally identical terms under different ids.
+using TermId = uint32_t;
+
+/// Sentinel for "no term".
+inline constexpr TermId kInvalidTerm = static_cast<TermId>(-1);
+
+/// The four syntactic categories of terms in a Horn clause (paper,
+/// Section 1: "A term is a constant, a variable, or an m-ary function
+/// symbol followed by m terms"; constants split into atoms and integers).
+enum class TermKind : uint8_t {
+  kVariable,
+  kAtom,
+  kInt,
+  kFunction,
+};
+
+/// Immutable payload of one term node.
+struct TermData {
+  TermKind kind;
+  /// Variable name, atom name, or function symbol; unused for kInt.
+  SymbolId symbol = kInvalidSymbol;
+  /// Integer payload; only meaningful for kInt.
+  int64_t int_value = 0;
+  /// Sub-terms; only non-empty for kFunction.
+  std::vector<TermId> args;
+};
+
+/// Arena of hash-consed terms.
+///
+/// Terms are immutable once created; `MakeX` methods return the existing
+/// id when the same structure was interned before, so `TermId` equality is
+/// structural equality and sub-term sharing is maximal.
+class TermPool {
+ public:
+  /// Name of the list constructor function symbol (Prolog's '.'/2); the
+  /// parser desugars `[H|T]` into it and the printer re-sugars it.
+  static constexpr const char* kConsName = ".";
+  /// Name of the empty-list atom.
+  static constexpr const char* kNilName = "[]";
+
+  TermPool() = default;
+  TermPool(const TermPool&) = default;
+  TermPool& operator=(const TermPool&) = default;
+
+  TermId MakeVariable(SymbolId name);
+  TermId MakeAtom(SymbolId name);
+  TermId MakeInt(int64_t value);
+  TermId MakeFunction(SymbolId symbol, std::vector<TermId> args);
+
+  const TermData& Get(TermId id) const { return nodes_[id]; }
+  size_t size() const { return nodes_.size(); }
+
+  bool IsVariable(TermId id) const {
+    return Get(id).kind == TermKind::kVariable;
+  }
+  bool IsConstant(TermId id) const {
+    TermKind k = Get(id).kind;
+    return k == TermKind::kAtom || k == TermKind::kInt;
+  }
+  bool IsFunction(TermId id) const {
+    return Get(id).kind == TermKind::kFunction;
+  }
+
+  /// True iff no variable occurs in `id`.
+  bool IsGround(TermId id) const;
+
+  /// Appends every variable occurring in `id` to `*out`, left-to-right,
+  /// without de-duplication.
+  void CollectVariables(TermId id, std::vector<TermId>* out) const;
+
+  /// Maximum nesting depth: constants/variables are depth 1.
+  int Depth(TermId id) const;
+
+  /// Renders `id` using names from `symbols`. Cons chains print in list
+  /// sugar: `[1,2|T]`.
+  std::string ToString(TermId id, const SymbolTable& symbols) const;
+
+ private:
+  struct Key {
+    TermKind kind;
+    SymbolId symbol;
+    int64_t int_value;
+    std::vector<TermId> args;
+    bool operator==(const Key& o) const {
+      return kind == o.kind && symbol == o.symbol &&
+             int_value == o.int_value && args == o.args;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+
+  TermId Intern(Key key);
+
+  std::vector<TermData> nodes_;
+  std::unordered_map<Key, TermId, KeyHash> index_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_TERM_H_

@@ -1,0 +1,126 @@
+#include "lang/unify.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// Follows variable bindings until reaching an unbound variable or a
+/// non-variable term.
+TermId Walk(const TermPool& pool, const Substitution& subst, TermId t) {
+  while (pool.IsVariable(t)) {
+    auto it = subst.find(t);
+    if (it == subst.end()) return t;
+    t = it->second;
+  }
+  return t;
+}
+
+/// True if variable `var` occurs in `t` (after walking bindings).
+bool Occurs(const TermPool& pool, const Substitution& subst, TermId var,
+            TermId t) {
+  t = Walk(pool, subst, t);
+  if (t == var) return true;
+  const TermData& d = pool.Get(t);
+  if (d.kind != TermKind::kFunction) return false;
+  for (TermId a : d.args) {
+    if (Occurs(pool, subst, var, a)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TermId ApplySubstitution(TermPool& pool, const Substitution& subst,
+                         TermId term) {
+  TermId t = Walk(pool, subst, term);
+  const TermData& d = pool.Get(t);
+  if (d.kind != TermKind::kFunction) return t;
+  std::vector<TermId> args;
+  args.reserve(d.args.size());
+  bool changed = false;
+  for (TermId a : d.args) {
+    TermId na = ApplySubstitution(pool, subst, a);
+    changed |= (na != a);
+    args.push_back(na);
+  }
+  if (!changed) return t;
+  // Get() references may be invalidated by MakeFunction; copy symbol first.
+  SymbolId symbol = d.symbol;
+  return pool.MakeFunction(symbol, std::move(args));
+}
+
+bool Unify(TermPool& pool, TermId a, TermId b, Substitution* subst) {
+  a = Walk(pool, *subst, a);
+  b = Walk(pool, *subst, b);
+  if (a == b) return true;
+  if (pool.IsVariable(a)) {
+    if (Occurs(pool, *subst, a, b)) return false;
+    (*subst)[a] = b;
+    return true;
+  }
+  if (pool.IsVariable(b)) {
+    if (Occurs(pool, *subst, b, a)) return false;
+    (*subst)[b] = a;
+    return true;
+  }
+  const TermData& da = pool.Get(a);
+  const TermData& db = pool.Get(b);
+  if (da.kind != db.kind) return false;
+  switch (da.kind) {
+    case TermKind::kAtom:
+      return da.symbol == db.symbol;
+    case TermKind::kInt:
+      return da.int_value == db.int_value;
+    case TermKind::kFunction: {
+      if (da.symbol != db.symbol || da.args.size() != db.args.size()) {
+        return false;
+      }
+      // Copy arg vectors: recursive Unify may grow the pool and invalidate
+      // the TermData references.
+      std::vector<TermId> aa = da.args;
+      std::vector<TermId> ba = db.args;
+      for (size_t i = 0; i < aa.size(); ++i) {
+        if (!Unify(pool, aa[i], ba[i], subst)) return false;
+      }
+      return true;
+    }
+    case TermKind::kVariable:
+      break;  // handled above
+  }
+  return false;
+}
+
+bool MatchGround(TermPool& pool, TermId pattern, TermId ground,
+                 Substitution* subst) {
+  pattern = Walk(pool, *subst, pattern);
+  if (pool.IsVariable(pattern)) {
+    (*subst)[pattern] = ground;
+    return true;
+  }
+  if (pattern == ground) return true;
+  const TermData& dp = pool.Get(pattern);
+  const TermData& dg = pool.Get(ground);
+  if (dp.kind != dg.kind) return false;
+  switch (dp.kind) {
+    case TermKind::kAtom:
+      return dp.symbol == dg.symbol;
+    case TermKind::kInt:
+      return dp.int_value == dg.int_value;
+    case TermKind::kFunction: {
+      if (dp.symbol != dg.symbol || dp.args.size() != dg.args.size()) {
+        return false;
+      }
+      std::vector<TermId> pa = dp.args;
+      std::vector<TermId> ga = dg.args;
+      for (size_t i = 0; i < pa.size(); ++i) {
+        if (!MatchGround(pool, pa[i], ga[i], subst)) return false;
+      }
+      return true;
+    }
+    case TermKind::kVariable:
+      break;
+  }
+  return false;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,33 @@
+#ifndef HORNSAFE_LANG_UNIFY_H_
+#define HORNSAFE_LANG_UNIFY_H_
+
+#include <unordered_map>
+
+#include "lang/term.h"
+
+namespace hornsafe {
+
+/// A substitution: a finite map from variables (terms of kind kVariable)
+/// to terms. Bindings are not required to be idempotent; `Apply` follows
+/// chains.
+using Substitution = std::unordered_map<TermId, TermId>;
+
+/// Applies `subst` to `term`, replacing bound variables recursively.
+/// Unbound variables are left in place.
+TermId ApplySubstitution(TermPool& pool, const Substitution& subst,
+                         TermId term);
+
+/// Attempts to unify `a` and `b` under the bindings already present in
+/// `*subst`, extending `*subst` on success. Performs the occurs check, so
+/// unification never creates cyclic terms. On failure `*subst` may contain
+/// partial bindings; callers should discard it.
+bool Unify(TermPool& pool, TermId a, TermId b, Substitution* subst);
+
+/// Matches `pattern` against the ground term `ground` (one-way
+/// unification): only variables of `pattern` may be bound.
+bool MatchGround(TermPool& pool, TermId pattern, TermId ground,
+                 Substitution* subst);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_UNIFY_H_

@@ -1,0 +1,211 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kAtom: return "atom";
+    case TokenKind::kVariable: return "variable";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kDirective: return "directive";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kBar: return "'|'";
+    case TokenKind::kPeriod: return "'.'";
+    case TokenKind::kImplies: return "':-'";
+    case TokenKind::kQuery: return "'?-'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "unknown token";
+}
+
+namespace {
+
+class LexerImpl {
+ public:
+  explicit LexerImpl(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      if (AtEnd()) {
+        out.push_back(Make(TokenKind::kEof));
+        return out;
+      }
+      HORNSAFE_ASSIGN_OR_RETURN(Token tok, Next());
+      out.push_back(std::move(tok));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Make(TokenKind kind, std::string text = "") const {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line_;
+    t.column = column_;
+    return t;
+  }
+
+  Status Error(std::string_view message) const {
+    return Status::ParseError(
+        StrCat("line ", line_, ":", column_, ": ", message));
+  }
+
+  static bool IsIdentStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Result<Token> Next() {
+    char c = Peek();
+    // Punctuation and operators.
+    switch (c) {
+      case '(': Advance(); return Make(TokenKind::kLParen);
+      case ')': Advance(); return Make(TokenKind::kRParen);
+      case '[': Advance(); return Make(TokenKind::kLBracket);
+      case ']': Advance(); return Make(TokenKind::kRBracket);
+      case ',': Advance(); return Make(TokenKind::kComma);
+      case '|': Advance(); return Make(TokenKind::kBar);
+      case '>': Advance(); return Make(TokenKind::kGreater);
+      case '<': Advance(); return Make(TokenKind::kLess);
+      case '/': Advance(); return Make(TokenKind::kSlash);
+      default: break;
+    }
+    if (c == ':') {
+      Advance();
+      if (Peek() == '-') {
+        Advance();
+        return Make(TokenKind::kImplies);
+      }
+      return Make(TokenKind::kColon);
+    }
+    if (c == '?') {
+      Advance();
+      if (Peek() == '-') {
+        Advance();
+        return Make(TokenKind::kQuery);
+      }
+      return Error("expected '?-'");
+    }
+    if (c == '.') {
+      // ".name" introduces a directive; a bare '.' terminates a clause.
+      if (IsIdentStart(Peek(1))) {
+        Advance();  // consume '.'
+        std::string name;
+        while (!AtEnd() && IsIdentChar(Peek())) name += Advance();
+        return Make(TokenKind::kDirective, std::move(name));
+      }
+      Advance();
+      return Make(TokenKind::kPeriod);
+    }
+    if (c == '-') {
+      if (Peek(1) == '>') {
+        Advance();
+        Advance();
+        return Make(TokenKind::kArrow);
+      }
+      if (std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+        return LexInt();
+      }
+      return Error("stray '-'");
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexInt();
+    if (c == '\'') return LexQuotedAtom();
+    if (IsIdentStart(c)) {
+      std::string name;
+      while (!AtEnd() && IsIdentChar(Peek())) name += Advance();
+      bool is_var = std::isupper(static_cast<unsigned char>(name[0])) ||
+                    name[0] == '_';
+      return Make(is_var ? TokenKind::kVariable : TokenKind::kAtom,
+                  std::move(name));
+    }
+    return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+  }
+
+  Result<Token> LexInt() {
+    std::string digits;
+    if (Peek() == '-') digits += Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits += Advance();
+    }
+    Token t = Make(TokenKind::kInt, digits);
+    errno = 0;
+    t.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+    if (errno != 0) return Error(StrCat("integer out of range: ", digits));
+    return t;
+  }
+
+  Result<Token> LexQuotedAtom() {
+    Advance();  // opening quote
+    std::string contents;
+    while (true) {
+      if (AtEnd()) return Error("unterminated quoted atom");
+      char c = Advance();
+      if (c == '\'') {
+        if (Peek() == '\'') {  // '' escapes a quote
+          contents += Advance();
+          continue;
+        }
+        return Make(TokenKind::kAtom, std::move(contents));
+      }
+      contents += c;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(std::string_view text) {
+  return LexerImpl(text).Run();
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,55 @@
+#ifndef HORNSAFE_PARSER_LEXER_H_
+#define HORNSAFE_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Token categories of the hornsafe surface syntax.
+enum class TokenKind : uint8_t {
+  kAtom,       // lowercase identifier or 'quoted atom'
+  kVariable,   // Uppercase identifier or _
+  kInt,        // decimal integer, optionally negative
+  kDirective,  // ".name" at clause start, e.g. ".fd"
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kComma,      // ,
+  kBar,        // |
+  kPeriod,     // clause-terminating .
+  kImplies,    // :-
+  kQuery,      // ?-
+  kArrow,      // ->
+  kColon,      // :
+  kGreater,    // >
+  kLess,       // <
+  kSlash,      // /
+  kEof,
+};
+
+/// Printable name of a token kind, for error messages.
+const char* TokenKindName(TokenKind kind);
+
+/// One lexed token with its source position (1-based line/column).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;      // identifier spelling or quoted-atom contents
+  int64_t int_value = 0; // for kInt
+  int line = 0;
+  int column = 0;
+};
+
+/// Splits `text` into tokens. `%` starts a comment running to end of line.
+/// Returns a ParseError status (with line/column) on malformed input such
+/// as an unterminated quoted atom or a stray character.
+Result<std::vector<Token>> Lex(std::string_view text);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_PARSER_LEXER_H_

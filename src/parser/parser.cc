@@ -1,0 +1,356 @@
+#include "parser/parser.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "parser/lexer.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+class ParserImpl {
+ public:
+  ParserImpl(std::vector<Token> tokens, Program* program)
+      : tokens_(std::move(tokens)), program_(program) {}
+
+  Status ParseAll() {
+    while (!Check(TokenKind::kEof)) {
+      HORNSAFE_RETURN_IF_ERROR(ParseItem());
+    }
+    // A ground bodiless clause parsed before a rule for the same
+    // predicate was stored as an EDB fact; once the predicate turns out
+    // to be derived, re-file such clauses as bodiless rules so that the
+    // EDB/IDB partition stays disjoint (paper, Section 1).
+    std::vector<Literal> facts = program_->TakeFacts();
+    for (Literal& f : facts) {
+      if (program_->IsDerived(f.pred)) {
+        HORNSAFE_RETURN_IF_ERROR(
+            program_->AddRule(Rule{std::move(f), {}}));
+      } else {
+        HORNSAFE_RETURN_IF_ERROR(program_->AddFact(std::move(f)));
+      }
+    }
+    return program_->Validate();
+  }
+
+  Result<Literal> ParseSingleLiteral() {
+    HORNSAFE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+    if (!Check(TokenKind::kEof) && !Check(TokenKind::kPeriod)) {
+      return Error("trailing tokens after literal");
+    }
+    return lit;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind) {
+    if (!Check(kind)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Status Error(std::string_view message) const {
+    const Token& t = Peek();
+    return Status::ParseError(
+        StrCat("line ", t.line, ":", t.column, ": ", message, " (found ",
+               TokenKindName(t.kind),
+               t.text.empty() ? "" : StrCat(" '", t.text, "'"), ")"));
+  }
+
+  Status Expect(TokenKind kind, std::string_view what) {
+    if (!Match(kind)) {
+      return Error(StrCat("expected ", what));
+    }
+    return Status::Ok();
+  }
+
+  Status ParseItem() {
+    if (Check(TokenKind::kDirective)) return ParseDirective();
+    if (Match(TokenKind::kQuery)) return ParseQuery();
+    return ParseClause();
+  }
+
+  // --- Directives -------------------------------------------------------
+
+  Status ParseDirective() {
+    std::string name = Advance().text;
+    if (name == "infinite" || name == "finite") {
+      return ParsePredicateDecl(name == "infinite");
+    }
+    if (name == "fd") return ParseFdDecl();
+    if (name == "mono") return ParseMonoDecl();
+    return Error(StrCat("unknown directive '.", name, "'"));
+  }
+
+  Status ParsePredicateDecl(bool infinite) {
+    if (!Check(TokenKind::kAtom)) return Error("expected predicate name");
+    std::string pred_name = Advance().text;
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kSlash, "'/'"));
+    if (!Check(TokenKind::kInt)) return Error("expected arity");
+    int64_t arity = Advance().int_value;
+    if (arity < 0 || arity > AttrSet::kMaxAttrs) {
+      return Error(StrCat("arity out of range: ", arity));
+    }
+    PredicateId pred = program_->InternPredicate(
+        pred_name, static_cast<uint32_t>(arity));
+    if (infinite) {
+      HORNSAFE_RETURN_IF_ERROR(program_->DeclareInfinite(pred));
+    }
+    return Expect(TokenKind::kPeriod, "'.' after declaration");
+  }
+
+  /// `.fd pred: 1 2 -> 3.` — attribute positions are 1-based in the
+  /// surface syntax, matching the paper's convention.
+  Status ParseFdDecl() {
+    HORNSAFE_ASSIGN_OR_RETURN(PredicateId pred, ParseConstraintHead());
+    HORNSAFE_ASSIGN_OR_RETURN(AttrSet lhs, ParseAttrList(pred));
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
+    HORNSAFE_ASSIGN_OR_RETURN(AttrSet rhs, ParseAttrList(pred));
+    HORNSAFE_RETURN_IF_ERROR(
+        program_->AddFiniteDependency(FiniteDependency{pred, lhs, rhs}));
+    return Expect(TokenKind::kPeriod, "'.' after finiteness dependency");
+  }
+
+  /// `.mono pred: i > j.` | `.mono pred: i > const(c).` |
+  /// `.mono pred: i < const(c).`
+  Status ParseMonoDecl() {
+    HORNSAFE_ASSIGN_OR_RETURN(PredicateId pred, ParseConstraintHead());
+    HORNSAFE_ASSIGN_OR_RETURN(uint32_t lhs, ParseAttrIndex(pred));
+    bool greater;
+    if (Match(TokenKind::kGreater)) {
+      greater = true;
+    } else if (Match(TokenKind::kLess)) {
+      greater = false;
+    } else {
+      return Error("expected '>' or '<'");
+    }
+    MonotonicityConstraint mc;
+    mc.pred = pred;
+    mc.lhs_attr = lhs;
+    if (Check(TokenKind::kAtom) && Peek().text == "const") {
+      Advance();
+      HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+      if (!Check(TokenKind::kInt)) return Error("expected integer bound");
+      mc.bound = Advance().int_value;
+      HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      mc.kind = greater ? MonoKind::kAttrGreaterConst : MonoKind::kAttrLessConst;
+    } else {
+      HORNSAFE_ASSIGN_OR_RETURN(uint32_t rhs, ParseAttrIndex(pred));
+      if (!greater) {
+        // i < j is recorded as j > i.
+        std::swap(lhs, rhs);
+        mc.lhs_attr = lhs;
+      }
+      mc.kind = MonoKind::kAttrGreaterAttr;
+      mc.rhs_attr = rhs;
+    }
+    HORNSAFE_RETURN_IF_ERROR(program_->AddMonotonicity(mc));
+    return Expect(TokenKind::kPeriod, "'.' after monotonicity constraint");
+  }
+
+  /// Parses `pred :` and returns the predicate, which must already be
+  /// known (constraints cannot invent predicates — arity would be unknown).
+  Result<PredicateId> ParseConstraintHead() {
+    if (!Check(TokenKind::kAtom)) return Error("expected predicate name");
+    const Token& tok = Advance();
+    // The predicate must be unambiguous: look for any arity.
+    PredicateId found = kInvalidPredicate;
+    for (PredicateId p = 0; p < program_->num_predicates(); ++p) {
+      if (program_->PredicateName(p) == tok.text) {
+        if (found != kInvalidPredicate) {
+          return Status::ParseError(
+              StrCat("line ", tok.line, ":", tok.column, ": predicate '",
+                     tok.text, "' is ambiguous (multiple arities); declare "
+                     "constraints after the predicate's first use"));
+        }
+        found = p;
+      }
+    }
+    if (found == kInvalidPredicate) {
+      return Status::ParseError(
+          StrCat("line ", tok.line, ":", tok.column, ": constraint over "
+                 "unknown predicate '", tok.text,
+                 "'; declare it first (e.g. '.infinite ", tok.text,
+                 "/2.')"));
+    }
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kColon, "':'"));
+    return found;
+  }
+
+  Result<uint32_t> ParseAttrIndex(PredicateId pred) {
+    if (!Check(TokenKind::kInt)) return Error("expected attribute position");
+    const Token& tok = Advance();
+    int64_t v = tok.int_value;
+    uint32_t arity = program_->predicate(pred).arity;
+    if (v < 1 || v > arity) {
+      return Status::ParseError(
+          StrCat("line ", tok.line, ":", tok.column, ": attribute position ",
+                 v, " out of range for '", program_->PredicateName(pred),
+                 "/", arity, "'"));
+    }
+    return static_cast<uint32_t>(v - 1);
+  }
+
+  Result<AttrSet> ParseAttrList(PredicateId pred) {
+    AttrSet set;
+    // An empty left-hand side is legal ("{} -> Y": Y is finite outright),
+    // signalled by the keyword 'none'.
+    if (Check(TokenKind::kAtom) && Peek().text == "none") {
+      Advance();
+      return set;
+    }
+    if (!Check(TokenKind::kInt)) return Error("expected attribute position");
+    while (Check(TokenKind::kInt)) {
+      HORNSAFE_ASSIGN_OR_RETURN(uint32_t a, ParseAttrIndex(pred));
+      set.Add(a);
+    }
+    return set;
+  }
+
+  // --- Clauses and queries ----------------------------------------------
+
+  Status ParseClause() {
+    HORNSAFE_ASSIGN_OR_RETURN(Literal head, ParseLiteral());
+    std::vector<Literal> body;
+    if (Match(TokenKind::kImplies)) {
+      HORNSAFE_ASSIGN_OR_RETURN(body, ParseLiteralList());
+    }
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after clause"));
+    if (body.empty() && IsGroundLiteral(head) &&
+        !program_->IsDerived(head.pred)) {
+      return program_->AddFact(std::move(head));
+    }
+    return program_->AddRule(Rule{std::move(head), std::move(body)});
+  }
+
+  Status ParseQuery() {
+    HORNSAFE_ASSIGN_OR_RETURN(std::vector<Literal> lits, ParseLiteralList());
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after query"));
+    if (lits.size() == 1) {
+      return program_->AddQuery(std::move(lits[0]));
+    }
+    // Conjunctive query: introduce a fresh derived predicate over the
+    // conjunction's distinct variables (Example 6 construction).
+    std::vector<TermId> vars;
+    for (const Literal& l : lits) {
+      for (TermId v : LiteralVariables(program_->terms(), l)) {
+        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+          vars.push_back(v);
+        }
+      }
+    }
+    SymbolId qname = program_->symbols().InternFresh("query");
+    PredicateId qpred = program_->InternPredicate(
+        qname, static_cast<uint32_t>(vars.size()));
+    Literal qhead{qpred, vars};
+    HORNSAFE_RETURN_IF_ERROR(program_->AddRule(Rule{qhead, std::move(lits)}));
+    return program_->AddQuery(std::move(qhead));
+  }
+
+  Result<std::vector<Literal>> ParseLiteralList() {
+    std::vector<Literal> out;
+    do {
+      HORNSAFE_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+      out.push_back(std::move(lit));
+    } while (Match(TokenKind::kComma));
+    return out;
+  }
+
+  Result<Literal> ParseLiteral() {
+    if (!Check(TokenKind::kAtom)) return Error("expected predicate name");
+    std::string name = Advance().text;
+    std::vector<TermId> args;
+    if (Match(TokenKind::kLParen)) {
+      do {
+        HORNSAFE_ASSIGN_OR_RETURN(TermId t, ParseTerm());
+        args.push_back(t);
+      } while (Match(TokenKind::kComma));
+      HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    }
+    return program_->MakeLiteral(name, std::move(args));
+  }
+
+  Result<TermId> ParseTerm() {
+    if (Check(TokenKind::kVariable)) {
+      std::string name = Advance().text;
+      if (name == "_") {
+        // Each anonymous variable is distinct.
+        name = StrCat("_G", fresh_var_counter_++);
+      }
+      return program_->Var(name);
+    }
+    if (Check(TokenKind::kInt)) {
+      return program_->Int(Advance().int_value);
+    }
+    if (Check(TokenKind::kLBracket)) return ParseList();
+    if (Check(TokenKind::kAtom)) {
+      std::string name = Advance().text;
+      if (!Match(TokenKind::kLParen)) return program_->Atom(name);
+      std::vector<TermId> args;
+      do {
+        HORNSAFE_ASSIGN_OR_RETURN(TermId t, ParseTerm());
+        args.push_back(t);
+      } while (Match(TokenKind::kComma));
+      HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return program_->Func(name, std::move(args));
+    }
+    return Error("expected term");
+  }
+
+  Result<TermId> ParseList() {
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kLBracket, "'['"));
+    if (Match(TokenKind::kRBracket)) {
+      return program_->Atom(TermPool::kNilName);
+    }
+    std::vector<TermId> elements;
+    do {
+      HORNSAFE_ASSIGN_OR_RETURN(TermId t, ParseTerm());
+      elements.push_back(t);
+    } while (Match(TokenKind::kComma));
+    TermId tail;
+    if (Match(TokenKind::kBar)) {
+      HORNSAFE_ASSIGN_OR_RETURN(tail, ParseTerm());
+    } else {
+      tail = program_->Atom(TermPool::kNilName);
+    }
+    HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kRBracket, "']'"));
+    for (auto it = elements.rbegin(); it != elements.rend(); ++it) {
+      tail = program_->Func(TermPool::kConsName, {*it, tail});
+    }
+    return tail;
+  }
+
+  bool IsGroundLiteral(const Literal& lit) const {
+    for (TermId a : lit.args) {
+      if (!program_->terms().IsGround(a)) return false;
+    }
+    return true;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Program* program_;
+  int fresh_var_counter_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view text) {
+  HORNSAFE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Program program;
+  ParserImpl parser(std::move(tokens), &program);
+  HORNSAFE_RETURN_IF_ERROR(parser.ParseAll());
+  return program;
+}
+
+Result<Literal> ParseLiteralInto(std::string_view text, Program* program) {
+  HORNSAFE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  ParserImpl parser(std::move(tokens), program);
+  return parser.ParseSingleLiteral();
+}
+
+}  // namespace hornsafe

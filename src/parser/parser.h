@@ -1,0 +1,42 @@
+#ifndef HORNSAFE_PARSER_PARSER_H_
+#define HORNSAFE_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Parses a complete hornsafe program.
+///
+/// Surface syntax (see README for the full grammar):
+///
+/// ```
+/// % comment to end of line
+/// .infinite successor/2.              % declare an infinite EDB predicate
+/// .fd successor: 1 -> 2.              % finiteness dependency (1-based)
+/// .fd f: 2 3 -> 1.
+/// .mono f: 2 > 1.                     % attr 2 > attr 1 in every tuple
+/// .mono f: 1 > const(0).              % attr 1 bounded below by 0
+/// parent(sem, abel).                  % ground fact (finite EDB)
+/// ancestor(X,Y,1) :- parent(X,Y).     % rule (head predicate becomes IDB)
+/// concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+/// ?- ancestor(sem, Y, J).             % query
+/// ```
+///
+/// A bodiless clause whose head is ground is stored as an EDB fact;
+/// a bodiless clause containing variables becomes a rule with an empty
+/// body. Conjunctive queries `?- a(X), b(X).` are desugared into a fresh
+/// derived predicate over the conjunction's distinct variables, following
+/// the construction in Example 6 of the paper.
+Result<Program> ParseProgram(std::string_view text);
+
+/// Parses a single literal (e.g. "ancestor(sem, Y, 2)") in the context of
+/// `*program`, interning any new symbols/predicates. Intended for tests
+/// and interactive tools.
+Result<Literal> ParseLiteralInto(std::string_view text, Program* program);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_PARSER_PARSER_H_

@@ -1,0 +1,458 @@
+// The hornsafe command-line tool.
+//
+//   hornsafe check <file>       analyze every query in the program:
+//                               safety verdict per argument, finiteness
+//                               of intermediate results, termination
+//   hornsafe run <file>         analyze and evaluate every query
+//   hornsafe canonical <file>   print the canonical form (Algorithm 1)
+//   hornsafe andor <file>       print And-Or_H after pruning
+//   hornsafe adorned <file>     print the adorned program H*
+//   hornsafe matrix <file> <pred>/<arity>
+//                               per-adornment safety matrix
+//   hornsafe report <file>      full analysis report
+//   hornsafe dot <file>         Graphviz witness graph of the first
+//                               unsafe query argument
+//   hornsafe simplify <file>    print the program with dead and
+//                               query-irrelevant clauses removed
+//   hornsafe explain <file> <literal>
+//                               derivation trees for the literal's answers
+//   hornsafe repl <file>        interactive: analyze + evaluate queries
+//                               read from stdin
+//
+// Exit status: 0 on success, 1 on usage/parse errors, 2 when `check`
+// finds an unsafe or undecided query.
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "canonical/canonical.h"
+#include "andor/subset.h"
+#include "constraints/consistency.h"
+#include "core/analyzer.h"
+#include "core/finiteness.h"
+#include "core/report.h"
+#include "core/termination.h"
+#include "eval/bottomup.h"
+#include "eval/engine.h"
+#include "parser/parser.h"
+#include "transform/simplify.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: hornsafe <command> <program-file> [args]\n"
+               "  check <file>                 safety report for all queries\n"
+               "  run <file>                   analyze + evaluate all queries\n"
+               "  canonical <file>             print Algorithm 1 output\n"
+               "  andor <file>                 print pruned And-Or_H\n"
+               "  adorned <file>               print the adorned program H*\n"
+               "  matrix <file> <pred>/<arity> per-adornment safety matrix\n"
+               "  report <file>                full analysis report\n"
+               "  dot <file>                   Graphviz witness of the first "
+               "unsafe query argument\n"
+               "  simplify <file>              remove dead and irrelevant "
+               "clauses\n"
+               "  explain <file> <literal>     derivation trees for the "
+               "literal's answers\n"
+               "  repl <file>                  interactive query loop over "
+               "the program\n");
+  return 1;
+}
+
+Result<Program> Load(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  HORNSAFE_ASSIGN_OR_RETURN(Program program, ParseProgram(buffer.str()));
+  // Static analysis must see the constraints of any standard builtin
+  // the program references, or `check` would disagree with `run` (the
+  // engine registers them all). The registry itself is not needed here.
+  BuiltinRegistry referenced;
+  HORNSAFE_RETURN_IF_ERROR(
+      RegisterReferencedStandardBuiltins(&program, &referenced));
+  return program;
+}
+
+void PrintTuples(const Program& p, const std::vector<Tuple>& tuples) {
+  for (const Tuple& t : tuples) {
+    std::printf("    ");
+    if (t.empty()) {
+      std::printf("true\n");
+      continue;
+    }
+    for (size_t i = 0; i < t.size(); ++i) {
+      std::printf("%s%s", p.terms().ToString(t[i], p.symbols()).c_str(),
+                  i + 1 < t.size() ? ", " : "\n");
+    }
+  }
+}
+
+int CmdCheck(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  for (const ConsistencyWarning& w :
+       CheckConstraintConsistency(analyzer->canonical())) {
+    std::printf("warning: %s\n", w.message.c_str());
+  }
+  if (analyzer->canonical().queries().empty()) {
+    std::printf("no queries in %s (add '?- p(X).' lines)\n", path);
+    return 0;
+  }
+  bool all_safe = true;
+  std::vector<Literal> queries = analyzer->canonical().queries();
+  for (const Literal& q : queries) {
+    QueryAnalysis analysis = analyzer->AnalyzeQueryLiteral(q);
+    IntermediateFinitenessResult fin = CheckFiniteIntermediateResults(
+        analyzer->canonical(), analyzer->adorned(), analyzer->system(), q);
+    TerminationResult term = CheckTermination(*analyzer, q);
+    std::printf("?- %s.\n", analyzer->canonical().ToString(q).c_str());
+    std::printf("  safety:               %s\n",
+                SafetyName(analysis.overall));
+    std::printf("  finite intermediate:  %s\n", fin.exists ? "yes" : "no");
+    std::printf("  terminating eval:     %s\n", term.exists ? "yes" : "no");
+    for (const ArgumentVerdict& a : analysis.args) {
+      std::printf("  arg %u: %s\n", a.position + 1, SafetyName(a.safety));
+      if (a.safety != Safety::kSafe) {
+        // Indent the explanation block.
+        std::istringstream lines(a.explanation);
+        std::string line;
+        while (std::getline(lines, line)) {
+          std::printf("    %s\n", line.c_str());
+        }
+      }
+    }
+    if (analysis.overall != Safety::kSafe) all_safe = false;
+    std::printf("\n");
+  }
+  return all_safe ? 0 : 2;
+}
+
+int CmdRun(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Literal> queries = parsed->queries();
+  auto engine = Engine::Create(std::move(parsed).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  for (const Literal& q : queries) {
+    std::printf("?- %s.\n", engine->program().ToString(q).c_str());
+    auto r = engine->Query(q);
+    if (!r.ok()) {
+      std::printf("  %s\n\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("  %zu answer(s) [%s, %s]:\n", r->tuples.size(),
+                SafetyName(r->safety), r->strategy.c_str());
+    PrintTuples(engine->program(), r->tuples);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int CmdCanonical(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto canon = Canonicalize(*parsed);
+  if (!canon.ok()) {
+    std::fprintf(stderr, "%s\n", canon.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", canon->program.ToString().c_str());
+  return 0;
+}
+
+int CmdAndOr(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  const SafetyAnalyzer::Stats& s = analyzer->stats();
+  std::printf(
+      "%% canonical rules: %zu, adorned rules: %zu, nodes: %zu\n"
+      "%% propositional rules: %zu total, %zu pruned by Algorithm 3, "
+      "%zu by Algorithm 4, %zu live\n",
+      s.canonical_rules, s.adorned_rules, s.nodes, s.rules_total,
+      s.rules_pruned_emptiness, s.rules_pruned_reduction, s.rules_live);
+  std::printf("%s", analyzer->system().ToString(analyzer->canonical()).c_str());
+  return 0;
+}
+
+int CmdAdorned(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s",
+              analyzer->adorned().ToString(analyzer->canonical()).c_str());
+  return 0;
+}
+
+int CmdReport(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", GenerateReport(*analyzer).c_str());
+  return 0;
+}
+
+int CmdDot(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<Literal> queries = analyzer->canonical().queries();
+  for (const Literal& q : queries) {
+    QueryAnalysis analysis = analyzer->AnalyzeQueryLiteral(q);
+    for (const ArgumentVerdict& a : analysis.args) {
+      if (a.safety != Safety::kUnsafe) continue;
+      // Recompute to obtain the witness object.
+      NodeId root = analyzer->system().FindHeadArg(q.pred, 0, a.position);
+      SubsetResult res = CheckSubsetCondition(analyzer->system(), root, {});
+      if (res.witness) {
+        std::printf("%s", res.witness
+                              ->ToDot(analyzer->system(),
+                                      analyzer->canonical())
+                              .c_str());
+        return 0;
+      }
+    }
+  }
+  std::fprintf(stderr, "no unsafe query argument found in %s\n", path);
+  return 2;
+}
+
+int CmdSimplify(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = SimplifyProgram(&parsed.value());
+  if (!stats.ok()) {
+    std::fprintf(stderr, "%s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%% removed: %zu dead rules, %zu unreachable rules, "
+              "%zu unreachable facts\n",
+              stats->rules_removed_empty, stats->rules_removed_unreachable,
+              stats->facts_removed);
+  std::printf("%s", parsed->ToString().c_str());
+  return 0;
+}
+
+int CmdExplain(const char* path, const char* literal_text) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  Program program = std::move(parsed).value();
+  BuiltinRegistry registry;
+  if (Status st = RegisterStandardBuiltins(&program, &registry); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto lit = ParseLiteralInto(literal_text, &program);
+  if (!lit.ok()) {
+    std::fprintf(stderr, "%s\n", lit.status().ToString().c_str());
+    return 1;
+  }
+  BottomUpOptions opts;
+  opts.track_provenance = true;
+  BottomUpEvaluator eval(&program, &registry, opts);
+  if (Status st = eval.Run(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto answers = eval.Query(*lit);
+  if (!answers.ok()) {
+    std::fprintf(stderr, "%s\n", answers.status().ToString().c_str());
+    return 1;
+  }
+  if (answers->empty()) {
+    std::printf("no answers for %s\n", program.ToString(*lit).c_str());
+    return 0;
+  }
+  constexpr size_t kMaxExplained = 5;
+  for (size_t i = 0; i < answers->size() && i < kMaxExplained; ++i) {
+    auto why = eval.Explain(lit->pred, (*answers)[i]);
+    if (why.ok()) {
+      std::printf("%s\n", why->c_str());
+    }
+  }
+  if (answers->size() > kMaxExplained) {
+    std::printf("... and %zu more answer(s)\n",
+                answers->size() - kMaxExplained);
+  }
+  return 0;
+}
+
+int CmdRepl(const char* path) {
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = Engine::Create(std::move(parsed).value());
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("hornsafe repl — enter queries like 'path(1, X)'; "
+              "'quit' to exit.\n");
+  std::string line;
+  while (true) {
+    std::printf("?- ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Trim whitespace and an optional trailing period.
+    while (!line.empty() && std::isspace(static_cast<unsigned char>(
+                                line.back()))) {
+      line.pop_back();
+    }
+    size_t start = 0;
+    while (start < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[start]))) {
+      ++start;
+    }
+    line = line.substr(start);
+    if (!line.empty() && line.back() == '.') line.pop_back();
+    if (line.empty()) continue;
+    if (line == "quit" || line == "exit") break;
+    auto r = engine->Query(line);
+    if (!r.ok()) {
+      std::printf("%s\n", r.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%zu answer(s) [%s, %s]:\n", r->tuples.size(),
+                SafetyName(r->safety), r->strategy.c_str());
+    PrintTuples(engine->program(), r->tuples);
+  }
+  return 0;
+}
+
+int CmdMatrix(const char* path, const char* spec) {
+  const char* slash = std::strrchr(spec, '/');
+  if (slash == nullptr) {
+    std::fprintf(stderr, "matrix: expected <pred>/<arity>, got '%s'\n", spec);
+    return 1;
+  }
+  std::string name(spec, slash - spec);
+  int arity = std::atoi(slash + 1);
+  auto parsed = Load(path);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  if (!analyzer.ok()) {
+    std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
+    return 1;
+  }
+  PredicateId pred = analyzer->canonical().FindPredicate(
+      name, static_cast<uint32_t>(arity));
+  if (pred == kInvalidPredicate) {
+    std::fprintf(stderr, "matrix: unknown predicate %s/%d\n", name.c_str(),
+                 arity);
+    return 1;
+  }
+  std::printf("safety matrix for %s/%d (b = bound argument):\n",
+              name.c_str(), arity);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << arity); ++mask) {
+    QueryAnalysis q = analyzer->AnalyzePredicate(pred, mask);
+    std::string adornment;
+    for (int k = 0; k < arity; ++k) {
+      adornment += ((mask >> k) & 1) ? 'b' : 'f';
+    }
+    std::printf("  %s: %-9s [", adornment.c_str(),
+                SafetyName(q.overall));
+    for (const ArgumentVerdict& a : q.args) {
+      std::printf("%s%c", a.position ? " " : "",
+                  a.safety == Safety::kSafe     ? 's'
+                  : a.safety == Safety::kUnsafe ? 'U'
+                                                : '?');
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "check") == 0) return CmdCheck(argv[2]);
+  if (std::strcmp(cmd, "run") == 0) return CmdRun(argv[2]);
+  if (std::strcmp(cmd, "canonical") == 0) return CmdCanonical(argv[2]);
+  if (std::strcmp(cmd, "andor") == 0) return CmdAndOr(argv[2]);
+  if (std::strcmp(cmd, "adorned") == 0) return CmdAdorned(argv[2]);
+  if (std::strcmp(cmd, "report") == 0) return CmdReport(argv[2]);
+  if (std::strcmp(cmd, "dot") == 0) return CmdDot(argv[2]);
+  if (std::strcmp(cmd, "simplify") == 0) return CmdSimplify(argv[2]);
+  if (std::strcmp(cmd, "repl") == 0) return CmdRepl(argv[2]);
+  if (std::strcmp(cmd, "explain") == 0) {
+    if (argc < 4) return Usage();
+    return CmdExplain(argv[2], argv[3]);
+  }
+  if (std::strcmp(cmd, "matrix") == 0) {
+    if (argc < 4) return Usage();
+    return CmdMatrix(argv[2], argv[3]);
+  }
+  return Usage();
+}
+
+}  // namespace
+}  // namespace hornsafe
+
+int main(int argc, char** argv) { return hornsafe::Main(argc, argv); }

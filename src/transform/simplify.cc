@@ -1,0 +1,79 @@
+#include "transform/simplify.h"
+
+#include <vector>
+
+#include "andor/emptiness.h"
+
+namespace hornsafe {
+
+Result<SimplifyStats> SimplifyProgram(Program* program) {
+  SimplifyStats stats;
+
+  // --- Emptiness-based removal (iterated to fixpoint) --------------------
+  // Removing rules can make further predicates empty (a predicate whose
+  // only grounded rule depended on an empty one), so loop.
+  while (true) {
+    std::vector<bool> empty = EmptyPredicates(*program);
+    std::vector<Rule> rules = program->TakeRules();
+    size_t removed = 0;
+    for (Rule& r : rules) {
+      bool dead = empty[r.head.pred];
+      for (const Literal& b : r.body) {
+        dead |= empty[b.pred];
+      }
+      if (dead) {
+        ++removed;
+        continue;
+      }
+      HORNSAFE_RETURN_IF_ERROR(program->AddRule(std::move(r)));
+    }
+    stats.rules_removed_empty += removed;
+    if (removed == 0) break;
+  }
+
+  // --- Query-reachability removal ----------------------------------------
+  if (!program->queries().empty()) {
+    std::vector<bool> reachable(program->num_predicates(), false);
+    std::vector<PredicateId> worklist;
+    for (const Literal& q : program->queries()) {
+      if (!reachable[q.pred]) {
+        reachable[q.pred] = true;
+        worklist.push_back(q.pred);
+      }
+    }
+    while (!worklist.empty()) {
+      PredicateId p = worklist.back();
+      worklist.pop_back();
+      for (const Rule* r : program->RulesFor(p)) {
+        for (const Literal& b : r->body) {
+          if (!reachable[b.pred]) {
+            reachable[b.pred] = true;
+            worklist.push_back(b.pred);
+          }
+        }
+      }
+    }
+
+    std::vector<Rule> rules = program->TakeRules();
+    for (Rule& r : rules) {
+      if (!reachable[r.head.pred]) {
+        ++stats.rules_removed_unreachable;
+        continue;
+      }
+      HORNSAFE_RETURN_IF_ERROR(program->AddRule(std::move(r)));
+    }
+    std::vector<Literal> facts = program->TakeFacts();
+    for (Literal& f : facts) {
+      if (!reachable[f.pred]) {
+        ++stats.facts_removed;
+        continue;
+      }
+      HORNSAFE_RETURN_IF_ERROR(program->AddFact(std::move(f)));
+    }
+  }
+
+  HORNSAFE_RETURN_IF_ERROR(program->Validate());
+  return stats;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,42 @@
+#ifndef HORNSAFE_TRANSFORM_SIMPLIFY_H_
+#define HORNSAFE_TRANSFORM_SIMPLIFY_H_
+
+#include <cstddef>
+
+#include "lang/program.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Statistics from one SimplifyProgram run.
+struct SimplifyStats {
+  /// Rules removed because their head predicate or some body predicate
+  /// is provably empty for every EDB instance (Algorithm 3's T₀).
+  size_t rules_removed_empty = 0;
+  /// Rules removed because their head predicate is unreachable from the
+  /// program's queries.
+  size_t rules_removed_unreachable = 0;
+  /// Facts removed because their predicate is unreachable.
+  size_t facts_removed = 0;
+
+  size_t TotalRemoved() const {
+    return rules_removed_empty + rules_removed_unreachable + facts_removed;
+  }
+};
+
+/// Simplifies `*program` without changing any query's answers:
+///
+///  * rules that can never fire — those whose body mentions a predicate
+///    in T₀ (Lemma 7) — are removed, as are the (equally unfirable)
+///    rules *of* empty predicates, iterating to fixpoint;
+///  * when the program declares queries, rules and facts of predicates
+///    unreachable from the query predicates (through rule bodies) are
+///    removed. Programs without queries skip this step.
+///
+/// Integrity constraints and predicate declarations are kept even when
+/// their predicate loses all clauses (they carry schema information).
+Result<SimplifyStats> SimplifyProgram(Program* program);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_TRANSFORM_SIMPLIFY_H_

@@ -1,0 +1,41 @@
+#ifndef HORNSAFE_UTIL_RNG_H_
+#define HORNSAFE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace hornsafe {
+
+/// Small, fast, deterministic PRNG (SplitMix64).
+///
+/// Used by workload generators in tests and benchmarks so that every run
+/// of a property sweep or benchmark sees exactly the same inputs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability `num`/`den`.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_RNG_H_

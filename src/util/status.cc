@@ -1,0 +1,37 @@
+#include "util/status.h"
+
+namespace hornsafe {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kInvalidProgram:
+      return "InvalidProgram";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kBudgetExhausted:
+      return "BudgetExhausted";
+    case StatusCode::kUnsafeQuery:
+      return "UnsafeQuery";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "UnknownCode";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,164 @@
+#ifndef HORNSAFE_UTIL_STATUS_H_
+#define HORNSAFE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hornsafe {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across its public API (see
+/// DESIGN.md section 6); fallible operations return a `Status` or a
+/// `Result<T>` instead, following the Arrow/RocksDB idiom.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input program text (lexer/parser errors).
+  kParseError,
+  /// Structurally invalid program (e.g. arity mismatch, IDB fact,
+  /// FD over an unknown predicate or attribute out of range).
+  kInvalidProgram,
+  /// A requested entity (predicate, rule, query) does not exist.
+  kNotFound,
+  /// The operation is valid but unsupported by this build.
+  kUnsupported,
+  /// Evaluation exceeded its tuple/iteration budget.
+  kBudgetExhausted,
+  /// Evaluation refused because the query was not proved safe.
+  kUnsafeQuery,
+  /// Internal invariant violation; indicates a bug in hornsafe itself.
+  kInternal,
+};
+
+/// Human-readable name of a `StatusCode` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a context message.
+///
+/// `Status` is cheaply copyable and movable. The zero-argument constructor
+/// produces OK. Use the named constructors (`Status::ParseError(...)` etc.)
+/// to build errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with an explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status InvalidProgram(std::string m) {
+    return Status(StatusCode::kInvalidProgram, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status Unsupported(std::string m) {
+    return Status(StatusCode::kUnsupported, std::move(m));
+  }
+  static Status BudgetExhausted(std::string m) {
+    return Status(StatusCode::kBudgetExhausted, std::move(m));
+  }
+  static Status UnsafeQuery(std::string m) {
+    return Status(StatusCode::kUnsafeQuery, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Accessing `value()` on an error result aborts in debug builds; check
+/// `ok()` first. `Result` is movable; it is copyable iff `T` is.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: `return st;`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  /// Accessing the value of an error Result is a programming error;
+  /// fail loudly even in release builds rather than read an empty
+  /// optional.
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() called on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define HORNSAFE_RETURN_IF_ERROR(expr)           \
+  do {                                           \
+    ::hornsafe::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates `rexpr` (a Result<T>), propagating an error or binding the
+/// value to `lhs`.
+#define HORNSAFE_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  HORNSAFE_ASSIGN_OR_RETURN_IMPL_(                       \
+      HORNSAFE_CONCAT_(_result_tmp_, __LINE__), lhs, rexpr)
+
+#define HORNSAFE_CONCAT_INNER_(a, b) a##b
+#define HORNSAFE_CONCAT_(a, b) HORNSAFE_CONCAT_INNER_(a, b)
+#define HORNSAFE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_STATUS_H_

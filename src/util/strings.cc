@@ -1,0 +1,13 @@
+#include "util/strings.h"
+
+namespace hornsafe {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  return JoinMapped(parts, sep, [](const std::string& s) { return s; });
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace hornsafe

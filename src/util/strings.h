@@ -1,0 +1,49 @@
+#ifndef HORNSAFE_UTIL_STRINGS_H_
+#define HORNSAFE_UTIL_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hornsafe {
+
+/// Concatenates the string representations of all arguments.
+///
+/// Arguments may be anything streamable to `std::ostream` (numbers,
+/// strings, chars). Intended for building error and log messages.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  ((os << args), ...);
+  return os.str();
+}
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Joins the result of `fn(item)` for each item with `sep` in between.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out.append(sep);
+    first = false;
+    out += fn(item);
+  }
+  return out;
+}
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Combines a hash value with the hash of `v` (boost::hash_combine style).
+inline void HashCombine(std::size_t& seed, std::size_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_STRINGS_H_

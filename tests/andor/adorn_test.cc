@@ -1,0 +1,154 @@
+#include "andor/adorn.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Program Parse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(AdornmentTest, ToStringUsesBForBound) {
+  Adornment a;
+  a.arity = 3;
+  a.bound_mask = 0b101;
+  EXPECT_EQ(a.ToString(), "bfb");
+  EXPECT_FALSE(a.AllFree());
+  Adornment free;
+  free.arity = 2;
+  EXPECT_EQ(free.ToString(), "ff");
+  EXPECT_TRUE(free.AllFree());
+}
+
+TEST(AdornmentTest, ConsistentAdornmentsDistinctVars) {
+  Program p;
+  Literal lit = p.MakeLiteral("r", {p.Var("X"), p.Var("Y")});
+  std::vector<Adornment> as = ConsistentAdornments(p.terms(), lit);
+  EXPECT_EQ(as.size(), 4u);  // 2^2
+  EXPECT_TRUE(as[0].AllFree());
+}
+
+TEST(AdornmentTest, ConsistentAdornmentsRepeatedVar) {
+  Program p;
+  TermId x = p.Var("X");
+  Literal lit = p.MakeLiteral("r", {x, x, p.Var("Y")});
+  std::vector<Adornment> as = ConsistentAdornments(p.terms(), lit);
+  // Two groups {1,2} and {3}: 4 adornments, and positions 1,2 always
+  // agree.
+  ASSERT_EQ(as.size(), 4u);
+  for (const Adornment& a : as) {
+    EXPECT_EQ(a.IsBound(0), a.IsBound(1));
+  }
+}
+
+TEST(AdornTest, Example9ProducesEightAdornedRules) {
+  // Example 9 of the paper: two rules over a binary predicate give
+  // 2 * 2^2 = 8 adorned rules.
+  Program p = Parse(R"(
+    .infinite f/3.
+    r(X,Y) :- f(X,U,V), r(U,V), b(U,Y).
+    r(X,Y) :- b(X,Y).
+  )");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h->rules.size(), 8u);
+  PredicateId r = p.FindPredicate("r", 2);
+  // Each adornment has exactly two rules (one per source rule).
+  for (uint64_t mask = 0; mask < 4; ++mask) {
+    Adornment a{mask, 2};
+    EXPECT_EQ(h->RulesFor(r, a).size(), 2u) << "adornment " << a.ToString();
+  }
+}
+
+TEST(AdornTest, OccurrenceIdsAreGloballyUnique) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+    s(X) :- r(X), r(X).
+  )");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok());
+  std::vector<bool> seen;
+  for (const AdornedRule& ar : h->rules) {
+    for (const BodyOccurrence& occ : ar.body) {
+      if (occ.occurrence_id >= seen.size()) {
+        seen.resize(occ.occurrence_id + 1, false);
+      }
+      EXPECT_FALSE(seen[occ.occurrence_id]) << "duplicate occurrence id";
+      seen[occ.occurrence_id] = true;
+    }
+  }
+}
+
+TEST(AdornTest, OccurrenceKindsRecorded) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y), b(Y).
+  )");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok());
+  const AdornedRule& ar = h->rules[0];
+  ASSERT_EQ(ar.body.size(), 3u);
+  EXPECT_EQ(ar.body[0].kind, PredicateKind::kInfiniteBase);
+  EXPECT_EQ(ar.body[1].kind, PredicateKind::kDerived);
+  EXPECT_EQ(ar.body[2].kind, PredicateKind::kFiniteBase);
+}
+
+TEST(AdornTest, RepeatedHeadVariableLimitsAdornments) {
+  Program p = Parse("r(X,X) :- b(X).");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok());
+  // Head r(X,X): only bb and ff.
+  EXPECT_EQ(h->rules.size(), 2u);
+}
+
+TEST(AdornTest, NonCanonicalProgramRejected) {
+  Program p = Parse("r(5) :- b(X).");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kInvalidProgram);
+}
+
+TEST(AdornTest, ToStringMatchesExample9Style) {
+  // The paper's Example 9: two rules over r/2 render with superscripted
+  // adornments, indexed variables and numbered body occurrences.
+  Program p = Parse(R"(
+    .infinite f/3.
+    r(X,Y) :- f(X,U,V), r(U,V), b(U,Y).
+    r(X,Y) :- b(X,Y).
+  )");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok());
+  std::string s = h->ToString(p);
+  EXPECT_NE(s.find("r^ff(X0,Y0) :- f#0(X0,U0,V0), r#1(U0,V0), b#2(U0,Y0)."),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("r^ff(X4,Y4) :- b#12(X4,Y4)."), std::string::npos) << s;
+  // All four adornments appear.
+  for (const char* a : {"r^ff", "r^bf", "r^fb", "r^bb"}) {
+    EXPECT_NE(s.find(a), std::string::npos) << a;
+  }
+}
+
+TEST(AdornTest, SourceRuleTracking) {
+  Program p = Parse(R"(
+    r(X) :- b(X).
+    r(X) :- c(X).
+  )");
+  auto h = BuildAdornedProgram(p);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->rules.size(), 4u);
+  EXPECT_EQ(h->rules[0].source_rule, 0u);
+  EXPECT_EQ(h->rules[2].source_rule, 1u);
+  for (uint32_t i = 0; i < h->rules.size(); ++i) {
+    EXPECT_EQ(h->rules[i].adorned_index, i);
+  }
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,78 @@
+#ifndef HORNSAFE_TESTS_ANDOR_ANDOR_TEST_UTIL_H_
+#define HORNSAFE_TESTS_ANDOR_ANDOR_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string_view>
+
+#include "andor/build.h"
+#include "andor/emptiness.h"
+#include "andor/lfp.h"
+#include "andor/reduce.h"
+#include "andor/subset.h"
+#include "canonical/canonical.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+
+/// Shared test fixture state: the full analysis pipeline for one program
+/// text (parse -> canonicalize -> adorn -> And-Or build, with optional
+/// Algorithm 3 / Algorithm 4 passes).
+struct TestPipeline {
+  Program program;
+  AdornedProgram adorned;
+  AndOrSystem system;
+
+  /// Root node for the k-th argument (0-based) of `pred_name/arity`
+  /// under the all-free adornment.
+  NodeId QueryRoot(std::string_view pred_name, uint32_t arity,
+                   uint32_t k) const {
+    PredicateId pred = program.FindPredicate(pred_name, arity);
+    EXPECT_NE(pred, kInvalidPredicate) << pred_name;
+    return system.FindHeadArg(pred, 0, k);
+  }
+
+  Safety Check(std::string_view pred_name, uint32_t arity, uint32_t k,
+               uint64_t budget = 5'000'000) const {
+    SubsetOptions opts;
+    opts.budget = budget;
+    return CheckSubsetCondition(system, QueryRoot(pred_name, arity, k), opts)
+        .verdict;
+  }
+};
+
+struct PipelineOptions {
+  bool apply_emptiness = true;
+  bool apply_reduce = true;
+  bool use_fd_closure = false;
+};
+
+inline TestPipeline MakePipeline(std::string_view text,
+                                 const PipelineOptions& popts = {}) {
+  TestPipeline out;
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto canon = Canonicalize(*parsed);
+  EXPECT_TRUE(canon.ok()) << canon.status().ToString();
+  out.program = std::move(canon->program);
+  auto adorned = BuildAdornedProgram(out.program);
+  EXPECT_TRUE(adorned.ok()) << adorned.status().ToString();
+  out.adorned = std::move(adorned).value();
+  BuildOptions bopts;
+  bopts.use_fd_closure = popts.use_fd_closure;
+  auto system = BuildAndOrSystem(out.program, out.adorned, bopts);
+  EXPECT_TRUE(system.ok()) << system.status().ToString();
+  out.system = std::move(system).value();
+  if (popts.apply_emptiness) {
+    ApplyEmptinessPruning(EmptyPredicates(out.program), &out.system);
+  }
+  if (popts.apply_reduce) {
+    ReduceSystem(&out.system);
+  }
+  return out;
+}
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_TESTS_ANDOR_ANDOR_TEST_UTIL_H_

@@ -1,0 +1,131 @@
+// Tests for Algorithm 3: the provably-empty predicate set T₀ (Lemma 7)
+// and the pruning of And-Or_H rules headed by empty predicates.
+
+#include "andor/emptiness.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/andor/andor_test_util.h"
+
+namespace hornsafe {
+namespace {
+
+std::vector<bool> Empties(const TestPipeline& pl) {
+  return EmptyPredicates(pl.program);
+}
+
+bool IsEmpty(const TestPipeline& pl, const char* name, uint32_t arity) {
+  PredicateId p = pl.program.FindPredicate(name, arity);
+  EXPECT_NE(p, kInvalidPredicate);
+  return Empties(pl)[p];
+}
+
+PipelineOptions NoPruning() {
+  PipelineOptions p;
+  p.apply_emptiness = false;
+  p.apply_reduce = false;
+  return p;
+}
+
+TEST(EmptinessTest, BasePredicatesAreNeverEmpty) {
+  // Base predicates are nonempty for *some* legal EDB even if this
+  // program instance stores no facts (safety quantifies over instances).
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    r(X) :- b(X), f(X,Y).
+  )",
+                                 NoPruning());
+  EXPECT_FALSE(IsEmpty(pl, "b", 1));
+  EXPECT_FALSE(IsEmpty(pl, "f", 2));
+  EXPECT_FALSE(IsEmpty(pl, "r", 1));
+}
+
+TEST(EmptinessTest, UngroundedRecursionIsEmpty) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+  )",
+                                 NoPruning());
+  EXPECT_TRUE(IsEmpty(pl, "r", 1));
+}
+
+TEST(EmptinessTest, GroundedRecursionIsNonempty) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+  )",
+                                 NoPruning());
+  EXPECT_FALSE(IsEmpty(pl, "r", 1));
+}
+
+TEST(EmptinessTest, EmptinessPropagatesThroughDependencies) {
+  // s depends on empty r, t depends on empty s.
+  TestPipeline pl = MakePipeline(R"(
+    r(X) :- r(X).
+    s(X) :- r(X), b(X).
+    t(X) :- s(X).
+    u(X) :- b(X).
+  )",
+                                 NoPruning());
+  EXPECT_TRUE(IsEmpty(pl, "r", 1));
+  EXPECT_TRUE(IsEmpty(pl, "s", 1));
+  EXPECT_TRUE(IsEmpty(pl, "t", 1));
+  EXPECT_FALSE(IsEmpty(pl, "u", 1));
+}
+
+TEST(EmptinessTest, MutuallyRecursiveUngroundedPairIsEmpty) {
+  TestPipeline pl = MakePipeline(R"(
+    p(X) :- q(X).
+    q(X) :- p(X).
+  )",
+                                 NoPruning());
+  EXPECT_TRUE(IsEmpty(pl, "p", 1));
+  EXPECT_TRUE(IsEmpty(pl, "q", 1));
+}
+
+TEST(EmptinessTest, MutualRecursionGroundedThroughOneSide) {
+  TestPipeline pl = MakePipeline(R"(
+    p(X) :- q(X).
+    q(X) :- p(X).
+    q(X) :- b(X).
+  )",
+                                 NoPruning());
+  EXPECT_FALSE(IsEmpty(pl, "p", 1));
+  EXPECT_FALSE(IsEmpty(pl, "q", 1));
+}
+
+TEST(EmptinessTest, PruningDeletesRulesOfEmptyPredicates) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  size_t live_before = pl.system.NumLiveRules();
+  size_t deleted = ApplyEmptinessPruning(Empties(pl), &pl.system);
+  EXPECT_GT(deleted, 0u);
+  EXPECT_EQ(pl.system.NumLiveRules(), live_before - deleted);
+  // The query root has no live rules left.
+  EXPECT_TRUE(pl.system.RulesFor(pl.QueryRoot("r", 1, 0)).empty());
+}
+
+TEST(EmptinessTest, PruningIsNoopWhenNothingIsEmpty) {
+  TestPipeline pl = MakePipeline(R"(
+    r(X) :- b(X).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  EXPECT_EQ(ApplyEmptinessPruning(Empties(pl), &pl.system), 0u);
+}
+
+TEST(EmptinessTest, BodilessRuleGroundsItsPredicate) {
+  // A rule with an empty body derives unconditionally (even though it is
+  // unsafe, it is nonempty).
+  TestPipeline pl = MakePipeline("r(X).", NoPruning());
+  EXPECT_FALSE(IsEmpty(pl, "r", 1));
+}
+
+}  // namespace
+}  // namespace hornsafe

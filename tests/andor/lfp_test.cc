@@ -1,0 +1,138 @@
+// Tests for the least-fixpoint evaluation of And-Or_H: value 1 is a
+// sound "unsafe" flag within the canonical abstraction; value 0 is
+// inconclusive before Algorithm 3 (Example 11).
+
+#include "andor/lfp.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/andor/andor_test_util.h"
+
+namespace hornsafe {
+namespace {
+
+PipelineOptions NoPruning() {
+  PipelineOptions p;
+  p.apply_emptiness = false;
+  p.apply_reduce = false;
+  return p;
+}
+
+TEST(LfpTest, OneIsAlwaysOne) {
+  TestPipeline pl = MakePipeline("r(X) :- b(X).", NoPruning());
+  std::vector<char> v = LeastFixpoint(pl.system);
+  EXPECT_EQ(v[pl.system.one()], 1);
+  EXPECT_EQ(v[pl.system.zero()], 0);
+}
+
+TEST(LfpTest, Example3QueryArgIsDerivablyUnsafe) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite t/2.
+    r(X) :- t(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  std::vector<char> v = LeastFixpoint(pl.system);
+  EXPECT_EQ(v[pl.QueryRoot("r", 1, 0)], 1);
+}
+
+TEST(LfpTest, Example4QueryArgIsNotDerivablyUnsafe) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite t/2.
+    .fd t: 2 -> 1.
+    r(X) :- t(X,Y), r(Y), a(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  std::vector<char> v = LeastFixpoint(pl.system);
+  EXPECT_EQ(v[pl.QueryRoot("r", 1, 0)], 0);
+}
+
+TEST(LfpTest, ZeroGuardedRulesNeverFire) {
+  // X <- 0 can never force X to 1 even when other machinery is unsafe.
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    r(X,Y) :- f(X,Z), b(Y).
+    ?- r(X,Y).
+  )",
+                                 NoPruning());
+  std::vector<char> v = LeastFixpoint(pl.system);
+  EXPECT_EQ(v[pl.QueryRoot("r", 2, 0)], 1);  // X from infinite f
+  EXPECT_EQ(v[pl.QueryRoot("r", 2, 1)], 0);  // Y guarded by b
+}
+
+TEST(LfpTest, ZeroIsInconclusiveOnRecursiveGeneration) {
+  // The paper: "something which evaluates to '0' is not necessarily
+  // safe". The grounded FD-driven recursion (Example 4 without the
+  // guard) is genuinely unsafe, yet its LFP value is 0 because the
+  // unsafety flows around a cycle no finite derivation closes — only
+  // the subset-condition graph analysis sees it.
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  std::vector<char> v = LeastFixpoint(pl.system);
+  EXPECT_EQ(v[pl.QueryRoot("r", 1, 0)], 0);  // inconclusive...
+  EXPECT_EQ(CheckSubsetCondition(pl.system, pl.QueryRoot("r", 1, 0), {})
+                .verdict,
+            Safety::kUnsafe);  // ...but actually unsafe.
+
+  // The ungrounded Example 11 variant also evaluates to 0 — and there
+  // the verdict really is safe (after Algorithm 3).
+  TestPipeline empty_case = MakePipeline(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )");
+  std::vector<char> v2 = LeastFixpoint(empty_case.system);
+  EXPECT_EQ(v2[empty_case.QueryRoot("r", 1, 0)], 0);
+  EXPECT_EQ(empty_case.Check("r", 1, 0), Safety::kSafe);
+}
+
+TEST(LfpTest, LfpUnsafeImpliesSubsetUnsafe) {
+  // Soundness cross-check on a batch of small programs: whenever the LFP
+  // says 1, the subset condition must also say unsafe (after pruning,
+  // where both are exact).
+  const char* programs[] = {
+      R"(.infinite t/2.
+         r(X) :- t(X,Y), r(Y).
+         r(X) :- b(X).
+         ?- r(X).)",
+      R"(.infinite f/2.
+         r(X) :- f(X,Y).
+         ?- r(X).)",
+      R"(.infinite f/2.
+         .fd f: 2 -> 1.
+         r(X) :- f(X,Y), a(Y).
+         ?- r(X).)",
+      R"(r(X) :- b(X).
+         ?- r(X).)",
+      R"(.infinite f/2.
+         .fd f: 2 -> 1.
+         r(X) :- f(X,Y), r(Y).
+         r(X) :- b(X).
+         ?- r(X).)",
+  };
+  for (const char* text : programs) {
+    TestPipeline pl = MakePipeline(text);
+    std::vector<char> v = LeastFixpoint(pl.system);
+    NodeId root = pl.QueryRoot("r", 1, 0);
+    Safety subset = CheckSubsetCondition(pl.system, root, {}).verdict;
+    if (root != kInvalidNode && v[root] == 1) {
+      EXPECT_EQ(subset, Safety::kUnsafe) << text;
+    }
+    if (subset == Safety::kSafe && root != kInvalidNode) {
+      EXPECT_EQ(v[root], 0) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hornsafe

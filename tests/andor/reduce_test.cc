@@ -1,0 +1,147 @@
+// Tests for Algorithm 4: pruning rules that mention nodes which can
+// never produce bindings (Lemmas 9 and 10).
+
+#include "andor/reduce.h"
+
+#include <gtest/gtest.h>
+
+#include "andor/emptiness.h"
+#include "andor/subset.h"
+#include "tests/andor/andor_test_util.h"
+
+namespace hornsafe {
+namespace {
+
+PipelineOptions NoPruning() {
+  PipelineOptions p;
+  p.apply_emptiness = false;
+  p.apply_reduce = false;
+  return p;
+}
+
+TEST(ReduceTest, NoopOnFullyDefinedSystem) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), a(Y).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  ReduceStats stats = ReduceSystem(&pl.system);
+  EXPECT_EQ(stats.rules_deleted, 0u);
+  EXPECT_EQ(stats.nodes_neverized, 0u);
+}
+
+TEST(ReduceTest, CascadesFromEmptinessPruning) {
+  // Example 11 cascade: after Algorithm 3 deletes the rules of the empty
+  // predicate r, Algorithm 4 propagates "never produces bindings"
+  // through the occurrence and variable nodes.
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  ApplyEmptinessPruning(EmptyPredicates(pl.program), &pl.system);
+  ReduceStats stats = ReduceSystem(&pl.system);
+  EXPECT_GT(stats.rules_deleted, 0u);
+  EXPECT_GT(stats.nodes_neverized, 0u);
+  // Everything reachable from the query root is gone; only detached
+  // terminal-backed rules (e.g. `f#k.2 <- 1` leaves of the dead rule)
+  // may remain.
+  EXPECT_TRUE(pl.system.RulesFor(pl.QueryRoot("r", 1, 0)).empty());
+  for (size_t ri = 0; ri < pl.system.num_rules(); ++ri) {
+    if (pl.system.rule_deleted(ri)) continue;
+    const PropRule& r = pl.system.rule(ri);
+    ASSERT_EQ(r.body.size(), 1u);
+    EXPECT_TRUE(r.body[0] == pl.system.one() ||
+                r.body[0] == pl.system.zero());
+  }
+}
+
+TEST(ReduceTest, PreservesSafetyCertificates) {
+  // D1 in DESIGN.md: Algorithm 4 must not delete `X <- 0` rules — a node
+  // defined only by 0 is *safe*, not *never-binding*.
+  TestPipeline pl = MakePipeline(R"(
+    r(X) :- b(X).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  ReduceSystem(&pl.system);
+  // The variable rule X <- 0 must survive.
+  bool found = false;
+  for (size_t ri = 0; ri < pl.system.num_rules(); ++ri) {
+    if (pl.system.rule_deleted(ri)) continue;
+    const PropRule& r = pl.system.rule(ri);
+    if (r.body.size() == 1 && r.body[0] == pl.system.zero()) found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(pl.Check("r", 1, 0), Safety::kSafe);
+}
+
+TEST(ReduceTest, VerdictUnchangedByReduction) {
+  // Lemma 9 consequence: reduction never changes the subset-condition
+  // verdict, only shrinks the search space.
+  const char* programs[] = {
+      R"(.infinite t/2.
+         r(X) :- t(X,Y), r(Y).
+         r(X) :- b(X).
+         ?- r(X).)",
+      R"(.infinite t/2.
+         .fd t: 2 -> 1.
+         r(X) :- t(X,Y), r(Y), a(Y).
+         r(X) :- b(X).
+         ?- r(X).)",
+      R"(.infinite f/2.
+         .fd f: 2 -> 1.
+         r(X) :- f(X,Y), r(Y).
+         ?- r(X).)",
+  };
+  for (const char* text : programs) {
+    PipelineOptions with_empty_only;
+    with_empty_only.apply_emptiness = true;
+    with_empty_only.apply_reduce = false;
+    TestPipeline unreduced = MakePipeline(text, with_empty_only);
+    TestPipeline reduced = MakePipeline(text);  // emptiness + reduce
+    EXPECT_EQ(unreduced.Check("r", 1, 0), reduced.Check("r", 1, 0)) << text;
+  }
+}
+
+TEST(ReduceTest, ReductionShrinksSearchEffort) {
+  const char* text = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    s(X) :- r(X), b(X).
+    s(X) :- b(X).
+    ?- s(X).
+  )";
+  PipelineOptions with_empty_only;
+  with_empty_only.apply_emptiness = true;
+  with_empty_only.apply_reduce = false;
+  TestPipeline unreduced = MakePipeline(text, with_empty_only);
+  TestPipeline reduced = MakePipeline(text);
+  SubsetResult slow =
+      CheckSubsetCondition(unreduced.system, unreduced.QueryRoot("s", 1, 0), {});
+  SubsetResult fast =
+      CheckSubsetCondition(reduced.system, reduced.QueryRoot("s", 1, 0), {});
+  EXPECT_EQ(slow.verdict, fast.verdict);
+  EXPECT_LE(fast.steps, slow.steps);
+}
+
+TEST(ReduceTest, IdempotentSecondPass) {
+  TestPipeline pl = MakePipeline(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )",
+                                 NoPruning());
+  ApplyEmptinessPruning(EmptyPredicates(pl.program), &pl.system);
+  ReduceSystem(&pl.system);
+  ReduceStats again = ReduceSystem(&pl.system);
+  EXPECT_EQ(again.rules_deleted, 0u);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,90 @@
+#include "andor/system.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(AndOrSystemTest, TerminalsExistOnConstruction) {
+  AndOrSystem s;
+  EXPECT_NE(s.zero(), s.one());
+  EXPECT_EQ(s.node(s.zero()).kind, PropNodeKind::kZero);
+  EXPECT_EQ(s.node(s.one()).kind, PropNodeKind::kOne);
+  EXPECT_EQ(s.nodes().size(), 2u);
+}
+
+TEST(AndOrSystemTest, InterningIsIdempotent) {
+  AndOrSystem s;
+  NodeId a = s.InternHeadArg(3, 0b10, 1);
+  NodeId b = s.InternHeadArg(3, 0b10, 1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, s.InternHeadArg(3, 0b10, 0));
+  EXPECT_NE(a, s.InternHeadArg(3, 0b01, 1));
+  EXPECT_NE(a, s.InternHeadArg(4, 0b10, 1));
+
+  NodeId v = s.InternVariable(7, 42);
+  EXPECT_EQ(v, s.InternVariable(7, 42));
+  EXPECT_NE(v, s.InternVariable(8, 42));
+
+  NodeId occ = s.InternBodyArg(5, 0, 3, 7, true);
+  EXPECT_EQ(occ, s.InternBodyArg(5, 0, 3, 7, true));
+  EXPECT_TRUE(s.node(occ).is_f_node);
+
+  NodeId fd = s.InternFdChoice(5, 0, 2, 3, 7);
+  EXPECT_EQ(fd, s.InternFdChoice(5, 0, 2, 3, 7));
+  EXPECT_NE(fd, s.InternFdChoice(5, 0, 3, 3, 7));
+}
+
+TEST(AndOrSystemTest, FindersReturnInvalidWhenAbsent) {
+  AndOrSystem s;
+  EXPECT_EQ(s.FindHeadArg(1, 0, 0), kInvalidNode);
+  EXPECT_EQ(s.FindVariable(0, 0), kInvalidNode);
+  NodeId a = s.InternHeadArg(1, 0, 0);
+  EXPECT_EQ(s.FindHeadArg(1, 0, 0), a);
+}
+
+TEST(AndOrSystemTest, AddRuleDeduplicates) {
+  AndOrSystem s;
+  NodeId h = s.InternHeadArg(1, 0, 0);
+  NodeId v = s.InternVariable(0, 9);
+  s.AddRule(PropRule{h, {v}, 0});
+  s.AddRule(PropRule{h, {v}, 0});  // exact duplicate collapsed
+  EXPECT_EQ(s.RulesFor(h).size(), 1u);
+  s.AddRule(PropRule{h, {v, v}, 0});  // different body: kept
+  EXPECT_EQ(s.RulesFor(h).size(), 2u);
+}
+
+TEST(AndOrSystemTest, DeleteRuleRemovesFromIndex) {
+  AndOrSystem s;
+  NodeId h = s.InternHeadArg(1, 0, 0);
+  s.AddRule(PropRule{h, {s.zero()}, 0});
+  s.AddRule(PropRule{h, {s.one()}, 0});
+  ASSERT_EQ(s.RulesFor(h).size(), 2u);
+  size_t total = s.NumLiveRules();
+  uint32_t first = s.RulesFor(h)[0];
+  s.DeleteRule(first);
+  EXPECT_TRUE(s.rule_deleted(first));
+  EXPECT_EQ(s.RulesFor(h).size(), 1u);
+  EXPECT_EQ(s.NumLiveRules(), total - 1);
+  // Deleting twice is a no-op.
+  s.DeleteRule(first);
+  EXPECT_EQ(s.NumLiveRules(), total - 1);
+}
+
+TEST(AndOrSystemTest, NodeNamesAreDistinctiveAndStable) {
+  Program p;
+  PredicateId r = p.InternPredicate("r", 2);
+  TermId x = p.Var("X");
+  AndOrSystem s;
+  EXPECT_EQ(s.NodeName(s.zero(), p), "0");
+  EXPECT_EQ(s.NodeName(s.one(), p), "1");
+  EXPECT_EQ(s.NodeName(s.InternHeadArg(r, 0b01, 1), p), "r^bf.2");
+  EXPECT_EQ(s.NodeName(s.InternVariable(3, x), p), "X@3");
+  EXPECT_EQ(s.NodeName(s.InternBodyArg(5, 0, r, 3, false), p), "r#5.1");
+  EXPECT_EQ(s.NodeName(s.InternBodyArgAdorned(5, 0b10, 0, r, 3), p),
+            "r#5^fb.1");
+  EXPECT_EQ(s.NodeName(s.InternFdChoice(5, 1, 0, r, 3), p), "r#5.2~fd0");
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,182 @@
+#include "constraints/argmap.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Program Parse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(VariableOrderTest, DirectConstraintGivesStrictOrder) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    .mono f: 2 > 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+  )");
+  const Rule& rule = p.rules()[0];
+  VariableOrder order(p, rule);
+  TermId x = rule.body[0].args[0];
+  TermId y = rule.body[0].args[1];
+  EXPECT_TRUE(order.Greater(y, x));
+  EXPECT_FALSE(order.Greater(x, y));
+  EXPECT_FALSE(order.Greater(x, x));
+}
+
+TEST(VariableOrderTest, TransitiveChain) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    .infinite g/2.
+    .mono f: 2 > 1.
+    .mono g: 2 > 1.
+    r(X) :- f(X,Y), g(Y,Z), b(Z).
+  )");
+  const Rule& rule = p.rules()[0];
+  VariableOrder order(p, rule);
+  TermId x = rule.body[0].args[0];
+  TermId z = rule.body[1].args[1];
+  EXPECT_TRUE(order.Greater(z, x));  // Z > Y > X
+  EXPECT_FALSE(order.Greater(x, z));
+}
+
+TEST(VariableOrderTest, ConstantBoundsPropagate) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    .mono f: 2 > 1.
+    .mono f: 1 > const(0).
+    .mono f: 2 < const(100).
+    r(X) :- f(X,Y), b(Y).
+  )");
+  const Rule& rule = p.rules()[0];
+  VariableOrder order(p, rule);
+  TermId x = rule.body[0].args[0];
+  TermId y = rule.body[0].args[1];
+  EXPECT_TRUE(order.BoundedBelow(x));  // X > 0 directly
+  EXPECT_TRUE(order.BoundedBelow(y));  // Y > X > 0
+  EXPECT_TRUE(order.BoundedAbove(y));  // Y < 100 directly
+  EXPECT_TRUE(order.BoundedAbove(x));  // X < Y < 100
+}
+
+TEST(VariableOrderTest, NoConstraintsNoOrder) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), b(Y).
+  )");
+  const Rule& rule = p.rules()[0];
+  VariableOrder order(p, rule);
+  TermId x = rule.body[0].args[0];
+  TermId y = rule.body[0].args[1];
+  EXPECT_FALSE(order.Greater(x, y));
+  EXPECT_FALSE(order.Greater(y, x));
+  EXPECT_FALSE(order.BoundedBelow(x));
+  EXPECT_FALSE(order.BoundedAbove(y));
+}
+
+class MappingTest : public ::testing::Test {
+ protected:
+  // Example 13 shape: r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+  void SetUp() override {
+    program_ = Parse(R"(
+      .infinite f/2.
+      .infinite g/2.
+      .mono f: 2 > 1.
+      .mono g: 2 > 1.
+      .mono f: 1 > const(0).
+      r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+      r(X,U) :- b(X,U).
+    )");
+  }
+  Program program_;
+};
+
+TEST_F(MappingTest, BuildSelfMapping) {
+  const Rule& rule = program_.rules()[0];
+  VariableOrder order(program_, rule);
+  const Literal& occ = rule.body[2];  // r(Y,V)
+  ArgumentMapping m = ArgumentMapping::Build(program_, rule, order, occ);
+  ASSERT_EQ(m.head_arity(), 2u);
+  ASSERT_EQ(m.occ_arity(), 2u);
+  // head_1 = X < Y = occ_1, head_2 = U < V = occ_2.
+  EXPECT_TRUE(m.rel(0, 0) & kRelLt);
+  EXPECT_TRUE(m.rel(1, 1) & kRelLt);
+  EXPECT_FALSE(m.rel(0, 0) & kRelGt);
+  EXPECT_FALSE(m.rel(0, 0) & kRelEq);
+  EXPECT_FALSE(m.Invalid());
+}
+
+TEST_F(MappingTest, SharedVariableGivesEquality) {
+  Program p = Parse(R"(
+    anc(X,Y) :- anc(X,Z), par(Z,Y).
+    anc(X,Y) :- par(X,Y).
+  )");
+  const Rule& rule = p.rules()[0];
+  VariableOrder order(p, rule);
+  ArgumentMapping m =
+      ArgumentMapping::Build(p, rule, order, rule.body[0]);  // anc(X,Z)
+  EXPECT_TRUE(m.rel(0, 0) & kRelEq);  // head X = occ X
+  EXPECT_EQ(m.rel(1, 1), kRelNone);   // head Y unrelated to occ Z
+}
+
+TEST_F(MappingTest, ComposeChainsStrictness) {
+  const Rule& rule = program_.rules()[0];
+  VariableOrder order(program_, rule);
+  ArgumentMapping m =
+      ArgumentMapping::Build(program_, rule, order, rule.body[2]);
+  // Composing the strictly-decreasing self-mapping keeps it strict.
+  ArgumentMapping m2 = m.Compose(m);
+  EXPECT_TRUE(m2.rel(0, 0) & kRelLt);
+  EXPECT_FALSE(m2.rel(0, 0) & kRelGt);
+  EXPECT_FALSE(m2.Invalid());
+}
+
+TEST_F(MappingTest, ComposeEqWithLt) {
+  // eq ∘ lt = lt, lt ∘ eq = lt.
+  ArgumentMapping eq(1, 1), lt(1, 1);
+  eq.set_rel(0, 0, kRelEq);
+  lt.set_rel(0, 0, kRelLt);
+  EXPECT_EQ(eq.Compose(lt).rel(0, 0), kRelLt);
+  EXPECT_EQ(lt.Compose(eq).rel(0, 0), kRelLt);
+  EXPECT_EQ(eq.Compose(eq).rel(0, 0), kRelEq);
+}
+
+TEST_F(MappingTest, InvalidOnContradiction) {
+  ArgumentMapping up(1, 1), down(1, 1);
+  up.set_rel(0, 0, kRelGt);
+  down.set_rel(0, 0, kRelLt);
+  EXPECT_FALSE(up.Invalid());
+  // x > y and simultaneously x < y after composition: the composite
+  // carries both bits on the same pair.
+  ArgumentMapping both(1, 1);
+  both.set_rel(0, 0, kRelGt | kRelLt);
+  EXPECT_TRUE(both.Invalid());
+  ArgumentMapping gt_eq(1, 1);
+  gt_eq.set_rel(0, 0, kRelGt | kRelEq);
+  EXPECT_TRUE(gt_eq.Invalid());
+}
+
+TEST_F(MappingTest, ToStringShapes) {
+  ArgumentMapping m(2, 2);
+  m.set_rel(0, 0, kRelEq);
+  m.set_rel(1, 0, kRelGt);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("1=1'"), std::string::npos);
+  EXPECT_NE(s.find("2>1'"), std::string::npos);
+  EXPECT_EQ(ArgumentMapping(1, 1).ToString(), "(empty)");
+}
+
+TEST_F(MappingTest, ComposeLtThenGtGivesNothing) {
+  ArgumentMapping lt(1, 1), gt(1, 1);
+  lt.set_rel(0, 0, kRelLt);
+  gt.set_rel(0, 0, kRelGt);
+  // x < y, y > z tells us nothing about x vs z.
+  EXPECT_EQ(lt.Compose(gt).rel(0, 0), kRelNone);
+}
+
+}  // namespace
+}  // namespace hornsafe

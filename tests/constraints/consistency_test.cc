@@ -1,0 +1,107 @@
+#include "constraints/consistency.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+std::vector<ConsistencyWarning> Check(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return CheckConstraintConsistency(*r);
+}
+
+TEST(ConsistencyTest, CleanProgramHasNoWarnings) {
+  auto w = Check(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    .mono f: 1 > const(0).
+    r(X) :- f(X,Y), b(Y).
+  )");
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(ConsistencyTest, DirectStrictCycleDetected) {
+  auto w = Check(R"(
+    .infinite f/2.
+    .mono f: 1 > 2.
+    .mono f: 2 > 1.
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("strict cycle"), std::string::npos);
+  EXPECT_NE(w[0].message.find("necessarily empty"), std::string::npos);
+}
+
+TEST(ConsistencyTest, TransitiveStrictCycleDetected) {
+  auto w = Check(R"(
+    .infinite f/3.
+    .mono f: 1 > 2.
+    .mono f: 2 > 3.
+    .mono f: 3 > 1.
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("strict cycle"), std::string::npos);
+}
+
+TEST(ConsistencyTest, EmptyIntegerIntervalDetected) {
+  // 5 < x < 6 has no integer solution.
+  auto w = Check(R"(
+    .infinite f/1.
+    .mono f: 1 > const(5).
+    .mono f: 1 < const(6).
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("empty interval"), std::string::npos);
+}
+
+TEST(ConsistencyTest, SingletonIntervalIsFine) {
+  // 5 < x < 7 admits x = 6.
+  auto w = Check(R"(
+    .infinite f/1.
+    .mono f: 1 > const(5).
+    .mono f: 1 < const(7).
+  )");
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(ConsistencyTest, DuplicateFdFlagged) {
+  auto w = Check(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .fd f: 2 -> 1.
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("more than once"), std::string::npos);
+}
+
+TEST(ConsistencyTest, TightestBoundsAreUsed) {
+  // The redundant looser bound must not mask the contradiction.
+  auto w = Check(R"(
+    .infinite f/1.
+    .mono f: 1 > const(0).
+    .mono f: 1 > const(9).
+    .mono f: 1 < const(10).
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("(9, 10)"), std::string::npos)
+      << w[0].message;
+}
+
+TEST(ConsistencyTest, PerPredicateIsolation) {
+  // Warnings name the offending predicate; the clean one stays silent.
+  auto w = Check(R"(
+    .infinite bad/2.
+    .infinite good/2.
+    .mono bad: 1 > 2.
+    .mono bad: 2 > 1.
+    .mono good: 2 > 1.
+  )");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_NE(w[0].message.find("'bad'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hornsafe

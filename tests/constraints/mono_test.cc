@@ -1,0 +1,143 @@
+// Tests for the Theorem 5 monotonicity analysis, pinned against
+// Example 13 of the paper (reconstructed per DESIGN.md D4).
+
+#include "constraints/mono.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+// Example 13: decreasing recursion bounded below.
+constexpr const char* kExample13 = R"(
+  .infinite f/2.
+  .infinite g/2.
+  .fd f: 2 -> 1.
+  .fd g: 2 -> 1.
+  .mono f: 2 > 1.
+  .mono g: 2 > 1.
+  .mono f: 1 > const(0).
+  .mono g: 1 > const(0).
+  r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+  r(X,U) :- b(X,U).
+  ?- r(X,U).
+)";
+
+Safety Analyze(const char* text, bool use_mono) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  AnalyzerOptions opts;
+  opts.use_monotonicity = use_mono;
+  auto analyzer = SafetyAnalyzer::Create(*parsed, opts);
+  EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  std::vector<QueryAnalysis> results = analyzer->AnalyzeQueries();
+  EXPECT_EQ(results.size(), 1u);
+  return results[0].overall;
+}
+
+TEST(MonoTest, Example13SafeWithMonotonicity) {
+  EXPECT_EQ(Analyze(kExample13, /*use_mono=*/true), Safety::kSafe);
+}
+
+TEST(MonoTest, Example13UnsafeWithFdsAlone) {
+  // "Given only the above FD information about f, it is not possible to
+  // determine whether this process converges" — the FD-only analysis
+  // reports unsafe.
+  EXPECT_EQ(Analyze(kExample13, /*use_mono=*/false), Safety::kUnsafe);
+}
+
+TEST(MonoTest, UnboundedDecreasingCycleStaysUnsafe) {
+  // Without the lower bound the decreasing chain can run forever.
+  constexpr const char* kUnbounded = R"(
+    .infinite f/2.
+    .infinite g/2.
+    .fd f: 2 -> 1.
+    .fd g: 2 -> 1.
+    .mono f: 2 > 1.
+    .mono g: 2 > 1.
+    r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+    r(X,U) :- b(X,U).
+    ?- r(X,U).
+  )";
+  EXPECT_EQ(Analyze(kUnbounded, /*use_mono=*/true), Safety::kUnsafe);
+}
+
+TEST(MonoTest, IncreasingCycleBoundedAboveIsSafe) {
+  // Symmetric case: values increase and are bounded above.
+  constexpr const char* kIncreasing = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 1 > 2.
+    .mono f: 1 < const(1000).
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )";
+  EXPECT_EQ(Analyze(kIncreasing, /*use_mono=*/true), Safety::kSafe);
+  EXPECT_EQ(Analyze(kIncreasing, /*use_mono=*/false), Safety::kUnsafe);
+}
+
+TEST(MonoTest, IncreasingCycleBoundedBelowOnlyIsUnsafe) {
+  // Bounding an increasing chain from below does not help.
+  constexpr const char* kWrongBound = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 1 > 2.
+    .mono f: 1 > const(0).
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )";
+  EXPECT_EQ(Analyze(kWrongBound, /*use_mono=*/true), Safety::kUnsafe);
+}
+
+TEST(MonoTest, MutualRecursionDecreasingBounded) {
+  // A length-2 rule cycle: p calls q calls p, decreasing each hop.
+  constexpr const char* kMutual = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    .mono f: 1 > const(0).
+    p(X) :- f(X,Y), q(Y).
+    q(X) :- f(X,Y), p(Y).
+    q(X) :- b(X).
+    ?- p(X).
+  )";
+  EXPECT_EQ(Analyze(kMutual, /*use_mono=*/true), Safety::kSafe);
+  EXPECT_EQ(Analyze(kMutual, /*use_mono=*/false), Safety::kUnsafe);
+}
+
+TEST(MonoTest, ConstraintsOnUnrelatedPredicateDoNotHelp) {
+  constexpr const char* kUnrelated = R"(
+    .infinite f/2.
+    .infinite h/2.
+    .fd f: 2 -> 1.
+    .mono h: 2 > 1.
+    .mono h: 1 > const(0).
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )";
+  EXPECT_EQ(Analyze(kUnrelated, /*use_mono=*/true), Safety::kUnsafe);
+}
+
+TEST(MonoTest, FdSafeProgramsUnaffectedByMonotonicity) {
+  // "if an argument place is determined to be safe using only FD
+  // information, additional monotonicity constraints do not affect it."
+  constexpr const char* kFdSafe = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    r(X) :- f(X,Y), r(Y), a(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )";
+  EXPECT_EQ(Analyze(kFdSafe, /*use_mono=*/true), Safety::kSafe);
+  EXPECT_EQ(Analyze(kFdSafe, /*use_mono=*/false), Safety::kSafe);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,199 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Result<SafetyAnalyzer> Make(const char* text,
+                            const AnalyzerOptions& opts = {}) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return SafetyAnalyzer::Create(*parsed, opts);
+}
+
+TEST(AnalyzerTest, EndToEndAncestorExample1) {
+  auto a = Make(R"(
+    .infinite successor/2.
+    .fd successor: 1 -> 2.
+    .fd successor: 2 -> 1.
+    parent(cain, adam).
+    parent(sem, abel).
+    ancestor(X,Y,J) :- ancestor(X,Z,I), parent(Z,Y), successor(I,J).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ?- ancestor(sem, Y, J).
+  )");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  std::vector<QueryAnalysis> results = a->AnalyzeQueries();
+  ASSERT_EQ(results.size(), 1u);
+  // Y (an ancestor name) flows from the finite parent relation: safe.
+  // J (the generation counter) is genuinely unsafe: with a cyclic parent
+  // relation the levels grow without bound.
+  ASSERT_EQ(results[0].args.size(), 2u);  // query wrapped: vars Y, J
+  EXPECT_EQ(results[0].overall, Safety::kUnsafe);
+}
+
+TEST(AnalyzerTest, BoundedAncestorQueryIsSafe) {
+  // Asking for 2nd-level ancestors (J bound by the constant guard)
+  // makes the query safe.
+  auto a = Make(R"(
+    .infinite successor/2.
+    .fd successor: 1 -> 2.
+    .fd successor: 2 -> 1.
+    parent(sem, abel).
+    ancestor(X,Y,J) :- ancestor(X,Z,I), parent(Z,Y), successor(I,J).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ?- ancestor(sem, Y, 2).
+  )");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  std::vector<QueryAnalysis> results = a->AnalyzeQueries();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].overall, Safety::kSafe)
+      << results[0].Summary(a->canonical());
+}
+
+TEST(AnalyzerTest, QueryOnFiniteBaseIsSafe) {
+  auto a = Make(R"(
+    parent(sem, abel).
+    ?- parent(X, Y).
+  )");
+  ASSERT_TRUE(a.ok());
+  std::vector<QueryAnalysis> results = a->AnalyzeQueries();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].overall, Safety::kSafe);
+}
+
+TEST(AnalyzerTest, Example14QueryOnInfiniteBaseIsUnsafe) {
+  auto a = Make(R"(
+    .infinite f/1.
+    r(X) :- f(X).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(a.ok());
+  std::vector<QueryAnalysis> results = a->AnalyzeQueries();
+  EXPECT_EQ(results[0].overall, Safety::kUnsafe);
+  // Direct query on the infinite base predicate itself.
+  PredicateId f = a->canonical().FindPredicate("f", 1);
+  QueryAnalysis direct = a->AnalyzePredicate(f, 0);
+  EXPECT_EQ(direct.overall, Safety::kUnsafe);
+  EXPECT_NE(direct.args[0].explanation.find("infinite base"),
+            std::string::npos);
+  // Bound, it is a membership test: safe.
+  QueryAnalysis bound = a->AnalyzePredicate(f, 1);
+  EXPECT_EQ(bound.overall, Safety::kSafe);
+}
+
+TEST(AnalyzerTest, InfiniteBaseWithFdDeterminedByBoundArg) {
+  auto a = Make(R"(
+    .infinite succ/2.
+    .fd succ: 1 -> 2.
+    r(X) :- b(X).
+  )");
+  ASSERT_TRUE(a.ok());
+  PredicateId succ = a->canonical().FindPredicate("succ", 2);
+  // succ(5, Y): Y determined by the bound first argument.
+  QueryAnalysis q = a->AnalyzePredicate(succ, 0b01);
+  EXPECT_EQ(q.args[0].safety, Safety::kSafe);
+  EXPECT_EQ(q.args[1].safety, Safety::kSafe);
+  // succ(X, 5): X not determined (no 2 -> 1 dependency declared).
+  QueryAnalysis q2 = a->AnalyzePredicate(succ, 0b10);
+  EXPECT_EQ(q2.args[0].safety, Safety::kUnsafe);
+}
+
+TEST(AnalyzerTest, StatsReflectPipeline) {
+  auto a = Make(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(a.ok());
+  const SafetyAnalyzer::Stats& s = a->stats();
+  EXPECT_GT(s.canonical_rules, 0u);
+  EXPECT_GT(s.adorned_rules, s.canonical_rules);
+  EXPECT_GT(s.nodes, 0u);
+  EXPECT_GT(s.rules_total, 0u);
+  EXPECT_GT(s.rules_pruned_emptiness, 0u);  // r is empty
+  EXPECT_GT(s.rules_pruned_reduction, 0u);  // cascade
+  EXPECT_LT(s.rules_live, s.rules_total);
+}
+
+TEST(AnalyzerTest, AblationFlagsChangeExample11Verdict) {
+  const char* text = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    ?- r(X).
+  )";
+  auto with = Make(text);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->AnalyzeQueries()[0].overall, Safety::kSafe);
+
+  AnalyzerOptions no_empty;
+  no_empty.apply_emptiness = false;
+  no_empty.apply_reduction = false;
+  auto without = Make(text, no_empty);
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(without->AnalyzeQueries()[0].overall, Safety::kUnsafe);
+}
+
+TEST(AnalyzerTest, SummaryIsHumanReadable) {
+  auto a = Make(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(a.ok());
+  QueryAnalysis q = a->AnalyzeQueries()[0];
+  std::string summary = q.Summary(a->canonical());
+  EXPECT_NE(summary.find("unsafe"), std::string::npos);
+  EXPECT_NE(summary.find("r("), std::string::npos);
+  // The explanation carries the counterexample graph.
+  EXPECT_NE(q.args[0].explanation.find("AND-graph"), std::string::npos);
+}
+
+TEST(AnalyzerTest, InvalidProgramRejected) {
+  Program p;
+  ASSERT_TRUE(p.AddFact(p.MakeLiteral("r", {p.Atom("a")})).ok());
+  ASSERT_TRUE(p.AddRule(Rule{p.MakeLiteral("r", {p.Var("X")}), {}}).ok());
+  auto a = SafetyAnalyzer::Create(p);
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(AnalyzerTest, AnalyzerIsMovable) {
+  auto a = Make(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    .mono f: 1 > const(0).
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(a.ok());
+  SafetyAnalyzer moved = std::move(a).value();
+  // Monotonicity machinery still works after the move (Theorem 5 makes
+  // this decreasing bounded recursion safe).
+  EXPECT_EQ(moved.AnalyzeQueries()[0].overall, Safety::kSafe);
+}
+
+TEST(AnalyzerTest, MultipleQueriesAnalyzedIndependently) {
+  auto a = Make(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    safe_r(X) :- f(X,Y), a(Y).
+    unsafe_r(X,Y) :- f(X,Y).
+    ?- safe_r(X).
+    ?- unsafe_r(X,Y).
+  )");
+  ASSERT_TRUE(a.ok());
+  std::vector<QueryAnalysis> results = a->AnalyzeQueries();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].overall, Safety::kSafe);
+  EXPECT_EQ(results[1].overall, Safety::kUnsafe);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,245 @@
+// Reproduces the Example 14 / Example 15 case matrix of Section 5 of the
+// paper: safety, finiteness of intermediate results, and termination are
+// mutually independent properties.
+
+#include "core/finiteness.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+struct Outcome {
+  Safety safety;
+  bool finite_intermediate;
+};
+
+Outcome Analyze(const char* text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto a = SafetyAnalyzer::Create(*parsed);
+  EXPECT_TRUE(a.ok()) << a.status().ToString();
+  std::vector<QueryAnalysis> qs = a->AnalyzeQueries();
+  EXPECT_EQ(qs.size(), 1u);
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResults(
+      a->canonical(), a->adorned(), a->system(),
+      a->canonical().queries()[0]);
+  return Outcome{qs[0].overall, fin.exists};
+}
+
+TEST(FinitenessTest, Example14UnsafeAndNoFiniteComputation) {
+  // r(X) :- f(X): enumerating the answers means enumerating f.
+  Outcome o = Analyze(R"(
+    .infinite f/1.
+    r(X) :- f(X).
+    ?- r(X).
+  )");
+  EXPECT_EQ(o.safety, Safety::kUnsafe);
+  EXPECT_FALSE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15FreeQueryNoFds) {
+  // "The query is clearly unsafe, and there is no computation with
+  // finite intermediate relations."
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  EXPECT_EQ(o.safety, Safety::kUnsafe);
+  EXPECT_FALSE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15FreeQueryWithFd21) {
+  // "If we add the constraint f2 -> f1, the query is still unsafe ...
+  // however, the bottom-up computation with sideways information passing
+  // enumerates all answers and has finite intermediate relations."
+  // Safety and finite-intermediate-results are independent.
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  EXPECT_EQ(o.safety, Safety::kUnsafe);
+  EXPECT_TRUE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15BoundQueryNoFds) {
+  // r(5)?: safe (a membership test), but no computation touches only
+  // finite subsets of f.
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(5).
+  )");
+  EXPECT_FALSE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15BoundQueryWithFd21) {
+  // With f2 -> f1 a bottom-up computation with finite intermediate
+  // relations establishes r(5).
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(5).
+  )");
+  EXPECT_TRUE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15BoundQueryWithFd12) {
+  // With f1 -> f2 a *top-down* computation works: the bound query
+  // argument drives the recursion through the b-adorned rules.
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    .fd f: 1 -> 2.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(5).
+  )");
+  EXPECT_TRUE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, Example15FreeQueryWithFd12Fails) {
+  // f1 -> f2 does not help the free query: the first argument of f is
+  // never restricted.
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    .fd f: 1 -> 2.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  EXPECT_EQ(o.safety, Safety::kUnsafe);
+  EXPECT_FALSE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, SafeQueryHasFiniteComputation) {
+  // Safety implies finiteness of intermediate results here (every value
+  // set is finite overall).
+  Outcome o = Analyze(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y), a(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  EXPECT_EQ(o.safety, Safety::kSafe);
+  EXPECT_TRUE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, FiniteBaseQueryTrivially) {
+  Outcome o = Analyze(R"(
+    b(1,2).
+    ?- b(X,Y).
+  )");
+  EXPECT_EQ(o.safety, Safety::kSafe);
+  EXPECT_TRUE(o.finite_intermediate);
+}
+
+TEST(FinitenessTest, InfiniteBaseQueryNever) {
+  auto parsed = ParseProgram(R"(
+    .infinite f/2.
+    r(X) :- b(X).
+    ?- f(X,Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto a = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(a.ok());
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResults(
+      a->canonical(), a->adorned(), a->system(),
+      a->canonical().queries()[0]);
+  EXPECT_FALSE(fin.exists);
+  ASSERT_FALSE(fin.offenders.empty());
+  EXPECT_NE(fin.offenders[0].find("infinite base"), std::string::npos);
+}
+
+TEST(FinitenessTest, AssumptionKnobDefaultsDelegate) {
+  auto parsed = ParseProgram(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto a = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(a.ok());
+  const Literal& q = a->canonical().queries()[0];
+  AccessAssumptions defaults;
+  IntermediateFinitenessResult with = CheckFiniteIntermediateResultsUnder(
+      a->canonical(), a->adorned(), a->system(), q, defaults);
+  IntermediateFinitenessResult plain = CheckFiniteIntermediateResults(
+      a->canonical(), a->adorned(), a->system(), q);
+  EXPECT_EQ(with.exists, plain.exists);
+  EXPECT_TRUE(with.exists);
+}
+
+TEST(FinitenessTest, WithoutFdAccessExample15Flips) {
+  // Section 5: the existence of a finite-intermediate computation for
+  // Example 15 hinges on assumption 3 (FD-indexed access). Model a
+  // world where the dependency holds but cannot be accessed finitely:
+  // the computation disappears.
+  auto parsed = ParseProgram(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto a = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(a.ok());
+  const Literal& q = a->canonical().queries()[0];
+  AccessAssumptions no_fd;
+  no_fd.fd_access = false;
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResultsUnder(
+      a->canonical(), a->adorned(), a->system(), q, no_fd);
+  EXPECT_FALSE(fin.exists);
+}
+
+TEST(FinitenessTest, WithoutFdAccessFiniteProgramsUnaffected) {
+  auto parsed = ParseProgram(R"(
+    tc(X,Y) :- e(X,Y).
+    tc(X,Y) :- e(X,Z), tc(Z,Y).
+    e(1,2).
+    ?- tc(X,Y).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto a = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(a.ok());
+  AccessAssumptions no_fd;
+  no_fd.fd_access = false;
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResultsUnder(
+      a->canonical(), a->adorned(), a->system(),
+      a->canonical().queries()[0], no_fd);
+  EXPECT_TRUE(fin.exists);
+}
+
+TEST(FinitenessTest, OffendersNameTheCulprit) {
+  auto parsed = ParseProgram(R"(
+    .infinite f/1.
+    r(X) :- f(X).
+    ?- r(X).
+  )");
+  ASSERT_TRUE(parsed.ok());
+  auto a = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(a.ok());
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResults(
+      a->canonical(), a->adorned(), a->system(),
+      a->canonical().queries()[0]);
+  EXPECT_FALSE(fin.exists);
+  ASSERT_FALSE(fin.offenders.empty());
+  EXPECT_NE(fin.offenders[0].find("X"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hornsafe

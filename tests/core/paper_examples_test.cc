@@ -1,0 +1,188 @@
+// Experiment E1: every worked example of the paper, pinned as a
+// parameterised verdict table. This is the gtest twin of
+// examples/safety_audit.cpp and the source of the E1 rows in
+// EXPERIMENTS.md.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "core/finiteness.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+struct PaperCase {
+  const char* name;
+  const char* text;
+  Safety expected_safety;
+  /// Expected Theorem 6 outcome (finite intermediate results exist).
+  bool expected_finite_intermediate;
+};
+
+// For test-name readability.
+std::ostream& operator<<(std::ostream& os, const PaperCase& c) {
+  return os << c.name;
+}
+
+const PaperCase kPaperCases[] = {
+    {"Example1_AncestorFreeQuery",
+     R"(.infinite successor/2.
+        .fd successor: 1 -> 2.
+        .fd successor: 2 -> 1.
+        parent(sem, abel).
+        ancestor(X,Y,1) :- parent(X,Y).
+        ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+        ?- ancestor(sem, Y, J).)",
+     // Cyclic parent data makes the level counter unbounded; the
+     // intermediate relations are still finite at every step.
+     Safety::kUnsafe, true},
+    {"Example3_UnguardedRecursion",
+     R"(.infinite t/2.
+        r(X) :- t(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kUnsafe, false},
+    {"Example4_GuardedWithFd",
+     R"(.infinite t/2.
+        .fd t: 2 -> 1.
+        r(X) :- t(X,Y), r(Y), a(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kSafe, true},
+    {"Example4_NoGuard",
+     R"(.infinite t/2.
+        .fd t: 2 -> 1.
+        r(X) :- t(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kUnsafe, true},
+    {"Example4_NoFd",
+     R"(.infinite t/2.
+        r(X) :- t(X,Y), r(Y), a(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kUnsafe, false},
+    {"Example6_ConstantExtraction",
+     R"(r(X,Y) :- p(X,5), r(5,Y).
+        r(X,Y) :- a(X,Y).
+        p(1,5).
+        a(1,2).
+        ?- r(X,2).)",
+     Safety::kSafe, true},
+    {"Example7_ConcatBoundResult",
+     R"(concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+        concat([], Z, Z).
+        ?- concat(A, B, [1,2,3]).)",
+     Safety::kSafe, true},
+    {"Example7_ConcatAllFree",
+     R"(concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+        concat([], Z, Z).
+        ?- concat(A, B, C).)",
+     Safety::kUnsafe, false},
+    {"Example8_CanonicalAbstractionIncomplete",
+     // The original program is safe (r is empty: p and q hold lists of
+     // different lengths), but the canonical abstraction cannot see
+     // list semantics; the tool soundly reports unsafe (Theorem 2 is
+     // only a sufficient condition).
+     R"(.infinite integer/1.
+        r(X) :- p(Y), q(Y), integer(X).
+        p([1]).
+        q([1,1]).
+        ?- r(X).)",
+     Safety::kUnsafe, false},
+    {"Example11_UngroundedRecursion",
+     R"(.infinite f/2.
+        .fd f: 2 -> 1.
+        r(X) :- f(X,Y), r(Y).
+        ?- r(X).)",
+     Safety::kSafe, true},
+    {"Example13_MonotoneBounded",
+     R"(.infinite f/2.
+        .infinite g/2.
+        .fd f: 2 -> 1.
+        .fd g: 2 -> 1.
+        .mono f: 2 > 1.
+        .mono g: 2 > 1.
+        .mono f: 1 > const(0).
+        .mono g: 1 > const(0).
+        r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+        r(X,U) :- b(X,U).
+        ?- r(X,U).)",
+     Safety::kSafe, true},
+    {"Example13_NoMonotonicity",
+     R"(.infinite f/2.
+        .infinite g/2.
+        .fd f: 2 -> 1.
+        .fd g: 2 -> 1.
+        r(X,U) :- f(X,Y), g(U,V), r(Y,V).
+        r(X,U) :- b(X,U).
+        ?- r(X,U).)",
+     Safety::kUnsafe, true},
+    {"Example14_InfiniteProjection",
+     R"(.infinite f/1.
+        r(X) :- f(X).
+        ?- r(X).)",
+     Safety::kUnsafe, false},
+    {"Example15_FreeNoFd",
+     R"(.infinite f/2.
+        r(X) :- f(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kUnsafe, false},
+    {"Example15_FreeWithFd21",
+     R"(.infinite f/2.
+        .fd f: 2 -> 1.
+        r(X) :- f(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(X).)",
+     Safety::kUnsafe, true},
+    {"Example15_BoundNoFd",
+     R"(.infinite f/2.
+        r(X) :- f(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(5).)",
+     Safety::kSafe, false},
+    {"Example15_BoundWithFd21",
+     R"(.infinite f/2.
+        .fd f: 2 -> 1.
+        r(X) :- f(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(5).)",
+     Safety::kSafe, true},
+    {"Example15_BoundWithFd12",
+     R"(.infinite f/2.
+        .fd f: 1 -> 2.
+        r(X) :- f(X,Y), r(Y).
+        r(X) :- b(X).
+        ?- r(5).)",
+     Safety::kSafe, true},
+};
+
+class PaperExamplesTest : public ::testing::TestWithParam<PaperCase> {};
+
+TEST_P(PaperExamplesTest, VerdictMatchesPaper) {
+  const PaperCase& c = GetParam();
+  auto parsed = ParseProgram(c.text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+  std::vector<QueryAnalysis> results = analyzer->AnalyzeQueries();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].overall, c.expected_safety)
+      << results[0].Summary(analyzer->canonical());
+
+  IntermediateFinitenessResult fin = CheckFiniteIntermediateResults(
+      analyzer->canonical(), analyzer->adorned(), analyzer->system(),
+      analyzer->canonical().queries()[0]);
+  EXPECT_EQ(fin.exists, c.expected_finite_intermediate);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExamples, PaperExamplesTest,
+                         ::testing::ValuesIn(kPaperCases),
+                         [](const ::testing::TestParamInfo<PaperCase>& info) {
+                           return info.param.name;
+                         });
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,118 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Result<SafetyAnalyzer> Make(const char* text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return SafetyAnalyzer::Create(*parsed);
+}
+
+// The recursion decreases (f₂ > f₁) but is not bounded below, so the
+// free query is unsafe while the bound query r(5) is safe and even
+// terminating (monotone past the target).
+constexpr const char* kProgram = R"(
+  .infinite f/2.
+  .fd f: 2 -> 1.
+  .mono f: 2 > 1.
+  b(1).
+  r(X) :- f(X,Y), r(Y).
+  r(X) :- b(X).
+  ?- r(5).
+  ?- r(X).
+)";
+
+TEST(ReportTest, CoversAllSections) {
+  auto a = Make(kProgram);
+  ASSERT_TRUE(a.ok());
+  std::string report = GenerateReport(*a);
+  EXPECT_NE(report.find("-- predicates --"), std::string::npos);
+  EXPECT_NE(report.find("f/2: infinite"), std::string::npos);
+  EXPECT_NE(report.find("r/1: derived (2 rules)"), std::string::npos);
+  EXPECT_NE(report.find("-- finiteness dependencies --"),
+            std::string::npos);
+  EXPECT_NE(report.find("f: {2} -> {1}"), std::string::npos);
+  EXPECT_NE(report.find("-- monotonicity constraints --"),
+            std::string::npos);
+  EXPECT_NE(report.find("f: 2 > 1"), std::string::npos);
+  EXPECT_NE(report.find("-- pipeline --"), std::string::npos);
+  EXPECT_NE(report.find("-- queries --"), std::string::npos);
+  EXPECT_NE(report.find("-- safety by adornment"), std::string::npos);
+}
+
+TEST(ReportTest, QueriesCarrySection5Verdicts) {
+  auto a = Make(kProgram);
+  ASSERT_TRUE(a.ok());
+  std::string report = GenerateReport(*a);
+  // r(5) is safe and (with f2>f1) terminating; r(X) is unsafe.
+  EXPECT_NE(report.find("safety: safe"), std::string::npos);
+  EXPECT_NE(report.find("safety: unsafe"), std::string::npos);
+  EXPECT_NE(report.find("terminating computation:     yes"),
+            std::string::npos);
+  EXPECT_NE(report.find("terminating computation:     no"),
+            std::string::npos);
+}
+
+TEST(ReportTest, Section5CanBeDisabled) {
+  auto a = Make(kProgram);
+  ASSERT_TRUE(a.ok());
+  ReportOptions opts;
+  opts.include_section5 = false;
+  std::string report = GenerateReport(*a, opts);
+  EXPECT_EQ(report.find("terminating computation"), std::string::npos);
+  EXPECT_NE(report.find("safety:"), std::string::npos);
+}
+
+TEST(ReportTest, MatrixCanBeDisabled) {
+  auto a = Make(kProgram);
+  ASSERT_TRUE(a.ok());
+  ReportOptions opts;
+  opts.include_adornment_matrix = false;
+  std::string report = GenerateReport(*a, opts);
+  EXPECT_EQ(report.find("-- safety by adornment"), std::string::npos);
+}
+
+TEST(ReportTest, WidePredicatesGetSummaryLine) {
+  auto a = Make(R"(
+    wide(A,B,C,D,E,F,G) :- b(A,B,C,D,E,F,G).
+    b(1,2,3,4,5,6,7).
+  )");
+  ASSERT_TRUE(a.ok());
+  ReportOptions opts;
+  opts.max_matrix_arity = 4;
+  std::string report = GenerateReport(*a, opts);
+  EXPECT_NE(report.find("(arity above matrix limit) all-free: safe"),
+            std::string::npos)
+      << report;
+}
+
+TEST(ReportTest, InferredDerivedDependenciesListed) {
+  auto a = Make(R"(
+    .infinite f/2.
+    .fd f: 1 -> 2.
+    copy(X,Y) :- f(X,Y).
+    ?- copy(1, Y).
+  )");
+  ASSERT_TRUE(a.ok());
+  std::string report = GenerateReport(*a);
+  EXPECT_NE(report.find("-- inferred dependencies over derived"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("copy: {1} -> {2}"), std::string::npos) << report;
+}
+
+TEST(ReportTest, AdornmentMatrixShowsBothVerdicts) {
+  auto a = Make(kProgram);
+  ASSERT_TRUE(a.ok());
+  std::string report = GenerateReport(*a);
+  EXPECT_NE(report.find("f unsafe [U]"), std::string::npos) << report;
+  EXPECT_NE(report.find("b safe [s]"), std::string::npos) << report;
+}
+
+}  // namespace
+}  // namespace hornsafe

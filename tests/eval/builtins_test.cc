@@ -1,0 +1,254 @@
+#include "eval/builtins.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+class BuiltinsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(RegisterStandardBuiltins(&program_, &registry_).ok());
+  }
+
+  const InfiniteRelation* Rel(const char* name, uint32_t arity) {
+    PredicateId p = program_.FindPredicate(name, arity);
+    EXPECT_NE(p, kInvalidPredicate);
+    return registry_.Find(p);
+  }
+
+  std::vector<Tuple> Enumerate(const InfiniteRelation* rel, Tuple partial) {
+    std::vector<Tuple> out;
+    Status st = rel->Enumerate(&program_, partial, &out);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return out;
+  }
+
+  Program program_;
+  BuiltinRegistry registry_;
+};
+
+TEST_F(BuiltinsTest, RegistrationDeclaresInfiniteAndAttachesFds) {
+  PredicateId succ = program_.FindPredicate("successor", 2);
+  ASSERT_NE(succ, kInvalidPredicate);
+  EXPECT_TRUE(program_.IsInfiniteBase(succ));
+  EXPECT_EQ(program_.FdsFor(succ).size(), 2u);
+  EXPECT_EQ(program_.MonosFor(succ).size(), 1u);
+  PredicateId plus = program_.FindPredicate("plus", 3);
+  EXPECT_EQ(program_.FdsFor(plus).size(), 3u);
+}
+
+TEST_F(BuiltinsTest, SuccessorForwardAndBackward) {
+  const InfiniteRelation* succ = Rel("successor", 2);
+  ASSERT_NE(succ, nullptr);
+  EXPECT_TRUE(succ->SupportsBinding(AttrSet::Single(0)));
+  EXPECT_TRUE(succ->SupportsBinding(AttrSet::Single(1)));
+  EXPECT_FALSE(succ->SupportsBinding(AttrSet()));
+
+  auto fwd = Enumerate(succ, {program_.Int(4), kInvalidTerm});
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0][1], program_.Int(5));
+
+  auto bwd = Enumerate(succ, {kInvalidTerm, program_.Int(4)});
+  ASSERT_EQ(bwd.size(), 1u);
+  EXPECT_EQ(bwd[0][0], program_.Int(3));
+
+  EXPECT_EQ(Enumerate(succ, {program_.Int(1), program_.Int(2)}).size(), 1u);
+  EXPECT_EQ(Enumerate(succ, {program_.Int(1), program_.Int(3)}).size(), 0u);
+  // Non-integer arguments simply never match.
+  EXPECT_EQ(Enumerate(succ, {program_.Atom("a"), kInvalidTerm}).size(), 0u);
+}
+
+TEST_F(BuiltinsTest, PlusSolvesAnyTwo) {
+  const InfiniteRelation* plus = Rel("plus", 3);
+  EXPECT_FALSE(plus->SupportsBinding(AttrSet::Single(0)));
+  EXPECT_TRUE(plus->SupportsBinding(AttrSet::Of({0, 1})));
+
+  auto z = Enumerate(plus, {program_.Int(2), program_.Int(3), kInvalidTerm});
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_EQ(z[0][2], program_.Int(5));
+  auto y = Enumerate(plus, {program_.Int(2), kInvalidTerm, program_.Int(5)});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_EQ(y[0][1], program_.Int(3));
+  auto x = Enumerate(plus, {kInvalidTerm, program_.Int(3), program_.Int(5)});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_EQ(x[0][0], program_.Int(2));
+  EXPECT_EQ(
+      Enumerate(plus, {program_.Int(1), program_.Int(1), program_.Int(3)})
+          .size(),
+      0u);
+}
+
+TEST_F(BuiltinsTest, TimesHandlesDivisibility) {
+  const InfiniteRelation* times = Rel("times", 3);
+  auto z =
+      Enumerate(times, {program_.Int(3), program_.Int(4), kInvalidTerm});
+  ASSERT_EQ(z.size(), 1u);
+  EXPECT_EQ(z[0][2], program_.Int(12));
+  // 12 / 4 = 3.
+  auto x =
+      Enumerate(times, {kInvalidTerm, program_.Int(4), program_.Int(12)});
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_EQ(x[0][0], program_.Int(3));
+  // 7 not divisible by 2: no solutions.
+  EXPECT_EQ(
+      Enumerate(times, {kInvalidTerm, program_.Int(2), program_.Int(7)})
+          .size(),
+      0u);
+  // 0 * X = 5: no solutions.
+  EXPECT_EQ(
+      Enumerate(times, {program_.Int(0), kInvalidTerm, program_.Int(5)})
+          .size(),
+      0u);
+  // 0 * X = 0: infinitely many solutions -> error.
+  std::vector<Tuple> out;
+  Status st = times->Enumerate(
+      &program_, {program_.Int(0), kInvalidTerm, program_.Int(0)}, &out);
+  EXPECT_EQ(st.code(), StatusCode::kUnsafeQuery);
+}
+
+TEST_F(BuiltinsTest, LessIsATest) {
+  const InfiniteRelation* less = Rel("less", 2);
+  EXPECT_FALSE(less->SupportsBinding(AttrSet::Single(0)));
+  EXPECT_TRUE(less->SupportsBinding(AttrSet::Of({0, 1})));
+  EXPECT_EQ(Enumerate(less, {program_.Int(1), program_.Int(2)}).size(), 1u);
+  EXPECT_EQ(Enumerate(less, {program_.Int(2), program_.Int(2)}).size(), 0u);
+  EXPECT_EQ(Enumerate(less, {program_.Int(3), program_.Int(2)}).size(), 0u);
+}
+
+TEST_F(BuiltinsTest, IntegerMembership) {
+  const InfiniteRelation* integer = Rel("integer", 1);
+  EXPECT_EQ(Enumerate(integer, {program_.Int(42)}).size(), 1u);
+  EXPECT_EQ(Enumerate(integer, {program_.Atom("a")}).size(), 0u);
+  EXPECT_FALSE(integer->SupportsBinding(AttrSet()));
+}
+
+TEST_F(BuiltinsTest, BetweenEnumeratesBoundedRanges) {
+  const InfiniteRelation* between = Rel("between", 3);
+  EXPECT_TRUE(between->SupportsBinding(AttrSet::Of({0, 1})));
+  EXPECT_TRUE(between->SupportsBinding(AttrSet::Single(2)));
+  EXPECT_FALSE(between->SupportsBinding(AttrSet::Single(0)));
+
+  auto range =
+      Enumerate(between, {program_.Int(2), program_.Int(5), kInvalidTerm});
+  ASSERT_EQ(range.size(), 4u);  // 2,3,4,5
+  EXPECT_EQ(range.front()[2], program_.Int(2));
+  EXPECT_EQ(range.back()[2], program_.Int(5));
+  // Empty range.
+  EXPECT_TRUE(
+      Enumerate(between, {program_.Int(5), program_.Int(2), kInvalidTerm})
+          .empty());
+  // Membership.
+  EXPECT_EQ(Enumerate(between,
+                      {program_.Int(1), program_.Int(9), program_.Int(4)})
+                .size(),
+            1u);
+  EXPECT_EQ(Enumerate(between,
+                      {program_.Int(1), program_.Int(9), program_.Int(40)})
+                .size(),
+            0u);
+  // Range budget.
+  std::vector<Tuple> out;
+  Status st = between->Enumerate(
+      &program_, {program_.Int(0), program_.Int(10'000'000), kInvalidTerm},
+      &out);
+  EXPECT_EQ(st.code(), StatusCode::kBudgetExhausted);
+}
+
+TEST_F(BuiltinsTest, BetweenMakesRangeQueriesAnalyzablySafe) {
+  PredicateId between = program_.FindPredicate("between", 3);
+  std::vector<FiniteDependency> fds = program_.FdsFor(between);
+  ASSERT_EQ(fds.size(), 1u);
+  EXPECT_EQ(fds[0].lhs, AttrSet::Of({0, 1}));
+  EXPECT_EQ(fds[0].rhs, AttrSet::Single(2));
+}
+
+TEST_F(BuiltinsTest, AbsBothDirections) {
+  const InfiniteRelation* abs = Rel("abs", 2);
+  auto fwd = Enumerate(abs, {program_.Int(-7), kInvalidTerm});
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0][1], program_.Int(7));
+  // Backward: two preimages.
+  auto bwd = Enumerate(abs, {kInvalidTerm, program_.Int(7)});
+  EXPECT_EQ(bwd.size(), 2u);
+  // |X| = 0 has a single preimage.
+  EXPECT_EQ(Enumerate(abs, {kInvalidTerm, program_.Int(0)}).size(), 1u);
+  // Negative absolute values are impossible.
+  EXPECT_TRUE(Enumerate(abs, {kInvalidTerm, program_.Int(-3)}).empty());
+}
+
+TEST_F(BuiltinsTest, ModCanonicalResidue) {
+  const InfiniteRelation* mod = Rel("mod", 3);
+  auto r = Enumerate(mod, {program_.Int(7), program_.Int(3), kInvalidTerm});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0][2], program_.Int(1));
+  // Canonical non-negative residue for negative dividends.
+  auto neg =
+      Enumerate(mod, {program_.Int(-7), program_.Int(3), kInvalidTerm});
+  ASSERT_EQ(neg.size(), 1u);
+  EXPECT_EQ(neg[0][2], program_.Int(2));
+  // Non-positive modulus: no tuples.
+  EXPECT_TRUE(
+      Enumerate(mod, {program_.Int(7), program_.Int(0), kInvalidTerm})
+          .empty());
+  // Test form.
+  EXPECT_EQ(Enumerate(mod, {program_.Int(7), program_.Int(3),
+                            program_.Int(1)})
+                .size(),
+            1u);
+}
+
+TEST_F(BuiltinsTest, ConstructorBuildsAndDestructures) {
+  SymbolId cons = program_.symbols().Intern(TermPool::kConsName);
+  auto rel = MakeConstructorRelation(cons, 2);
+  ASSERT_TRUE(registry_.Register(&program_, "fn_cons", 2 + 1, rel).ok());
+
+  TermId one = program_.Int(1);
+  TermId nil = program_.Atom(TermPool::kNilName);
+  // Build [1].
+  std::vector<Tuple> built;
+  ASSERT_TRUE(
+      rel->Enumerate(&program_, {one, nil, kInvalidTerm}, &built).ok());
+  ASSERT_EQ(built.size(), 1u);
+  TermId list = built[0][2];
+  EXPECT_EQ(program_.terms().ToString(list, program_.symbols()), "[1]");
+  // Destructure it.
+  std::vector<Tuple> parts;
+  ASSERT_TRUE(
+      rel->Enumerate(&program_, {kInvalidTerm, kInvalidTerm, list}, &parts)
+          .ok());
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0][0], one);
+  EXPECT_EQ(parts[0][1], nil);
+  // Destructuring a non-cons term yields nothing.
+  std::vector<Tuple> none;
+  ASSERT_TRUE(
+      rel->Enumerate(&program_, {kInvalidTerm, kInvalidTerm, one}, &none)
+          .ok());
+  EXPECT_TRUE(none.empty());
+  // Constructor FDs: both directions.
+  PredicateId pred = program_.FindPredicate("fn_cons", 3);
+  EXPECT_EQ(program_.FdsFor(pred).size(), 2u);
+}
+
+TEST_F(BuiltinsTest, RegisterRejectsDerivedPredicate) {
+  Literal head = program_.MakeLiteral("d", {program_.Var("X")});
+  ASSERT_TRUE(program_.AddRule(Rule{head, {}}).ok());
+  BuiltinRegistry reg;
+  Status st = reg.Register(&program_, "d", 1, MakeIntegerRelation());
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(BuiltinsTest, ReRegistrationDoesNotDuplicateConstraints) {
+  PredicateId succ = program_.FindPredicate("successor", 2);
+  size_t fds = program_.FdsFor(succ).size();
+  size_t monos = program_.MonosFor(succ).size();
+  BuiltinRegistry reg2;
+  ASSERT_TRUE(
+      reg2.Register(&program_, "successor", 2, MakeSuccessorRelation()).ok());
+  EXPECT_EQ(program_.FdsFor(succ).size(), fds);
+  EXPECT_EQ(program_.MonosFor(succ).size(), monos);
+}
+
+}  // namespace
+}  // namespace hornsafe

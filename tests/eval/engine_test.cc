@@ -1,0 +1,214 @@
+#include "eval/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Result<Engine> Make(const char* text, EngineOptions opts = {}) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return Engine::Create(std::move(parsed).value(), opts);
+}
+
+TEST(EngineTest, SafeQueryRunsBottomUp) {
+  auto e = Make(R"(
+    edge(1,2). edge(2,3).
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+  )");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto r = e->Query("path(X,Y)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->safety, Safety::kSafe);
+  EXPECT_EQ(r->strategy, "bottom-up");
+  EXPECT_EQ(r->tuples.size(), 3u);
+}
+
+TEST(EngineTest, UnsafeQueryRefused) {
+  auto e = Make(R"(
+    .infinite f/2.
+    r(X) :- f(X,Y), b(Y).
+    b(1).
+  )");
+  ASSERT_TRUE(e.ok());
+  auto r = e->Query("r(X)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafeQuery);
+  EXPECT_NE(r.status().message().find("refusing to evaluate"),
+            std::string::npos);
+}
+
+TEST(EngineTest, EnforcementCanBeDisabled) {
+  EngineOptions opts;
+  opts.enforce_safety = false;
+  opts.bottom_up.max_tuples = 50;
+  opts.top_down.max_steps = 5000;
+  auto e = Make(R"(
+    .infinite successor/2.
+    count(1).
+    count(J) :- count(I), successor(I,J).
+  )",
+                opts);
+  ASSERT_TRUE(e.ok());
+  auto r = e->Query("count(X)");
+  // Evaluation proceeds but trips the budget guard.
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(EngineTest, BoundQueryRunsTopDown) {
+  auto e = Make(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  ASSERT_TRUE(e.ok());
+  // concat with the third argument bound is safe: the constructor FDs
+  // let the bound list determine the splits.
+  auto r = e->Query("concat(A, B, [1,2])");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->strategy, "top-down");
+  EXPECT_EQ(r->tuples.size(), 3u);
+}
+
+TEST(EngineTest, ConcatAllFreeIsRefused) {
+  auto e = Make(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  ASSERT_TRUE(e.ok());
+  auto r = e->Query("concat(A, B, C)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsafeQuery);
+}
+
+TEST(EngineTest, StandardBuiltinsAreAnalyzableAndCallable) {
+  auto e = Make("seed(1).");
+  ASSERT_TRUE(e.ok());
+  // successor(3, X): safe via the FD 1 -> 2 and evaluable.
+  auto r = e->Query("successor(3, X)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(r->tuples[0][1], e->program().Int(4));
+  // successor(X, Y) free: refused.
+  auto bad = e->Query("successor(X, Y)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsafeQuery);
+}
+
+TEST(EngineTest, AnalyzeReportsPerArgumentVerdicts) {
+  auto e = Make(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    r(X,Y) :- f(X,Y), a(Y).
+    a(1).
+  )");
+  ASSERT_TRUE(e.ok());
+  Literal q = e->program().MakeLiteral(
+      "r", {e->program().Var("X"), e->program().Var("Y")});
+  auto analysis = e->Analyze(q);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_EQ(analysis->overall, Safety::kSafe);
+  ASSERT_EQ(analysis->args.size(), 2u);
+  EXPECT_EQ(analysis->args[0].safety, Safety::kSafe);
+  EXPECT_EQ(analysis->args[1].safety, Safety::kSafe);
+}
+
+TEST(EngineTest, GroundArgumentsCountAsBound) {
+  auto e = Make(R"(
+    r(X,Y) :- successor(X,Y), b(X).
+    b(1).
+  )");
+  ASSERT_TRUE(e.ok());
+  // r(X,Y) free is safe: X from b, Y via the successor FD 1 -> 2.
+  auto free = e->Query("r(X,Y)");
+  ASSERT_TRUE(free.ok()) << free.status().ToString();
+  ASSERT_EQ(free->tuples.size(), 1u);
+  EXPECT_EQ(free->tuples[0][1], e->program().Int(2));
+  // Membership test with both bound is also safe (and false here).
+  auto bound = e->Query("r(1, 5)");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_TRUE(bound->tuples.empty());
+}
+
+TEST(EngineTest, CustomBuiltinRegistration) {
+  auto e = Make("seed(2).");
+  ASSERT_TRUE(e.ok());
+  SymbolId pair_sym = e->program().symbols().Intern("pair");
+  ASSERT_TRUE(
+      e->RegisterBuiltin("mk_pair", 3, MakeConstructorRelation(pair_sym, 2))
+          .ok());
+  auto r = e->Query("mk_pair(1, 2, P)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(e->program().terms().ToString(r->tuples[0][2],
+                                          e->program().symbols()),
+            "pair(1,2)");
+}
+
+TEST(EngineTest, QueryTextParseErrorsSurface) {
+  auto e = Make("b(1).");
+  ASSERT_TRUE(e.ok());
+  auto r = e->Query("b(");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(EngineTest, BetweenRangeQueryEndToEnd) {
+  auto e = Make(R"(
+    node(3). node(7). node(12).
+    in_range(L, H, X) :- between(L, H, X), node(X).
+  )");
+  ASSERT_TRUE(e.ok());
+  // Bound range: safe through the {1,2} -> 3 dependency and evaluable.
+  auto r = e->Query("in_range(1, 10, X)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 2u);  // 3 and 7
+  // Free range ends: refused.
+  auto bad = e->Query("in_range(L, H, 3)");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsafeQuery);
+}
+
+TEST(EngineTest, AbsAndModEndToEnd) {
+  auto e = Make(R"(
+    reading(-7). reading(4).
+    magnitude(M) :- reading(X), abs(X, M).
+    parity(P) :- reading(X), abs(X, M), mod(M, 2, P).
+  )");
+  ASSERT_TRUE(e.ok());
+  auto mags = e->Query("magnitude(M)");
+  ASSERT_TRUE(mags.ok()) << mags.status().ToString();
+  EXPECT_EQ(mags->tuples.size(), 2u);  // 7 and 4
+  auto parities = e->Query("parity(P)");
+  ASSERT_TRUE(parities.ok()) << parities.status().ToString();
+  EXPECT_EQ(parities->tuples.size(), 2u);  // 1 and 0
+}
+
+TEST(EngineTest, PaperExample1EndToEnd) {
+  // The full Example 1 flow: the all-free ancestor query is refused
+  // (cyclic parent data could make J unbounded), while the J-bound
+  // variant evaluates.
+  auto e = Make(R"(
+    parent(cain, adam).
+    parent(abel, adam).
+    parent(sem, abel).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+  )");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto free = e->Query("ancestor(sem, Y, J)");
+  ASSERT_FALSE(free.ok());
+  EXPECT_EQ(free.status().code(), StatusCode::kUnsafeQuery);
+
+  auto bound = e->Query("ancestor(sem, Y, 2)");
+  ASSERT_TRUE(bound.ok()) << bound.status().ToString();
+  EXPECT_EQ(bound->strategy, "top-down");
+  ASSERT_EQ(bound->tuples.size(), 1u);
+  EXPECT_EQ(bound->tuples[0][1], e->program().Atom("adam"));
+}
+
+}  // namespace
+}  // namespace hornsafe

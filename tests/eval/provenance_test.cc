@@ -1,0 +1,130 @@
+// Tests for why-provenance tracking and Explain.
+
+#include <gtest/gtest.h>
+
+#include "eval/bottomup.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+struct Setup {
+  Program program;
+  BuiltinRegistry registry;
+  std::unique_ptr<BottomUpEvaluator> eval;
+};
+
+std::unique_ptr<Setup> RunProgram(const char* text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto s = std::make_unique<Setup>();
+  s->program = std::move(parsed).value();
+  EXPECT_TRUE(RegisterStandardBuiltins(&s->program, &s->registry).ok());
+  BottomUpOptions opts;
+  opts.track_provenance = true;
+  s->eval = std::make_unique<BottomUpEvaluator>(&s->program, &s->registry,
+                                                opts);
+  Status st = s->eval->Run();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return s;
+}
+
+TEST(ProvenanceTest, ExplainsTransitiveClosure) {
+  auto s = RunProgram(R"(
+    edge(1,2). edge(2,3). edge(3,4).
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+  )");
+  PredicateId path = s->program.FindPredicate("path", 2);
+  auto why = s->eval->Explain(path, {s->program.Int(1), s->program.Int(4)});
+  ASSERT_TRUE(why.ok()) << why.status().ToString();
+  // The root fact, a rule citation, and fact leaves all appear.
+  EXPECT_NE(why->find("path(1,4)"), std::string::npos) << *why;
+  EXPECT_NE(why->find("[rule: path(X,Y) :- path(X,Z), edge(Z,Y).]"),
+            std::string::npos)
+      << *why;
+  EXPECT_NE(why->find("edge(3,4)  [fact]"), std::string::npos) << *why;
+  // The recursive premise chain reaches the base case.
+  EXPECT_NE(why->find("path(1,2)"), std::string::npos) << *why;
+  EXPECT_NE(why->find("edge(1,2)  [fact]"), std::string::npos) << *why;
+}
+
+TEST(ProvenanceTest, BuiltinPremisesAreComputedLeaves) {
+  auto s = RunProgram(R"(
+    v(5).
+    next(J) :- v(I), successor(I,J).
+  )");
+  PredicateId next = s->program.FindPredicate("next", 1);
+  auto why = s->eval->Explain(next, {s->program.Int(6)});
+  ASSERT_TRUE(why.ok()) << why.status().ToString();
+  EXPECT_NE(why->find("successor(5,6)  [computed]"), std::string::npos)
+      << *why;
+  EXPECT_NE(why->find("v(5)  [fact]"), std::string::npos) << *why;
+}
+
+TEST(ProvenanceTest, DisabledTrackingIsReported) {
+  auto parsed = ParseProgram("b(1). r(X) :- b(X).");
+  ASSERT_TRUE(parsed.ok());
+  BuiltinRegistry registry;
+  BottomUpEvaluator eval(&parsed.value(), &registry);  // no provenance
+  ASSERT_TRUE(eval.Run().ok());
+  PredicateId r = parsed->FindPredicate("r", 1);
+  auto why = eval.Explain(r, {parsed->Int(1)});
+  ASSERT_FALSE(why.ok());
+  EXPECT_EQ(why.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ProvenanceTest, UnknownTupleIsNotFound) {
+  auto s = RunProgram("b(1). r(X) :- b(X).");
+  PredicateId r = s->program.FindPredicate("r", 1);
+  auto why = s->eval->Explain(r, {s->program.Int(99)});
+  ASSERT_FALSE(why.ok());
+  EXPECT_EQ(why.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ProvenanceTest, EdbFactExplainsAsLeaf) {
+  auto s = RunProgram("b(1). r(X) :- b(X).");
+  PredicateId b = s->program.FindPredicate("b", 1);
+  auto why = s->eval->Explain(b, {s->program.Int(1)});
+  ASSERT_TRUE(why.ok());
+  EXPECT_NE(why->find("[fact]"), std::string::npos);
+}
+
+TEST(ProvenanceTest, WellFoundedOnCyclicData) {
+  // A data cycle must not loop the explanation: premises are always
+  // strictly earlier derivations.
+  auto s = RunProgram(R"(
+    edge(1,2). edge(2,1).
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- path(X,Z), edge(Z,Y).
+  )");
+  PredicateId path = s->program.FindPredicate("path", 2);
+  auto why = s->eval->Explain(path, {s->program.Int(1), s->program.Int(1)});
+  ASSERT_TRUE(why.ok()) << why.status().ToString();
+  // Finite output with a bounded number of lines.
+  EXPECT_LT(why->size(), 4096u);
+  EXPECT_NE(why->find("path(1,1)"), std::string::npos);
+}
+
+TEST(ProvenanceTest, SemiNaiveAndNaiveBothRecord) {
+  for (bool semi : {true, false}) {
+    auto parsed = ParseProgram(R"(
+      edge(1,2). edge(2,3).
+      path(X,Y) :- edge(X,Y).
+      path(X,Y) :- path(X,Z), edge(Z,Y).
+    )");
+    ASSERT_TRUE(parsed.ok());
+    BuiltinRegistry registry;
+    BottomUpOptions opts;
+    opts.semi_naive = semi;
+    opts.track_provenance = true;
+    BottomUpEvaluator eval(&parsed.value(), &registry, opts);
+    ASSERT_TRUE(eval.Run().ok());
+    PredicateId path = parsed->FindPredicate("path", 2);
+    auto why = eval.Explain(path, {parsed->Int(1), parsed->Int(3)});
+    EXPECT_TRUE(why.ok()) << why.status().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hornsafe

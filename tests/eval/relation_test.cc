@@ -1,0 +1,97 @@
+#include "eval/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r;
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, ContainsAndEmpty) {
+  Relation r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_FALSE(r.Contains({7}));
+  r.Insert({7});
+  EXPECT_TRUE(r.Contains({7}));
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(RelationTest, ZeroArityTuple) {
+  Relation r;
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_TRUE(r.Contains({}));
+}
+
+TEST(RelationTest, ClearResets) {
+  Relation r;
+  r.Insert({1});
+  r.clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.Insert({1}));
+}
+
+TEST(RelationTest, IterationVisitsAll) {
+  Relation r;
+  r.Insert({1, 2});
+  r.Insert({3, 4});
+  size_t count = 0;
+  for (const Tuple& t : r) {
+    EXPECT_EQ(t.size(), 2u);
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(RelationTest, ProbeFindsMatchingColumn) {
+  Relation r;
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  r.Insert({2, 3});
+  EXPECT_EQ(r.Probe(0, 1).size(), 2u);
+  EXPECT_EQ(r.Probe(0, 2).size(), 1u);
+  EXPECT_EQ(r.Probe(1, 3).size(), 2u);
+  EXPECT_TRUE(r.Probe(0, 99).empty());
+}
+
+TEST(RelationTest, ProbeIndexMaintainedAcrossInserts) {
+  Relation r;
+  r.Insert({1, 2});
+  EXPECT_EQ(r.Probe(0, 1).size(), 1u);  // builds the index
+  r.Insert({1, 5});                     // must update it
+  EXPECT_EQ(r.Probe(0, 1).size(), 2u);
+  r.Insert({1, 5});                     // duplicate: no double entry
+  EXPECT_EQ(r.Probe(0, 1).size(), 2u);
+}
+
+TEST(RelationTest, ProbeOutOfRangeColumnIsEmpty) {
+  Relation r;
+  r.Insert({7});
+  EXPECT_TRUE(r.Probe(3, 7).empty());
+}
+
+TEST(RelationTest, ClearDropsIndexes) {
+  Relation r;
+  r.Insert({1});
+  EXPECT_EQ(r.Probe(0, 1).size(), 1u);
+  r.clear();
+  EXPECT_TRUE(r.Probe(0, 1).empty());
+  r.Insert({1});
+  EXPECT_EQ(r.Probe(0, 1).size(), 1u);
+}
+
+TEST(RelationTest, TuplesOfDifferentArityCoexist) {
+  Relation r;
+  EXPECT_TRUE(r.Insert({1}));
+  EXPECT_TRUE(r.Insert({1, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hornsafe

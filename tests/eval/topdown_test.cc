@@ -1,0 +1,175 @@
+#include "eval/topdown.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+struct Setup {
+  Program program;
+  BuiltinRegistry registry;
+};
+
+std::unique_ptr<Setup> Make(const char* text) {
+  auto parsed = ParseProgram(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto s = std::make_unique<Setup>();
+  s->program = std::move(parsed).value();
+  Status st = RegisterStandardBuiltins(&s->program, &s->registry);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return s;
+}
+
+Result<std::vector<Tuple>> Solve(Setup* s, const char* query,
+                                 TopDownOptions opts = {}) {
+  auto lit = ParseLiteralInto(query, &s->program);
+  EXPECT_TRUE(lit.ok()) << lit.status().ToString();
+  TopDownEvaluator eval(&s->program, &s->registry, opts);
+  return eval.Solve(*lit);
+}
+
+TEST(TopDownTest, FactLookup) {
+  auto s = Make("parent(sem, abel). parent(cain, adam).");
+  auto result = Solve(s.get(), "parent(sem, X)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0][1], s->program.Atom("abel"));
+}
+
+TEST(TopDownTest, Example7ConcatForward) {
+  // concat([1,2], [3], C) resolves structurally.
+  auto s = Make(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  auto result = Solve(s.get(), "concat([1,2],[3],C)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ(s->program.terms().ToString((*result)[0][2],
+                                        s->program.symbols()),
+            "[1,2,3]");
+}
+
+TEST(TopDownTest, Example7ConcatBackward) {
+  // Running concat backwards splits the bound result list: 4 splits of
+  // a 3-element list.
+  auto s = Make(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  auto result = Solve(s.get(), "concat(A, B, [1,2,3])");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 4u);
+}
+
+TEST(TopDownTest, ArithmeticGoalsDelayUntilBound) {
+  // plus(X,Y,Z) appears before its inputs are bound; the selector must
+  // delay it behind the fact goals.
+  auto s = Make(R"(
+    .infinite plus/3.
+    v(10). w(32).
+    answer(Z) :- plus(X, Y, Z), v(X), w(Y).
+  )");
+  auto result = Solve(s.get(), "answer(Z)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0][0], s->program.Int(42));
+}
+
+TEST(TopDownTest, FlounderingReportedAsUnsafe) {
+  auto s = Make(R"(
+    .infinite successor/2.
+    r(X,Y) :- successor(X,Y).
+  )");
+  auto result = Solve(s.get(), "r(X,Y)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsafeQuery);
+  EXPECT_NE(result.status().message().find("floundered"), std::string::npos);
+}
+
+TEST(TopDownTest, BoundArithmeticChain) {
+  auto s = Make(R"(
+    .infinite successor/2.
+    two_after(X, Z) :- successor(X, Y), successor(Y, Z).
+  )");
+  auto result = Solve(s.get(), "two_after(5, Z)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0][1], s->program.Int(7));
+}
+
+TEST(TopDownTest, RecursiveAncestorBoundSubject) {
+  auto s = Make(R"(
+    .infinite successor/2.
+    parent(sem, abel).
+    parent(abel, adam).
+    parent(abel, eve).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ancestor(X,Y,J) :- parent(X,Z), ancestor(Z,Y,I), successor(I,J).
+  )");
+  auto result = Solve(s.get(), "ancestor(sem, Y, J)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // abel at level 1; adam, eve at level 2.
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(TopDownTest, StepBudgetCatchesInfiniteDerivation) {
+  // Left-recursion with no data: SLD loops; the budget fires.
+  auto s = Make(R"(
+    p(X) :- p(X).
+    p(1).
+  )");
+  TopDownOptions opts;
+  opts.max_steps = 1000;
+  auto result = Solve(s.get(), "p(2)", opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(TopDownTest, MaxSolutionsStopsEarly) {
+  auto s = Make("n(1). n(2). n(3). n(4).");
+  TopDownOptions opts;
+  opts.max_solutions = 2;
+  auto result = Solve(s.get(), "n(X)", opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(TopDownTest, NonGroundSuccessIsUnsafe) {
+  // r(X) :- b: succeeds with X unbound -> infinitely many instances.
+  auto s = Make(R"(
+    flag.
+    r(X) :- flag.
+  )");
+  auto result = Solve(s.get(), "r(X)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsafeQuery);
+}
+
+TEST(TopDownTest, SolutionsAreDeduplicated) {
+  auto s = Make(R"(
+    e(1,2). e(2,3).
+    reach(X,Y) :- e(X,Y).
+    reach(X,Y) :- e(X,Z), reach(Z,Y).
+    twice(X) :- e(X,Y).
+    twice(X) :- reach(X,Y).
+  )");
+  auto result = Solve(s.get(), "twice(1)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+TEST(TopDownTest, ZeroArityGoals) {
+  auto s = Make(R"(
+    rain.
+    wet :- rain.
+  )");
+  auto result = Solve(s.get(), "wet");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 1u);  // the empty tuple
+}
+
+}  // namespace
+}  // namespace hornsafe

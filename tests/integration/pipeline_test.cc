@@ -1,0 +1,193 @@
+// Integration tests that exercise the whole stack — parser,
+// canonicalization, adornment, And-Or construction, pruning, subset
+// condition, monotonicity, and both evaluators — on realistic programs.
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "eval/engine.h"
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+TEST(PipelineTest, SameGenerationWithLevels) {
+  // Classic same-generation, extended with a depth counter.
+  auto e = Engine::Create(*ParseProgram(R"(
+    par(c1, p1). par(c2, p1). par(p1, g1). par(p2, g1).
+    sg(X, Y, 1) :- par(X, P), par(Y, P).
+    sg(X, Y, D) :- par(X, PX), sg(PX, PY, D1), par(Y, PY),
+                   successor(D1, D).
+    ?- sg(c1, Y, 1).
+  )"));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto direct = e->Query("sg(c1, Y, 1)");
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  // c1's siblings-in-generation at depth 1: c1 and c2.
+  EXPECT_EQ(direct->tuples.size(), 2u);
+  // Unbounded depth is refused (cyclic par would make D unbounded).
+  auto free = e->Query("sg(c1, Y, D)");
+  EXPECT_FALSE(free.ok());
+  EXPECT_EQ(free.status().code(), StatusCode::kUnsafeQuery);
+}
+
+TEST(PipelineTest, ListLengthViaPeanoStyleCounting) {
+  auto e = Engine::Create(*ParseProgram(R"(
+    len([], 0).
+    len([H|T], N) :- len(T, M), successor(M, N).
+  )"));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto r = e->Query("len([a,b,c,d], N)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(r->tuples[0][1], e->program().Int(4));
+}
+
+TEST(PipelineTest, ReverseWithAccumulator) {
+  auto e = Engine::Create(*ParseProgram(R"(
+    rev(L, R) :- rev_acc(L, [], R).
+    rev_acc([], A, A).
+    rev_acc([H|T], A, R) :- rev_acc(T, [H|A], R).
+  )"));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto r = e->Query("rev([1,2,3], R)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->tuples.size(), 1u);
+  EXPECT_EQ(e->program().terms().ToString(r->tuples[0][1],
+                                          e->program().symbols()),
+            "[3,2,1]");
+}
+
+TEST(PipelineTest, BomCostRollup) {
+  // Bill-of-materials cost roll-up: recursion + arithmetic, a textbook
+  // deductive-database workload.
+  auto e = Engine::Create(*ParseProgram(R"(
+    part_cost(wheel, 10).
+    part_cost(frame, 50).
+    assembly(bike, wheel).
+    assembly(bike, frame).
+    cost(P, C) :- part_cost(P, C).
+    cost(A, C) :- assembly(A, P), cost(P, C).
+    ?- cost(bike, C).
+  )"));
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  auto r = e->Query("cost(bike, C)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->tuples.size(), 2u);  // component costs 10 and 50
+}
+
+TEST(PipelineTest, RandomGraphTransitiveClosureAgreesAcrossStrategies) {
+  // Property: on random finite graphs, bottom-up and top-down agree on
+  // a fully materialisable derived predicate.
+  Rng rng(2024);
+  for (int round = 0; round < 5; ++round) {
+    int n = 4 + static_cast<int>(rng.Below(4));
+    std::string text;
+    // Acyclic (i < j) so that untabled SLD terminates.
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        if (rng.Chance(1, 3)) {
+          text += StrCat("edge(", i, ",", j, ").\n");
+        }
+      }
+    }
+    if (text.empty()) text = "edge(0,1).\n";
+    text +=
+        "path(X,Y) :- edge(X,Y).\n"
+        "path(X,Y) :- edge(X,Z), path(Z,Y).\n";
+    auto parsed = ParseProgram(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+    auto e = Engine::Create(*parsed);
+    ASSERT_TRUE(e.ok());
+    auto bottom_up = e->Query("path(X,Y)");  // all free -> bottom-up
+    ASSERT_TRUE(bottom_up.ok()) << bottom_up.status().ToString();
+    EXPECT_EQ(bottom_up->strategy, "bottom-up");
+
+    // Compare against top-down per source vertex.
+    size_t top_down_total = 0;
+    for (int i = 0; i < n; ++i) {
+      auto td = e->Query(StrCat("path(", i, ", Y)"));
+      ASSERT_TRUE(td.ok()) << td.status().ToString();
+      top_down_total += td->tuples.size();
+    }
+    EXPECT_EQ(top_down_total, bottom_up->tuples.size()) << text;
+  }
+}
+
+TEST(PipelineTest, AnalyzerVerdictsAreEvaluationConsistent) {
+  // Property: on a family of small FD-annotated programs, whenever the
+  // analyzer says SAFE, bottom-up evaluation reaches a fixpoint within
+  // a generous budget (safety soundness, operationally).
+  const char* programs[] = {
+      R"(.infinite f/2.
+         .fd f: 2 -> 1.
+         seed(10). seed(20).
+         r(X) :- f(X,Y), r(Y), seed(Y).
+         r(X) :- seed(X).
+         ?- r(X).)",
+      R"(seed(1).
+         r(X) :- r(X).
+         r(X) :- seed(X).
+         ?- r(X).)",
+      R"(a(1,2). a(2,3).
+         tc(X,Y) :- a(X,Y).
+         tc(X,Y) :- a(X,Z), tc(Z,Y).
+         ?- tc(X,Y).)",
+  };
+  for (const char* text : programs) {
+    auto parsed = ParseProgram(text);
+    ASSERT_TRUE(parsed.ok());
+    auto analyzer = SafetyAnalyzer::Create(*parsed);
+    ASSERT_TRUE(analyzer.ok());
+    std::vector<QueryAnalysis> qs = analyzer->AnalyzeQueries();
+    ASSERT_EQ(qs.size(), 1u);
+    if (qs[0].overall != Safety::kSafe) continue;
+
+    EngineOptions opts;
+    opts.enforce_safety = false;
+    opts.bottom_up.max_tuples = 100'000;
+    auto e = Engine::Create(*parsed, opts);
+    ASSERT_TRUE(e.ok());
+    // Programs using the declared-but-generatorless f are
+    // analysis-only; skip execution for them.
+    if (e->program().FindPredicate("f", 2) != kInvalidPredicate) continue;
+    const char* query = e->program().FindPredicate("r", 1) !=
+                                kInvalidPredicate
+                            ? "r(X)"
+                            : "tc(X,Y)";
+    auto r = e->Query(query);
+    EXPECT_TRUE(r.ok()) << text << "\n" << r.status().ToString();
+  }
+}
+
+TEST(PipelineTest, ParsePrintReparseIsStable) {
+  const char* text = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    b(1). b(2).
+    r(X) :- f(X,Y), r(Y), a(Y).
+    r(X) :- b(X).
+    ?- r(X).
+  )";
+  auto first = ParseProgram(text);
+  ASSERT_TRUE(first.ok());
+  std::string printed = first->ToString();
+  auto second = ParseProgram(printed);
+  ASSERT_TRUE(second.ok()) << "reparse failed on:\n"
+                           << printed << "\n"
+                           << second.status().ToString();
+  EXPECT_EQ(printed, second->ToString());
+  // And the verdicts agree.
+  auto a1 = SafetyAnalyzer::Create(*first);
+  auto a2 = SafetyAnalyzer::Create(*second);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(a1->AnalyzeQueries()[0].overall, a2->AnalyzeQueries()[0].overall);
+}
+
+}  // namespace
+}  // namespace hornsafe

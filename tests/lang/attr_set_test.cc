@@ -1,0 +1,75 @@
+#include "lang/attr_set.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(AttrSetTest, EmptyByDefault) {
+  AttrSet s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Count(), 0);
+}
+
+TEST(AttrSetTest, SingleAndOf) {
+  AttrSet s = AttrSet::Single(3);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+  AttrSet t = AttrSet::Of({0, 2, 5});
+  EXPECT_EQ(t.Count(), 3);
+  EXPECT_TRUE(t.Contains(0));
+  EXPECT_TRUE(t.Contains(2));
+  EXPECT_TRUE(t.Contains(5));
+}
+
+TEST(AttrSetTest, AllBelow) {
+  EXPECT_EQ(AttrSet::AllBelow(0).Count(), 0);
+  EXPECT_EQ(AttrSet::AllBelow(3).Count(), 3);
+  EXPECT_EQ(AttrSet::AllBelow(64).Count(), 64);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  AttrSet a = AttrSet::Of({0, 1, 2});
+  AttrSet b = AttrSet::Of({2, 3});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({0, 1, 2, 3}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Of({2}));
+  EXPECT_EQ(a.Minus(b), AttrSet::Of({0, 1}));
+  EXPECT_TRUE(AttrSet::Of({1}).SubsetOf(a));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(AttrSet().SubsetOf(a));
+  EXPECT_TRUE(AttrSet().SubsetOf(AttrSet()));
+}
+
+TEST(AttrSetTest, AddRemove) {
+  AttrSet s;
+  s.Add(4);
+  EXPECT_TRUE(s.Contains(4));
+  s.Remove(4);
+  EXPECT_TRUE(s.Empty());
+  s.Remove(5);  // removing an absent element is a no-op
+  EXPECT_TRUE(s.Empty());
+}
+
+TEST(AttrSetTest, ToVectorSorted) {
+  AttrSet s = AttrSet::Of({5, 0, 3});
+  std::vector<uint32_t> v = s.ToVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 0u);
+  EXPECT_EQ(v[1], 3u);
+  EXPECT_EQ(v[2], 5u);
+}
+
+TEST(AttrSetTest, ToStringIsOneBased) {
+  EXPECT_EQ(AttrSet::Of({0, 2}).ToString(), "{1,3}");
+  EXPECT_EQ(AttrSet().ToString(), "{}");
+}
+
+TEST(AttrSetTest, HighestBitWorks) {
+  AttrSet s = AttrSet::Single(63);
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.Count(), 1);
+  EXPECT_EQ(s.ToVector().front(), 63u);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,170 @@
+#include "lang/program.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(ProgramTest, InternPredicateByNameAndArity) {
+  Program p;
+  PredicateId a = p.InternPredicate("r", 2);
+  PredicateId b = p.InternPredicate("r", 2);
+  PredicateId c = p.InternPredicate("r", 3);  // same name, other arity
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(p.FindPredicate("r", 2), a);
+  EXPECT_EQ(p.FindPredicate("r", 4), kInvalidPredicate);
+  EXPECT_EQ(p.PredicateName(a), "r");
+  EXPECT_EQ(p.predicate(a).arity, 2u);
+}
+
+TEST(ProgramTest, KindsStartFiniteAndUpgrade) {
+  Program p;
+  PredicateId succ = p.InternPredicate("successor", 2);
+  EXPECT_TRUE(p.IsFiniteBase(succ));
+  ASSERT_TRUE(p.DeclareInfinite(succ).ok());
+  EXPECT_TRUE(p.IsInfiniteBase(succ));
+
+  Literal head = p.MakeLiteral("anc", {p.Var("X"), p.Var("Y")});
+  Literal body = p.MakeLiteral("parent", {p.Var("X"), p.Var("Y")});
+  ASSERT_TRUE(p.AddRule(Rule{head, {body}}).ok());
+  EXPECT_TRUE(p.IsDerived(p.FindPredicate("anc", 2)));
+  EXPECT_TRUE(p.IsFiniteBase(p.FindPredicate("parent", 2)));
+}
+
+TEST(ProgramTest, InfinitePredicateRejectsRulesAndFacts) {
+  Program p;
+  PredicateId f = p.InternPredicate("f", 1);
+  ASSERT_TRUE(p.DeclareInfinite(f).ok());
+  EXPECT_FALSE(p.AddRule(Rule{Literal{f, {p.Var("X")}}, {}}).ok());
+  EXPECT_FALSE(p.AddFact(Literal{f, {p.Int(1)}}).ok());
+}
+
+TEST(ProgramTest, DerivedPredicateCannotBeDeclaredInfinite) {
+  Program p;
+  Literal head = p.MakeLiteral("r", {p.Var("X")});
+  ASSERT_TRUE(p.AddRule(Rule{head, {}}).ok());
+  EXPECT_FALSE(p.DeclareInfinite(head.pred).ok());
+}
+
+TEST(ProgramTest, FactsMustBeGround) {
+  Program p;
+  Literal bad = p.MakeLiteral("b", {p.Var("X")});
+  EXPECT_FALSE(p.AddFact(bad).ok());
+  Literal good = p.MakeLiteral("b", {p.Atom("a")});
+  EXPECT_TRUE(p.AddFact(good).ok());
+}
+
+TEST(ProgramTest, ArityMismatchRejected) {
+  Program p;
+  PredicateId r = p.InternPredicate("r", 2);
+  Literal wrong{r, {p.Var("X")}};
+  EXPECT_FALSE(p.AddRule(Rule{wrong, {}}).ok());
+  EXPECT_FALSE(p.AddFact(wrong).ok());
+  EXPECT_FALSE(p.AddQuery(wrong).ok());
+}
+
+TEST(ProgramTest, FdValidation) {
+  Program p;
+  PredicateId f = p.InternPredicate("f", 2);
+  ASSERT_TRUE(p.DeclareInfinite(f).ok());
+  EXPECT_TRUE(p.AddFiniteDependency(
+                   FiniteDependency{f, AttrSet::Single(1), AttrSet::Single(0)})
+                  .ok());
+  // Attribute out of range.
+  EXPECT_FALSE(p.AddFiniteDependency(
+                    FiniteDependency{f, AttrSet::Single(2), AttrSet::Single(0)})
+                   .ok());
+  // FDs over derived predicates are not integrity constraints.
+  Literal head = p.MakeLiteral("r", {p.Var("X")});
+  ASSERT_TRUE(p.AddRule(Rule{head, {}}).ok());
+  EXPECT_FALSE(p.AddFiniteDependency(FiniteDependency{head.pred, AttrSet(),
+                                                      AttrSet::Single(0)})
+                   .ok());
+}
+
+TEST(ProgramTest, MonoValidation) {
+  Program p;
+  PredicateId f = p.InternPredicate("f", 2);
+  ASSERT_TRUE(p.DeclareInfinite(f).ok());
+  MonotonicityConstraint ok{f, MonoKind::kAttrGreaterAttr, 1, 0, 0};
+  EXPECT_TRUE(p.AddMonotonicity(ok).ok());
+  MonotonicityConstraint self{f, MonoKind::kAttrGreaterAttr, 1, 1, 0};
+  EXPECT_FALSE(p.AddMonotonicity(self).ok());
+  MonotonicityConstraint oor{f, MonoKind::kAttrGreaterConst, 5, 0, 0};
+  EXPECT_FALSE(p.AddMonotonicity(oor).ok());
+}
+
+TEST(ProgramTest, FdsForAndMonosForFilter) {
+  Program p;
+  PredicateId f = p.InternPredicate("f", 2);
+  PredicateId g = p.InternPredicate("g", 2);
+  ASSERT_TRUE(p.DeclareInfinite(f).ok());
+  ASSERT_TRUE(p.DeclareInfinite(g).ok());
+  ASSERT_TRUE(p.AddFiniteDependency(
+                   FiniteDependency{f, AttrSet::Single(0), AttrSet::Single(1)})
+                  .ok());
+  ASSERT_TRUE(p.AddFiniteDependency(
+                   FiniteDependency{g, AttrSet::Single(1), AttrSet::Single(0)})
+                  .ok());
+  EXPECT_EQ(p.FdsFor(f).size(), 1u);
+  EXPECT_EQ(p.FdsFor(g).size(), 1u);
+  EXPECT_EQ(p.FdsFor(f)[0].lhs, AttrSet::Single(0));
+}
+
+TEST(ProgramTest, ValidateRejectsEdbIdbOverlap) {
+  Program p;
+  Literal fact = p.MakeLiteral("r", {p.Atom("a")});
+  ASSERT_TRUE(p.AddFact(fact).ok());
+  Literal head = p.MakeLiteral("r", {p.Var("X")});
+  ASSERT_TRUE(p.AddRule(Rule{head, {}}).ok());
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(ProgramTest, RulesForFindsAllRules) {
+  Program p;
+  Literal h1 = p.MakeLiteral("r", {p.Var("X")});
+  Literal h2 = p.MakeLiteral("r", {p.Var("Y")});
+  Literal other = p.MakeLiteral("s", {p.Var("Z")});
+  ASSERT_TRUE(p.AddRule(Rule{h1, {}}).ok());
+  ASSERT_TRUE(p.AddRule(Rule{h2, {}}).ok());
+  ASSERT_TRUE(p.AddRule(Rule{other, {}}).ok());
+  EXPECT_EQ(p.RulesFor(h1.pred).size(), 2u);
+  EXPECT_EQ(p.RulesFor(other.pred).size(), 1u);
+}
+
+TEST(ProgramTest, ToStringRoundTripShapes) {
+  Program p;
+  PredicateId succ = p.InternPredicate("successor", 2);
+  ASSERT_TRUE(p.DeclareInfinite(succ).ok());
+  ASSERT_TRUE(
+      p.AddFact(p.MakeLiteral("parent", {p.Atom("sem"), p.Atom("abel")}))
+          .ok());
+  Literal head = p.MakeLiteral("anc", {p.Var("X"), p.Var("Y")});
+  Literal body = p.MakeLiteral("parent", {p.Var("X"), p.Var("Y")});
+  ASSERT_TRUE(p.AddRule(Rule{head, {body}}).ok());
+  ASSERT_TRUE(p.AddQuery(head).ok());
+  std::string s = p.ToString();
+  EXPECT_NE(s.find(".infinite successor/2."), std::string::npos);
+  EXPECT_NE(s.find("parent(sem,abel)."), std::string::npos);
+  EXPECT_NE(s.find("anc(X,Y) :- parent(X,Y)."), std::string::npos);
+  EXPECT_NE(s.find("?- anc(X,Y)."), std::string::npos);
+}
+
+TEST(ProgramTest, RuleVariablesOrderedAndDistinct) {
+  Program p;
+  TermId x = p.Var("X");
+  TermId y = p.Var("Y");
+  TermId z = p.Var("Z");
+  Literal head = p.MakeLiteral("r", {x, p.Func("f", {y})});
+  Literal body = p.MakeLiteral("s", {z, x, y});
+  Rule rule{head, {body}};
+  std::vector<TermId> vars = RuleVariables(p.terms(), rule);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], x);
+  EXPECT_EQ(vars[1], y);
+  EXPECT_EQ(vars[2], z);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,58 @@
+#include "lang/symbol.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable t;
+  SymbolId a = t.Intern("parent");
+  SymbolId b = t.Intern("parent");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Name(a), "parent");
+}
+
+TEST(SymbolTableTest, DistinctNamesGetDistinctIds) {
+  SymbolTable t;
+  SymbolId a = t.Intern("a");
+  SymbolId b = t.Intern("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(SymbolTableTest, LookupWithoutIntern) {
+  SymbolTable t;
+  EXPECT_EQ(t.Lookup("ghost"), kInvalidSymbol);
+  SymbolId a = t.Intern("real");
+  EXPECT_EQ(t.Lookup("real"), a);
+}
+
+TEST(SymbolTableTest, InternFreshAvoidsCollisions) {
+  SymbolTable t;
+  SymbolId base = t.Intern("b");
+  SymbolId f1 = t.InternFresh("b");
+  SymbolId f2 = t.InternFresh("b");
+  EXPECT_NE(f1, base);
+  EXPECT_NE(f2, base);
+  EXPECT_NE(f1, f2);
+  EXPECT_EQ(t.Name(f1), "b$1");
+  EXPECT_EQ(t.Name(f2), "b$2");
+}
+
+TEST(SymbolTableTest, InternFreshOnUnusedNameUsesBase) {
+  SymbolTable t;
+  SymbolId f = t.InternFresh("novel");
+  EXPECT_EQ(t.Name(f), "novel");
+}
+
+TEST(SymbolTableTest, EmptyStringIsAValidSymbol) {
+  SymbolTable t;
+  SymbolId e = t.Intern("");
+  EXPECT_EQ(t.Name(e), "");
+  EXPECT_EQ(t.Lookup(""), e);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,103 @@
+#include "lang/term.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+class TermPoolTest : public ::testing::Test {
+ protected:
+  TermId Var(const char* n) { return pool_.MakeVariable(syms_.Intern(n)); }
+  TermId Atom(const char* n) { return pool_.MakeAtom(syms_.Intern(n)); }
+  TermId Fn(const char* n, std::vector<TermId> args) {
+    return pool_.MakeFunction(syms_.Intern(n), std::move(args));
+  }
+  TermId Cons(TermId h, TermId t) {
+    return pool_.MakeFunction(syms_.Intern(TermPool::kConsName), {h, t});
+  }
+  TermId Nil() { return pool_.MakeAtom(syms_.Intern(TermPool::kNilName)); }
+
+  SymbolTable syms_;
+  TermPool pool_;
+};
+
+TEST_F(TermPoolTest, HashConsingDeduplicates) {
+  TermId a = Fn("f", {Var("X"), Atom("c")});
+  TermId b = Fn("f", {Var("X"), Atom("c")});
+  EXPECT_EQ(a, b);
+  TermId c = Fn("f", {Var("Y"), Atom("c")});
+  EXPECT_NE(a, c);
+}
+
+TEST_F(TermPoolTest, IntsInternByValue) {
+  EXPECT_EQ(pool_.MakeInt(5), pool_.MakeInt(5));
+  EXPECT_NE(pool_.MakeInt(5), pool_.MakeInt(-5));
+}
+
+TEST_F(TermPoolTest, KindPredicates) {
+  TermId v = Var("X");
+  TermId a = Atom("abel");
+  TermId i = pool_.MakeInt(3);
+  TermId f = Fn("g", {v});
+  EXPECT_TRUE(pool_.IsVariable(v));
+  EXPECT_TRUE(pool_.IsConstant(a));
+  EXPECT_TRUE(pool_.IsConstant(i));
+  EXPECT_TRUE(pool_.IsFunction(f));
+  EXPECT_FALSE(pool_.IsConstant(f));
+}
+
+TEST_F(TermPoolTest, GroundnessRecurses) {
+  EXPECT_TRUE(pool_.IsGround(Atom("a")));
+  EXPECT_TRUE(pool_.IsGround(pool_.MakeInt(1)));
+  EXPECT_FALSE(pool_.IsGround(Var("X")));
+  EXPECT_TRUE(pool_.IsGround(Fn("f", {Atom("a"), pool_.MakeInt(2)})));
+  EXPECT_FALSE(pool_.IsGround(Fn("f", {Atom("a"), Var("X")})));
+  EXPECT_FALSE(pool_.IsGround(Fn("f", {Fn("g", {Var("X")})})));
+}
+
+TEST_F(TermPoolTest, CollectVariablesLeftToRightWithDuplicates) {
+  TermId x = Var("X");
+  TermId y = Var("Y");
+  TermId t = Fn("f", {x, Fn("g", {y, x})});
+  std::vector<TermId> vars;
+  pool_.CollectVariables(t, &vars);
+  ASSERT_EQ(vars.size(), 3u);
+  EXPECT_EQ(vars[0], x);
+  EXPECT_EQ(vars[1], y);
+  EXPECT_EQ(vars[2], x);
+}
+
+TEST_F(TermPoolTest, DepthCounts) {
+  EXPECT_EQ(pool_.Depth(Atom("a")), 1);
+  EXPECT_EQ(pool_.Depth(Fn("f", {Atom("a")})), 2);
+  EXPECT_EQ(pool_.Depth(Fn("f", {Fn("g", {Var("X")}), Atom("a")})), 3);
+}
+
+TEST_F(TermPoolTest, ToStringBasics) {
+  EXPECT_EQ(pool_.ToString(Var("Xs"), syms_), "Xs");
+  EXPECT_EQ(pool_.ToString(Atom("adam"), syms_), "adam");
+  EXPECT_EQ(pool_.ToString(pool_.MakeInt(-7), syms_), "-7");
+  EXPECT_EQ(pool_.ToString(Fn("f", {Var("X"), pool_.MakeInt(5)}), syms_),
+            "f(X,5)");
+}
+
+TEST_F(TermPoolTest, ToStringListSugar) {
+  TermId l = Cons(pool_.MakeInt(1), Cons(pool_.MakeInt(2), Nil()));
+  EXPECT_EQ(pool_.ToString(l, syms_), "[1,2]");
+  TermId open = Cons(Var("H"), Var("T"));
+  EXPECT_EQ(pool_.ToString(open, syms_), "[H|T]");
+  EXPECT_EQ(pool_.ToString(Nil(), syms_), "[]");
+}
+
+TEST_F(TermPoolTest, SharedSubtermsStoredOnce) {
+  size_t before = pool_.size();
+  TermId shared = Fn("g", {Var("X")});
+  TermId t1 = Fn("f", {shared, shared});
+  (void)t1;
+  size_t after = pool_.size();
+  // Only g(X), X and f(g(X),g(X)) are new: 3 nodes.
+  EXPECT_EQ(after - before, 3u);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,132 @@
+#include "lang/unify.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+class UnifyTest : public ::testing::Test {
+ protected:
+  TermId Var(const char* n) { return pool_.MakeVariable(syms_.Intern(n)); }
+  TermId Atom(const char* n) { return pool_.MakeAtom(syms_.Intern(n)); }
+  TermId Int(int64_t v) { return pool_.MakeInt(v); }
+  TermId Fn(const char* n, std::vector<TermId> args) {
+    return pool_.MakeFunction(syms_.Intern(n), std::move(args));
+  }
+
+  SymbolTable syms_;
+  TermPool pool_;
+};
+
+TEST_F(UnifyTest, IdenticalTermsUnify) {
+  Substitution s;
+  EXPECT_TRUE(Unify(pool_, Atom("a"), Atom("a"), &s));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST_F(UnifyTest, DistinctConstantsFail) {
+  Substitution s;
+  EXPECT_FALSE(Unify(pool_, Atom("a"), Atom("b"), &s));
+  Substitution s2;
+  EXPECT_FALSE(Unify(pool_, Int(1), Int(2), &s2));
+  Substitution s3;
+  EXPECT_FALSE(Unify(pool_, Int(1), Atom("a"), &s3));
+}
+
+TEST_F(UnifyTest, VariableBindsToTerm) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId t = Fn("f", {Atom("a")});
+  EXPECT_TRUE(Unify(pool_, x, t, &s));
+  EXPECT_EQ(ApplySubstitution(pool_, s, x), t);
+}
+
+TEST_F(UnifyTest, FunctionArgsUnifyPointwise) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId y = Var("Y");
+  TermId lhs = Fn("f", {x, Atom("b")});
+  TermId rhs = Fn("f", {Atom("a"), y});
+  EXPECT_TRUE(Unify(pool_, lhs, rhs, &s));
+  EXPECT_EQ(ApplySubstitution(pool_, s, x), Atom("a"));
+  EXPECT_EQ(ApplySubstitution(pool_, s, y), Atom("b"));
+}
+
+TEST_F(UnifyTest, FunctorMismatchFails) {
+  Substitution s;
+  EXPECT_FALSE(Unify(pool_, Fn("f", {Var("X")}), Fn("g", {Var("Y")}), &s));
+  Substitution s2;
+  EXPECT_FALSE(
+      Unify(pool_, Fn("f", {Var("X")}), Fn("f", {Var("Y"), Var("Z")}), &s2));
+}
+
+TEST_F(UnifyTest, OccursCheckPreventsCyclicTerms) {
+  Substitution s;
+  TermId x = Var("X");
+  EXPECT_FALSE(Unify(pool_, x, Fn("f", {x}), &s));
+}
+
+TEST_F(UnifyTest, ChainedBindingsResolve) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId y = Var("Y");
+  EXPECT_TRUE(Unify(pool_, x, y, &s));
+  EXPECT_TRUE(Unify(pool_, y, Atom("a"), &s));
+  EXPECT_EQ(ApplySubstitution(pool_, s, x), Atom("a"));
+}
+
+TEST_F(UnifyTest, SharedVariableMustAgree) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId lhs = Fn("f", {x, x});
+  TermId rhs = Fn("f", {Atom("a"), Atom("b")});
+  EXPECT_FALSE(Unify(pool_, lhs, rhs, &s));
+
+  Substitution s2;
+  TermId rhs2 = Fn("f", {Atom("a"), Atom("a")});
+  EXPECT_TRUE(Unify(pool_, lhs, rhs2, &s2));
+}
+
+TEST_F(UnifyTest, ApplySubstitutionDeep) {
+  Substitution s;
+  TermId x = Var("X");
+  s[x] = Int(7);
+  TermId t = Fn("f", {Fn("g", {x}), Atom("k")});
+  TermId expected = Fn("f", {Fn("g", {Int(7)}), Atom("k")});
+  EXPECT_EQ(ApplySubstitution(pool_, s, t), expected);
+}
+
+TEST_F(UnifyTest, ApplyLeavesUnboundVariables) {
+  Substitution s;
+  TermId x = Var("X");
+  EXPECT_EQ(ApplySubstitution(pool_, s, x), x);
+}
+
+TEST_F(UnifyTest, MatchGroundBindsOnlyPatternVars) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId pattern = Fn("f", {x, Atom("b")});
+  TermId ground = Fn("f", {Int(3), Atom("b")});
+  EXPECT_TRUE(MatchGround(pool_, pattern, ground, &s));
+  EXPECT_EQ(ApplySubstitution(pool_, s, x), Int(3));
+}
+
+TEST_F(UnifyTest, MatchGroundRejectsMismatch) {
+  Substitution s;
+  TermId pattern = Fn("f", {Atom("a")});
+  TermId ground = Fn("f", {Atom("b")});
+  EXPECT_FALSE(MatchGround(pool_, pattern, ground, &s));
+}
+
+TEST_F(UnifyTest, MatchGroundSharedVariableAgreement) {
+  Substitution s;
+  TermId x = Var("X");
+  TermId pattern = Fn("f", {x, x});
+  EXPECT_FALSE(
+      MatchGround(pool_, pattern, Fn("f", {Int(1), Int(2)}), &s));
+  Substitution s2;
+  EXPECT_TRUE(MatchGround(pool_, pattern, Fn("f", {Int(1), Int(1)}), &s2));
+}
+
+}  // namespace
+}  // namespace hornsafe

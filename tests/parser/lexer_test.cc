@@ -1,0 +1,128 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::vector<Token>& toks) {
+  std::vector<TokenKind> out;
+  for (const Token& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(LexerTest, EmptyInputIsJustEof) {
+  auto r = Lex("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, SimpleClause) {
+  auto r = Lex("anc(X,Y) :- parent(X,Y).");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> expected = {
+      TokenKind::kAtom,   TokenKind::kLParen, TokenKind::kVariable,
+      TokenKind::kComma,  TokenKind::kVariable, TokenKind::kRParen,
+      TokenKind::kImplies, TokenKind::kAtom,  TokenKind::kLParen,
+      TokenKind::kVariable, TokenKind::kComma, TokenKind::kVariable,
+      TokenKind::kRParen, TokenKind::kPeriod, TokenKind::kEof};
+  EXPECT_EQ(Kinds(*r), expected);
+  EXPECT_EQ((*r)[0].text, "anc");
+  EXPECT_EQ((*r)[2].text, "X");
+}
+
+TEST(LexerTest, CommentsIgnoredToEol) {
+  auto r = Lex("a. % this is a comment with symbols :- ?- .\nb.");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 5u);
+  EXPECT_EQ((*r)[0].text, "a");
+  EXPECT_EQ((*r)[2].text, "b");
+}
+
+TEST(LexerTest, IntegersIncludingNegative) {
+  auto r = Lex("5 -12 0");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 4u);
+  EXPECT_EQ((*r)[0].int_value, 5);
+  EXPECT_EQ((*r)[1].int_value, -12);
+  EXPECT_EQ((*r)[2].int_value, 0);
+}
+
+TEST(LexerTest, DirectiveVsPeriod) {
+  auto r = Lex(".fd f: 1 -> 2.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kDirective);
+  EXPECT_EQ((*r)[0].text, "fd");
+  EXPECT_EQ((*r)[1].kind, TokenKind::kAtom);
+  EXPECT_EQ((*r)[2].kind, TokenKind::kColon);
+  EXPECT_EQ((*r)[3].kind, TokenKind::kInt);
+  EXPECT_EQ((*r)[4].kind, TokenKind::kArrow);
+  EXPECT_EQ((*r)[5].kind, TokenKind::kInt);
+  EXPECT_EQ((*r)[6].kind, TokenKind::kPeriod);
+}
+
+TEST(LexerTest, QueryAndImpliesOperators) {
+  auto r = Lex("?- r(X). s :- t.");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kQuery);
+  EXPECT_EQ(Kinds(*r)[7], TokenKind::kImplies);
+}
+
+TEST(LexerTest, ListTokens) {
+  auto r = Lex("[X|Y] []");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> expected = {
+      TokenKind::kLBracket, TokenKind::kVariable, TokenKind::kBar,
+      TokenKind::kVariable, TokenKind::kRBracket, TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kEof};
+  EXPECT_EQ(Kinds(*r), expected);
+}
+
+TEST(LexerTest, QuotedAtoms) {
+  auto r = Lex("'hello world' 'it''s'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kAtom);
+  EXPECT_EQ((*r)[0].text, "hello world");
+  EXPECT_EQ((*r)[1].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedQuoteIsError) {
+  auto r = Lex("'oops");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, StrayCharacterIsError) {
+  auto r = Lex("a @ b");
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unexpected character"),
+            std::string::npos);
+}
+
+TEST(LexerTest, UnderscoreIsVariable) {
+  auto r = Lex("_ _Foo x_y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kVariable);
+  EXPECT_EQ((*r)[1].kind, TokenKind::kVariable);
+  EXPECT_EQ((*r)[2].kind, TokenKind::kAtom);  // lowercase start
+}
+
+TEST(LexerTest, PositionsAreTracked) {
+  auto r = Lex("a\n  b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].line, 1);
+  EXPECT_EQ((*r)[1].line, 2);
+  EXPECT_GE((*r)[1].column, 3);
+}
+
+TEST(LexerTest, SlashAndComparisons) {
+  auto r = Lex("p/2 1 > 2 < 3");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[1].kind, TokenKind::kSlash);
+  EXPECT_EQ((*r)[4].kind, TokenKind::kGreater);
+  EXPECT_EQ((*r)[6].kind, TokenKind::kLess);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,218 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(ParserTest, ParsesPaperExample1) {
+  // Example 1 of the paper: ancestor with generation counting.
+  auto r = ParseProgram(R"(
+    .infinite successor/2.
+    .fd successor: 1 -> 2.
+    .fd successor: 2 -> 1.
+    parent(cain, adam).
+    parent(abel, adam).
+    parent(cain, eve).
+    parent(abel, eve).
+    parent(sem, abel).
+    ancestor(X,Y,J) :- ancestor(X,Z,I), parent(Z,Y), successor(I,J).
+    ancestor(X,Y,1) :- parent(X,Y).
+    ?- ancestor(sem, Y, J).
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Program& p = *r;
+  EXPECT_EQ(p.facts().size(), 5u);
+  EXPECT_EQ(p.rules().size(), 2u);
+  EXPECT_EQ(p.fds().size(), 2u);
+  EXPECT_EQ(p.queries().size(), 1u);
+  PredicateId succ = p.FindPredicate("successor", 2);
+  ASSERT_NE(succ, kInvalidPredicate);
+  EXPECT_TRUE(p.IsInfiniteBase(succ));
+  EXPECT_TRUE(p.IsDerived(p.FindPredicate("ancestor", 3)));
+  EXPECT_TRUE(p.IsFiniteBase(p.FindPredicate("parent", 2)));
+}
+
+TEST(ParserTest, FdAttributesAreOneBasedInSyntax) {
+  auto r = ParseProgram(R"(
+    .infinite f/3.
+    .fd f: 2 3 -> 1.
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->fds().size(), 1u);
+  EXPECT_EQ(r->fds()[0].lhs, AttrSet::Of({1, 2}));  // 0-based internally
+  EXPECT_EQ(r->fds()[0].rhs, AttrSet::Of({0}));
+}
+
+TEST(ParserTest, MonoConstraintForms) {
+  auto r = ParseProgram(R"(
+    .infinite f/2.
+    .mono f: 2 > 1.
+    .mono f: 1 > const(0).
+    .mono f: 2 < const(100).
+    .mono f: 1 < 2.
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->monos().size(), 4u);
+  EXPECT_EQ(r->monos()[0].kind, MonoKind::kAttrGreaterAttr);
+  EXPECT_EQ(r->monos()[0].lhs_attr, 1u);
+  EXPECT_EQ(r->monos()[0].rhs_attr, 0u);
+  EXPECT_EQ(r->monos()[1].kind, MonoKind::kAttrGreaterConst);
+  EXPECT_EQ(r->monos()[1].bound, 0);
+  EXPECT_EQ(r->monos()[2].kind, MonoKind::kAttrLessConst);
+  EXPECT_EQ(r->monos()[2].bound, 100);
+  // "1 < 2" is normalised to "2 > 1".
+  EXPECT_EQ(r->monos()[3].kind, MonoKind::kAttrGreaterAttr);
+  EXPECT_EQ(r->monos()[3].lhs_attr, 1u);
+  EXPECT_EQ(r->monos()[3].rhs_attr, 0u);
+}
+
+TEST(ParserTest, ListSugarDesugarsToCons) {
+  auto r = ParseProgram(R"(
+    concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).
+    concat([], Z, Z).
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rules().size(), 2u);
+  // First rule head arg 0 is the cons function.
+  const Rule& rec = r->rules()[0];
+  TermId head0 = rec.head.args[0];
+  EXPECT_TRUE(r->terms().IsFunction(head0));
+  EXPECT_EQ(r->symbols().Name(r->terms().Get(head0).symbol),
+            TermPool::kConsName);
+  // Second rule: bodiless but with variables => rule, not fact.
+  EXPECT_EQ(r->facts().size(), 0u);
+  // Its first arg is the nil atom.
+  const Rule& base = r->rules()[1];
+  EXPECT_EQ(r->terms().ToString(base.head.args[0], r->symbols()), "[]");
+}
+
+TEST(ParserTest, ClosedListExpands) {
+  Program p;
+  auto lit = ParseLiteralInto("q([1,2,3])", &p);
+  ASSERT_TRUE(lit.ok()) << lit.status().ToString();
+  EXPECT_EQ(p.terms().ToString(lit->args[0], p.symbols()), "[1,2,3]");
+}
+
+TEST(ParserTest, GroundBodilessClauseIsFact) {
+  auto r = ParseProgram("edge(1, 2). edge(f(a), 3).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->facts().size(), 2u);
+  EXPECT_EQ(r->rules().size(), 0u);
+}
+
+TEST(ParserTest, NonGroundBodilessClauseIsRule) {
+  auto r = ParseProgram("r(X, X).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->facts().size(), 0u);
+  ASSERT_EQ(r->rules().size(), 1u);
+  EXPECT_TRUE(r->rules()[0].body.empty());
+}
+
+TEST(ParserTest, ConjunctiveQueryDesugarsLikeExample6) {
+  auto r = ParseProgram(R"(
+    a(1,2).
+    b(2,3).
+    ?- a(X,Y), b(Y,Z).
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->queries().size(), 1u);
+  const Literal& q = r->queries()[0];
+  EXPECT_EQ(r->PredicateName(q.pred), "query");
+  EXPECT_EQ(q.args.size(), 3u);  // X, Y, Z
+  ASSERT_EQ(r->rules().size(), 1u);
+  EXPECT_EQ(r->rules()[0].body.size(), 2u);
+}
+
+TEST(ParserTest, AnonymousVariablesAreDistinct) {
+  auto r = ParseProgram("r(X) :- s(_, _), t(X).");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Rule& rule = r->rules()[0];
+  EXPECT_NE(rule.body[0].args[0], rule.body[0].args[1]);
+}
+
+TEST(ParserTest, ConstraintOnUnknownPredicateFails) {
+  auto r = ParseProgram(".fd ghost: 1 -> 2.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown predicate"),
+            std::string::npos);
+}
+
+TEST(ParserTest, AttrOutOfRangeFails) {
+  auto r = ParseProgram(R"(
+    .infinite f/2.
+    .fd f: 1 -> 3.
+  )");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST(ParserTest, MissingPeriodFails) {
+  auto r = ParseProgram("a(1)");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto r = ParseProgram("a(1).\nb(2).\nc(.\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(ParserTest, FactOverInfinitePredicateRejected) {
+  auto r = ParseProgram(R"(
+    .infinite f/1.
+    f(1).
+  )");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ParserTest, NestedFunctionTerms) {
+  Program p;
+  auto lit = ParseLiteralInto("r(f(g(X), h(1, a)))", &p);
+  ASSERT_TRUE(lit.ok()) << lit.status().ToString();
+  EXPECT_EQ(p.terms().ToString(lit->args[0], p.symbols()), "f(g(X),h(1,a))");
+  EXPECT_EQ(p.terms().Depth(lit->args[0]), 3);
+}
+
+TEST(ParserTest, ArityBeyondAttrSetLimitRejected) {
+  auto r = ParseProgram(".infinite wide/65.");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("arity out of range"),
+            std::string::npos);
+  // 64 is the limit and fine.
+  auto ok = ParseProgram(".infinite wide/64.");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(ParserTest, FiniteDirectiveDeclaresWithoutFacts) {
+  auto r = ParseProgram(R"(
+    .finite helper/3.
+    user(X) :- helper(X, Y, Z).
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  PredicateId h = r->FindPredicate("helper", 3);
+  ASSERT_NE(h, kInvalidPredicate);
+  EXPECT_TRUE(r->IsFiniteBase(h));
+}
+
+TEST(ParserTest, QuotedAtomsAsConstants) {
+  auto r = ParseProgram("name(1, 'Ada Lovelace').");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->facts().size(), 1u);
+  EXPECT_EQ(r->terms().ToString(r->facts()[0].args[1], r->symbols()),
+            "Ada Lovelace");
+}
+
+TEST(ParserTest, EmptyFdLhsViaNoneKeyword) {
+  auto r = ParseProgram(R"(
+    .infinite f/2.
+    .fd f: none -> 1.
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->fds().size(), 1u);
+  EXPECT_TRUE(r->fds()[0].lhs.Empty());
+  EXPECT_EQ(r->fds()[0].rhs, AttrSet::Single(0));
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,131 @@
+// Robustness sweeps: the parser must reject malformed input with a
+// ParseError (never crash or accept garbage), and accept-print-reparse
+// must be a fixpoint on randomly generated well-formed programs.
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+TEST(RobustnessTest, MalformedInputsRejectedCleanly) {
+  const char* cases[] = {
+      "(",
+      ")",
+      "r(X",
+      "r X).",
+      ":- b(X).",
+      "r(X) :- .",
+      "r(X) :- b(X)",        // missing period
+      "r(X) :- b(X),.",
+      "r(X) b(X).",
+      "?- .",
+      "?-",
+      ".fd",
+      ".fd f",
+      ".fd f:",
+      ".fd f: 1 ->",
+      ".fd f: -> 2.",
+      ".infinite f.",
+      ".infinite f/x.",
+      ".infinite f/-1.",
+      ".mono f: 1.",
+      ".mono f: 1 >.",
+      ".unknown f/2.",
+      "r([1,2).",
+      "r([1|2|3]).",
+      "r('unterminated).",
+      "r(f(X).",
+      "5(X).",
+      "r(X) :- 5.",
+      "r((X)).",
+      "r(,).",
+      "r() :- b().",  // empty argument lists are not literals with parens
+  };
+  for (const char* text : cases) {
+    auto r = ParseProgram(text);
+    EXPECT_FALSE(r.ok()) << "accepted malformed input: " << text;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << text;
+      EXPECT_FALSE(r.status().message().empty());
+    }
+  }
+}
+
+TEST(RobustnessTest, RandomGarbageNeverCrashes) {
+  const char kAlphabet[] =
+      "abcXYZ01(),.[]|:->?<% \n\t'_"
+      "fdmono";
+  Rng rng(777);
+  for (int round = 0; round < 300; ++round) {
+    std::string text;
+    size_t len = rng.Below(60);
+    for (size_t i = 0; i < len; ++i) {
+      text += kAlphabet[rng.Below(sizeof(kAlphabet) - 1)];
+    }
+    // Must not crash; ok or error are both acceptable.
+    auto r = ParseProgram(text);
+    (void)r;
+  }
+}
+
+std::string RandomWellFormedProgram(Rng* rng) {
+  std::string text;
+  int decls = static_cast<int>(rng->Below(3));
+  for (int i = 0; i < decls; ++i) {
+    text += StrCat(".infinite inf", i, "/2.\n");
+    if (rng->Chance(1, 2)) text += StrCat(".fd inf", i, ": 2 -> 1.\n");
+    if (rng->Chance(1, 3)) text += StrCat(".mono inf", i, ": 2 > 1.\n");
+  }
+  int facts = 1 + static_cast<int>(rng->Below(4));
+  for (int i = 0; i < facts; ++i) {
+    switch (rng->Below(3)) {
+      case 0:
+        text += StrCat("fact", rng->Below(2), "(", rng->Range(-5, 5),
+                       ", atom", rng->Below(3), ").\n");
+        break;
+      case 1:
+        text += StrCat("fact", rng->Below(2), "(", rng->Range(-5, 5),
+                       ", wrap(", rng->Below(9), ")).\n");
+        break;
+      default:
+        text += StrCat("fact", rng->Below(2), "(", rng->Below(9),
+                       ", [1,2|[3]]).\n");
+        break;
+    }
+  }
+  int rules = 1 + static_cast<int>(rng->Below(3));
+  for (int i = 0; i < rules; ++i) {
+    text += StrCat("rule", i, "(X, Y) :- base", rng->Below(2),
+                   "(X, Z), base", rng->Below(2), "(Z, Y).\n");
+  }
+  if (rng->Chance(1, 2)) text += "?- rule0(A, B).\n";
+  return text;
+}
+
+class ReparseFixpointTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReparseFixpointTest, PrintReparsePrintIsStable) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 10; ++round) {
+    std::string text = RandomWellFormedProgram(&rng);
+    auto first = ParseProgram(text);
+    ASSERT_TRUE(first.ok()) << text << "\n" << first.status().ToString();
+    std::string printed = first->ToString();
+    auto second = ParseProgram(printed);
+    ASSERT_TRUE(second.ok())
+        << "printer produced unparseable output:\n"
+        << printed << "\n"
+        << second.status().ToString();
+    EXPECT_EQ(printed, second->ToString()) << "original:\n" << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReparseFixpointTest,
+                         ::testing::Range<uint64_t>(50, 58));
+
+}  // namespace
+}  // namespace hornsafe

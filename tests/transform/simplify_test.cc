@@ -1,0 +1,158 @@
+#include "transform/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.h"
+#include "eval/engine.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+Program Parse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(SimplifyTest, RemovesRulesOfEmptyPredicates) {
+  Program p = Parse(R"(
+    dead(X) :- dead(X).
+    alive(X) :- b(X).
+    user(X) :- alive(X).
+    user(X) :- dead(X).
+    b(1).
+    ?- user(X).
+  )");
+  auto stats = SimplifyProgram(&p);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // dead's self-rule and user's dead-branch both go.
+  EXPECT_EQ(stats->rules_removed_empty, 2u);
+  EXPECT_EQ(p.RulesFor(p.FindPredicate("dead", 1)).size(), 0u);
+  EXPECT_EQ(p.RulesFor(p.FindPredicate("user", 1)).size(), 1u);
+}
+
+TEST(SimplifyTest, EmptinessCascades) {
+  // only_via_dead becomes empty once dead's rules go; its own rule and
+  // the consumer's rule must follow in later fixpoint rounds.
+  Program p = Parse(R"(
+    dead(X) :- dead(X).
+    only_via_dead(X) :- dead(X), b(X).
+    consumer(X) :- only_via_dead(X).
+    consumer(X) :- b(X).
+    b(1).
+    ?- consumer(X).
+  )");
+  auto stats = SimplifyProgram(&p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rules_removed_empty, 3u);
+  EXPECT_EQ(p.RulesFor(p.FindPredicate("consumer", 1)).size(), 1u);
+}
+
+TEST(SimplifyTest, RemovesPredicatesUnreachableFromQueries) {
+  Program p = Parse(R"(
+    used(X) :- b(X).
+    unused(X) :- c(X).
+    b(1).
+    c(2). c(3).
+    ?- used(X).
+  )");
+  auto stats = SimplifyProgram(&p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rules_removed_unreachable, 1u);
+  EXPECT_EQ(stats->facts_removed, 2u);  // c's facts
+  EXPECT_EQ(p.facts().size(), 1u);
+  EXPECT_EQ(p.rules().size(), 1u);
+}
+
+TEST(SimplifyTest, NoQueriesSkipsReachability) {
+  Program p = Parse(R"(
+    a(X) :- b(X).
+    z(X) :- c(X).
+    b(1). c(2).
+  )");
+  auto stats = SimplifyProgram(&p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->rules_removed_unreachable, 0u);
+  EXPECT_EQ(stats->facts_removed, 0u);
+  EXPECT_EQ(p.rules().size(), 2u);
+}
+
+TEST(SimplifyTest, NoopOnFullyLiveProgram) {
+  Program p = Parse(R"(
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- edge(X,Z), path(Z,Y).
+    edge(1,2).
+    ?- path(X,Y).
+  )");
+  auto stats = SimplifyProgram(&p);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->TotalRemoved(), 0u);
+}
+
+TEST(SimplifyTest, PreservesQueryAnswers) {
+  const char* text = R"(
+    dead(X) :- dead(X).
+    path(X,Y) :- edge(X,Y).
+    path(X,Y) :- edge(X,Z), path(Z,Y).
+    path(X,Y) :- dead(X), edge(X,Y).
+    decoy(X) :- lonely(X).
+    edge(1,2). edge(2,3).
+    lonely(9).
+    ?- path(X,Y).
+  )";
+  Program original = Parse(text);
+  Program simplified = Parse(text);
+  auto stats = SimplifyProgram(&simplified);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->TotalRemoved(), 0u);
+
+  auto run = [](Program p) {
+    auto e = Engine::Create(std::move(p));
+    EXPECT_TRUE(e.ok());
+    auto r = e->Query("path(X,Y)");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->tuples.size();
+  };
+  EXPECT_EQ(run(std::move(original)), run(std::move(simplified)));
+}
+
+TEST(SimplifyTest, PreservesSafetyVerdicts) {
+  const char* text = R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    ghost(X) :- ghost(X).
+    r(X) :- f(X,Y), r(Y).
+    r(X) :- b(X).
+    b(1).
+    ?- r(X).
+  )";
+  Program original = Parse(text);
+  Program simplified = Parse(text);
+  ASSERT_TRUE(SimplifyProgram(&simplified).ok());
+  auto verdict = [](const Program& p) {
+    auto a = SafetyAnalyzer::Create(p);
+    EXPECT_TRUE(a.ok());
+    return a->AnalyzeQueries()[0].overall;
+  };
+  EXPECT_EQ(verdict(original), verdict(simplified));
+}
+
+TEST(SimplifyTest, KeepsConstraintsAndDeclarations) {
+  Program p = Parse(R"(
+    .infinite f/2.
+    .fd f: 2 -> 1.
+    .mono f: 2 > 1.
+    unused(X) :- f(X,Y), b(Y).
+    live(X) :- c(X).
+    c(1).
+    ?- live(X).
+  )");
+  ASSERT_TRUE(SimplifyProgram(&p).ok());
+  EXPECT_EQ(p.fds().size(), 1u);
+  EXPECT_EQ(p.monos().size(), 1u);
+  EXPECT_TRUE(p.IsInfiniteBase(p.FindPredicate("f", 2)));
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,93 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kParseError, StatusCode::kInvalidProgram,
+        StatusCode::kNotFound, StatusCode::kUnsupported,
+        StatusCode::kBudgetExhausted, StatusCode::kUnsafeQuery,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(c), "UnknownCode");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidProgram("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  HORNSAFE_ASSIGN_OR_RETURN(int h, Half(x));
+  HORNSAFE_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> immediate = Quarter(5);
+  EXPECT_FALSE(immediate.ok());
+
+  Result<int> nested = Quarter(6);  // 6/2 = 3, odd at second step
+  EXPECT_FALSE(nested.ok());
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::Internal("negative");
+  return Status::Ok();
+}
+
+Status CheckAll(std::initializer_list<int> xs) {
+  for (int x : xs) {
+    HORNSAFE_RETURN_IF_ERROR(FailIfNegative(x));
+  }
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(CheckAll({1, 2, 3}).ok());
+  EXPECT_FALSE(CheckAll({1, -2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace hornsafe

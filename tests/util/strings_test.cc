@@ -1,0 +1,42 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(StringsTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("x=", 42, ", y=", 3.5, '!'), "x=42, y=3.5!");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, JoinMapped) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(JoinMapped(v, "+", [](int x) { return std::to_string(x * x); }),
+            "1+4+9");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hornsafe", "horn"));
+  EXPECT_TRUE(StartsWith("horn", "horn"));
+  EXPECT_FALSE(StartsWith("horn", "hornsafe"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(StringsTest, HashCombineChangesSeed) {
+  size_t a = 0;
+  HashCombine(a, 123);
+  size_t b = 0;
+  HashCombine(b, 124);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, size_t{0});
+}
+
+}  // namespace
+}  // namespace hornsafe
