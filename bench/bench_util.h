@@ -4,7 +4,10 @@
 // Shared synthetic workload generators for the benchmark suite. Every
 // generator is deterministic so that all runs see identical inputs.
 
+#include <cstdio>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "lang/program.h"
 #include "parser/parser.h"
@@ -12,6 +15,66 @@
 #include "util/strings.h"
 
 namespace hornsafe::bench {
+
+/// Machine-readable results sink. Benchmarks call
+/// `JsonDump::Get("evaluation").Record(...)`; the collected entries are
+/// flushed to `BENCH_<suite>.json` in the working directory when the
+/// process exits (the binaries link benchmark_main, so there is no main
+/// to hook — a function-local static's destructor does the flush).
+/// The first `Get` call fixes the suite name for the whole process.
+class JsonDump {
+ public:
+  static JsonDump& Get(const std::string& suite) {
+    static JsonDump dump(suite);
+    return dump;
+  }
+
+  void Record(std::string bench, std::string metric, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.push_back({std::move(bench), std::move(metric), value});
+  }
+
+  ~JsonDump() {
+    if (entries_.empty()) return;
+    std::string path = StrCat("BENCH_", suite_, ".json");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n",
+                 Escape(suite_).c_str());
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "    {\"benchmark\": \"%s\", \"metric\": \"%s\", "
+                   "\"value\": %.9g}%s\n",
+                   Escape(e.bench).c_str(), Escape(e.metric).c_str(),
+                   e.value, i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  struct Entry {
+    std::string bench;
+    std::string metric;
+    double value;
+  };
+
+  explicit JsonDump(std::string suite) : suite_(std::move(suite)) {}
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string suite_;
+  std::mutex mu_;
+  std::vector<Entry> entries_;
+};
 
 /// Parses or dies (benchmarks have no error channel worth using).
 inline Program MustParse(const std::string& text) {

@@ -1,6 +1,9 @@
 #include "eval/bottomup.h"
 
 #include <algorithm>
+#include <chrono>
+#include <future>
+#include <unordered_set>
 
 #include "lang/unify.h"
 #include "util/strings.h"
@@ -14,6 +17,18 @@ bool ArgGroundUnderSubst(TermPool& pool, const Substitution& subst,
                          TermId arg) {
   TermId applied = ApplySubstitution(pool, subst, arg);
   return pool.IsGround(applied);
+}
+
+/// Shards below this size are not worth a task dispatch.
+constexpr uint32_t kMinShardTuples = 32;
+/// Oversubscription factor: shards per worker, so that fast shards do
+/// not leave workers idle behind one slow shard.
+constexpr uint32_t kShardsPerJob = 4;
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
 }
 
 }  // namespace
@@ -34,28 +49,21 @@ Result<std::vector<size_t>> BottomUpEvaluator::PlanRule(
     const Rule& rule) const {
   std::vector<size_t> order;
   std::vector<bool> placed(rule.body.size(), false);
-  std::vector<TermId> bound_vars;
+  std::unordered_set<TermId> bound_vars;
   auto vars_bound = [&](TermId arg) {
     std::vector<TermId> vars;
     program_->terms().CollectVariables(arg, &vars);
     for (TermId v : vars) {
-      if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
-          bound_vars.end()) {
-        return false;
-      }
+      if (bound_vars.find(v) == bound_vars.end()) return false;
     }
     return true;
   };
   auto bind_literal_vars = [&](const Literal& lit) {
+    std::vector<TermId> vars;
     for (TermId a : lit.args) {
-      std::vector<TermId> vars;
+      vars.clear();
       program_->terms().CollectVariables(a, &vars);
-      for (TermId v : vars) {
-        if (std::find(bound_vars.begin(), bound_vars.end(), v) ==
-            bound_vars.end()) {
-          bound_vars.push_back(v);
-        }
-      }
+      bound_vars.insert(vars.begin(), vars.end());
     }
   };
 
@@ -111,10 +119,32 @@ Result<std::vector<size_t>> BottomUpEvaluator::PlanRule(
   return order;
 }
 
+bool BottomUpEvaluator::RuleIsParallelSafe(const Rule& rule) const {
+  const TermPool& terms = program_->terms();
+  // A non-ground function argument can intern a new term when the
+  // substitution instantiates it (ApplySubstitution rebuilds the
+  // node); ground terms and plain variables only walk existing ids.
+  auto arg_ok = [&](TermId a) {
+    return !terms.IsFunction(a) || terms.IsGround(a);
+  };
+  for (TermId a : rule.head.args) {
+    if (!arg_ok(a)) return false;
+  }
+  for (const Literal& lit : rule.body) {
+    // Infinite builtins intern their computed outputs.
+    if (!program_->IsFiniteBase(lit.pred) && !program_->IsDerived(lit.pred)) {
+      return false;
+    }
+    for (TermId a : lit.args) {
+      if (!arg_ok(a)) return false;
+    }
+  }
+  return true;
+}
+
 Status BottomUpEvaluator::EmitHead(const Rule& rule, uint32_t rule_index,
-                                   Substitution* subst,
-                                   std::vector<Derivation>* new_tuples) {
-  ++stats_.rule_firings;
+                                   Substitution* subst, EvalContext* ctx) {
+  ++ctx->firings;
   Tuple head;
   head.reserve(rule.head.args.size());
   for (TermId a : rule.head.args) {
@@ -132,23 +162,34 @@ Status BottomUpEvaluator::EmitHead(const Rule& rule, uint32_t rule_index,
       provenance_.emplace(FactRef{rule.head.pred, head},
                           ProvenanceEntry{rule_index, trail_});
     }
-    new_tuples->push_back(Derivation{rule.head.pred, std::move(head)});
+    ctx->out.push_back(Derivation{rule.head.pred, std::move(head)});
   }
   return Status::Ok();
 }
 
+const Relation* BottomUpEvaluator::RelationAtStep(
+    const Rule& rule, const std::vector<size_t>& order, int delta_index,
+    size_t step) const {
+  PredicateId pred = rule.body[order[step]].pred;
+  if (program_->IsFiniteBase(pred)) return &facts_rel_[pred];
+  if (program_->IsDerived(pred)) {
+    return static_cast<int>(step) == delta_index ? &delta_[pred]
+                                                 : &full_[pred];
+  }
+  return nullptr;  // infinite builtin
+}
+
 Status BottomUpEvaluator::JoinFrom(const Rule& rule, uint32_t rule_index,
                                    const std::vector<size_t>& order,
-                                   int delta_index, size_t step,
-                                   Substitution* subst,
-                                   std::vector<Derivation>* new_tuples) {
+                                   size_t step, Substitution* subst,
+                                   EvalContext* ctx) {
   if (step == order.size()) {
-    return EmitHead(rule, rule_index, subst, new_tuples);
+    return EmitHead(rule, rule_index, subst, ctx);
   }
   const Literal& lit = rule.body[order[step]];
   PredicateId pred = lit.pred;
 
-  auto try_tuple = [&](const Tuple& tuple) -> Status {
+  auto try_tuple = [&](TupleView tuple) -> Status {
     Substitution saved = *subst;
     bool ok = true;
     for (size_t k = 0; k < tuple.size(); ++k) {
@@ -160,24 +201,24 @@ Status BottomUpEvaluator::JoinFrom(const Rule& rule, uint32_t rule_index,
     Status st;
     if (ok) {
       if (options_.track_provenance) {
-        trail_.push_back(FactRef{pred, tuple});
+        trail_.push_back(FactRef{pred, tuple.ToTuple()});
       }
-      st = JoinFrom(rule, rule_index, order, delta_index, step + 1, subst,
-                    new_tuples);
+      st = JoinFrom(rule, rule_index, order, step + 1, subst, ctx);
       if (options_.track_provenance) trail_.pop_back();
     }
     *subst = std::move(saved);
     return st;
   };
 
-  if (program_->IsFiniteBase(pred)) {
-    return ForEachCandidate(facts_rel_[pred], lit, *subst, try_tuple);
-  }
-  if (program_->IsDerived(pred)) {
-    const Relation& rel = (static_cast<int>(step) == delta_index)
-                              ? delta_[pred]
-                              : full_[pred];
-    return ForEachCandidate(rel, lit, *subst, try_tuple);
+  if (const Relation* rel = RelationAtStep(rule, order, ctx->delta_index,
+                                           step)) {
+    uint32_t lo = 0;
+    uint32_t hi = static_cast<uint32_t>(-1);
+    if (static_cast<int>(step) == ctx->shard_step) {
+      lo = ctx->shard_begin;
+      hi = ctx->shard_end;
+    }
+    return ForEachCandidate(*rel, lit, *subst, lo, hi, try_tuple);
   }
   // Infinite builtin.
   const InfiniteRelation* rel = builtins_->Find(pred);
@@ -203,54 +244,206 @@ template <typename Fn>
 Status BottomUpEvaluator::ForEachCandidate(const Relation& rel,
                                            const Literal& lit,
                                            const Substitution& subst,
+                                           uint32_t range_begin,
+                                           uint32_t range_end,
                                            Fn try_tuple) {
   if (options_.use_index) {
+    // Hash-consing makes ground-term equality id equality, so an index
+    // probe on any ground column is exact; pick the most selective one
+    // (smallest posting list) to minimise candidates.
+    int best_col = -1;
+    size_t best_count = 0;
+    TermId best_value = kInvalidTerm;
     for (uint32_t k = 0; k < lit.args.size(); ++k) {
       TermId applied = ApplySubstitution(program_->terms(), subst,
                                          lit.args[k]);
       if (!program_->terms().IsGround(applied)) continue;
-      // Hash-consing makes ground-term equality id equality, so an
-      // index probe on the first ground column is exact.
-      for (const Tuple* t : rel.Probe(k, applied)) {
-        HORNSAFE_RETURN_IF_ERROR(try_tuple(*t));
+      size_t count = rel.ProbeCount(k, applied);
+      if (count == 0) return Status::Ok();  // no tuple can match
+      if (best_col < 0 || count < best_count) {
+        best_col = static_cast<int>(k);
+        best_count = count;
+        best_value = applied;
+      }
+    }
+    if (best_col >= 0) {
+      const Relation::PostingList& ids =
+          rel.Probe(static_cast<uint32_t>(best_col), best_value);
+      // Posting lists are ascending, so a shard is a subrange.
+      auto it = std::lower_bound(ids.begin(), ids.end(), range_begin);
+      for (; it != ids.end() && *it < range_end; ++it) {
+        HORNSAFE_RETURN_IF_ERROR(try_tuple(rel.At(*it)));
       }
       return Status::Ok();
     }
   }
-  for (const Tuple& t : rel) {
-    HORNSAFE_RETURN_IF_ERROR(try_tuple(t));
+  uint32_t hi = std::min<uint32_t>(range_end,
+                                   static_cast<uint32_t>(rel.size()));
+  for (uint32_t id = range_begin; id < hi; ++id) {
+    HORNSAFE_RETURN_IF_ERROR(try_tuple(rel.At(id)));
   }
   return Status::Ok();
 }
 
 Status BottomUpEvaluator::EvalRule(const Rule& rule, uint32_t rule_index,
                                    const std::vector<size_t>& order,
-                                   int delta_index,
-                                   std::vector<Derivation>* new_tuples) {
+                                   EvalContext* ctx) {
   Substitution subst;
-  return JoinFrom(rule, rule_index, order, delta_index, 0, &subst,
-                  new_tuples);
+  return JoinFrom(rule, rule_index, order, 0, &subst, ctx);
+}
+
+void BottomUpEvaluator::AppendWorkItems(uint32_t rule_index,
+                                        const std::vector<size_t>& order,
+                                        bool use_delta,
+                                        std::vector<WorkItem>* items) const {
+  const Rule& rule = program_->rules()[rule_index];
+  auto add = [&](int delta_index, int shard_step) {
+    WorkItem base;
+    base.rule = rule_index;
+    base.delta_index = delta_index;
+    const Relation* rel =
+        shard_step >= 0
+            ? RelationAtStep(rule, order, delta_index,
+                             static_cast<size_t>(shard_step))
+            : nullptr;
+    uint32_t nshards = 1;
+    if (jobs_ > 1 && rel != nullptr) {
+      uint32_t n = static_cast<uint32_t>(rel->size());
+      if (n >= 2 * kMinShardTuples) {
+        nshards = std::min<uint32_t>(
+            static_cast<uint32_t>(jobs_) * kShardsPerJob,
+            n / kMinShardTuples);
+      }
+      if (nshards > 1) {
+        // Even split by dense tuple id; concatenating the shards in
+        // order reproduces the serial enumeration exactly.
+        for (uint32_t s = 0; s < nshards; ++s) {
+          WorkItem item = base;
+          item.shard_step = shard_step;
+          item.shard_begin =
+              static_cast<uint32_t>(uint64_t{n} * s / nshards);
+          item.shard_end =
+              static_cast<uint32_t>(uint64_t{n} * (s + 1) / nshards);
+          items->push_back(item);
+        }
+        return;
+      }
+    }
+    items->push_back(base);
+  };
+
+  if (!use_delta) {
+    add(-1, order.empty() ? -1 : 0);
+    return;
+  }
+  // One evaluation per derived occurrence, reading (and sharding) the
+  // delta there.
+  for (size_t s = 0; s < order.size(); ++s) {
+    if (!program_->IsDerived(rule.body[order[s]].pred)) continue;
+    add(static_cast<int>(s), static_cast<int>(s));
+  }
+}
+
+Status BottomUpEvaluator::RunRound(
+    const std::vector<std::vector<size_t>>& plans,
+    const std::vector<bool>& parallel_safe,
+    const std::vector<WorkItem>& items, std::vector<Derivation>* fresh) {
+  std::vector<EvalContext> ctxs(items.size());
+  std::vector<Status> statuses(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ctxs[i].delta_index = items[i].delta_index;
+    ctxs[i].shard_step = items[i].shard_step;
+    ctxs[i].shard_begin = items[i].shard_begin;
+    ctxs[i].shard_end = items[i].shard_end;
+  }
+
+  auto eval_item = [&](size_t i) {
+    const WorkItem& item = items[i];
+    statuses[i] = EvalRule(program_->rules()[item.rule], item.rule,
+                           plans[item.rule], &ctxs[i]);
+  };
+
+  if (pool_ != nullptr) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(items.size());
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (!parallel_safe[items[i].rule]) continue;
+      ++stats_.parallel_tasks;
+      futures.push_back(pool_->Submit([&eval_item, i] { eval_item(i); }));
+    }
+    for (std::future<void>& f : futures) f.get();
+    // Rules that may intern terms run here, after the workers are
+    // done, so the term pool only ever has one writer at a time.
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (parallel_safe[items[i].rule]) continue;
+      ++stats_.serial_tasks;
+      eval_item(i);
+    }
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      ++stats_.serial_tasks;
+      eval_item(i);
+    }
+  }
+
+  for (const Status& st : statuses) {
+    HORNSAFE_RETURN_IF_ERROR(st);
+  }
+  // Merge in item order: the concatenation is byte-identical to the
+  // serial evaluation, so downstream insertion order (and therefore
+  // dense tuple ids, iteration counts, and query output) never depends
+  // on the job count.
+  for (size_t i = 0; i < items.size(); ++i) {
+    stats_.rule_firings += ctxs[i].firings;
+    stats_.firings_per_rule[items[i].rule] += ctxs[i].firings;
+    fresh->insert(fresh->end(),
+                  std::make_move_iterator(ctxs[i].out.begin()),
+                  std::make_move_iterator(ctxs[i].out.end()));
+  }
+  return Status::Ok();
 }
 
 Status BottomUpEvaluator::Run() {
   ran_ = true;
+  const std::vector<Rule>& rules = program_->rules();
   // Plan every rule once.
   std::vector<std::vector<size_t>> plans;
-  plans.reserve(program_->rules().size());
-  for (const Rule& rule : program_->rules()) {
+  plans.reserve(rules.size());
+  for (const Rule& rule : rules) {
     HORNSAFE_ASSIGN_OR_RETURN(std::vector<size_t> plan, PlanRule(rule));
     plans.push_back(std::move(plan));
   }
+  std::vector<bool> parallel_safe(rules.size(), false);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    parallel_safe[r] = RuleIsParallelSafe(rules[r]);
+  }
 
-  // Iteration 0: all rules against the (initially empty) full relations.
+  jobs_ = options_.track_provenance ? 1 : options_.jobs;
+  if (jobs_ <= 0) jobs_ = static_cast<int>(ThreadPool::DefaultThreads());
+  bool any_parallel =
+      std::any_of(parallel_safe.begin(), parallel_safe.end(),
+                  [](bool b) { return b; });
+  if (jobs_ > 1 && any_parallel && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(jobs_));
+  }
+  if (!any_parallel) jobs_ = 1;
+
+  stats_.firings_per_rule.assign(rules.size(), 0);
+
+  // Round 0: all rules against the (initially empty) full relations.
   std::vector<Derivation> fresh;
-  for (size_t r = 0; r < program_->rules().size(); ++r) {
-    HORNSAFE_RETURN_IF_ERROR(EvalRule(program_->rules()[r],
-                                      static_cast<uint32_t>(r), plans[r],
-                                      -1, &fresh));
+  {
+    auto start = std::chrono::steady_clock::now();
+    std::vector<WorkItem> items;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      AppendWorkItems(r, plans[r], /*use_delta=*/false, &items);
+    }
+    HORNSAFE_RETURN_IF_ERROR(RunRound(plans, parallel_safe, items, &fresh));
+    stats_.round_seconds.push_back(SecondsSince(start));
   }
 
   while (true) {
+    auto start = std::chrono::steady_clock::now();
     ++stats_.iterations;
     if (stats_.iterations > options_.max_iterations) {
       return Status::BudgetExhausted(
@@ -260,10 +453,9 @@ Status BottomUpEvaluator::Run() {
     // Install fresh tuples as the next delta.
     for (Relation& d : delta_) d.clear();
     bool any = false;
-    for (Derivation& d : fresh) {
-      Tuple copy = d.tuple;
-      if (full_[d.pred].Insert(std::move(d.tuple))) {
-        delta_[d.pred].Insert(std::move(copy));
+    for (const Derivation& d : fresh) {
+      if (full_[d.pred].Insert(d.tuple)) {
+        delta_[d.pred].Insert(d.tuple);
         any = true;
         if (++stats_.tuples_derived > options_.max_tuples) {
           return Status::BudgetExhausted(
@@ -272,25 +464,19 @@ Status BottomUpEvaluator::Run() {
         }
       }
     }
-    if (!any) break;
+    if (!any) {
+      stats_.round_seconds.push_back(SecondsSince(start));
+      break;
+    }
     fresh.clear();
 
-    for (size_t r = 0; r < program_->rules().size(); ++r) {
-      const Rule& rule = program_->rules()[r];
-      if (options_.semi_naive) {
-        // One evaluation per derived occurrence, reading the delta there.
-        for (size_t s = 0; s < plans[r].size(); ++s) {
-          if (!program_->IsDerived(rule.body[plans[r][s]].pred)) continue;
-          HORNSAFE_RETURN_IF_ERROR(EvalRule(rule,
-                                            static_cast<uint32_t>(r),
-                                            plans[r],
-                                            static_cast<int>(s), &fresh));
-        }
-      } else {
-        HORNSAFE_RETURN_IF_ERROR(EvalRule(rule, static_cast<uint32_t>(r),
-                                          plans[r], -1, &fresh));
-      }
+    std::vector<WorkItem> items;
+    for (uint32_t r = 0; r < rules.size(); ++r) {
+      AppendWorkItems(r, plans[r], /*use_delta=*/options_.semi_naive,
+                      &items);
     }
+    HORNSAFE_RETURN_IF_ERROR(RunRound(plans, parallel_safe, items, &fresh));
+    stats_.round_seconds.push_back(SecondsSince(start));
   }
   return Status::Ok();
 }
@@ -355,22 +541,22 @@ Result<std::vector<Tuple>> BottomUpEvaluator::Query(const Literal& query) {
     return Status::Internal("call Run() before Query()");
   }
   std::vector<Tuple> out;
-  auto match = [&](const Tuple& tuple) {
+  auto match = [&](TupleView tuple) {
     Substitution subst;
     for (size_t k = 0; k < tuple.size(); ++k) {
       if (!Unify(program_->terms(), query.args[k], tuple[k], &subst)) {
         return;
       }
     }
-    out.push_back(tuple);
+    out.push_back(tuple.ToTuple());
   };
   PredicateId pred = query.pred;
   if (program_->IsFiniteBase(pred)) {
-    for (const Tuple& t : facts_rel_[pred]) match(t);
+    for (TupleView t : facts_rel_[pred]) match(t);
     return out;
   }
   if (program_->IsDerived(pred)) {
-    for (const Tuple& t : full_[pred]) match(t);
+    for (TupleView t : full_[pred]) match(t);
     return out;
   }
   const InfiniteRelation* rel = builtins_->Find(pred);

@@ -86,6 +86,7 @@ Result<Engine::QueryResult> Engine::Query(const Literal& query) {
         HORNSAFE_ASSIGN_OR_RETURN(result.tuples,
                                   bottom_up.Query(magic->query));
         result.strategy = "magic";
+        result.eval_stats = bottom_up.stats();
         return result;
       }
       if (st.code() != StatusCode::kUnsafeQuery &&
@@ -102,6 +103,7 @@ Result<Engine::QueryResult> Engine::Query(const Literal& query) {
     if (st.ok()) {
       HORNSAFE_ASSIGN_OR_RETURN(result.tuples, bottom_up.Query(query));
       result.strategy = "bottom-up";
+      result.eval_stats = bottom_up.stats();
       return result;
     }
     if (st.code() != StatusCode::kUnsafeQuery &&

@@ -58,8 +58,11 @@ class Engine {
     std::vector<Tuple> tuples;
     /// The analyzer's verdict for the query.
     Safety safety = Safety::kUndecided;
-    /// "bottom-up" or "top-down".
+    /// "bottom-up", "magic", or "top-down".
     std::string strategy;
+    /// Fixpoint statistics when a bottom-up evaluator ran (iterations,
+    /// per-round timings, per-rule firings); default for top-down.
+    BottomUpStats eval_stats;
   };
 
   /// Analyzes and evaluates `query`. With `enforce_safety`, queries not

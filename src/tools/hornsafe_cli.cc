@@ -24,6 +24,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -46,6 +47,18 @@
 namespace hornsafe {
 namespace {
 
+/// Global evaluation flags, pre-parsed (and stripped) before command
+/// dispatch.
+struct CliFlags {
+  /// Worker threads for bottom-up evaluation (1 = serial, 0 = one per
+  /// hardware thread).
+  int jobs = 1;
+  /// Print fixpoint statistics after each evaluated query.
+  bool stats = false;
+};
+
+CliFlags g_flags;
+
 int Usage() {
   std::fprintf(stderr,
                "usage: hornsafe <command> <program-file> [args]\n"
@@ -63,7 +76,12 @@ int Usage() {
                "  explain <file> <literal>     derivation trees for the "
                "literal's answers\n"
                "  repl <file>                  interactive query loop over "
-               "the program\n");
+               "the program\n"
+               "flags (run/repl/explain):\n"
+               "  --jobs N                     evaluate with N worker "
+               "threads (default 1; 0 = all hardware threads)\n"
+               "  --stats                      print fixpoint statistics "
+               "per query\n");
   return 1;
 }
 
@@ -146,6 +164,30 @@ int CmdCheck(const char* path) {
   return all_safe ? 0 : 2;
 }
 
+EngineOptions MakeEngineOptions() {
+  EngineOptions options;
+  options.bottom_up.jobs = g_flags.jobs;
+  return options;
+}
+
+void PrintEvalStats(const BottomUpStats& stats) {
+  if (stats.iterations == 0) return;  // top-down: nothing to report
+  double total = 0;
+  for (double s : stats.round_seconds) total += s;
+  std::printf(
+      "  stats: %llu iteration(s), %llu tuple(s), %llu firing(s), "
+      "%.3f ms, %llu parallel / %llu serial task(s)\n",
+      static_cast<unsigned long long>(stats.iterations),
+      static_cast<unsigned long long>(stats.tuples_derived),
+      static_cast<unsigned long long>(stats.rule_firings), total * 1e3,
+      static_cast<unsigned long long>(stats.parallel_tasks),
+      static_cast<unsigned long long>(stats.serial_tasks));
+  for (size_t i = 0; i < stats.round_seconds.size(); ++i) {
+    std::printf("    round %zu: %.3f ms\n", i,
+                stats.round_seconds[i] * 1e3);
+  }
+}
+
 int CmdRun(const char* path) {
   auto parsed = Load(path);
   if (!parsed.ok()) {
@@ -153,7 +195,8 @@ int CmdRun(const char* path) {
     return 1;
   }
   std::vector<Literal> queries = parsed->queries();
-  auto engine = Engine::Create(std::move(parsed).value());
+  auto engine = Engine::Create(std::move(parsed).value(),
+                               MakeEngineOptions());
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
@@ -168,6 +211,7 @@ int CmdRun(const char* path) {
     std::printf("  %zu answer(s) [%s, %s]:\n", r->tuples.size(),
                 SafetyName(r->safety), r->strategy.c_str());
     PrintTuples(engine->program(), r->tuples);
+    if (g_flags.stats) PrintEvalStats(r->eval_stats);
     std::printf("\n");
   }
   return 0;
@@ -310,7 +354,8 @@ int CmdExplain(const char* path, const char* literal_text) {
     return 1;
   }
   BottomUpOptions opts;
-  opts.track_provenance = true;
+  opts.track_provenance = true;  // forces serial evaluation
+  opts.jobs = g_flags.jobs;
   BottomUpEvaluator eval(&program, &registry, opts);
   if (Status st = eval.Run(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -345,7 +390,8 @@ int CmdRepl(const char* path) {
     std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  auto engine = Engine::Create(std::move(parsed).value());
+  auto engine = Engine::Create(std::move(parsed).value(),
+                               MakeEngineOptions());
   if (!engine.ok()) {
     std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
     return 1;
@@ -379,6 +425,7 @@ int CmdRepl(const char* path) {
     std::printf("%zu answer(s) [%s, %s]:\n", r->tuples.size(),
                 SafetyName(r->safety), r->strategy.c_str());
     PrintTuples(engine->program(), r->tuples);
+    if (g_flags.stats) PrintEvalStats(r->eval_stats);
   }
   return 0;
 }
@@ -429,7 +476,44 @@ int CmdMatrix(const char* path, const char* spec) {
   return 0;
 }
 
+/// Consumes `--jobs N` / `--jobs=N` / `--stats` anywhere on the command
+/// line, compacting argv in place. Returns false on a malformed flag.
+bool ParseFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--stats") == 0) {
+      g_flags.stats = true;
+      continue;
+    }
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--jobs requires a count\n");
+        return false;
+      }
+      value = argv[++i];
+    }
+    if (value != nullptr) {
+      char* end = nullptr;
+      long jobs = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || jobs < 0 || jobs > 4096) {
+        std::fprintf(stderr, "invalid --jobs value '%s'\n", value);
+        return false;
+      }
+      g_flags.jobs = static_cast<int>(jobs);
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return true;
+}
+
 int Main(int argc, char** argv) {
+  if (!ParseFlags(&argc, argv)) return 1;
   if (argc < 3) return Usage();
   const char* cmd = argv[1];
   if (std::strcmp(cmd, "check") == 0) return CmdCheck(argv[2]);

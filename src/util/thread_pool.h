@@ -1,0 +1,50 @@
+#ifndef HORNSAFE_UTIL_THREAD_POOL_H_
+#define HORNSAFE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hornsafe {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// `Submit` returns a future that resolves when the task has run;
+/// exceptions thrown by a task propagate through `future::get`. The
+/// destructor drains the queue (already-submitted tasks still run) and
+/// joins all workers. Submission and completion are thread-safe; the
+/// pool itself must be destroyed from a single thread.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`; some worker runs it in FIFO order.
+  std::future<void> Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The hardware thread count, with a floor of 1 when unknown.
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_THREAD_POOL_H_

@@ -1,5 +1,8 @@
 #include "eval/relation.h"
 
+#include <thread>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace hornsafe {
@@ -37,16 +40,18 @@ TEST(RelationTest, ClearResets) {
   EXPECT_TRUE(r.Insert({1}));
 }
 
-TEST(RelationTest, IterationVisitsAll) {
+TEST(RelationTest, IterationVisitsAllInInsertionOrder) {
   Relation r;
   r.Insert({1, 2});
   r.Insert({3, 4});
   size_t count = 0;
-  for (const Tuple& t : r) {
+  for (TupleView t : r) {
     EXPECT_EQ(t.size(), 2u);
     ++count;
   }
   EXPECT_EQ(count, 2u);
+  EXPECT_EQ(r.At(0), TupleView(Tuple{1, 2}));
+  EXPECT_EQ(r.At(1), TupleView(Tuple{3, 4}));
 }
 
 TEST(RelationTest, ProbeFindsMatchingColumn) {
@@ -58,6 +63,29 @@ TEST(RelationTest, ProbeFindsMatchingColumn) {
   EXPECT_EQ(r.Probe(0, 2).size(), 1u);
   EXPECT_EQ(r.Probe(1, 3).size(), 2u);
   EXPECT_TRUE(r.Probe(0, 99).empty());
+}
+
+TEST(RelationTest, ProbeReturnsAscendingTupleIds) {
+  Relation r;
+  r.Insert({5, 1});
+  r.Insert({6, 2});
+  r.Insert({5, 3});
+  const Relation::PostingList& hits = r.Probe(0, 5);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 2u);
+  EXPECT_EQ(r.At(hits[1]), TupleView(Tuple{5, 3}));
+}
+
+TEST(RelationTest, ProbeCountMatchesProbe) {
+  Relation r;
+  r.Insert({1, 2});
+  r.Insert({1, 3});
+  r.Insert({2, 3});
+  EXPECT_EQ(r.ProbeCount(0, 1), 2u);
+  EXPECT_EQ(r.ProbeCount(1, 3), 2u);
+  EXPECT_EQ(r.ProbeCount(1, 2), 1u);
+  EXPECT_EQ(r.ProbeCount(0, 42), 0u);
 }
 
 TEST(RelationTest, ProbeIndexMaintainedAcrossInserts) {
@@ -91,6 +119,46 @@ TEST(RelationTest, TuplesOfDifferentArityCoexist) {
   EXPECT_TRUE(r.Insert({1}));
   EXPECT_TRUE(r.Insert({1, 1}));
   EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, SurvivesRehashGrowth) {
+  // Push well past the initial table size so the open-addressing set
+  // rehashes several times; everything must stay findable and ids
+  // must stay dense insertion order.
+  Relation r;
+  constexpr uint32_t kN = 10'000;
+  for (uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(r.Insert({i, i * 2 + 1}));
+  }
+  EXPECT_EQ(r.size(), kN);
+  for (uint32_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(r.Contains({i, i * 2 + 1}));
+    ASSERT_FALSE(r.Contains({i, i * 2 + 2}));
+    ASSERT_EQ(r.At(i), TupleView(Tuple{i, i * 2 + 1}));
+  }
+  EXPECT_EQ(r.Probe(1, 7).size(), 1u);
+  EXPECT_EQ(r.Probe(1, 7)[0], 3u);
+}
+
+TEST(RelationTest, ConcurrentFirstProbeIsSafe) {
+  // Many threads race the lazy construction of the same and different
+  // column indexes; all must observe complete posting lists. Run under
+  // TSan to check the publication protocol.
+  Relation r;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    r.Insert({i % 10, i});
+  }
+  std::vector<std::thread> threads;
+  std::vector<size_t> results(8, 0);
+  for (size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([&r, &results, t] {
+      results[t] = r.Probe(t % 2, t % 2 == 0 ? 3 : 42).size();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (size_t t = 0; t < results.size(); ++t) {
+    EXPECT_EQ(results[t], t % 2 == 0 ? 100u : 1u);
+  }
 }
 
 }  // namespace

@@ -68,7 +68,7 @@ TEST_P(SemiNaiveTest, AgreesWithNaiveAndDoesLessWork) {
       const Relation& r2 = e2.RelationFor(pred);
       ASSERT_EQ(r1.size(), r2.size())
           << p1->PredicateName(pred) << " differs on:\n" << text;
-      for (const Tuple& t : r1) {
+      for (TupleView t : r1) {
         EXPECT_TRUE(r2.Contains(t));
       }
     }
