@@ -5,8 +5,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "core/analyzer.h"
+#include "util/strings.h"
 
 namespace hornsafe {
 namespace {
@@ -46,6 +49,68 @@ void BM_PipelineMixedFamily(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PipelineMixedFamily)->Arg(4)->Arg(16)->Arg(64);
+
+/// Four independent copies of the SharedDiamond ring behind one
+/// arity-4 wrapper predicate. Each wrapper position resolves to its own
+/// unary ring, so all four run a genuine subset search with no
+/// cross-position adornment coupling — the workload the analyzer fans
+/// across its pool.
+Program WideDiamondRing(int m) {
+  constexpr int kArity = 4;
+  std::string head, body;
+  for (int j = 0; j < kArity; ++j) {
+    head += StrCat(j ? "," : "", "X", j);
+    body += StrCat(j ? ", " : "", "p", j, "b0(X", j, ")");
+  }
+  std::string text =
+      ".infinite f/2.\n.fd f: 2 -> 1.\n"
+      ".infinite g/2.\n.fd g: 2 -> 1.\n"
+      ".infinite t2/2.\n";
+  text += StrCat("q(", head, ") :- ", body, ".\n");
+  for (int j = 0; j < kArity; ++j) {
+    for (int i = 0; i < m; ++i) {
+      text += StrCat("p", j, "b", i, "(X) :- p", j, "d", i, "(X), p", j,
+                     "b", (i + 1) % m, "(X).\n");
+      text += StrCat("p", j, "d", i, "(X) :- f(X,Y), p", j, "e", i,
+                     "(Y).\n");
+      text += StrCat("p", j, "d", i, "(X) :- g(X,Y), p", j, "e", i,
+                     "(Y).\n");
+      text += StrCat("p", j, "e", i, "(X) :- t2(X,Z).\n");
+    }
+    text += StrCat("p", j, "b0(X) :- c(X).\n");
+  }
+  text += StrCat("?- q(", head, ").\n");
+  return bench::MustParse(text);
+}
+
+void BM_PipelineWideJobs(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  Program p = WideDiamondRing(8);
+  AnalyzerOptions opts;
+  opts.jobs = jobs;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto analyzer = SafetyAnalyzer::Create(p, opts);
+    benchmark::DoNotOptimize(analyzer->AnalyzeQueries());
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  }
+  auto analyzer = SafetyAnalyzer::Create(p, opts);
+  analyzer->AnalyzeQueries();
+  SafetyAnalyzer::Counters c = analyzer->counters();
+  state.counters["steps"] = static_cast<double>(c.steps);
+  bench::JsonDump& dump = bench::JsonDump::Get("safety");
+  std::string name = StrCat("pipeline_wide/jobs=", jobs);
+  dump.Record(name, "seconds_per_analysis",
+              seconds / static_cast<double>(state.iterations()));
+  dump.Record(name, "steps", static_cast<double>(c.steps));
+  dump.Record(name, "memo_hits", static_cast<double>(c.memo_hits));
+  dump.Record(name, "scc_short_circuits",
+              static_cast<double>(c.scc_short_circuits));
+}
+BENCHMARK(BM_PipelineWideJobs)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_PipelineCreateOnly(benchmark::State& state) {
   // Pipeline construction (no queries): parse-to-pruned-system.

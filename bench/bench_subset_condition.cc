@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+
 #include "andor/build.h"
 #include "andor/emptiness.h"
 #include "andor/reduce.h"
@@ -14,6 +17,7 @@
 #include "bench/bench_util.h"
 #include "canonical/canonical.h"
 #include "constraints/mono.h"
+#include "util/strings.h"
 
 namespace hornsafe {
 namespace {
@@ -85,6 +89,77 @@ BENCHMARK(BM_SubsetRulesPerLiteral)
     ->RangeMultiplier(2)
     ->Range(2, 32)
     ->Complexity();
+
+// --- Memoization vs brute force on the shared-diamond family ---------
+//
+// SharedDiamond(m) is safe, and deciding it without memoization costs
+// an enumeration exponential in m (every 2^m chain assignment is
+// completed and then rejected by the cycle through `b`), while the
+// SCC-delegating search settles each chain node once. The recorded
+// steps ratio is the headline number of EXPERIMENTS.md E13.
+
+void BM_SubsetDiamondMemo(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Prepared prep = Prepare(bench::SharedDiamond(m), "b0");
+  SubsetOptions memo;  // defaults: SCC delegation + memoization on
+  uint64_t steps_memo = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    SubsetResult res = CheckSubsetCondition(prep.system, prep.root, memo);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    steps_memo = res.steps;
+    benchmark::DoNotOptimize(res);
+  }
+  // One reference (brute-force) run, outside the timed loop.
+  SubsetOptions reference;
+  reference.use_scc = false;
+  reference.use_memo = false;
+  SubsetResult memo_res = CheckSubsetCondition(prep.system, prep.root, memo);
+  SubsetResult ref_res =
+      CheckSubsetCondition(prep.system, prep.root, reference);
+  state.counters["steps_memo"] = static_cast<double>(steps_memo);
+  state.counters["steps_reference"] = static_cast<double>(ref_res.steps);
+  bench::JsonDump& dump = bench::JsonDump::Get("safety");
+  std::string name = StrCat("subset_diamond/m=", m);
+  dump.Record(name, "steps_memo", static_cast<double>(memo_res.steps));
+  dump.Record(name, "steps_reference", static_cast<double>(ref_res.steps));
+  dump.Record(name, "steps_ratio",
+              static_cast<double>(ref_res.steps) /
+                  static_cast<double>(std::max<uint64_t>(1, memo_res.steps)));
+  dump.Record(name, "seconds_memo",
+              seconds / static_cast<double>(state.iterations()));
+  dump.Record(name, "verdicts_agree",
+              memo_res.verdict == ref_res.verdict ? 1.0 : 0.0);
+}
+BENCHMARK(BM_SubsetDiamondMemo)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SubsetDiamondReference(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  Prepared prep = Prepare(bench::SharedDiamond(m), "b0");
+  SubsetOptions reference;
+  reference.use_scc = false;
+  reference.use_memo = false;
+  uint64_t steps = 0;
+  double seconds = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    SubsetResult res =
+        CheckSubsetCondition(prep.system, prep.root, reference);
+    seconds += std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    steps = res.steps;
+    benchmark::DoNotOptimize(res);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  bench::JsonDump::Get("safety").Record(
+      StrCat("subset_diamond/m=", m), "seconds_reference",
+      seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SubsetDiamondReference)->Arg(4)->Arg(8)->Arg(12);
 
 void BM_SubsetConcatBoundResult(benchmark::State& state) {
   // The hardest real case in the test suite: Example 7 with the result

@@ -22,6 +22,11 @@ namespace hornsafe::bench {
 /// process exits (the binaries link benchmark_main, so there is no main
 /// to hook — a function-local static's destructor does the flush).
 /// The first `Get` call fixes the suite name for the whole process.
+///
+/// Several binaries may share one suite (bench_subset_condition and
+/// bench_safety_pipeline both feed "safety"): the flush merges with an
+/// existing file, keeping prior entries whose benchmark name this
+/// process did not re-record.
 class JsonDump {
  public:
   static JsonDump& Get(const std::string& suite) {
@@ -31,12 +36,21 @@ class JsonDump {
 
   void Record(std::string bench, std::string metric, double value) {
     std::lock_guard<std::mutex> lock(mu_);
+    // Last write wins: google-benchmark re-invokes benchmark functions
+    // while estimating iteration counts, and each invocation re-records.
+    for (Entry& e : entries_) {
+      if (e.bench == bench && e.metric == metric) {
+        e.value = value;
+        return;
+      }
+    }
     entries_.push_back({std::move(bench), std::move(metric), value});
   }
 
   ~JsonDump() {
     if (entries_.empty()) return;
     std::string path = StrCat("BENCH_", suite_, ".json");
+    MergeExisting(path);
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n",
@@ -61,6 +75,33 @@ class JsonDump {
   };
 
   explicit JsonDump(std::string suite) : suite_(std::move(suite)) {}
+
+  /// Prepends the entries of an existing dump file whose benchmark name
+  /// was not re-recorded by this process. The file is our own writer's
+  /// output, so a line-per-entry scan is sufficient.
+  void MergeExisting(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) return;
+    std::vector<Entry> kept;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      char bench[128], metric[128];
+      double value = 0;
+      if (std::sscanf(line,
+                      "    {\"benchmark\": \"%127[^\"]\", \"metric\": "
+                      "\"%127[^\"]\", \"value\": %lf",
+                      bench, metric, &value) != 3) {
+        continue;
+      }
+      bool rerecorded = false;
+      for (const Entry& e : entries_) {
+        if (e.bench == bench) rerecorded = true;
+      }
+      if (!rerecorded) kept.push_back({bench, metric, value});
+    }
+    std::fclose(f);
+    entries_.insert(entries_.begin(), kept.begin(), kept.end());
+  }
 
   static std::string Escape(const std::string& s) {
     std::string out;
@@ -139,6 +180,34 @@ inline Program WideHead(int arity) {
   }
   std::string text = StrCat("r(", head_vars, ") :- ", body, ".\n");
   text += StrCat("r(", head_vars, ") :- r(", head_vars, "), c(X0).\n");
+  return MustParse(text);
+}
+
+/// A *safe* family whose brute-force counterexample search is
+/// exponential in `m` while the SCC-delegating search is linear. A ring
+/// b0 -> b1 -> ... -> b{m-1} -> b0 passes the head variable straight
+/// through, so the f-node-free forward cycle that kills every candidate
+/// graph only closes when the ring's last edge is expanded — and each
+/// ring node also requires its own independent two-way diamond `d_i`
+/// (two unguarded rule variants, both of which close 0-free). The joint
+/// search re-enumerates the diamond choices of every level on the way
+/// to each failure (2^(m-1) combinations); the delegating search
+/// settles each diamond once, behind its memo entry, and backtracking
+/// in the ring never re-enters them.
+inline Program SharedDiamond(int m) {
+  std::string text =
+      ".infinite f/2.\n.fd f: 2 -> 1.\n"
+      ".infinite g/2.\n.fd g: 2 -> 1.\n"
+      ".infinite t2/2.\n";
+  for (int i = 0; i < m; ++i) {
+    text += StrCat("b", i, "(X) :- d", i, "(X), b", (i + 1) % m,
+                   "(X).\n");
+    text += StrCat("d", i, "(X) :- f(X,Y), e", i, "(Y).\n");
+    text += StrCat("d", i, "(X) :- g(X,Y), e", i, "(Y).\n");
+    text += StrCat("e", i, "(X) :- t2(X,Z).\n");
+  }
+  text += "b0(X) :- c(X).\n";
+  text += "?- b0(X).\n";
   return MustParse(text);
 }
 

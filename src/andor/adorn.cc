@@ -12,14 +12,16 @@ std::string Adornment::ToString() const {
   return s;
 }
 
-std::vector<Adornment> ConsistentAdornments(const TermPool& pool,
-                                            const Literal& lit) {
-  // Group positions by variable.
+namespace {
+
+/// Positions holding the same variable get the same group index, in
+/// first-occurrence order. This pattern fully determines the consistent
+/// adornments of the literal.
+std::vector<uint32_t> GroupPattern(const Literal& lit) {
   std::vector<TermId> distinct;
   std::vector<uint32_t> group_of(lit.args.size());
   for (size_t k = 0; k < lit.args.size(); ++k) {
     TermId v = lit.args[k];
-    (void)pool;
     auto it = std::find(distinct.begin(), distinct.end(), v);
     if (it == distinct.end()) {
       group_of[k] = static_cast<uint32_t>(distinct.size());
@@ -28,17 +30,44 @@ std::vector<Adornment> ConsistentAdornments(const TermPool& pool,
       group_of[k] = static_cast<uint32_t>(it - distinct.begin());
     }
   }
+  return group_of;
+}
+
+std::vector<Adornment> AdornmentsForPattern(
+    const std::vector<uint32_t>& group_of) {
+  uint64_t groups = 0;
+  for (uint32_t g : group_of) groups = std::max<uint64_t>(groups, g + 1);
   std::vector<Adornment> out;
-  uint64_t groups = distinct.size();
+  out.reserve(size_t{1} << groups);
   for (uint64_t choice = 0; choice < (uint64_t{1} << groups); ++choice) {
     Adornment a;
-    a.arity = static_cast<uint32_t>(lit.args.size());
-    for (size_t k = 0; k < lit.args.size(); ++k) {
+    a.arity = static_cast<uint32_t>(group_of.size());
+    for (size_t k = 0; k < group_of.size(); ++k) {
       if ((choice >> group_of[k]) & 1) a.bound_mask |= uint64_t{1} << k;
     }
     out.push_back(a);
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<Adornment> ConsistentAdornments(const TermPool& pool,
+                                            const Literal& lit) {
+  (void)pool;
+  return AdornmentsForPattern(GroupPattern(lit));
+}
+
+const std::vector<Adornment>& AdornmentCache::For(const TermPool& pool,
+                                                 const Literal& lit) {
+  (void)pool;
+  std::vector<uint32_t> pattern = GroupPattern(lit);
+  auto it = memo_.find(pattern);
+  if (it == memo_.end()) {
+    std::vector<Adornment> adornments = AdornmentsForPattern(pattern);
+    it = memo_.emplace(std::move(pattern), std::move(adornments)).first;
+  }
+  return it->second;
 }
 
 std::vector<uint32_t> AdornedProgram::RulesFor(
@@ -85,6 +114,7 @@ std::string AdornedProgram::ToString(const Program& program) const {
 
 Result<AdornedProgram> BuildAdornedProgram(const Program& canonical) {
   AdornedProgram out;
+  AdornmentCache cache;
   uint32_t next_occurrence = 0;
   for (uint32_t ri = 0; ri < canonical.rules().size(); ++ri) {
     const Rule& rule = canonical.rules()[ri];
@@ -107,8 +137,8 @@ Result<AdornedProgram> BuildAdornedProgram(const Program& canonical) {
                    "run Canonicalize first"));
       }
     }
-    std::vector<Adornment> adornments =
-        ConsistentAdornments(canonical.terms(), rule.head);
+    const std::vector<Adornment>& adornments =
+        cache.For(canonical.terms(), rule.head);
     for (const Adornment& a : adornments) {
       AdornedRule ar;
       ar.head_pred = rule.head.pred;

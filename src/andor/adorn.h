@@ -2,6 +2,7 @@
 #define HORNSAFE_ANDOR_ADORN_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,24 @@ struct Adornment {
 /// has 2^(#distinct variables) entries, all-free first.
 std::vector<Adornment> ConsistentAdornments(const TermPool& pool,
                                             const Literal& lit);
+
+/// Memoizing wrapper around ConsistentAdornments. The result depends
+/// only on the literal's *grouping pattern* — which positions hold the
+/// same variable — so r(X,Y), s(A,B) and r(U,V) all share one cache
+/// entry, and the 2^groups enumeration runs once per pattern instead of
+/// once per occurrence. One cache serves literals of any predicate.
+class AdornmentCache {
+ public:
+  /// Cached ConsistentAdornments(pool, lit). The reference stays valid
+  /// until the cache is destroyed (entries are never evicted).
+  const std::vector<Adornment>& For(const TermPool& pool, const Literal& lit);
+
+  size_t size() const { return memo_.size(); }
+
+ private:
+  /// Key: first-occurrence group index per argument position.
+  std::map<std::vector<uint32_t>, std::vector<Adornment>> memo_;
+};
 
 /// One body literal occurrence in an adorned rule. Occurrence ids are
 /// unique across the whole adorned program — the paper's renaming of body

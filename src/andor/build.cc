@@ -121,8 +121,8 @@ class SystemBuilder {
 
   void Step3DerivedOccurrence(const AdornedRule& ar,
                               const BodyOccurrence& occ) {
-    std::vector<Adornment> adornments =
-        ConsistentAdornments(program_.terms(), occ.lit);
+    const std::vector<Adornment>& adornments =
+        adornment_cache_.For(program_.terms(), occ.lit);
     for (uint32_t k = 0; k < occ.lit.args.size(); ++k) {
       NodeId arg_node = BodyArg(ar, occ, k);
       std::vector<NodeId> conjunct;
@@ -159,15 +159,27 @@ class SystemBuilder {
     }
   }
 
+  /// The dependency index of a predicate, built on first use and shared
+  /// by every occurrence: closures and determinant lists are memoized
+  /// inside, so the 2^arity enumeration of MinimalDeterminants runs at
+  /// most once per (predicate, argument).
+  FdClosureIndex& FdIndexFor(PredicateId pred) {
+    auto it = fd_index_.find(pred);
+    if (it == fd_index_.end()) {
+      it = fd_index_.emplace(pred, FdClosureIndex(program_.FdsFor(pred)))
+               .first;
+    }
+    return it->second;
+  }
+
   void Step4InfiniteOccurrence(const AdornedRule& ar,
                                const BodyOccurrence& occ) {
-    std::vector<FiniteDependency> fds = program_.FdsFor(occ.lit.pred);
+    FdClosureIndex& fds = FdIndexFor(occ.lit.pred);
     uint32_t arity = static_cast<uint32_t>(occ.lit.args.size());
     for (uint32_t k = 0; k < arity; ++k) {
       NodeId arg_node = BodyArg(ar, occ, k);
-      std::vector<AttrSet> determinants =
-          opts_.use_fd_closure ? MinimalDeterminants(fds, arity, k)
-                               : DeclaredDeterminants(fds, k);
+      const std::vector<AttrSet>& determinants =
+          opts_.use_fd_closure ? fds.Minimal(arity, k) : fds.Declared(k);
       if (determinants.empty()) {
         // No dependency restricts this argument: unsafe leaf.
         system_.AddRule(
@@ -207,6 +219,8 @@ class SystemBuilder {
   const AdornedProgram& adorned_;
   BuildOptions opts_;
   AndOrSystem system_;
+  AdornmentCache adornment_cache_;
+  std::unordered_map<PredicateId, FdClosureIndex> fd_index_;
 };
 
 }  // namespace

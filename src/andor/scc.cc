@@ -1,0 +1,233 @@
+#include "andor/scc.h"
+
+#include <algorithm>
+
+namespace hornsafe {
+
+namespace {
+
+bool IsTerminal(const AndOrSystem& system, NodeId n) {
+  PropNodeKind k = system.node(n).kind;
+  return k == PropNodeKind::kZero || k == PropNodeKind::kOne;
+}
+
+/// Iterative Tarjan over an adjacency list restricted to the nodes with
+/// `in_graph[v]` set. Components are numbered in pop order, so every
+/// edge leaving a component points at a smaller component id (reverse
+/// topological numbering). Returns the number of components.
+int32_t TarjanScc(const std::vector<std::vector<NodeId>>& adj,
+                  const std::vector<char>& in_graph,
+                  std::vector<int32_t>* comp) {
+  const size_t n = adj.size();
+  comp->assign(n, -1);
+  std::vector<int32_t> index(n, -1);
+  std::vector<int32_t> low(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  int32_t next_index = 0;
+  int32_t num_components = 0;
+
+  // Explicit DFS frame: node + position within its adjacency list.
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (!in_graph[root] || index[root] >= 0) continue;
+    frames.push_back({root, 0});
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = 1;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      NodeId v = f.v;
+      if (f.child < adj[v].size()) {
+        NodeId w = adj[v][f.child++];
+        if (!in_graph[w]) continue;
+        if (index[w] < 0) {
+          frames.push_back({w, 0});
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = 1;
+        } else if (on_stack[w]) {
+          low[v] = std::min(low[v], index[w]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        while (true) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          (*comp)[w] = num_components;
+          if (w == v) break;
+        }
+        ++num_components;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        NodeId parent = frames.back().v;
+        low[parent] = std::min(low[parent], low[v]);
+      }
+    }
+  }
+  return num_components;
+}
+
+}  // namespace
+
+SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
+  SccAnalysis out;
+  const size_t n = system.nodes().size();
+  const size_t num_rules = system.num_rules();
+
+  // 1. Capability greatest fixpoint: a node can appear in a 0-free
+  // completion iff some live rule for it avoids the 0-node and has
+  // all-capable non-terminal members.
+  out.capable_.assign(n, 1);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!out.capable_[v] || IsTerminal(system, v)) continue;
+      bool has_usable = false;
+      for (uint32_t ri : system.RulesFor(v)) {
+        const PropRule& r = system.rule(ri);
+        bool usable = true;
+        for (NodeId b : r.body) {
+          if (b == system.zero() ||
+              (!IsTerminal(system, b) && !out.capable_[b])) {
+            usable = false;
+            break;
+          }
+        }
+        if (usable) {
+          has_usable = true;
+          break;
+        }
+      }
+      if (!has_usable) {
+        out.capable_[v] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  // 2. Per-rule usability under the final capability map.
+  out.rule_usable_.assign(num_rules, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (IsTerminal(system, v)) continue;
+    for (uint32_t ri : system.RulesFor(v)) {
+      const PropRule& r = system.rule(ri);
+      bool usable = true;
+      for (NodeId b : r.body) {
+        if (b == system.zero() ||
+            (!IsTerminal(system, b) && !out.capable_[b])) {
+          usable = false;
+          break;
+        }
+      }
+      out.rule_usable_[ri] = usable ? 1 : 0;
+    }
+  }
+
+  // 3. Union (demand) graph over capable non-terminal nodes: an edge
+  // per usable-rule body membership. F-nodes participate — they carry
+  // demand even though counted cycles never pass through them.
+  std::vector<char> in_graph(n, 0);
+  std::vector<std::vector<NodeId>> adj(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (IsTerminal(system, v) || !out.capable_[v]) continue;
+    in_graph[v] = 1;
+    for (uint32_t ri : system.RulesFor(v)) {
+      if (!out.rule_usable_[ri]) continue;
+      for (NodeId b : system.rule(ri).body) {
+        if (IsTerminal(system, b)) continue;
+        adj[v].push_back(b);
+      }
+    }
+  }
+  out.scc_id_.assign(n, -1);
+  out.num_sccs_ = TarjanScc(adj, in_graph, &out.scc_id_);
+
+  // 4. F-free sub-SCCs: same edges minus f-node endpoints. A counted
+  // cycle (forward edge, no f-node) is possible exactly inside an
+  // f-free SCC containing a head-argument -> variable edge.
+  std::vector<char> in_ffree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    in_ffree[v] = in_graph[v] && !system.node(v).is_f_node;
+  }
+  std::vector<int32_t> ffs_id;
+  TarjanScc(adj, in_ffree, &ffs_id);
+
+  std::vector<char> cycle_possible(out.num_sccs_, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!in_ffree[u] || system.node(u).kind != PropNodeKind::kHeadArg) {
+      continue;
+    }
+    for (uint32_t ri : system.RulesFor(u)) {
+      if (!out.rule_usable_[ri]) continue;
+      for (NodeId v : system.rule(ri).body) {
+        if (IsTerminal(system, v) || !in_ffree[v]) continue;
+        if (system.node(v).kind != PropNodeKind::kVariable) continue;
+        if (ffs_id[u] == ffs_id[v]) cycle_possible[out.scc_id_[u]] = 1;
+      }
+    }
+  }
+
+  // 5. Propagate cycle possibility up the condensation. Components are
+  // numbered in reverse topological order (edges point at smaller ids),
+  // so one increasing sweep sees every successor first.
+  std::vector<std::vector<NodeId>> scc_members(out.num_sccs_);
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.scc_id_[v] >= 0) scc_members[out.scc_id_[v]].push_back(v);
+  }
+  std::vector<char> reach_cycle = cycle_possible;
+  for (int32_t s = 0; s < out.num_sccs_; ++s) {
+    if (reach_cycle[s]) continue;
+    for (NodeId v : scc_members[s]) {
+      for (NodeId w : adj[v]) {
+        if (!in_graph[w]) continue;
+        int32_t t = out.scc_id_[w];
+        if (t != s && reach_cycle[t]) {
+          reach_cycle[s] = 1;
+          break;
+        }
+      }
+      if (reach_cycle[s]) break;
+    }
+  }
+  out.cycle_reachable_.assign(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (out.scc_id_[v] >= 0) {
+      out.cycle_reachable_[v] = reach_cycle[out.scc_id_[v]];
+    }
+  }
+
+  // 6. Per-SCC reachability bitsets for the search's independence
+  // frontier, bounded to keep the quadratic table small.
+  if (out.num_sccs_ > 0 && out.num_sccs_ <= kMaxSccsForReach) {
+    out.reach_blocks_ = (static_cast<size_t>(out.num_sccs_) + 63) / 64;
+    out.reach_.assign(static_cast<size_t>(out.num_sccs_) * out.reach_blocks_,
+                      0);
+    for (int32_t s = 0; s < out.num_sccs_; ++s) {
+      uint64_t* row = &out.reach_[static_cast<size_t>(s) * out.reach_blocks_];
+      row[s / 64] |= uint64_t{1} << (s % 64);
+      for (NodeId v : scc_members[s]) {
+        for (NodeId w : adj[v]) {
+          if (!in_graph[w]) continue;
+          int32_t t = out.scc_id_[w];
+          if (t == s) continue;
+          const uint64_t* trow =
+              &out.reach_[static_cast<size_t>(t) * out.reach_blocks_];
+          for (size_t i = 0; i < out.reach_blocks_; ++i) row[i] |= trow[i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hornsafe

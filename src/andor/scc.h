@@ -1,0 +1,93 @@
+#ifndef HORNSAFE_ANDOR_SCC_H_
+#define HORNSAFE_ANDOR_SCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "andor/system.h"
+
+namespace hornsafe {
+
+/// Precomputed structure of the live And-Or system shared by every
+/// subset-condition search over it: the capability greatest fixpoint,
+/// the SCC condensation of the *union graph* (every usable rule edge,
+/// taken together, over capable nodes), and two facts derived from it
+/// that let searches skip enumeration entirely:
+///
+///   * a node that is not `capable` cannot appear in any 0-free
+///     completion — every AND-graph below it contains a 0-node, so the
+///     subset condition holds without search;
+///   * a capable node from which no *possible* f-node-free forward
+///     cycle is reachable is unsafe without search: whatever rules are
+///     chosen, the chosen subgraph is a subgraph of the union graph, a
+///     cycle of the chosen subgraph lies inside a single union-graph
+///     SCC, and no reachable SCC can host one — so any greedy 0-free
+///     completion is already a counterexample.
+///
+/// The same lies-inside-one-SCC fact powers the search's memo table:
+/// a body node whose reachable SCCs are disjoint from the SCCs of every
+/// currently chosen node is an independent subproblem whose answer does
+/// not depend on the ancestors' choices (see subset.cc).
+///
+/// The analysis depends on the system's *live* rule set: recompute it
+/// after ApplyEmptinessPruning / ReduceSystem delete rules.
+class SccAnalysis {
+ public:
+  /// Runs capability + condensation over the current live rules.
+  static SccAnalysis Compute(const AndOrSystem& system);
+
+  /// True iff the node can appear in a 0-free completion (greatest
+  /// fixpoint: some live rule avoids 0 and has all-capable members).
+  bool capable(NodeId n) const { return capable_[n] != 0; }
+
+  /// True iff `rule_index` can appear in a counterexample graph: its
+  /// body avoids the 0-node and every non-terminal member is capable.
+  bool rule_usable(uint32_t rule_index) const {
+    return rule_usable_[rule_index] != 0;
+  }
+
+  /// True iff some union-graph SCC hosting a possible f-free forward
+  /// cycle is reachable from `n` (through f-nodes as well; those occur
+  /// on demand paths even though they never lie on counted cycles).
+  bool cycle_reachable(NodeId n) const { return cycle_reachable_[n] != 0; }
+
+  /// Union-graph SCC of a capable non-terminal node; -1 otherwise.
+  int32_t scc_of(NodeId n) const { return scc_id_[n]; }
+
+  int32_t num_sccs() const { return num_sccs_; }
+
+  /// Whether per-SCC reachability bitsets were materialised (skipped
+  /// above kMaxSccsForReach components to bound memory; the search then
+  /// falls back to joint exploration without the memo table).
+  bool has_reach_sets() const { return reach_blocks_ > 0; }
+  size_t reach_blocks() const { return reach_blocks_; }
+
+  /// True iff any SCC reachable from `scc` (including itself) has a
+  /// set bit in `active`, an array of reach_blocks() words.
+  bool ReachesAny(int32_t scc, const uint64_t* active) const {
+    const uint64_t* row = &reach_[static_cast<size_t>(scc) * reach_blocks_];
+    for (size_t i = 0; i < reach_blocks_; ++i) {
+      if (row[i] & active[i]) return true;
+    }
+    return false;
+  }
+
+  /// Reach-set ceiling: condensations wider than this skip the bitsets
+  /// (quadratic memory) and the frontier memo degrades gracefully.
+  static constexpr int32_t kMaxSccsForReach = 1 << 13;
+
+ private:
+  std::vector<char> capable_;
+  std::vector<char> rule_usable_;
+  std::vector<char> cycle_reachable_;
+  std::vector<int32_t> scc_id_;
+  int32_t num_sccs_ = 0;
+  size_t reach_blocks_ = 0;
+  /// num_sccs_ rows of reach_blocks_ words; row s = SCCs reachable
+  /// from s, itself included.
+  std::vector<uint64_t> reach_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_SCC_H_

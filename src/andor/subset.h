@@ -13,6 +13,8 @@
 
 namespace hornsafe {
 
+class SccAnalysis;
+
 /// Three-valued safety verdict.
 enum class Safety : uint8_t {
   kSafe,
@@ -53,6 +55,22 @@ struct SubsetOptions {
   /// DFS step budget; exceeded -> kUndecided.
   uint64_t budget = 5'000'000;
   GraphEscape escape;
+  /// Enable the SCC condensation short-circuits: a capable root with no
+  /// reachable component that could host an f-node-free forward cycle
+  /// is unsafe without any enumeration (a greedy 0-free completion is
+  /// already a counterexample). Disabled automatically when `escape` is
+  /// set — the escape can rescue individual graphs, so existence of a
+  /// cycle-free completion alone no longer decides.
+  bool use_scc = true;
+  /// Enable frontier memoization: a body node whose reachable
+  /// components are disjoint from the components of every node chosen
+  /// so far is an independent subproblem ("can it anchor a closed,
+  /// cycle-free assignment?") solved once and cached by node id.
+  /// Disabled automatically when `escape` is set.
+  bool use_memo = true;
+  /// Precomputed condensation to share across argument positions; when
+  /// null (and use_scc or use_memo is set) it is computed on the fly.
+  const SccAnalysis* scc = nullptr;
 };
 
 /// Outcome of CheckSubsetCondition.
@@ -64,6 +82,13 @@ struct SubsetResult {
   uint64_t graphs_checked = 0;
   /// DFS steps consumed.
   uint64_t steps = 0;
+  /// Delegations answered from the memo table.
+  uint64_t memo_hits = 0;
+  /// Delegations that ran a fresh fragment search.
+  uint64_t memo_misses = 0;
+  /// Verdicts (whole-search or per-fragment) decided by the SCC
+  /// condensation without enumeration.
+  uint64_t scc_short_circuits = 0;
 };
 
 /// Decides the subset condition of Theorems 3/4 for the argument-position
@@ -81,9 +106,19 @@ struct SubsetResult {
 /// Sound and, per Theorem 4, complete after ApplyEmptinessPruning.
 /// Worst-case exponential in the number of nodes (the paper's Lemma 8
 /// bound is per-family; the family itself can be exponential), bounded
-/// by `opts.budget`.
+/// by `opts.budget`. The SCC short-circuits and frontier memoization
+/// (see SubsetOptions) collapse the common shapes of that blow-up;
+/// both are exact, so verdicts and witness validity never depend on the
+/// flags.
 SubsetResult CheckSubsetCondition(const AndOrSystem& system, NodeId root,
                                   const SubsetOptions& opts = {});
+
+/// Validates a purported counterexample graph: rooted, closed (every
+/// non-terminal body member of a chosen rule is itself chosen, with a
+/// live rule of that node), 0-free, and without an f-node-free forward
+/// cycle. Used by tests and by callers that want to double-check
+/// witnesses assembled from memoized fragments.
+bool IsCounterexampleGraph(const AndOrSystem& system, const AndGraph& graph);
 
 }  // namespace hornsafe
 

@@ -1,5 +1,8 @@
 #include "core/analyzer.h"
 
+#include <algorithm>
+#include <future>
+
 #include "andor/build.h"
 #include "andor/emptiness.h"
 #include "andor/lfp.h"
@@ -55,6 +58,10 @@ Result<SafetyAnalyzer> SafetyAnalyzer::Create(
     s.mono = std::make_unique<MonotonicityAnalyzer>(s.canon.program,
                                                     s.adorned, s.system);
   }
+  // The condensation depends on the live rule set, so it is computed
+  // after pruning and then shared (read-only) by every subset search,
+  // including ones running concurrently on pool threads.
+  s.scc = std::make_unique<SccAnalysis>(SccAnalysis::Compute(s.system));
   return a;
 }
 
@@ -62,7 +69,23 @@ SubsetOptions SafetyAnalyzer::MakeSubsetOptions() {
   SubsetOptions opts;
   opts.budget = state_->options.subset_budget;
   if (state_->mono) opts.escape = state_->mono->MakeEscape();
+  opts.scc = state_->scc.get();
   return opts;
+}
+
+ThreadPool& SafetyAnalyzer::Pool(size_t threads) {
+  if (!state_->pool || state_->pool->num_threads() < threads) {
+    // Replacing the pool joins the old workers first (no task is in
+    // flight here: the pool is only touched between analyses).
+    state_->pool = std::make_unique<ThreadPool>(threads);
+  }
+  return *state_->pool;
+}
+
+SafetyAnalyzer::Counters SafetyAnalyzer::counters() const {
+  Counters c = state_->counters;
+  c.steps = state_->steps_spent.load(std::memory_order_relaxed);
+  return c;
 }
 
 QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
@@ -80,10 +103,19 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
   out.query = lit;
 
   SubsetOptions sopts = MakeSubsetOptions();
-  bool any_unsafe = false;
-  bool any_undecided = false;
+
+  // Classify serially (display-literal interning above and predicate
+  // lookups mutate no shared state from here on) and collect the
+  // argument positions that need an actual subset search.
+  struct SearchJob {
+    uint32_t position = 0;
+    NodeId root = kInvalidNode;
+    SubsetResult res;
+  };
+  std::vector<ArgumentVerdict> verdicts(arity);
+  std::vector<SearchJob> searches;
   for (uint32_t k = 0; k < arity; ++k) {
-    ArgumentVerdict v;
+    ArgumentVerdict& v = verdicts[k];
     v.position = k;
     if ((adornment_mask >> k) & 1) {
       v.safety = Safety::kSafe;
@@ -104,28 +136,77 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
                           ? "finitely determined by bound arguments"
                           : "free argument of an infinite base predicate";
     } else {
-      NodeId root = system.FindHeadArg(pred, adornment_mask, k);
-      SubsetResult res = CheckSubsetCondition(system, root, sopts);
-      v.safety = res.verdict;
-      switch (res.verdict) {
-        case Safety::kSafe:
-          v.explanation =
-              root == kInvalidNode || system.RulesFor(root).empty()
-                  ? "no rule can bind this argument (empty predicate)"
-                  : StrCat("every AND-graph satisfies the subset condition (",
-                           res.graphs_checked, " graphs checked)");
-          break;
-        case Safety::kUnsafe:
-          v.explanation = res.witness
-                              ? res.witness->Describe(system, p)
-                              : "counterexample AND-graph found";
-          break;
-        case Safety::kUndecided:
-          v.explanation =
-              StrCat("search budget exhausted after ", res.steps, " steps");
-          break;
-      }
+      SearchJob job;
+      job.position = k;
+      job.root = system.FindHeadArg(pred, adornment_mask, k);
+      searches.push_back(std::move(job));
     }
+  }
+
+  // Run the searches — the expensive part — across the pool when asked.
+  // Each position gets its own budget and fresh memo table, so every
+  // SubsetResult is independent of scheduling; only the aggregate
+  // steps tally is shared (and atomic).
+  size_t want = state_->options.jobs <= 0
+                    ? ThreadPool::DefaultThreads()
+                    : static_cast<size_t>(state_->options.jobs);
+  if (want > 1 && searches.size() > 1) {
+    ThreadPool& pool = Pool(std::min(want, searches.size()));
+    std::vector<std::future<void>> done;
+    done.reserve(searches.size());
+    for (SearchJob& job : searches) {
+      done.push_back(pool.Submit([this, &job, &sopts] {
+        job.res = CheckSubsetCondition(state_->system, job.root, sopts);
+        state_->steps_spent.fetch_add(job.res.steps,
+                                      std::memory_order_relaxed);
+      }));
+    }
+    for (std::future<void>& f : done) f.get();
+    state_->counters.parallel_tasks += searches.size();
+  } else {
+    for (SearchJob& job : searches) {
+      job.res = CheckSubsetCondition(system, job.root, sopts);
+      state_->steps_spent.fetch_add(job.res.steps,
+                                    std::memory_order_relaxed);
+    }
+    state_->counters.serial_tasks += searches.size();
+  }
+
+  // Deterministic merge: verdicts, explanations, and counters are
+  // folded in position order on this thread.
+  for (const SearchJob& job : searches) {
+    ArgumentVerdict& v = verdicts[job.position];
+    const SubsetResult& res = job.res;
+    v.safety = res.verdict;
+    switch (res.verdict) {
+      case Safety::kSafe:
+        v.explanation =
+            job.root == kInvalidNode || system.RulesFor(job.root).empty()
+                ? "no rule can bind this argument (empty predicate)"
+                : StrCat("every AND-graph satisfies the subset condition (",
+                         res.graphs_checked, " graphs checked)");
+        break;
+      case Safety::kUnsafe:
+        v.explanation = res.witness
+                            ? res.witness->Describe(system, p)
+                            : "counterexample AND-graph found";
+        break;
+      case Safety::kUndecided:
+        v.explanation =
+            StrCat("search budget exhausted after ", res.steps, " steps");
+        break;
+    }
+    state_->counters.subset_searches += 1;
+    state_->counters.graphs_checked += res.graphs_checked;
+    state_->counters.memo_hits += res.memo_hits;
+    state_->counters.memo_misses += res.memo_misses;
+    state_->counters.scc_short_circuits += res.scc_short_circuits;
+  }
+  state_->counters.positions_analyzed += arity;
+
+  bool any_unsafe = false;
+  bool any_undecided = false;
+  for (ArgumentVerdict& v : verdicts) {
     any_unsafe |= (v.safety == Safety::kUnsafe);
     any_undecided |= (v.safety == Safety::kUndecided);
     out.args.push_back(std::move(v));

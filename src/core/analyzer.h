@@ -1,18 +1,21 @@
 #ifndef HORNSAFE_CORE_ANALYZER_H_
 #define HORNSAFE_CORE_ANALYZER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "andor/adorn.h"
+#include "andor/scc.h"
 #include "andor/subset.h"
 #include "andor/system.h"
 #include "canonical/canonical.h"
 #include "constraints/mono.h"
 #include "lang/program.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace hornsafe {
 
@@ -33,8 +36,15 @@ struct AnalyzerOptions {
   bool use_fd_closure = false;
   /// Canonicalization options (Algorithm 1).
   CanonicalizeOptions canonicalize;
-  /// DFS budget for the subset-condition search.
+  /// DFS budget for the subset-condition search, applied *per argument
+  /// position* so verdicts do not depend on scheduling.
   uint64_t subset_budget = 5'000'000;
+  /// Worker threads for fanning per-argument-position subset searches
+  /// across the pool: 1 = serial (default), 0 = hardware default.
+  /// Verdicts and explanations are identical at every job count — each
+  /// position searches under its own deterministic budget and a fresh
+  /// memo table, and results are merged in position order.
+  int jobs = 1;
 };
 
 /// Verdict for one argument position of an analyzed literal.
@@ -108,6 +118,26 @@ class SafetyAnalyzer {
   };
   const Stats& stats() const { return state_->stats; }
 
+  /// Cumulative search counters across every analysis run on this
+  /// analyzer (hornsafe_cli --stats). `steps` aggregates the budget
+  /// spent by all positions, including ones searched on pool threads.
+  struct Counters {
+    uint64_t positions_analyzed = 0;
+    uint64_t subset_searches = 0;
+    uint64_t steps = 0;
+    uint64_t graphs_checked = 0;
+    uint64_t memo_hits = 0;
+    uint64_t memo_misses = 0;
+    uint64_t scc_short_circuits = 0;
+    uint64_t parallel_tasks = 0;
+    uint64_t serial_tasks = 0;
+  };
+  Counters counters() const;
+
+  /// The condensation shared by every subset search (computed once
+  /// after pruning).
+  const SccAnalysis& scc() const { return *state_->scc; }
+
   SafetyAnalyzer(SafetyAnalyzer&&) = default;
   SafetyAnalyzer& operator=(SafetyAnalyzer&&) = default;
 
@@ -115,6 +145,9 @@ class SafetyAnalyzer {
   SafetyAnalyzer() = default;
 
   SubsetOptions MakeSubsetOptions();
+
+  /// The pool, created on first parallel analysis.
+  ThreadPool& Pool(size_t threads);
 
   /// All pipeline state lives behind one pointer so that moving the
   /// analyzer never invalidates the internal references held by the
@@ -125,7 +158,14 @@ class SafetyAnalyzer {
     AdornedProgram adorned;
     AndOrSystem system;
     std::unique_ptr<MonotonicityAnalyzer> mono;
+    std::unique_ptr<SccAnalysis> scc;
+    std::unique_ptr<ThreadPool> pool;
     Stats stats;
+    /// Shared atomic budget tally: every finished search adds its steps
+    /// here from whichever thread ran it; the rest of Counters is
+    /// merged serially after the per-predicate join.
+    std::atomic<uint64_t> steps_spent{0};
+    Counters counters;
   };
   std::unique_ptr<State> state_;
 };

@@ -67,37 +67,62 @@ std::vector<FiniteDependency> MinimalCover(std::vector<FiniteDependency> fds) {
   return split;
 }
 
-std::vector<AttrSet> MinimalDeterminants(
-    const std::vector<FiniteDependency>& fds, uint32_t arity, uint32_t attr) {
+namespace {
+
+/// Shared body of MinimalDeterminants: candidates are enumerated in
+/// increasing cardinality (Gosper's hack within each level), so a
+/// candidate that contains an already-found determinant is dominated
+/// and skipped before its closure is ever computed, and every
+/// surviving hit is minimal by construction — no superset cleanup
+/// pass. `closure` abstracts over the plain and the memoized closure.
+template <typename ClosureFn>
+std::vector<AttrSet> MinimalDeterminantsWith(uint32_t arity, uint32_t attr,
+                                             ClosureFn&& closure) {
   std::vector<AttrSet> minimal;
   AttrSet others = AttrSet::AllBelow(arity);
   others.Remove(attr);
   std::vector<uint32_t> other_list = others.ToVector();
-  uint64_t limit = uint64_t{1} << other_list.size();
-  for (uint64_t mask = 0; mask < limit; ++mask) {
-    AttrSet candidate;
-    for (size_t i = 0; i < other_list.size(); ++i) {
-      if ((mask >> i) & 1) candidate.Add(other_list[i]);
-    }
-    if (!AttrClosure(candidate, fds).Contains(attr)) continue;
-    bool dominated = false;
-    for (const AttrSet& m : minimal) {
-      if (m.SubsetOf(candidate)) {
-        dominated = true;
-        break;
+  const size_t n = other_list.size();
+  for (size_t card = 0; card <= n; ++card) {
+    if (card == 0) {
+      if (closure(AttrSet()).Contains(attr)) {
+        // The empty set determines attr: it dominates everything.
+        return {AttrSet()};
       }
+      continue;
     }
-    if (dominated) continue;
-    // Remove any supersets already collected (enumeration order is by
-    // mask value, not cardinality, so supersets can precede subsets).
-    minimal.erase(std::remove_if(minimal.begin(), minimal.end(),
-                                 [&](const AttrSet& m) {
-                                   return candidate.SubsetOf(m);
-                                 }),
-                  minimal.end());
-    minimal.push_back(candidate);
+    uint64_t mask = (uint64_t{1} << card) - 1;
+    const uint64_t limit = uint64_t{1} << n;
+    while (mask < limit) {
+      AttrSet candidate;
+      for (uint64_t b = mask; b != 0; b &= b - 1) {
+        candidate.Add(other_list[__builtin_ctzll(b)]);
+      }
+      bool dominated = false;
+      for (const AttrSet& m : minimal) {
+        if (m.SubsetOf(candidate)) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated && closure(candidate).Contains(attr)) {
+        minimal.push_back(candidate);
+      }
+      // Gosper's hack: next n-bit mask with the same popcount.
+      uint64_t c = mask & (~mask + 1);
+      uint64_t r = mask + c;
+      mask = (((r ^ mask) >> 2) / c) | r;
+    }
   }
   return minimal;
+}
+
+}  // namespace
+
+std::vector<AttrSet> MinimalDeterminants(
+    const std::vector<FiniteDependency>& fds, uint32_t arity, uint32_t attr) {
+  return MinimalDeterminantsWith(
+      arity, attr, [&](AttrSet s) { return AttrClosure(s, fds); });
 }
 
 std::vector<AttrSet> DeclaredDeterminants(
@@ -111,6 +136,37 @@ std::vector<AttrSet> DeclaredDeterminants(
     }
   }
   return out;
+}
+
+AttrSet FdClosureIndex::Closure(AttrSet attrs) {
+  auto it = closure_memo_.find(attrs.bits());
+  if (it != closure_memo_.end()) return it->second;
+  AttrSet closure = AttrClosure(attrs, fds_);
+  closure_memo_.emplace(attrs.bits(), closure);
+  return closure;
+}
+
+const std::vector<AttrSet>& FdClosureIndex::Minimal(uint32_t arity,
+                                                    uint32_t attr) {
+  uint32_t key = attr | (arity << 8) | (1u << 16);
+  auto it = det_memo_.find(key);
+  if (it == det_memo_.end()) {
+    it = det_memo_
+             .emplace(key, MinimalDeterminantsWith(
+                               arity, attr,
+                               [this](AttrSet s) { return Closure(s); }))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<AttrSet>& FdClosureIndex::Declared(uint32_t attr) {
+  uint32_t key = attr;
+  auto it = det_memo_.find(key);
+  if (it == det_memo_.end()) {
+    it = det_memo_.emplace(key, DeclaredDeterminants(fds_, attr)).first;
+  }
+  return it->second;
 }
 
 }  // namespace hornsafe

@@ -1,6 +1,8 @@
 #ifndef HORNSAFE_FD_FD_H_
 #define HORNSAFE_FD_FD_H_
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "lang/attr_set.h"
@@ -43,6 +45,42 @@ std::vector<AttrSet> MinimalDeterminants(
 /// argument" of Algorithm 2 step 4.
 std::vector<AttrSet> DeclaredDeterminants(
     const std::vector<FiniteDependency>& fds, uint32_t attr);
+
+/// Memoizing view over one predicate's dependency set. Algorithm 2
+/// step 4 asks for the determinants of the same (predicate, argument)
+/// pair once per *occurrence*, and the closure enumeration inside
+/// MinimalDeterminants revisits the same attribute sets across
+/// arguments — both were recomputed from scratch every time. The index
+/// caches attribute-set closures by bitmask and determinant lists by
+/// (arity, attr, declared/closure), so repeated occurrences cost one
+/// hash lookup.
+class FdClosureIndex {
+ public:
+  FdClosureIndex() = default;
+  explicit FdClosureIndex(std::vector<FiniteDependency> fds)
+      : fds_(std::move(fds)) {}
+
+  const std::vector<FiniteDependency>& fds() const { return fds_; }
+
+  /// Memoized AttrClosure(attrs, fds()).
+  AttrSet Closure(AttrSet attrs);
+
+  /// Cached MinimalDeterminants(fds(), arity, attr), computed with the
+  /// memoized closure.
+  const std::vector<AttrSet>& Minimal(uint32_t arity, uint32_t attr);
+
+  /// Cached DeclaredDeterminants(fds(), attr).
+  const std::vector<AttrSet>& Declared(uint32_t attr);
+
+  size_t closure_cache_size() const { return closure_memo_.size(); }
+
+ private:
+  std::vector<FiniteDependency> fds_;
+  std::unordered_map<uint64_t, AttrSet> closure_memo_;
+  /// Key: attr | arity << 8 | kind << 16 (kind 0 = declared,
+  /// 1 = minimal; declared ignores arity).
+  std::unordered_map<uint32_t, std::vector<AttrSet>> det_memo_;
+};
 
 }  // namespace hornsafe
 

@@ -77,11 +77,11 @@ int Usage() {
                "literal's answers\n"
                "  repl <file>                  interactive query loop over "
                "the program\n"
-               "flags (run/repl/explain):\n"
-               "  --jobs N                     evaluate with N worker "
-               "threads (default 1; 0 = all hardware threads)\n"
-               "  --stats                      print fixpoint statistics "
-               "per query\n");
+               "flags (check/run/repl/explain):\n"
+               "  --jobs N                     analyze/evaluate with N "
+               "worker threads (default 1; 0 = all hardware threads)\n"
+               "  --stats                      print analysis counters "
+               "(check) or fixpoint statistics per query (run/repl)\n");
   return 1;
 }
 
@@ -116,13 +116,38 @@ void PrintTuples(const Program& p, const std::vector<Tuple>& tuples) {
   }
 }
 
+void PrintAnalyzerStats(const SafetyAnalyzer& analyzer) {
+  SafetyAnalyzer::Counters c = analyzer.counters();
+  std::printf(
+      "analysis stats:\n"
+      "  positions analyzed:   %llu\n"
+      "  subset searches:      %llu\n"
+      "  search steps spent:   %llu\n"
+      "  AND-graphs checked:   %llu\n"
+      "  memo hits / misses:   %llu / %llu\n"
+      "  SCC short-circuits:   %llu\n"
+      "  parallel tasks:       %llu\n"
+      "  serial tasks:         %llu\n",
+      static_cast<unsigned long long>(c.positions_analyzed),
+      static_cast<unsigned long long>(c.subset_searches),
+      static_cast<unsigned long long>(c.steps),
+      static_cast<unsigned long long>(c.graphs_checked),
+      static_cast<unsigned long long>(c.memo_hits),
+      static_cast<unsigned long long>(c.memo_misses),
+      static_cast<unsigned long long>(c.scc_short_circuits),
+      static_cast<unsigned long long>(c.parallel_tasks),
+      static_cast<unsigned long long>(c.serial_tasks));
+}
+
 int CmdCheck(const char* path) {
   auto parsed = Load(path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
-  auto analyzer = SafetyAnalyzer::Create(*parsed);
+  AnalyzerOptions aopts;
+  aopts.jobs = g_flags.jobs;
+  auto analyzer = SafetyAnalyzer::Create(*parsed, aopts);
   if (!analyzer.ok()) {
     std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
     return 1;
@@ -161,6 +186,7 @@ int CmdCheck(const char* path) {
     if (analysis.overall != Safety::kSafe) all_safe = false;
     std::printf("\n");
   }
+  if (g_flags.stats) PrintAnalyzerStats(*analyzer);
   return all_safe ? 0 : 2;
 }
 

@@ -3,8 +3,9 @@
 //
 //   G1. Safe guarded chains are decided by the capability pre-pass with
 //       zero DFS steps, at any depth.
-//   G2. On unsafe cyclic chains the counterexample is found along one
-//       DFS branch: steps grow at most linearly in depth.
+//   G2. On unsafe cyclic chains the condensation short-circuit decides
+//       with zero DFS steps; with it disabled, the joint DFS still
+//       finds the counterexample along one branch (linear steps).
 //   G3. The deduplicated And-Or system for a chain grows linearly.
 
 #include <gtest/gtest.h>
@@ -47,16 +48,36 @@ TEST(GuaranteesTest, SafeChainsDecideWithoutSearch) {
 }
 
 TEST(GuaranteesTest, UnsafeCycleStepsGrowLinearly) {
+  // Joint-search envelope, with the condensation short-circuit off.
   uint64_t prev_steps = 0;
   for (int depth : {4, 8, 16, 32}) {
     TestPipeline pl = MakePipeline(UnsafeCycleText(depth));
+    SubsetOptions opts;
+    opts.use_scc = false;
+    opts.use_memo = false;
     SubsetResult res =
-        CheckSubsetCondition(pl.system, pl.QueryRoot("r0", 1, 0), {});
+        CheckSubsetCondition(pl.system, pl.QueryRoot("r0", 1, 0), opts);
     ASSERT_EQ(res.verdict, Safety::kUnsafe) << depth;
     // Generous linear envelope: ~10 DFS steps per chain element.
     EXPECT_LE(res.steps, static_cast<uint64_t>(10 * depth + 20)) << depth;
     EXPECT_GT(res.steps, prev_steps) << depth;
     prev_steps = res.steps;
+  }
+}
+
+TEST(GuaranteesTest, UnsafeCycleShortCircuitsWithoutSearch) {
+  // The chain recurses only through f-nodes, so no f-free forward
+  // cycle is possible anywhere: the condensation decides unsafety with
+  // zero DFS steps at any depth, and the greedy witness is valid.
+  for (int depth : {4, 32}) {
+    TestPipeline pl = MakePipeline(UnsafeCycleText(depth));
+    SubsetResult res =
+        CheckSubsetCondition(pl.system, pl.QueryRoot("r0", 1, 0), {});
+    ASSERT_EQ(res.verdict, Safety::kUnsafe) << depth;
+    EXPECT_EQ(res.steps, 0u) << depth;
+    EXPECT_EQ(res.scc_short_circuits, 1u) << depth;
+    ASSERT_TRUE(res.witness.has_value());
+    EXPECT_TRUE(IsCounterexampleGraph(pl.system, *res.witness)) << depth;
   }
 }
 

@@ -1,0 +1,109 @@
+// Randomised equivalence sweep for the memoized, SCC-pruned subset
+// search: on small random And-Or systems it must return exactly the
+// verdict of the brute-force reference search (use_scc=false,
+// use_memo=false — the plain Theorem 3/4 enumeration), and any witness
+// it produces must be a genuine counterexample AND-graph. The sweep is
+// repeated with Algorithm 4 disabled (apply_reduction ablation), since
+// fragment delegation must stay sound on unreduced systems too.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/andor/andor_test_util.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+/// Random programs with conjunctive bodies (two derived calls on the
+/// same variable) and a mix of guarded, unguarded, grounded and
+/// infinite-leaf rules — enough sharing between predicates that the
+/// memoized search actually delegates subgraphs across fragments.
+std::string RandomSystemText(Rng* rng, int* num_preds) {
+  int k = 3 + static_cast<int>(rng->Below(3));
+  *num_preds = k;
+  std::string text = ".infinite f/2.\n.infinite u/2.\n";
+  if (rng->Chance(2, 3)) text += ".fd f: 2 -> 1.\n";
+  if (rng->Chance(1, 4)) text += ".fd f: 1 -> 2.\n";
+  for (int i = 0; i < k; ++i) {
+    int rules = 1 + static_cast<int>(rng->Below(2));
+    for (int r = 0; r < rules; ++r) {
+      int c1 = static_cast<int>(rng->Below(k));
+      int c2 = static_cast<int>(rng->Below(k));
+      bool two_calls = rng->Chance(1, 2);
+      bool guard = rng->Chance(1, 2);
+      text += StrCat("r", i, "(X) :- f(X,Y), r", c1, "(Y)",
+                     two_calls ? StrCat(", r", c2, "(Y)") : "",
+                     guard ? ", a(Y)" : "", ".\n");
+    }
+    if (rng->Chance(2, 3)) {
+      text += StrCat("r", i, "(X) :- b(X).\n");
+    } else if (rng->Chance(1, 2)) {
+      // Grounding through a no-FD infinite relation: X is finite but
+      // the existential Z is an unsafe leaf.
+      text += StrCat("r", i, "(X) :- b(X), u(X,Z).\n");
+    }
+  }
+  text += "?- r0(X).\n";
+  return text;
+}
+
+void ExpectMemoizedMatchesReference(const std::string& text,
+                                    int num_preds,
+                                    const PipelineOptions& popts) {
+  TestPipeline pl = MakePipeline(text, popts);
+  for (int i = 0; i < num_preds; ++i) {
+    NodeId root = pl.QueryRoot(StrCat("r", i), 1, 0);
+    if (root == kInvalidNode) continue;
+
+    SubsetOptions fast;  // defaults: use_scc + use_memo on
+    SubsetOptions reference;
+    reference.use_scc = false;
+    reference.use_memo = false;
+
+    SubsetResult rf = CheckSubsetCondition(pl.system, root, fast);
+    SubsetResult rr = CheckSubsetCondition(pl.system, root, reference);
+    ASSERT_NE(rf.verdict, Safety::kUndecided) << text;
+    ASSERT_NE(rr.verdict, Safety::kUndecided) << text;
+    EXPECT_EQ(rf.verdict, rr.verdict)
+        << "memoized search disagrees with brute force for r" << i
+        << " (reduction " << (popts.apply_reduce ? "on" : "off")
+        << "):\n" << text;
+    if (rf.verdict == Safety::kUnsafe) {
+      ASSERT_TRUE(rf.witness.has_value()) << text;
+      EXPECT_TRUE(IsCounterexampleGraph(pl.system, *rf.witness))
+          << "memoized witness is not a real counterexample for r" << i
+          << ":\n" << text;
+    }
+  }
+}
+
+class SubsetMemoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubsetMemoPropertyTest, AgreesWithBruteForce) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    int num_preds = 0;
+    std::string text = RandomSystemText(&rng, &num_preds);
+    ExpectMemoizedMatchesReference(text, num_preds, {});
+  }
+}
+
+TEST_P(SubsetMemoPropertyTest, AgreesWithBruteForceWithoutReduction) {
+  Rng rng(GetParam() + 5000);
+  for (int round = 0; round < 6; ++round) {
+    int num_preds = 0;
+    std::string text = RandomSystemText(&rng, &num_preds);
+    PipelineOptions no_reduce;
+    no_reduce.apply_reduce = false;
+    ExpectMemoizedMatchesReference(text, num_preds, no_reduce);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SubsetMemoPropertyTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace hornsafe

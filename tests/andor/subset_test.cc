@@ -233,19 +233,45 @@ TEST(SubsetTest, WitnessGraphExportsToDot) {
 }
 
 TEST(SubsetTest, TinyBudgetYieldsUndecided) {
-  // Example 3 needs a real search (its root is expandable into a
-  // counterexample), so a one-step budget cannot finish.
+  // A program where a counted cycle is possible (p recurses through a
+  // derived occurrence), so even the SCC-pruned search must enumerate;
+  // a one-step budget cannot finish.
   TestPipeline pl = MakePipeline(R"(
+    .infinite t/2.
+    .fd t: 2 -> 1.
+    .infinite t2/2.
+    p(X) :- p(X), t(X,Y).
+    p(X) :- t2(X,Z).
+    ?- p(X).
+  )");
+  SubsetOptions opts;
+  opts.budget = 1;
+  SubsetResult res =
+      CheckSubsetCondition(pl.system, pl.QueryRoot("p", 1, 0), opts);
+  EXPECT_EQ(res.verdict, Safety::kUndecided);
+
+  // At full budget the cycle-free t2 branch is a genuine counterexample.
+  SubsetResult full =
+      CheckSubsetCondition(pl.system, pl.QueryRoot("p", 1, 0), {});
+  ASSERT_EQ(full.verdict, Safety::kUnsafe);
+  ASSERT_TRUE(full.witness.has_value());
+  EXPECT_TRUE(IsCounterexampleGraph(pl.system, *full.witness));
+
+  // Example 3 through the plain joint search (short-circuits disabled)
+  // exercises the same budget-exhaustion path in the other mode.
+  TestPipeline ex3 = MakePipeline(R"(
     .infinite t/2.
     r(X) :- t(X,Y), r(Y).
     r(X) :- b(X).
     ?- r(X).
   )");
-  SubsetOptions opts;
-  opts.budget = 1;
-  SubsetResult res =
-      CheckSubsetCondition(pl.system, pl.QueryRoot("r", 1, 0), opts);
-  EXPECT_EQ(res.verdict, Safety::kUndecided);
+  SubsetOptions joint;
+  joint.budget = 1;
+  joint.use_scc = false;
+  joint.use_memo = false;
+  SubsetResult jres =
+      CheckSubsetCondition(ex3.system, ex3.QueryRoot("r", 1, 0), joint);
+  EXPECT_EQ(jres.verdict, Safety::kUndecided);
 }
 
 TEST(SubsetTest, BoundArgumentPositionIsSafe) {
