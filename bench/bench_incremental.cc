@@ -1,0 +1,149 @@
+// The incremental re-analysis workload: a program of `modules`
+// independent safe diamond-ring families takes a stream of single-rule
+// edits; after each edit the analyzer re-checks every query. A cold
+// analyzer (no cache) pays the full subset-search bill per edit; a warm
+// analyzer sharing one PipelineCache re-searches only the edited
+// module's cone. The bench verifies inline that warm verdicts,
+// explanations and per-position step counts are bit-identical to the
+// cold run, and records the step/time reduction to BENCH_safety.json.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/analyzer.h"
+#include "core/pipeline_cache.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+/// Ring length per module — deep enough that every module's subset
+/// search does real work, small enough that the cold baseline at
+/// modules=16 stays in bench-smoke territory.
+constexpr int kRing = 6;
+/// Single-rule edits per round.
+constexpr int kEdits = 8;
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "bench_incremental: %s\n", what);
+    std::abort();
+  }
+}
+
+bool SameAnalyses(const std::vector<QueryAnalysis>& a,
+                  const std::vector<QueryAnalysis>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].overall != b[i].overall ||
+        a[i].args.size() != b[i].args.size()) {
+      return false;
+    }
+    for (size_t k = 0; k < a[i].args.size(); ++k) {
+      const ArgumentVerdict& x = a[i].args[k];
+      const ArgumentVerdict& y = b[i].args[k];
+      if (x.safety != y.safety || x.explanation != y.explanation ||
+          x.steps != y.steps || x.graphs_checked != y.graphs_checked) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+void BM_IncrementalEditWorkload(benchmark::State& state) {
+  const int modules = static_cast<int>(state.range(0));
+
+  // Cold baseline: a fresh cache-less analyzer per edited program.
+  uint64_t cold_steps = 0;
+  double cold_seconds = 0;
+  std::vector<std::vector<QueryAnalysis>> cold_results;
+  for (int e = 0; e < kEdits; ++e) {
+    Program p = bench::MustParse(
+        bench::ModularWorkloadText(modules, kRing, e));
+    auto t0 = std::chrono::steady_clock::now();
+    auto analyzer = SafetyAnalyzer::Create(p);
+    Check(analyzer.ok(), "cold Create failed");
+    cold_results.push_back(analyzer->AnalyzeQueries());
+    cold_seconds += Seconds(t0);
+    cold_steps += analyzer->counters().steps;
+  }
+
+  // Warm loop (timed): one shared cache, primed on the unedited
+  // program, then Update + re-analyze per edit.
+  uint64_t warm_steps = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_lookups = 0;
+  double warm_seconds = 0;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    PipelineCache cache;
+    AnalyzerOptions opts;
+    opts.cache = &cache;
+    Program base =
+        bench::MustParse(bench::ModularWorkloadText(modules, kRing));
+    auto analyzer = SafetyAnalyzer::Create(base, opts);
+    Check(analyzer.ok(), "warm Create failed");
+    analyzer->AnalyzeQueries();  // prime the cache (not counted)
+    const uint64_t primed_steps = analyzer->counters().steps;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int e = 0; e < kEdits; ++e) {
+      Program p = bench::MustParse(
+          bench::ModularWorkloadText(modules, kRing, e));
+      auto up = analyzer->Update(p);
+      Check(up.ok(), "Update failed");
+      Check(up->dirty_predicates > 0, "edit dirtied no cone");
+      Check(up->clean_predicates > 0, "edit dirtied every cone");
+      std::vector<QueryAnalysis> warm = analyzer->AnalyzeQueries();
+      Check(SameAnalyses(warm, cold_results[static_cast<size_t>(e)]),
+            "warm analysis differs from cold");
+    }
+    warm_seconds += Seconds(t0);
+    SafetyAnalyzer::Counters c = analyzer->counters();
+    warm_steps += c.steps - primed_steps;
+    cache_hits += c.cache_hits;
+    cache_lookups += c.cache_hits + c.cache_misses;
+    ++rounds;
+  }
+  if (rounds == 0) return;
+
+  const double cold_per_edit =
+      static_cast<double>(cold_steps) / kEdits;
+  const double warm_per_edit =
+      static_cast<double>(warm_steps) / static_cast<double>(rounds) /
+      kEdits;
+  const double step_ratio =
+      warm_per_edit > 0 ? cold_per_edit / warm_per_edit : 0;
+  const double hit_rate =
+      cache_lookups > 0
+          ? static_cast<double>(cache_hits) /
+                static_cast<double>(cache_lookups)
+          : 0;
+  state.counters["step_ratio"] = step_ratio;
+  state.counters["hit_rate"] = hit_rate;
+
+  bench::JsonDump& dump = bench::JsonDump::Get("safety");
+  std::string name = StrCat("incremental_edit/modules=", modules);
+  dump.Record(name, "cold_steps_per_edit", cold_per_edit);
+  dump.Record(name, "warm_steps_per_edit", warm_per_edit);
+  dump.Record(name, "step_ratio", step_ratio);
+  dump.Record(name, "hit_rate", hit_rate);
+  dump.Record(name, "cold_seconds_per_edit", cold_seconds / kEdits);
+  dump.Record(name, "warm_seconds_per_edit",
+              warm_seconds / static_cast<double>(rounds) / kEdits);
+}
+BENCHMARK(BM_IncrementalEditWorkload)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace hornsafe

@@ -4,6 +4,8 @@
 // Shared synthetic workload generators for the benchmark suite. Every
 // generator is deterministic so that all runs see identical inputs.
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <mutex>
 #include <string>
@@ -51,7 +53,11 @@ class JsonDump {
     if (entries_.empty()) return;
     std::string path = StrCat("BENCH_", suite_, ".json");
     MergeExisting(path);
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    // Write to a temp file and rename into place: suites are shared
+    // between binaries, and a reader (or a second flushing process)
+    // must never observe a truncated dump.
+    std::string tmp = StrCat(path, ".tmp.", ::getpid());
+    std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return;
     std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n",
                  Escape(suite_).c_str());
@@ -64,7 +70,10 @@ class JsonDump {
                    e.value, i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
+    bool ok = std::fclose(f) == 0;
+    if (!ok || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+    }
   }
 
  private:
@@ -259,6 +268,42 @@ inline std::string RandomFamilyText(uint64_t seed, int rules,
                    guarded ? ", a(Y)" : "", ".\n");
     text += StrCat("r", i, "(X) :- b(X).\n");
     text += StrCat("?- r", i, "(X).\n");
+  }
+  return text;
+}
+
+/// The incremental-analysis edit workload: `modules` independent copies
+/// of the SharedDiamond family (predicate names suffixed "_m<j>"), each
+/// with its own query, every module *safe*. `edit >= 0` structurally
+/// edits module `edit % modules` by appending a fresh guard literal
+/// (whose name varies with `edit`) to that module's grounding rule, so
+/// exactly that module's ring cones change fingerprint; every other
+/// module is byte-identical across edits. With a shared pipeline cache
+/// a warm re-analysis therefore re-searches one module out of
+/// `modules`.
+inline std::string ModularWorkloadText(int modules, int m, int edit = -1) {
+  std::string text;
+  for (int j = 0; j < modules; ++j) {
+    std::string s = StrCat("_m", j);
+    text += StrCat(".infinite f", s, "/2.\n.fd f", s, ": 2 -> 1.\n");
+    text += StrCat(".infinite g", s, "/2.\n.fd g", s, ": 2 -> 1.\n");
+    text += StrCat(".infinite t2", s, "/2.\n");
+    for (int i = 0; i < m; ++i) {
+      text += StrCat("b", i, s, "(X) :- d", i, s, "(X), b", (i + 1) % m,
+                     s, "(X).\n");
+      text += StrCat("d", i, s, "(X) :- f", s, "(X,Y), e", i, s,
+                     "(Y).\n");
+      text += StrCat("d", i, s, "(X) :- g", s, "(X,Y), e", i, s,
+                     "(Y).\n");
+      text += StrCat("e", i, s, "(X) :- t2", s, "(X,Z).\n");
+    }
+    if (edit >= 0 && edit % modules == j) {
+      text += StrCat("b0", s, "(X) :- c", s, "(X), w", edit, s,
+                     "(X).\n");
+    } else {
+      text += StrCat("b0", s, "(X) :- c", s, "(X).\n");
+    }
+    text += StrCat("?- b0", s, "(X).\n");
   }
   return text;
 }

@@ -112,9 +112,11 @@ std::string AdornedProgram::ToString(const Program& program) const {
   return out;
 }
 
-Result<AdornedProgram> BuildAdornedProgram(const Program& canonical) {
+Result<AdornedProgram> BuildAdornedProgram(const Program& canonical,
+                                           AdornmentCache* cache) {
   AdornedProgram out;
-  AdornmentCache cache;
+  AdornmentCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   uint32_t next_occurrence = 0;
   for (uint32_t ri = 0; ri < canonical.rules().size(); ++ri) {
     const Rule& rule = canonical.rules()[ri];
@@ -138,7 +140,7 @@ Result<AdornedProgram> BuildAdornedProgram(const Program& canonical) {
       }
     }
     const std::vector<Adornment>& adornments =
-        cache.For(canonical.terms(), rule.head);
+        cache->For(canonical.terms(), rule.head);
     for (const Adornment& a : adornments) {
       AdornedRule ar;
       ar.head_pred = rule.head.pred;

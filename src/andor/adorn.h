@@ -94,8 +94,12 @@ struct AdornedProgram {
 };
 
 /// Builds H* from a canonical program. Fails with InvalidProgram if any
-/// rule argument is not a variable (run Canonicalize first).
-Result<AdornedProgram> BuildAdornedProgram(const Program& canonical);
+/// rule argument is not a variable (run Canonicalize first). When
+/// `cache` is non-null its adornment sets are reused (and extended);
+/// keys are program-independent grouping patterns, so one cache may
+/// serve any number of programs.
+Result<AdornedProgram> BuildAdornedProgram(const Program& canonical,
+                                           AdornmentCache* cache = nullptr);
 
 }  // namespace hornsafe
 

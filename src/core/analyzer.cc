@@ -7,9 +7,34 @@
 #include "andor/emptiness.h"
 #include "andor/lfp.h"
 #include "andor/reduce.h"
+#include "lang/struct_hash.h"
 #include "util/strings.h"
 
 namespace hornsafe {
+namespace {
+
+uint64_t CanonicalizeOptionBits(const CanonicalizeOptions& o) {
+  return (o.add_function_fds ? 1u : 0u) |
+         (o.add_constructor_fds ? 2u : 0u) |
+         (o.add_constructor_monos ? 4u : 0u);
+}
+
+/// Builds the 128-bit verdict-tier key for one search: the predicate's
+/// cone fingerprint plus the analysis context, adornment and position.
+/// `hi` re-derives the same inputs under independent seeds.
+CacheKey MakeVerdictKey(uint64_t cone_fp, uint64_t context_hash,
+                        uint64_t adornment_mask, uint32_t position) {
+  uint64_t lo = CombineHash(cone_fp, context_hash);
+  lo = CombineHash(lo, adornment_mask);
+  lo = CombineHash(lo, position);
+  uint64_t hi = MixHash(cone_fp ^ 0x5ca1ab1e5eed0001ULL);
+  hi = CombineHash(hi, MixHash(context_hash ^ 0x0ddba11d00000002ULL));
+  hi = CombineHash(hi, adornment_mask + 1);
+  hi = CombineHash(hi, position + 0x10000u);
+  return {hi, lo};
+}
+
+}  // namespace
 
 std::string QueryAnalysis::Summary(const Program& program) const {
   std::string out =
@@ -24,17 +49,37 @@ std::string QueryAnalysis::Summary(const Program& program) const {
   return out;
 }
 
-Result<SafetyAnalyzer> SafetyAnalyzer::Create(
+Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
     const Program& program, const AnalyzerOptions& options) {
-  SafetyAnalyzer a;
-  a.state_ = std::make_unique<State>();
-  State& s = *a.state_;
+  auto state = std::make_unique<State>();
+  State& s = *state;
   s.options = options;
+  PipelineCache* cache = options.cache;
 
   HORNSAFE_RETURN_IF_ERROR(program.Validate());
-  HORNSAFE_ASSIGN_OR_RETURN(s.canon,
-                            Canonicalize(program, options.canonicalize));
-  HORNSAFE_ASSIGN_OR_RETURN(s.adorned, BuildAdornedProgram(s.canon.program));
+
+  // Algorithm 1, behind the canonicalization tier: keyed on the strict
+  // (rendered-listing) hash, so a hit replays the exact output a cold
+  // run would rebuild.
+  if (cache != nullptr) {
+    uint64_t strict = StrictProgramHash(program);
+    uint64_t bits = CanonicalizeOptionBits(options.canonicalize);
+    if (auto hit = cache->LookupCanonicalization(strict, bits)) {
+      s.canon = std::move(*hit);
+    } else {
+      HORNSAFE_ASSIGN_OR_RETURN(s.canon,
+                                Canonicalize(program, options.canonicalize));
+      cache->StoreCanonicalization(strict, bits, s.canon);
+    }
+  } else {
+    HORNSAFE_ASSIGN_OR_RETURN(s.canon,
+                              Canonicalize(program, options.canonicalize));
+  }
+
+  HORNSAFE_ASSIGN_OR_RETURN(
+      s.adorned,
+      BuildAdornedProgram(s.canon.program,
+                          cache != nullptr ? &cache->adornments() : nullptr));
   BuildOptions bopts;
   bopts.use_fd_closure = options.use_fd_closure;
   HORNSAFE_ASSIGN_OR_RETURN(
@@ -46,8 +91,22 @@ Result<SafetyAnalyzer> SafetyAnalyzer::Create(
   s.stats.rules_total = s.system.num_rules();
 
   if (options.apply_emptiness) {
-    s.stats.rules_pruned_emptiness =
-        ApplyEmptinessPruning(EmptyPredicates(s.canon.program), &s.system);
+    // Algorithm 3 LFP bits, behind the emptiness tier (strict-hashed on
+    // the canonical program).
+    std::optional<std::vector<bool>> empty;
+    uint64_t canon_strict = 0;
+    if (cache != nullptr) {
+      canon_strict = StrictProgramHash(s.canon.program);
+      empty = cache->LookupEmptiness(canon_strict);
+      if (empty && empty->size() != s.canon.program.num_predicates()) {
+        empty.reset();
+      }
+    }
+    if (!empty) {
+      empty = EmptyPredicates(s.canon.program);
+      if (cache != nullptr) cache->StoreEmptiness(canon_strict, *empty);
+    }
+    s.stats.rules_pruned_emptiness = ApplyEmptinessPruning(*empty, &s.system);
   }
   if (options.apply_reduction) {
     s.stats.rules_pruned_reduction = ReduceSystem(&s.system).rules_deleted;
@@ -62,7 +121,77 @@ Result<SafetyAnalyzer> SafetyAnalyzer::Create(
   // after pruning and then shared (read-only) by every subset search,
   // including ones running concurrently on pool threads.
   s.scc = std::make_unique<SccAnalysis>(SccAnalysis::Compute(s.system));
+
+  s.fps = ComputeFingerprints(s.canon.program);
+
+  // Everything besides the cone that can influence a search's verdict
+  // *or its step count*: option flags and budget, whether the Theorem 5
+  // escape is active (it disables the SCC/memo short-circuits
+  // program-wide), and whether the condensation materialised its reach
+  // bitsets (it degrades the frontier memo when too wide).
+  uint64_t ctx = MixHash(0x686f726e63747834ULL);
+  uint64_t bits = (options.apply_emptiness ? 1u : 0u) |
+                  (options.apply_reduction ? 2u : 0u) |
+                  (options.use_monotonicity ? 4u : 0u) |
+                  (options.use_fd_closure ? 8u : 0u) |
+                  (CanonicalizeOptionBits(options.canonicalize) << 4);
+  ctx = CombineHash(ctx, bits);
+  ctx = CombineHash(ctx, options.subset_budget);
+  ctx = CombineHash(ctx, s.mono != nullptr ? 1 : 0);
+  ctx = CombineHash(ctx, s.scc->has_reach_sets() ? 1 : 0);
+  s.context_hash = ctx;
+
+  return state;
+}
+
+Result<SafetyAnalyzer> SafetyAnalyzer::Create(
+    const Program& program, const AnalyzerOptions& options) {
+  SafetyAnalyzer a;
+  HORNSAFE_ASSIGN_OR_RETURN(a.state_, BuildState(program, options));
   return a;
+}
+
+Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
+    const Program& program) {
+  // Snapshot the previous build's cone fingerprints by predicate
+  // name/arity (ids are not stable across builds).
+  std::unordered_map<std::string, uint64_t> old_cones;
+  {
+    const Program& oldp = state_->canon.program;
+    for (PredicateId p = 0;
+         p < static_cast<PredicateId>(oldp.num_predicates()); ++p) {
+      old_cones[StrCat(oldp.PredicateName(p), "/",
+                       oldp.predicate(p).arity)] = state_->fps.cone[p];
+    }
+  }
+
+  HORNSAFE_ASSIGN_OR_RETURN(std::unique_ptr<State> fresh,
+                            BuildState(program, state_->options));
+
+  UpdateStats out;
+  const Program& newp = fresh->canon.program;
+  out.predicates = newp.num_predicates();
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(newp.num_predicates()); ++p) {
+    auto it = old_cones.find(
+        StrCat(newp.PredicateName(p), "/", newp.predicate(p).arity));
+    if (it != old_cones.end() && it->second == fresh->fps.cone[p]) {
+      ++out.clean_predicates;
+    } else {
+      ++out.dirty_predicates;
+    }
+  }
+
+  // Cumulative counters survive the swap.
+  fresh->counters = state_->counters;
+  fresh->steps_spent.store(
+      state_->steps_spent.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  state_ = std::move(fresh);
+  if (state_->options.cache != nullptr) {
+    state_->options.cache->NoteInvalidatedCones(out.dirty_predicates);
+  }
+  return out;
 }
 
 SubsetOptions SafetyAnalyzer::MakeSubsetOptions() {
@@ -92,6 +221,7 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
                                                uint64_t adornment_mask) {
   Program& p = state_->canon.program;
   const AndOrSystem& system = state_->system;
+  PipelineCache* cache = state_->options.cache;
   QueryAnalysis out;
   const uint32_t arity = p.predicate(pred).arity;
   // Synthesise a display literal with fresh variables.
@@ -106,10 +236,14 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
 
   // Classify serially (display-literal interning above and predicate
   // lookups mutate no shared state from here on) and collect the
-  // argument positions that need an actual subset search.
+  // argument positions that need an actual subset search. Positions
+  // whose (cone fingerprint, context, adornment, position) key hits the
+  // pipeline cache are resolved right here without searching.
   struct SearchJob {
     uint32_t position = 0;
     NodeId root = kInvalidNode;
+    CacheKey key;
+    bool has_key = false;
     SubsetResult res;
   };
   std::vector<ArgumentVerdict> verdicts(arity);
@@ -139,6 +273,20 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
       SearchJob job;
       job.position = k;
       job.root = system.FindHeadArg(pred, adornment_mask, k);
+      if (cache != nullptr && pred < state_->fps.cone.size()) {
+        job.key = MakeVerdictKey(state_->fps.cone[pred],
+                                 state_->context_hash, adornment_mask, k);
+        job.has_key = true;
+        if (std::optional<CachedVerdict> hit = cache->Lookup(job.key)) {
+          v.safety = hit->verdict;
+          v.explanation = std::move(hit->explanation);
+          v.steps = hit->steps;
+          v.graphs_checked = hit->graphs_checked;
+          state_->counters.cache_hits += 1;
+          continue;
+        }
+        state_->counters.cache_misses += 1;
+      }
       searches.push_back(std::move(job));
     }
   }
@@ -178,6 +326,8 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
     ArgumentVerdict& v = verdicts[job.position];
     const SubsetResult& res = job.res;
     v.safety = res.verdict;
+    v.steps = res.steps;
+    v.graphs_checked = res.graphs_checked;
     switch (res.verdict) {
       case Safety::kSafe:
         v.explanation =
@@ -195,6 +345,20 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
         v.explanation =
             StrCat("search budget exhausted after ", res.steps, " steps");
         break;
+    }
+    // Publish safe/undecided outcomes (kUnsafe witness text embeds
+    // global node ids that shift under edits; see DESIGN.md, D12).
+    if (cache != nullptr && job.has_key &&
+        res.verdict != Safety::kUnsafe) {
+      CachedVerdict cv;
+      cv.verdict = res.verdict;
+      cv.steps = res.steps;
+      cv.graphs_checked = res.graphs_checked;
+      cv.memo_hits = res.memo_hits;
+      cv.memo_misses = res.memo_misses;
+      cv.scc_short_circuits = res.scc_short_circuits;
+      cv.explanation = v.explanation;
+      cache->Store(job.key, cv);
     }
     state_->counters.subset_searches += 1;
     state_->counters.graphs_checked += res.graphs_checked;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "andor/adorn.h"
@@ -13,6 +14,8 @@
 #include "andor/system.h"
 #include "canonical/canonical.h"
 #include "constraints/mono.h"
+#include "core/pipeline_cache.h"
+#include "lang/fingerprint.h"
 #include "lang/program.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -45,6 +48,13 @@ struct AnalyzerOptions {
   /// position searches under its own deterministic budget and a fresh
   /// memo table, and results are merged in position order.
   int jobs = 1;
+  /// Cross-query pipeline cache (not owned; may outlive any number of
+  /// analyzers and be shared between them). When set, per-position
+  /// subset verdicts are served by cone fingerprint, and the
+  /// canonicalization / emptiness / adornment stages reuse cached
+  /// artifacts. Results are bit-identical with and without a cache for
+  /// entries produced by structurally identical cones (DESIGN.md, D12).
+  PipelineCache* cache = nullptr;
 };
 
 /// Verdict for one argument position of an analyzed literal.
@@ -55,6 +65,13 @@ struct ArgumentVerdict {
   /// For unsafe positions: a rendering of the counterexample AND-graph;
   /// for safe/undecided positions: a short note.
   std::string explanation;
+  /// Cost of deciding this position: DFS steps and complete AND-graphs
+  /// examined by the subset search. Cache-invariant — a warm analysis
+  /// reports the cold numbers (they are part of the cached entry), so
+  /// verdict metadata is bit-identical cold vs warm; the work *actually*
+  /// spent shows up in Counters instead.
+  uint64_t steps = 0;
+  uint64_t graphs_checked = 0;
 };
 
 /// Result of analyzing one query (or one predicate/adornment pair).
@@ -76,7 +93,10 @@ struct QueryAnalysis {
 ///   -> subset condition (Thms. 3/4) [+ monotonicity escape (Thm. 5)]
 ///
 /// Construction runs the pipeline once; query analyses then share the
-/// pruned propositional system.
+/// pruned propositional system. `Update` re-runs the (polynomial)
+/// pipeline for an edited program and relies on the shared
+/// `PipelineCache` to skip the (exponential) subset searches of every
+/// cone the edit did not reach.
 class SafetyAnalyzer {
  public:
   /// Builds the analyzer for `program` (any Horn program; Algorithm 1 is
@@ -96,6 +116,29 @@ class SafetyAnalyzer {
   /// all-variable, so the all-free adornment applies.
   QueryAnalysis AnalyzeQueryLiteral(const Literal& query);
 
+  // --- Incremental re-analysis ------------------------------------------
+
+  /// Outcome of one `Update`: how much of the program the edit dirtied.
+  struct UpdateStats {
+    /// Canonical predicates in the updated program.
+    size_t predicates = 0;
+    /// Predicates whose cone fingerprint changed (or that are new) —
+    /// their cached verdicts are unreachable and will be recomputed.
+    size_t dirty_predicates = 0;
+    /// Predicates whose cone fingerprint is unchanged — subsequent
+    /// analyses serve their positions from the cache.
+    size_t clean_predicates = 0;
+  };
+
+  /// Replaces the analyzed program with `program`, re-running the
+  /// polynomial pipeline (canonicalize/adorn/build/prune) and diffing
+  /// per-predicate cone fingerprints against the previous build. With a
+  /// configured cache, subsequent analyses recompute only the dirty
+  /// cones; verdicts, explanations and per-position step counts are
+  /// bit-identical to a cold analyzer built on `program`. Cumulative
+  /// counters carry over. On error the analyzer is left unchanged.
+  Result<UpdateStats> Update(const Program& program);
+
   // --- Introspection ----------------------------------------------------
 
   const Program& canonical() const { return state_->canon.program; }
@@ -105,6 +148,9 @@ class SafetyAnalyzer {
   const AdornedProgram& adorned() const { return state_->adorned; }
   const AndOrSystem& system() const { return state_->system; }
   const AnalyzerOptions& options() const { return state_->options; }
+
+  /// Cone fingerprints of the canonical program (lang/fingerprint.h).
+  const ProgramFingerprints& fingerprints() const { return state_->fps; }
 
   /// Pipeline size statistics (used by benches and EXPERIMENTS.md).
   struct Stats {
@@ -120,7 +166,8 @@ class SafetyAnalyzer {
 
   /// Cumulative search counters across every analysis run on this
   /// analyzer (hornsafe_cli --stats). `steps` aggregates the budget
-  /// spent by all positions, including ones searched on pool threads.
+  /// spent by all positions, including ones searched on pool threads;
+  /// positions served from the pipeline cache spend nothing here.
   struct Counters {
     uint64_t positions_analyzed = 0;
     uint64_t subset_searches = 0;
@@ -131,6 +178,10 @@ class SafetyAnalyzer {
     uint64_t scc_short_circuits = 0;
     uint64_t parallel_tasks = 0;
     uint64_t serial_tasks = 0;
+    /// Positions served from / missed in the pipeline cache (0 when no
+    /// cache is configured).
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
   };
   Counters counters() const;
 
@@ -161,12 +212,25 @@ class SafetyAnalyzer {
     std::unique_ptr<SccAnalysis> scc;
     std::unique_ptr<ThreadPool> pool;
     Stats stats;
+    /// Per-predicate structural fingerprints of the canonical program.
+    ProgramFingerprints fps;
+    /// Hash of everything besides the cone that can influence a subset
+    /// search (option flags, budget, escape availability, whether the
+    /// condensation materialised reach sets). Mixed into every cache
+    /// key so entries never leak across analysis configurations.
+    uint64_t context_hash = 0;
     /// Shared atomic budget tally: every finished search adds its steps
     /// here from whichever thread ran it; the rest of Counters is
     /// merged serially after the per-predicate join.
     std::atomic<uint64_t> steps_spent{0};
     Counters counters;
   };
+
+  /// Runs the full (polynomial) pipeline for `program`, probing the
+  /// cache's canonicalization/emptiness/adornment tiers when configured.
+  static Result<std::unique_ptr<State>> BuildState(
+      const Program& program, const AnalyzerOptions& options);
+
   std::unique_ptr<State> state_;
 };
 

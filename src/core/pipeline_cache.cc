@@ -1,0 +1,294 @@
+#include "core/pipeline_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "lang/struct_hash.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+constexpr char kDiskMagic[4] = {'H', 'S', 'V', 'C'};
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+bool ReadU32(const std::string& in, size_t* pos, uint32_t* v) {
+  if (*pos + 4 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) {
+    *v |= static_cast<uint32_t>(static_cast<unsigned char>(in[*pos + i]))
+          << (8 * i);
+  }
+  *pos += 4;
+  return true;
+}
+
+bool ReadU64(const std::string& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<uint64_t>(static_cast<unsigned char>(in[*pos + i]))
+          << (8 * i);
+  }
+  *pos += 8;
+  return true;
+}
+
+/// Raw FNV-1a over the serialized payload (not MixHash-finalized; this
+/// is an integrity check, not an addressing hash).
+uint64_t Checksum(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string CacheKey::ToHex() const {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx-%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+PipelineCache::PipelineCache(Options options)
+    : options_(std::move(options)) {
+  if (options_.max_entries == 0) options_.max_entries = 1;
+}
+
+std::optional<CachedVerdict> PipelineCache::Lookup(const CacheKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.verdict_hits;
+      return it->second->verdict;
+    }
+  }
+  if (!options_.dir.empty()) {
+    std::optional<CachedVerdict> from_disk = DiskLookup(key);
+    if (from_disk) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.verdict_hits;
+      if (index_.find(key) == index_.end()) {
+        InsertLocked(key, *from_disk);
+      }
+      return from_disk;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.verdict_misses;
+  return std::nullopt;
+}
+
+void PipelineCache::Store(const CacheKey& key, const CachedVerdict& verdict) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->verdict = verdict;
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      InsertLocked(key, verdict);
+      ++stats_.verdict_insertions;
+    }
+  }
+  if (!options_.dir.empty()) DiskStore(key, verdict);
+}
+
+void PipelineCache::InsertLocked(const CacheKey& key,
+                                 const CachedVerdict& verdict) {
+  lru_.push_front({key, verdict});
+  index_[key] = lru_.begin();
+  while (lru_.size() > options_.max_entries) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.verdict_evictions;
+  }
+}
+
+std::string PipelineCache::DiskPath(const CacheKey& key) const {
+  return StrCat(options_.dir, "/", key.ToHex(), ".hsv");
+}
+
+std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
+  std::string path = DiskPath(key);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_misses;
+    return std::nullopt;
+  }
+  std::string data;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  std::fclose(f);
+
+  auto corrupt = [&]() -> std::optional<CachedVerdict> {
+    // A bad entry is just a miss; drop the file so it is not re-read.
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_corrupt;
+    return std::nullopt;
+  };
+
+  if (data.size() < sizeof(kDiskMagic) + 4 + 8 ||
+      std::memcmp(data.data(), kDiskMagic, sizeof(kDiskMagic)) != 0) {
+    return corrupt();
+  }
+  std::string_view payload(data.data() + sizeof(kDiskMagic),
+                           data.size() - sizeof(kDiskMagic) - 8);
+  size_t pos = sizeof(kDiskMagic);
+  uint32_t version = 0;
+  if (!ReadU32(data, &pos, &version) || version != kDiskFormatVersion) {
+    return corrupt();
+  }
+  uint64_t stored_hi = 0, stored_lo = 0;
+  if (!ReadU64(data, &pos, &stored_hi) || !ReadU64(data, &pos, &stored_lo) ||
+      stored_hi != key.hi || stored_lo != key.lo) {
+    return corrupt();
+  }
+  CachedVerdict out;
+  uint32_t verdict_raw = 0, explanation_len = 0;
+  if (!ReadU32(data, &pos, &verdict_raw) || verdict_raw > 2 ||
+      !ReadU64(data, &pos, &out.steps) ||
+      !ReadU64(data, &pos, &out.graphs_checked) ||
+      !ReadU64(data, &pos, &out.memo_hits) ||
+      !ReadU64(data, &pos, &out.memo_misses) ||
+      !ReadU64(data, &pos, &out.scc_short_circuits) ||
+      !ReadU32(data, &pos, &explanation_len) ||
+      pos + explanation_len + 8 != data.size()) {
+    return corrupt();
+  }
+  out.verdict = static_cast<Safety>(verdict_raw);
+  out.explanation = data.substr(pos, explanation_len);
+  pos += explanation_len;
+  uint64_t stored_sum = 0;
+  if (!ReadU64(data, &pos, &stored_sum) || stored_sum != Checksum(payload)) {
+    return corrupt();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_hits;
+  }
+  return out;
+}
+
+void PipelineCache::DiskStore(const CacheKey& key,
+                              const CachedVerdict& verdict) {
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+
+  std::string payload;
+  AppendU32(&payload, kDiskFormatVersion);
+  AppendU64(&payload, key.hi);
+  AppendU64(&payload, key.lo);
+  AppendU32(&payload, static_cast<uint32_t>(verdict.verdict));
+  AppendU64(&payload, verdict.steps);
+  AppendU64(&payload, verdict.graphs_checked);
+  AppendU64(&payload, verdict.memo_hits);
+  AppendU64(&payload, verdict.memo_misses);
+  AppendU64(&payload, verdict.scc_short_circuits);
+  AppendU32(&payload, static_cast<uint32_t>(verdict.explanation.size()));
+  payload += verdict.explanation;
+
+  std::string data(kDiskMagic, sizeof(kDiskMagic));
+  data += payload;
+  AppendU64(&data, Checksum(payload));
+
+  // Write-temp-then-rename so a concurrent reader (or a crash) never
+  // sees a torn entry.
+  std::string path = DiskPath(key);
+  std::string tmp = StrCat(path, ".tmp.", ::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  bool ok = f != nullptr;
+  if (ok) {
+    ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+    ok = (std::fclose(f) == 0) && ok;
+  }
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_write_failures;
+  }
+}
+
+std::optional<CanonicalizationResult> PipelineCache::LookupCanonicalization(
+    uint64_t strict_hash, uint64_t options_bits) {
+  CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
+  for (auto it = canon_.begin(); it != canon_.end(); ++it) {
+    if (it->first == key) {
+      canon_.splice(canon_.begin(), canon_, it);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.canon_hits;
+      return canon_.front().second;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.canon_misses;
+  return std::nullopt;
+}
+
+void PipelineCache::StoreCanonicalization(uint64_t strict_hash,
+                                          uint64_t options_bits,
+                                          const CanonicalizationResult& r) {
+  CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
+  canon_.emplace_front(key, r);
+  while (canon_.size() > kMaxArtifacts) canon_.pop_back();
+}
+
+std::optional<std::vector<bool>> PipelineCache::LookupEmptiness(
+    uint64_t strict_hash) {
+  for (auto it = emptiness_.begin(); it != emptiness_.end(); ++it) {
+    if (it->first == strict_hash) {
+      emptiness_.splice(emptiness_.begin(), emptiness_, it);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.emptiness_hits;
+      return emptiness_.front().second;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.emptiness_misses;
+  return std::nullopt;
+}
+
+void PipelineCache::StoreEmptiness(uint64_t strict_hash,
+                                   const std::vector<bool>& bits) {
+  emptiness_.emplace_front(strict_hash, bits);
+  while (emptiness_.size() > kMaxArtifacts) emptiness_.pop_back();
+}
+
+void PipelineCache::NoteInvalidatedCones(size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.cones_invalidated += count;
+}
+
+PipelineCacheStats PipelineCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t PipelineCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,180 @@
+#ifndef HORNSAFE_CORE_PIPELINE_CACHE_H_
+#define HORNSAFE_CORE_PIPELINE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "andor/adorn.h"
+#include "andor/subset.h"
+#include "canonical/canonical.h"
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// 128-bit content-addressed cache key. `lo` is the primary structural
+/// hash (cone fingerprint + context); `hi` re-mixes the same inputs
+/// under an independent seed so that a single 64-bit collision cannot
+/// alias two entries.
+struct CacheKey {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool operator==(const CacheKey& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+
+  /// Filesystem-safe rendering ("<hi hex>-<lo hex>").
+  std::string ToHex() const;
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& k) const {
+    return static_cast<size_t>(k.hi ^ k.lo);
+  }
+};
+
+/// One cached per-argument-position subset-search outcome: the verdict
+/// with the exact cost metadata and final explanation string the cold
+/// search produced. kUnsafe results are never cached — their witness
+/// explanations embed global node ids that shift under edits, so they
+/// are recomputed to stay bit-identical to a cold run (DESIGN.md, D12).
+struct CachedVerdict {
+  Safety verdict = Safety::kUndecided;
+  uint64_t steps = 0;
+  uint64_t graphs_checked = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t scc_short_circuits = 0;
+  std::string explanation;
+};
+
+/// Hit/miss/eviction accounting across every tier (CLI `--stats`).
+struct PipelineCacheStats {
+  uint64_t verdict_hits = 0;
+  uint64_t verdict_misses = 0;
+  uint64_t verdict_insertions = 0;
+  uint64_t verdict_evictions = 0;
+  uint64_t disk_hits = 0;
+  uint64_t disk_misses = 0;
+  uint64_t disk_corrupt = 0;
+  uint64_t disk_write_failures = 0;
+  /// Dirty cones reported by SafetyAnalyzer::Update — edits whose cone
+  /// fingerprints changed and whose old entries became unreachable.
+  uint64_t cones_invalidated = 0;
+  uint64_t canon_hits = 0;
+  uint64_t canon_misses = 0;
+  uint64_t emptiness_hits = 0;
+  uint64_t emptiness_misses = 0;
+};
+
+/// Cross-query cache for the safety pipeline, shared by any number of
+/// `SafetyAnalyzer` builds (and across processes through the disk tier).
+///
+/// Tiers, from hottest to coldest:
+///
+///   * *verdict tier* — (cone fingerprint, analysis context, adornment,
+///     position) -> CachedVerdict. In-memory LRU backed by an optional
+///     on-disk directory (write-through; lookups fall back to disk and
+///     promote). This is the tier that skips exponential subset
+///     searches. Thread-safe.
+///   * *canonicalization tier* — strict program hash -> Algorithm 1
+///     output, keyed on the exact rendered listing so the cached copy
+///     is bit-identical to what a cold run would rebuild. Small LRU.
+///   * *emptiness tier* — strict canonical-program hash -> the
+///     Algorithm 3 LFP bits (T₀ flags). Small LRU.
+///   * *adornment sets* — the pattern-keyed AdornmentCache, shared
+///     across rebuilds (its keys are program-independent grouping
+///     patterns, so reuse across arbitrary programs is sound).
+///
+/// The canonicalization/emptiness/adornment tiers are only touched from
+/// the (serial) pipeline build, not from search worker threads.
+///
+/// Disk format: one file per key under `options.dir`, named
+/// "<key hex>.hsv", containing a magic tag, a format version, the
+/// verdict fields and an FNV checksum. Entries that fail any of those
+/// checks are treated as misses (and counted in `disk_corrupt`); files
+/// are written to a temp name and renamed, so concurrent writers never
+/// expose a torn entry.
+class PipelineCache {
+ public:
+  struct Options {
+    /// Verdict-tier LRU capacity (entries).
+    size_t max_entries = 1 << 16;
+    /// On-disk tier root; empty disables the disk tier. Created on
+    /// first store if missing.
+    std::string dir;
+  };
+
+  /// Bump when CachedVerdict's serialized layout changes; readers treat
+  /// any other version as a miss.
+  static constexpr uint32_t kDiskFormatVersion = 1;
+
+  PipelineCache() : PipelineCache(Options{}) {}
+  explicit PipelineCache(Options options);
+
+  // --- Verdict tier (thread-safe) ---------------------------------------
+
+  std::optional<CachedVerdict> Lookup(const CacheKey& key);
+  void Store(const CacheKey& key, const CachedVerdict& verdict);
+
+  // --- Pipeline-artifact tiers (externally serialized) ------------------
+
+  /// Canonicalization output for the strict-hashed input program, or
+  /// nullopt. `options_bits` folds the CanonicalizeOptions flags.
+  std::optional<CanonicalizationResult> LookupCanonicalization(
+      uint64_t strict_hash, uint64_t options_bits);
+  void StoreCanonicalization(uint64_t strict_hash, uint64_t options_bits,
+                             const CanonicalizationResult& result);
+
+  /// Algorithm 3 LFP bits for the strict-hashed canonical program.
+  std::optional<std::vector<bool>> LookupEmptiness(uint64_t strict_hash);
+  void StoreEmptiness(uint64_t strict_hash, const std::vector<bool>& bits);
+
+  /// Shared adornment-set memo (grouping-pattern keyed, never evicted).
+  AdornmentCache& adornments() { return adornments_; }
+
+  // --- Accounting -------------------------------------------------------
+
+  /// Records `count` dirty cones from an incremental Update.
+  void NoteInvalidatedCones(size_t count);
+
+  PipelineCacheStats stats() const;
+
+  size_t size() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct VerdictEntry {
+    CacheKey key;
+    CachedVerdict verdict;
+  };
+  using Lru = std::list<VerdictEntry>;
+
+  std::optional<CachedVerdict> DiskLookup(const CacheKey& key);
+  void DiskStore(const CacheKey& key, const CachedVerdict& verdict);
+  std::string DiskPath(const CacheKey& key) const;
+  /// Inserts into the LRU assuming `mu_` is held; evicts as needed.
+  void InsertLocked(const CacheKey& key, const CachedVerdict& verdict);
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  Lru lru_;  // front = most recently used
+  std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> index_;
+  PipelineCacheStats stats_;
+
+  /// Small LRUs for whole-pipeline artifacts (strict-hash keyed).
+  static constexpr size_t kMaxArtifacts = 8;
+  std::list<std::pair<CacheKey, CanonicalizationResult>> canon_;
+  std::list<std::pair<uint64_t, std::vector<bool>>> emptiness_;
+  AdornmentCache adornments_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_PIPELINE_CACHE_H_

@@ -28,6 +28,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -55,6 +56,11 @@ struct CliFlags {
   int jobs = 1;
   /// Print fixpoint statistics after each evaluated query.
   bool stats = false;
+  /// On-disk pipeline-cache directory for `check` (empty = memory-only
+  /// cache for the process lifetime).
+  std::string cache_dir;
+  /// Disable the pipeline cache entirely.
+  bool no_cache = false;
 };
 
 CliFlags g_flags;
@@ -81,7 +87,12 @@ int Usage() {
                "  --jobs N                     analyze/evaluate with N "
                "worker threads (default 1; 0 = all hardware threads)\n"
                "  --stats                      print analysis counters "
-               "(check) or fixpoint statistics per query (run/repl)\n");
+               "(check) or fixpoint statistics per query (run/repl)\n"
+               "flags (check):\n"
+               "  --cache-dir DIR              persist the pipeline cache "
+               "under DIR; warm re-checks of unchanged cones skip their "
+               "subset searches\n"
+               "  --no-cache                   disable the pipeline cache\n");
   return 1;
 }
 
@@ -137,6 +148,38 @@ void PrintAnalyzerStats(const SafetyAnalyzer& analyzer) {
       static_cast<unsigned long long>(c.scc_short_circuits),
       static_cast<unsigned long long>(c.parallel_tasks),
       static_cast<unsigned long long>(c.serial_tasks));
+  if (c.cache_hits + c.cache_misses > 0) {
+    std::printf(
+        "  cache hits / misses:  %llu / %llu\n",
+        static_cast<unsigned long long>(c.cache_hits),
+        static_cast<unsigned long long>(c.cache_misses));
+  }
+}
+
+void PrintCacheStats(const PipelineCache& cache) {
+  PipelineCacheStats s = cache.stats();
+  std::printf(
+      "pipeline cache stats:\n"
+      "  verdict hits / misses:    %llu / %llu\n"
+      "  insertions / evictions:   %llu / %llu\n"
+      "  disk hits / misses:       %llu / %llu\n"
+      "  disk corrupt / failed:    %llu / %llu\n"
+      "  cones invalidated:        %llu\n"
+      "  canon hits / misses:      %llu / %llu\n"
+      "  emptiness hits / misses:  %llu / %llu\n",
+      static_cast<unsigned long long>(s.verdict_hits),
+      static_cast<unsigned long long>(s.verdict_misses),
+      static_cast<unsigned long long>(s.verdict_insertions),
+      static_cast<unsigned long long>(s.verdict_evictions),
+      static_cast<unsigned long long>(s.disk_hits),
+      static_cast<unsigned long long>(s.disk_misses),
+      static_cast<unsigned long long>(s.disk_corrupt),
+      static_cast<unsigned long long>(s.disk_write_failures),
+      static_cast<unsigned long long>(s.cones_invalidated),
+      static_cast<unsigned long long>(s.canon_hits),
+      static_cast<unsigned long long>(s.canon_misses),
+      static_cast<unsigned long long>(s.emptiness_hits),
+      static_cast<unsigned long long>(s.emptiness_misses));
 }
 
 int CmdCheck(const char* path) {
@@ -145,8 +188,18 @@ int CmdCheck(const char* path) {
     std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
+  // Memory-only cache by default (useful when several queries share
+  // cones); --cache-dir adds the persistent tier so warm re-checks skip
+  // unchanged cones; --no-cache disables caching outright.
+  std::unique_ptr<PipelineCache> cache;
+  if (!g_flags.no_cache) {
+    PipelineCache::Options copts;
+    copts.dir = g_flags.cache_dir;
+    cache = std::make_unique<PipelineCache>(copts);
+  }
   AnalyzerOptions aopts;
   aopts.jobs = g_flags.jobs;
+  aopts.cache = cache.get();
   auto analyzer = SafetyAnalyzer::Create(*parsed, aopts);
   if (!analyzer.ok()) {
     std::fprintf(stderr, "%s\n", analyzer.status().ToString().c_str());
@@ -186,7 +239,10 @@ int CmdCheck(const char* path) {
     if (analysis.overall != Safety::kSafe) all_safe = false;
     std::printf("\n");
   }
-  if (g_flags.stats) PrintAnalyzerStats(*analyzer);
+  if (g_flags.stats) {
+    PrintAnalyzerStats(*analyzer);
+    if (cache) PrintCacheStats(*cache);
+  }
   return all_safe ? 0 : 2;
 }
 
@@ -510,6 +566,22 @@ bool ParseFlags(int* argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--stats") == 0) {
       g_flags.stats = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-cache") == 0) {
+      g_flags.no_cache = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--cache-dir=", 12) == 0) {
+      g_flags.cache_dir = arg + 12;
+      continue;
+    }
+    if (std::strcmp(arg, "--cache-dir") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--cache-dir requires a directory\n");
+        return false;
+      }
+      g_flags.cache_dir = argv[++i];
       continue;
     }
     const char* value = nullptr;

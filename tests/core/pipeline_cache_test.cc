@@ -1,0 +1,200 @@
+#include "core/pipeline_cache.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace hornsafe {
+namespace {
+
+namespace fs = std::filesystem;
+
+CacheKey Key(uint64_t n) { return CacheKey{n * 31 + 7, n}; }
+
+CachedVerdict SafeVerdict(uint64_t steps) {
+  CachedVerdict v;
+  v.verdict = Safety::kSafe;
+  v.steps = steps;
+  v.graphs_checked = steps / 2;
+  v.memo_hits = 3;
+  v.memo_misses = 4;
+  v.scc_short_circuits = 5;
+  v.explanation = "every AND-graph satisfies the subset condition";
+  return v;
+}
+
+/// A unique scratch directory per test, removed on destruction.
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const char* tag) {
+    path = fs::temp_directory_path() /
+           (std::string("hornsafe_cache_test_") + tag + "_" +
+            std::to_string(::getpid()));
+    fs::remove_all(path);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string str() const { return path.string(); }
+};
+
+TEST(PipelineCacheTest, MemoryRoundtrip) {
+  PipelineCache cache;
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  cache.Store(Key(1), SafeVerdict(100));
+  auto hit = cache.Lookup(Key(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->verdict, Safety::kSafe);
+  EXPECT_EQ(hit->steps, 100u);
+  EXPECT_EQ(hit->graphs_checked, 50u);
+  EXPECT_EQ(hit->explanation,
+            "every AND-graph satisfies the subset condition");
+  // A key differing only in `hi` is a different entry.
+  CacheKey other = Key(1);
+  other.hi ^= 1;
+  EXPECT_FALSE(cache.Lookup(other).has_value());
+  PipelineCacheStats s = cache.stats();
+  EXPECT_EQ(s.verdict_hits, 1u);
+  EXPECT_EQ(s.verdict_misses, 2u);
+  EXPECT_EQ(s.verdict_insertions, 1u);
+}
+
+TEST(PipelineCacheTest, LruEviction) {
+  PipelineCache::Options opts;
+  opts.max_entries = 4;
+  PipelineCache cache(opts);
+  for (uint64_t i = 0; i < 8; ++i) cache.Store(Key(i), SafeVerdict(i));
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.stats().verdict_evictions, 4u);
+  // Oldest entries are gone, newest survive.
+  EXPECT_FALSE(cache.Lookup(Key(0)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(7)).has_value());
+  // Touching an entry protects it from the next eviction.
+  ASSERT_TRUE(cache.Lookup(Key(4)).has_value());
+  cache.Store(Key(100), SafeVerdict(1));
+  EXPECT_TRUE(cache.Lookup(Key(4)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(5)).has_value());
+}
+
+TEST(PipelineCacheTest, DiskRoundtripAcrossInstances) {
+  TempDir dir("roundtrip");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  {
+    PipelineCache writer(opts);
+    writer.Store(Key(42), SafeVerdict(1234));
+  }
+  PipelineCache reader(opts);
+  auto hit = reader.Lookup(Key(42));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->steps, 1234u);
+  EXPECT_EQ(hit->explanation,
+            "every AND-graph satisfies the subset condition");
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  // Promoted into memory: a second lookup does not touch disk again.
+  reader.Lookup(Key(42));
+  EXPECT_EQ(reader.stats().disk_hits, 1u);
+  EXPECT_EQ(reader.stats().verdict_hits, 2u);
+}
+
+TEST(PipelineCacheTest, CorruptEntryIsAMissAndIsDeleted) {
+  TempDir dir("corrupt");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  fs::path entry;
+  {
+    PipelineCache writer(opts);
+    writer.Store(Key(7), SafeVerdict(9));
+    entry = fs::path(dir.str()) / (Key(7).ToHex() + ".hsv");
+    ASSERT_TRUE(fs::exists(entry));
+    // Flip a payload byte: the checksum must catch it.
+    std::fstream f(entry,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('\xff');
+  }
+  PipelineCache reader(opts);
+  EXPECT_FALSE(reader.Lookup(Key(7)).has_value());
+  EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+  // The bad file was dropped so it is not re-parsed forever.
+  EXPECT_FALSE(fs::exists(entry));
+  // And the slot is usable again.
+  reader.Store(Key(7), SafeVerdict(9));
+  PipelineCache reader2(opts);
+  EXPECT_TRUE(reader2.Lookup(Key(7)).has_value());
+}
+
+TEST(PipelineCacheTest, TruncatedAndGarbageEntriesAreMisses) {
+  TempDir dir("garbage");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  fs::create_directories(dir.path);
+  auto write_file = [&](const CacheKey& key, const std::string& bytes) {
+    std::ofstream f(fs::path(dir.str()) / (key.ToHex() + ".hsv"),
+                    std::ios::binary);
+    f << bytes;
+  };
+  write_file(Key(1), "");                          // empty
+  write_file(Key(2), "HSVC");                      // truncated header
+  write_file(Key(3), std::string(64, 'x'));        // wrong magic
+  PipelineCache cache(opts);
+  EXPECT_FALSE(cache.Lookup(Key(1)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(2)).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(3)).has_value());
+  EXPECT_EQ(cache.stats().disk_corrupt, 3u);
+}
+
+TEST(PipelineCacheTest, VersionMismatchIsAMiss) {
+  TempDir dir("version");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  fs::path entry;
+  {
+    PipelineCache writer(opts);
+    writer.Store(Key(5), SafeVerdict(9));
+    entry = fs::path(dir.str()) / (Key(5).ToHex() + ".hsv");
+    // Bump the on-disk format version field (bytes 4..7, after magic).
+    std::fstream f(entry,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(4);
+    f.put(static_cast<char>(PipelineCache::kDiskFormatVersion + 1));
+  }
+  PipelineCache reader(opts);
+  EXPECT_FALSE(reader.Lookup(Key(5)).has_value());
+  EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+}
+
+TEST(PipelineCacheTest, KeyHexIsFilesystemSafeAndUnique) {
+  EXPECT_EQ((CacheKey{0, 0}).ToHex(),
+            "0000000000000000-0000000000000000");
+  EXPECT_EQ((CacheKey{0xdeadbeefULL, 0x123456789abcdef0ULL}).ToHex(),
+            "00000000deadbeef-123456789abcdef0");
+}
+
+TEST(PipelineCacheTest, EmptinessTierRoundtrip) {
+  PipelineCache cache;
+  std::vector<bool> bits = {true, false, true};
+  EXPECT_FALSE(cache.LookupEmptiness(99).has_value());
+  cache.StoreEmptiness(99, bits);
+  auto hit = cache.LookupEmptiness(99);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, bits);
+  PipelineCacheStats s = cache.stats();
+  EXPECT_EQ(s.emptiness_hits, 1u);
+  EXPECT_EQ(s.emptiness_misses, 1u);
+}
+
+TEST(PipelineCacheTest, InvalidationCounter) {
+  PipelineCache cache;
+  cache.NoteInvalidatedCones(3);
+  cache.NoteInvalidatedCones(2);
+  EXPECT_EQ(cache.stats().cones_invalidated, 5u);
+}
+
+}  // namespace
+}  // namespace hornsafe

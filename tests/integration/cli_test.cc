@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
@@ -240,6 +241,54 @@ TEST(CliTest, CheckSeesUndeclaredBuiltinsAsInfinite) {
   // ... while the intermediate relations stay finite at each step
   // (Example 15's point).
   EXPECT_NE(r.output.find("finite intermediate:  yes"), std::string::npos);
+}
+
+TEST(CliTest, CheckWithCacheDirWarmRunHits) {
+  std::string dir = StrCat("/tmp/hornsafe_cli_cache_", getpid());
+  std::string rm = StrCat("rm -rf ", dir);
+  ASSERT_EQ(system(rm.c_str()), 0);
+  std::string args = StrCat("check --stats --cache-dir ", dir, " ",
+                            ProgramPath("ancestor.hs"));
+  // Cold run populates the cache directory...
+  CliResult cold = RunCli(args);
+  EXPECT_EQ(cold.exit_code, 0) << cold.output;
+  EXPECT_NE(cold.output.find("pipeline cache stats:"), std::string::npos)
+      << cold.output;
+  // ...and a second process serves its searches from disk: hits > 0 and
+  // identical report text up to the stats block.
+  CliResult warm = RunCli(args);
+  EXPECT_EQ(warm.exit_code, 0) << warm.output;
+  EXPECT_NE(warm.output.find("disk hits / misses:       "),
+            std::string::npos)
+      << warm.output;
+  size_t cold_cut = cold.output.find("analysis stats:");
+  size_t warm_cut = warm.output.find("analysis stats:");
+  ASSERT_NE(cold_cut, std::string::npos);
+  ASSERT_NE(warm_cut, std::string::npos);
+  EXPECT_EQ(cold.output.substr(0, cold_cut),
+            warm.output.substr(0, warm_cut));
+  // The warm run really hit: its verdict tier reports at least one hit.
+  EXPECT_EQ(warm.output.find("disk hits / misses:       0 /"),
+            std::string::npos)
+      << warm.output;
+  ASSERT_EQ(system(rm.c_str()), 0);
+}
+
+TEST(CliTest, CheckNoCacheMatchesCachedVerdicts) {
+  CliResult cached =
+      RunCli(StrCat("check ", ProgramPath("example13.hs")));
+  CliResult uncached =
+      RunCli(StrCat("check --no-cache ", ProgramPath("example13.hs")));
+  EXPECT_EQ(cached.exit_code, uncached.exit_code);
+  EXPECT_EQ(cached.output, uncached.output);
+}
+
+TEST(CliTest, CacheDirFlagRequiresValue) {
+  CliResult r = RunCli("check --cache-dir");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--cache-dir requires a directory"),
+            std::string::npos)
+      << r.output;
 }
 
 TEST(CliTest, WeightedPathsMembershipRuns) {
