@@ -254,6 +254,18 @@ class SubsetSearch {
       return result;
     }
 
+    // Pre-expired deadlines (and already-triggered cancellations) stop
+    // before the first step, so every search under them degrades
+    // identically at any job count; only the cheap O(1) short-circuits
+    // above still resolve.
+    if (StopReason r = opts_.exec.ShouldStop(); r != StopReason::kNone) {
+      exhausted_ = true;
+      stop_reason_ = r;
+      result.verdict = Safety::kUndecided;
+      result.stop_reason = r;
+      return result;
+    }
+
     memo_mode_ = opts_.use_memo && scc_ != nullptr && !has_escape &&
                  scc_->has_reach_sets();
     Fragment top;
@@ -286,6 +298,7 @@ class SubsetSearch {
       result.verdict = Safety::kUnsafe;
     } else if (exhausted_) {
       result.verdict = Safety::kUndecided;
+      result.stop_reason = stop_reason_;
       result.witness.reset();
     } else {
       result.verdict = Safety::kSafe;
@@ -303,6 +316,27 @@ class SubsetSearch {
   };
 
   bool IsTerminal(NodeId n) const { return IsTerminalNode(system_, n); }
+
+  /// One DFS step: the exact per-step budget check plus a periodic
+  /// deadline/cancellation check (every kCheckInterval steps, so the
+  /// steady_clock read stays off the per-step path). Returns true when
+  /// the search must unwind; `exhausted_`/`stop_reason_` are set.
+  bool StepStops() {
+    if (++steps_ > opts_.budget) {
+      exhausted_ = true;
+      stop_reason_ = StopReason::kBudget;
+      return true;
+    }
+    if (opts_.exec.active() &&
+        (steps_ & (ExecContext::kCheckInterval - 1)) == 0) {
+      if (StopReason r = opts_.exec.ShouldStop(); r != StopReason::kNone) {
+        exhausted_ = true;
+        stop_reason_ = r;
+        return true;
+      }
+    }
+    return false;
+  }
 
   bool Capable(NodeId n) const {
     return scc_ != nullptr ? scc_->capable(n) : capable_[n] != 0;
@@ -362,10 +396,7 @@ class SubsetSearch {
   /// budget runs out.
   void JointSearch(Fragment& f, size_t from, bool* found) {
     if (*found || exhausted_) return;
-    if (++steps_ > opts_.budget) {
-      exhausted_ = true;
-      return;
-    }
+    if (StepStops()) return;
     // Next unchosen non-terminal node.
     size_t i = from;
     while (i < f.worklist.size() &&
@@ -426,10 +457,7 @@ class SubsetSearch {
   /// failure or when exhausted_ was set.
   bool FragmentSearch(Fragment& f, size_t from) {
     if (exhausted_) return false;
-    if (++steps_ > opts_.budget) {
-      exhausted_ = true;
-      return false;
-    }
+    if (StepStops()) return false;
     // Next unchosen non-terminal node; delegate independence frontiers.
     size_t i = from;
     NodeId n = kInvalidNode;
@@ -624,6 +652,7 @@ class SubsetSearch {
 
   bool memo_mode_ = false;
   bool exhausted_ = false;
+  StopReason stop_reason_ = StopReason::kNone;
   /// node -> can it anchor a closed, 0-free, cycle-free assignment?
   std::unordered_map<NodeId, bool> memo_;
   /// node -> rule from the earliest completed fragment containing it.

@@ -10,6 +10,7 @@
 
 #include "andor/system.h"
 #include "lang/program.h"
+#include "util/deadline.h"
 
 namespace hornsafe {
 
@@ -54,6 +55,13 @@ using GraphEscape = std::function<bool(const AndGraph&)>;
 struct SubsetOptions {
   /// DFS step budget; exceeded -> kUndecided.
   uint64_t budget = 5'000'000;
+  /// Wall-clock deadline and cancellation token, checked cooperatively
+  /// every `ExecContext::kCheckInterval` DFS steps. Either stop
+  /// degrades the verdict to kUndecided with the matching StopReason —
+  /// exactly like the step budget, but non-deterministic when observed
+  /// mid-search (an already-expired deadline stops every search at step
+  /// 0 and is deterministic; see DESIGN.md, D13).
+  ExecContext exec;
   GraphEscape escape;
   /// Enable the SCC condensation short-circuits: a capable root with no
   /// reachable component that could host an f-node-free forward cycle
@@ -76,6 +84,9 @@ struct SubsetOptions {
 /// Outcome of CheckSubsetCondition.
 struct SubsetResult {
   Safety verdict = Safety::kUndecided;
+  /// Why the search stopped early (kNone unless verdict ==
+  /// kUndecided): step budget, deadline, or cancellation.
+  StopReason stop_reason = StopReason::kNone;
   /// Counterexample graph when verdict == kUnsafe.
   std::optional<AndGraph> witness;
   /// Complete AND-graphs examined.

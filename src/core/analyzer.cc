@@ -57,6 +57,7 @@ Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
   PipelineCache* cache = options.cache;
 
   HORNSAFE_RETURN_IF_ERROR(program.Validate());
+  HORNSAFE_RETURN_IF_ERROR(options.exec.Check("analyzer build"));
 
   // Algorithm 1, behind the canonicalization tier: keyed on the strict
   // (rendered-listing) hash, so a hit replays the exact output a cold
@@ -76,6 +77,7 @@ Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
                               Canonicalize(program, options.canonicalize));
   }
 
+  HORNSAFE_RETURN_IF_ERROR(options.exec.Check("analyzer build"));
   HORNSAFE_ASSIGN_OR_RETURN(
       s.adorned,
       BuildAdornedProgram(s.canon.program,
@@ -197,6 +199,7 @@ Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
 SubsetOptions SafetyAnalyzer::MakeSubsetOptions() {
   SubsetOptions opts;
   opts.budget = state_->options.subset_budget;
+  opts.exec = state_->options.exec;
   if (state_->mono) opts.escape = state_->mono->MakeEscape();
   opts.scc = state_->scc.get();
   return opts;
@@ -282,6 +285,11 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
           v.explanation = std::move(hit->explanation);
           v.steps = hit->steps;
           v.graphs_checked = hit->graphs_checked;
+          // Only kNone/kBudget outcomes are ever stored (deadline- and
+          // cancellation-degraded verdicts are transient), so the stop
+          // reason reconstructs from the verdict bit-identically.
+          v.stop = hit->verdict == Safety::kUndecided ? StopReason::kBudget
+                                                      : StopReason::kNone;
           state_->counters.cache_hits += 1;
           continue;
         }
@@ -326,6 +334,7 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
     ArgumentVerdict& v = verdicts[job.position];
     const SubsetResult& res = job.res;
     v.safety = res.verdict;
+    v.stop = res.stop_reason;
     v.steps = res.steps;
     v.graphs_checked = res.graphs_checked;
     switch (res.verdict) {
@@ -342,14 +351,31 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
                             : "counterexample AND-graph found";
         break;
       case Safety::kUndecided:
-        v.explanation =
-            StrCat("search budget exhausted after ", res.steps, " steps");
+        switch (res.stop_reason) {
+          case StopReason::kDeadline:
+            v.explanation = StrCat("analysis deadline exceeded (",
+                                   res.steps, " steps spent)");
+            break;
+          case StopReason::kCancelled:
+            v.explanation =
+                StrCat("analysis cancelled (", res.steps, " steps spent)");
+            break;
+          default:
+            v.explanation = StrCat("search budget exhausted after ",
+                                   res.steps, " steps");
+            break;
+        }
         break;
     }
     // Publish safe/undecided outcomes (kUnsafe witness text embeds
     // global node ids that shift under edits; see DESIGN.md, D12).
+    // Deadline- and cancellation-degraded verdicts reflect this
+    // request's wall clock, not the program — a later request with more
+    // time must redo them, so they never enter the cache.
     if (cache != nullptr && job.has_key &&
-        res.verdict != Safety::kUnsafe) {
+        res.verdict != Safety::kUnsafe &&
+        (res.stop_reason == StopReason::kNone ||
+         res.stop_reason == StopReason::kBudget)) {
       CachedVerdict cv;
       cv.verdict = res.verdict;
       cv.steps = res.steps;

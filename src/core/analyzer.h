@@ -17,6 +17,7 @@
 #include "core/pipeline_cache.h"
 #include "lang/fingerprint.h"
 #include "lang/program.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -42,6 +43,16 @@ struct AnalyzerOptions {
   /// DFS budget for the subset-condition search, applied *per argument
   /// position* so verdicts do not depend on scheduling.
   uint64_t subset_budget = 5'000'000;
+  /// Failure-model context: a wall-clock deadline plus an optional
+  /// cancellation token, checked cooperatively by the pipeline build
+  /// and by every subset search. Searches stopped by either degrade
+  /// their position to kUndecided (with the StopReason recorded on the
+  /// ArgumentVerdict) instead of aborting; such degraded verdicts are
+  /// never written to the pipeline cache. Replaceable per request with
+  /// `set_exec` — long-lived analyzers (hornsafe serve) install each
+  /// request's deadline before analyzing. Not part of the cache context
+  /// hash (a cached verdict is valid under any deadline).
+  ExecContext exec;
   /// Worker threads for fanning per-argument-position subset searches
   /// across the pool: 1 = serial (default), 0 = hardware default.
   /// Verdicts and explanations are identical at every job count — each
@@ -62,6 +73,12 @@ struct ArgumentVerdict {
   /// 0-based argument position.
   uint32_t position = 0;
   Safety safety = Safety::kUndecided;
+  /// For undecided positions: why the search stopped (budget, deadline
+  /// or cancellation). kNone for decided positions. Deterministic for
+  /// kBudget and for deadlines already expired at analysis start;
+  /// mid-search expiry may degrade a scheduling-dependent subset of
+  /// positions (each still carries the correct reason).
+  StopReason stop = StopReason::kNone;
   /// For unsafe positions: a rendering of the counterexample AND-graph;
   /// for safe/undecided positions: a short note.
   std::string explanation;
@@ -138,6 +155,12 @@ class SafetyAnalyzer {
   /// bit-identical to a cold analyzer built on `program`. Cumulative
   /// counters carry over. On error the analyzer is left unchanged.
   Result<UpdateStats> Update(const Program& program);
+
+  /// Installs the failure-model context for subsequent analyses (the
+  /// per-request deadline/cancellation of a long-lived server). Call
+  /// between analyses only — the context is read by searches already in
+  /// flight.
+  void set_exec(const ExecContext& exec) { state_->options.exec = exec; }
 
   // --- Introspection ----------------------------------------------------
 

@@ -1,12 +1,17 @@
 #include "core/pipeline_cache.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "lang/struct_hash.h"
+#include "util/fault.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -68,6 +73,23 @@ std::string CacheKey::ToHex() const {
 PipelineCache::PipelineCache(Options options)
     : options_(std::move(options)) {
   if (options_.max_entries == 0) options_.max_entries = 1;
+  if (options_.disk_retries < 0) options_.disk_retries = 0;
+  // Sweep temp files abandoned by crashed writers: they are never
+  // renamed into place, so anything still matching "*.tmp.*" is dead
+  // weight from a previous process.
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options_.dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      if (entry.path().filename().string().find(".tmp.") ==
+          std::string::npos) {
+        continue;
+      }
+      std::filesystem::remove(entry.path(), ec);
+      if (!ec) ++stats_.tmp_files_swept;
+    }
+  }
 }
 
 std::optional<CachedVerdict> PipelineCache::Lookup(const CacheKey& key) {
@@ -126,19 +148,67 @@ std::string PipelineCache::DiskPath(const CacheKey& key) const {
   return StrCat(options_.dir, "/", key.ToHex(), ".hsv");
 }
 
+void PipelineCache::RetryBackoff(int attempt) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_retry_attempts;
+  }
+  if (options_.retry_backoff_us == 0) return;
+  uint64_t us = static_cast<uint64_t>(options_.retry_backoff_us)
+                << (attempt > 0 ? attempt - 1 : 0);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
   std::string path = DiskPath(key);
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_misses;
-    return std::nullopt;
-  }
+  FaultInjector& faults = FaultInjector::Global();
   std::string data;
-  char buf[4096];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
-  std::fclose(f);
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) RetryBackoff(attempt);
+    // EIO is transient: retry with backoff, then degrade to a miss.
+    if (faults.ShouldInject(FaultKind::kReadError)) {
+      if (attempt < options_.disk_retries) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_read_failures;
+      return std::nullopt;
+    }
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.disk_misses;
+        return std::nullopt;
+      }
+      if (attempt < options_.disk_retries) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_read_failures;
+      return std::nullopt;
+    }
+    data.clear();
+    char buf[4096];
+    bool read_ok = true;
+    for (;;) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n == 0) break;
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        read_ok = false;
+        break;
+      }
+      data.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    if (read_ok) break;
+    if (attempt >= options_.disk_retries) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.disk_read_failures;
+      return std::nullopt;
+    }
+  }
+  // Media corruption: flip one bit of what we read back. The checksum
+  // (or a structural check) below catches it; the entry is unlinked so
+  // the next store repairs it.
+  if (faults.ShouldInject(FaultKind::kBitFlip)) faults.CorruptOneBit(&data);
 
   auto corrupt = [&]() -> std::optional<CachedVerdict> {
     // A bad entry is just a miss; drop the file so it is not re-read.
@@ -213,21 +283,86 @@ void PipelineCache::DiskStore(const CacheKey& key,
   data += payload;
   AppendU64(&data, Checksum(payload));
 
-  // Write-temp-then-rename so a concurrent reader (or a crash) never
-  // sees a torn entry.
+  // Write-temp-fsync-rename so a concurrent reader (or a crash) never
+  // sees a torn entry. Transient failures (EIO, short write) retry
+  // with backoff; ENOSPC downgrades the store to memory-only.
   std::string path = DiskPath(key);
   std::string tmp = StrCat(path, ".tmp.", ::getpid());
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  bool ok = f != nullptr;
-  if (ok) {
-    ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
-    ok = (std::fclose(f) == 0) && ok;
-  }
-  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
-  if (!ok) {
-    std::remove(tmp.c_str());
+  FaultInjector& faults = FaultInjector::Global();
+
+  auto skip_full_disk = [&]() {
+    ::unlink(tmp.c_str());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_write_skips;
+  };
+  auto fail = [&]() {
+    ::unlink(tmp.c_str());
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_write_failures;
+  };
+
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 0) RetryBackoff(attempt);
+    if (faults.ShouldInject(FaultKind::kEnospc)) return skip_full_disk();
+    int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                    0644);
+    if (fd < 0) {
+      if (errno == ENOSPC || errno == EDQUOT) return skip_full_disk();
+      if (attempt < options_.disk_retries) continue;
+      return fail();
+    }
+    // Decide how much of the payload "reaches" the file: all of it, or
+    // an injected strict prefix (short write), or nothing (EIO).
+    size_t want = data.size();
+    bool injected_failure = false;
+    if (faults.ShouldInject(FaultKind::kWriteError)) {
+      want = 0;
+      injected_failure = true;
+    } else if (faults.ShouldInject(FaultKind::kShortWrite)) {
+      want = faults.TornLength(data.size());
+      injected_failure = true;
+    }
+    bool io_ok = true;
+    bool full_disk = false;
+    size_t off = 0;
+    while (off < want) {
+      ssize_t n = ::write(fd, data.data() + off, want - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        full_disk = errno == ENOSPC || errno == EDQUOT;
+        io_ok = false;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (io_ok && injected_failure) io_ok = false;
+    // Flush file contents before the rename publishes them — without
+    // this a crash after rename can leave a successfully named entry
+    // with zero-filled pages on journaled filesystems.
+    if (io_ok && ::fsync(fd) != 0) io_ok = false;
+    ::close(fd);
+    if (!io_ok) {
+      if (full_disk) return skip_full_disk();
+      ::unlink(tmp.c_str());
+      if (attempt < options_.disk_retries) continue;
+      return fail();
+    }
+    // A torn rename models a crash on a filesystem that reorders
+    // metadata: the destination name appears but holds a truncated
+    // payload. The writer cannot observe this — the entry is published
+    // and the *reader's* checksum must catch it (then self-heal by
+    // unlink).
+    if (faults.ShouldInject(FaultKind::kTornRename)) {
+      ::truncate(tmp.c_str(), static_cast<off_t>(
+          faults.TornLength(data.size())));
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+      if (errno == ENOSPC || errno == EDQUOT) return skip_full_disk();
+      ::unlink(tmp.c_str());
+      if (attempt < options_.disk_retries) continue;
+      return fail();
+    }
+    return;
   }
 }
 

@@ -63,6 +63,17 @@ struct PipelineCacheStats {
   uint64_t disk_misses = 0;
   uint64_t disk_corrupt = 0;
   uint64_t disk_write_failures = 0;
+  /// Lookups abandoned after exhausting read retries (EIO) — served as
+  /// misses; the analyzer recomputes.
+  uint64_t disk_read_failures = 0;
+  /// Stores skipped non-fatally because the filesystem is full
+  /// (ENOSPC): the cache degrades to memory-only for that entry.
+  uint64_t disk_write_skips = 0;
+  /// Transient disk faults that were retried (any tier, any attempt).
+  uint64_t disk_retry_attempts = 0;
+  /// Stale "*.tmp.*" files from crashed writers removed when the disk
+  /// tier was opened.
+  uint64_t tmp_files_swept = 0;
   /// Dirty cones reported by SafetyAnalyzer::Update — edits whose cone
   /// fingerprints changed and whose old entries became unreachable.
   uint64_t cones_invalidated = 0;
@@ -97,9 +108,16 @@ struct PipelineCacheStats {
 /// Disk format: one file per key under `options.dir`, named
 /// "<key hex>.hsv", containing a magic tag, a format version, the
 /// verdict fields and an FNV checksum. Entries that fail any of those
-/// checks are treated as misses (and counted in `disk_corrupt`); files
-/// are written to a temp name and renamed, so concurrent writers never
-/// expose a torn entry.
+/// checks are treated as misses, counted in `disk_corrupt`, and
+/// unlinked so the next store repairs them (self-healing); files are
+/// written to a temp name, fsynced, and renamed, so concurrent readers
+/// and crashes never expose a torn entry. Transient I/O errors are
+/// retried with exponential backoff (`disk_retries`); a full disk
+/// (ENOSPC) downgrades the store to memory-only instead of failing the
+/// analysis. Every disk syscall is wrapped by the process-wide
+/// `FaultInjector` (util/fault.h), so the failure paths are exercised
+/// deterministically in tests. Stale "*.tmp.*" files left by crashed
+/// writers are swept when the disk tier is opened. See DESIGN.md, D13.
 class PipelineCache {
  public:
   struct Options {
@@ -108,6 +126,14 @@ class PipelineCache {
     /// On-disk tier root; empty disables the disk tier. Created on
     /// first store if missing.
     std::string dir;
+    /// Transient disk failures (EIO on read/write/fsync/rename) are
+    /// retried this many times before the operation is abandoned
+    /// (lookup degrades to a miss, store is dropped). 0 disables
+    /// retries.
+    int disk_retries = 2;
+    /// Backoff before retry k is `retry_backoff_us << (k-1)`
+    /// microseconds (exponential, capped by the retry count).
+    uint32_t retry_backoff_us = 100;
   };
 
   /// Bump when CachedVerdict's serialized layout changes; readers treat
@@ -158,6 +184,8 @@ class PipelineCache {
   std::optional<CachedVerdict> DiskLookup(const CacheKey& key);
   void DiskStore(const CacheKey& key, const CachedVerdict& verdict);
   std::string DiskPath(const CacheKey& key) const;
+  /// Counts a retry and sleeps `retry_backoff_us << (attempt-1)` µs.
+  void RetryBackoff(int attempt);
   /// Inserts into the LRU assuming `mu_` is held; evicts as needed.
   void InsertLocked(const CacheKey& key, const CachedVerdict& verdict);
 

@@ -1,0 +1,479 @@
+#include "core/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <utility>
+
+#include "parser/parser.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+/// Machine-readable error code: the StatusCode name without the 'k'
+/// ("DeadlineExceeded" -> "deadline_exceeded" style is overkill; the
+/// CamelCase name is stable and greppable).
+Json ErrorReply(const Json& id, StatusCode code, const std::string& message) {
+  Json reply = Json::Object();
+  reply.Set("id", id);
+  reply.Set("ok", false);
+  Json error = Json::Object();
+  error.Set("code", StatusCodeName(code));
+  error.Set("message", message);
+  reply.Set("error", std::move(error));
+  return reply;
+}
+
+Json OkReply(const Json& id, Json result) {
+  Json reply = Json::Object();
+  reply.Set("id", id);
+  reply.Set("ok", true);
+  reply.Set("result", std::move(result));
+  return reply;
+}
+
+Json VerdictToJson(const ArgumentVerdict& a, bool with_explanations) {
+  Json arg = Json::Object();
+  arg.Set("position", uint64_t{a.position});
+  arg.Set("safety", SafetyName(a.safety));
+  arg.Set("stop", StopReasonName(a.stop));
+  arg.Set("steps", a.steps);
+  arg.Set("graphs_checked", a.graphs_checked);
+  if (with_explanations) arg.Set("explanation", a.explanation);
+  return arg;
+}
+
+/// Bounded MPSC line queue with close semantics: Push blocks while
+/// full (backpressure), TryPush sheds instead, Pop blocks while empty
+/// and returns false once the queue is closed and drained.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  bool Push(std::string line) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(line));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool TryPush(std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(line));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  bool Pop(std::string* line) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *line = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return true;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+ private:
+  const size_t capacity_;
+  std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<std::string> items_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+std::string ShedReply(const std::string& line, const std::string& message) {
+  // Best-effort id recovery: the shed path must never analyze, but the
+  // client still deserves a correlatable reply.
+  Json id;
+  if (Result<Json> parsed = Json::Parse(line); parsed.ok()) {
+    id = (*parsed)["id"];
+  }
+  return ErrorReply(id, StatusCode::kUnavailable, message).Dump();
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  options_.analyzer.cache = options_.cache;
+}
+
+Server::~Server() = default;
+
+void Server::RequestShutdown() {
+  shutdown_.store(true, std::memory_order_release);
+  cancel_.Cancel();
+}
+
+Server::Counters Server::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+ExecContext Server::MakeExec(const Json& request) const {
+  ExecContext exec;
+  exec.cancel = &cancel_;
+  const Json& dl = request["deadline_ms"];
+  if (dl.is_number() && dl.AsNumber() >= 0) {
+    // An explicit 0 means "already expired": every position degrades
+    // to kUndecided/deadline at step 0, deterministically.
+    exec.deadline = Deadline::AfterMillis(dl.AsInt());
+  } else if (options_.default_deadline_ms > 0) {
+    exec.deadline = Deadline::AfterMillis(
+        static_cast<int64_t>(options_.default_deadline_ms));
+  }
+  return exec;
+}
+
+Result<SafetyAnalyzer::UpdateStats> Server::InstallProgram(
+    const std::string& source) {
+  HORNSAFE_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
+  if (options_.prepare_program) {
+    HORNSAFE_RETURN_IF_ERROR(options_.prepare_program(&program));
+  }
+  if (analyzer_ != nullptr) {
+    return analyzer_->Update(program);
+  }
+  HORNSAFE_ASSIGN_OR_RETURN(
+      SafetyAnalyzer analyzer,
+      SafetyAnalyzer::Create(program, options_.analyzer));
+  analyzer_ = std::make_unique<SafetyAnalyzer>(std::move(analyzer));
+  SafetyAnalyzer::UpdateStats stats;
+  stats.predicates = analyzer_->canonical().num_predicates();
+  stats.dirty_predicates = stats.predicates;  // cold build: all new
+  return stats;
+}
+
+Json Server::DoUpdate(const Json& request) {
+  const Json& program = request["program"];
+  if (!program.is_string()) {
+    return ErrorReply(request["id"], StatusCode::kParseError,
+                      "update requires a string \"program\" field");
+  }
+  auto stats = InstallProgram(program.AsString());
+  if (!stats.ok()) {
+    return ErrorReply(request["id"], stats.status().code(),
+                      stats.status().message());
+  }
+  Json result = Json::Object();
+  result.Set("predicates", uint64_t{stats->predicates});
+  result.Set("dirty_predicates", uint64_t{stats->dirty_predicates});
+  result.Set("clean_predicates", uint64_t{stats->clean_predicates});
+  return OkReply(request["id"], std::move(result));
+}
+
+Json Server::DoCheck(const Json& request, bool with_explanations) {
+  if (request["program"].is_string()) {
+    if (auto installed = InstallProgram(request["program"].AsString());
+        !installed.ok()) {
+      return ErrorReply(request["id"], installed.status().code(),
+                        installed.status().message());
+    }
+  }
+  if (analyzer_ == nullptr) {
+    return ErrorReply(request["id"], StatusCode::kNotFound,
+                      "no program installed; send \"program\" with check "
+                      "or call update first");
+  }
+  // Install the per-request failure-model context. Serving is
+  // single-threaded per request, so no analysis is in flight here.
+  analyzer_->set_exec(MakeExec(request));
+
+  Json queries = Json::Array();
+  if (request["predicate"].is_string()) {
+    // Targeted form: {"predicate": "p/2", "adornment": "bf"}.
+    const std::string& spec = request["predicate"].AsString();
+    size_t slash = spec.rfind('/');
+    uint32_t arity = 0;
+    PredicateId pred = kInvalidPredicate;
+    if (slash != std::string::npos) {
+      arity = static_cast<uint32_t>(
+          std::strtoul(spec.c_str() + slash + 1, nullptr, 10));
+      pred = analyzer_->canonical().FindPredicate(spec.substr(0, slash),
+                                                  arity);
+    }
+    if (pred == kInvalidPredicate) {
+      return ErrorReply(request["id"], StatusCode::kNotFound,
+                        StrCat("unknown predicate '", spec, "'"));
+    }
+    uint64_t mask = 0;
+    const Json& adornment = request["adornment"];
+    if (adornment.is_string()) {
+      const std::string& bits = adornment.AsString();
+      if (bits.size() != arity) {
+        return ErrorReply(request["id"], StatusCode::kParseError,
+                          StrCat("adornment '", bits, "' does not match ",
+                                 spec));
+      }
+      for (size_t k = 0; k < bits.size(); ++k) {
+        if (bits[k] == 'b') mask |= uint64_t{1} << k;
+      }
+    }
+    QueryAnalysis analysis = analyzer_->AnalyzePredicate(pred, mask);
+    Json q = Json::Object();
+    q.Set("query", spec);
+    q.Set("safety", SafetyName(analysis.overall));
+    Json args = Json::Array();
+    for (const ArgumentVerdict& a : analysis.args) {
+      args.Append(VerdictToJson(a, with_explanations));
+    }
+    q.Set("args", std::move(args));
+    queries.Append(std::move(q));
+  } else {
+    for (const Literal& lit : analyzer_->canonical().queries()) {
+      QueryAnalysis analysis = analyzer_->AnalyzeQueryLiteral(lit);
+      Json q = Json::Object();
+      q.Set("query", analyzer_->canonical().ToString(lit));
+      q.Set("safety", SafetyName(analysis.overall));
+      Json args = Json::Array();
+      for (const ArgumentVerdict& a : analysis.args) {
+        args.Append(VerdictToJson(a, with_explanations));
+      }
+      q.Set("args", std::move(args));
+      queries.Append(std::move(q));
+    }
+  }
+  Json result = Json::Object();
+  result.Set("queries", std::move(queries));
+  return OkReply(request["id"], std::move(result));
+}
+
+Json Server::DoStats() const {
+  Json result = Json::Object();
+  if (analyzer_ != nullptr) {
+    SafetyAnalyzer::Counters c = analyzer_->counters();
+    Json a = Json::Object();
+    a.Set("positions_analyzed", c.positions_analyzed);
+    a.Set("subset_searches", c.subset_searches);
+    a.Set("steps", c.steps);
+    a.Set("memo_hits", c.memo_hits);
+    a.Set("memo_misses", c.memo_misses);
+    a.Set("cache_hits", c.cache_hits);
+    a.Set("cache_misses", c.cache_misses);
+    result.Set("analyzer", std::move(a));
+  }
+  if (options_.cache != nullptr) {
+    PipelineCacheStats s = options_.cache->stats();
+    Json cs = Json::Object();
+    cs.Set("verdict_hits", s.verdict_hits);
+    cs.Set("verdict_misses", s.verdict_misses);
+    cs.Set("disk_hits", s.disk_hits);
+    cs.Set("disk_misses", s.disk_misses);
+    cs.Set("disk_corrupt", s.disk_corrupt);
+    cs.Set("disk_write_failures", s.disk_write_failures);
+    cs.Set("disk_write_skips", s.disk_write_skips);
+    cs.Set("disk_retry_attempts", s.disk_retry_attempts);
+    cs.Set("tmp_files_swept", s.tmp_files_swept);
+    result.Set("cache", std::move(cs));
+  }
+  Counters sc = counters();
+  Json srv = Json::Object();
+  srv.Set("requests", sc.requests);
+  srv.Set("served", sc.served);
+  srv.Set("errors", sc.errors);
+  srv.Set("shed", sc.shed);
+  result.Set("server", std::move(srv));
+  return OkReply(Json(), std::move(result));
+}
+
+Json Server::Dispatch(const Json& request) {
+  if (!request.is_object()) {
+    return ErrorReply(Json(), StatusCode::kParseError,
+                      "request must be a JSON object");
+  }
+  const Json& method = request["method"];
+  if (!method.is_string()) {
+    return ErrorReply(request["id"], StatusCode::kParseError,
+                      "request requires a string \"method\" field");
+  }
+  const std::string& m = method.AsString();
+  if (m == "check") return DoCheck(request, /*with_explanations=*/false);
+  if (m == "explain") return DoCheck(request, /*with_explanations=*/true);
+  if (m == "update") return DoUpdate(request);
+  if (m == "stats") {
+    Json reply = DoStats();
+    reply.Set("id", request["id"]);
+    return reply;
+  }
+  if (m == "shutdown") {
+    RequestShutdown();
+    Json result = Json::Object();
+    result.Set("shutdown", true);
+    return OkReply(request["id"], std::move(result));
+  }
+  return ErrorReply(request["id"], StatusCode::kUnsupported,
+                    StrCat("unknown method '", m, "'"));
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.requests;
+  }
+  Json reply;
+  // The failure-model contract: no request line may terminate the
+  // serve loop. Status-based errors become error replies above; the
+  // catch-all converts anything escaping as an exception (e.g.
+  // bad_alloc on a pathological request) into one too.
+  try {
+    Result<Json> request = Json::Parse(line);
+    if (!request.ok()) {
+      reply = ErrorReply(Json(), request.status().code(),
+                         request.status().message());
+    } else {
+      reply = Dispatch(*request);
+    }
+  } catch (const std::exception& e) {
+    reply = ErrorReply(Json(), StatusCode::kInternal,
+                       StrCat("internal error: ", e.what()));
+  } catch (...) {
+    reply = ErrorReply(Json(), StatusCode::kInternal, "internal error");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.served;
+    if (!reply["ok"].AsBool()) ++counters_.errors;
+  }
+  return reply.Dump();
+}
+
+uint64_t Server::Serve(std::istream& in, std::ostream& out) {
+  std::mutex out_mu;
+  auto emit = [&](const std::string& reply) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    out << reply << '\n';
+    out.flush();
+  };
+
+  BoundedQueue queue(options_.max_queue);
+  uint64_t replies = 0;
+  std::thread worker([&] {
+    std::string line;
+    while (queue.Pop(&line)) {
+      if (shutdown_requested()) {
+        // Requests queued behind a shutdown are acknowledged, not
+        // analyzed.
+        emit(ShedReply(line, "server is shutting down"));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.shed;
+      } else {
+        emit(HandleLine(line));
+      }
+      ++replies;
+      if (shutdown_requested()) queue.Close();
+    }
+  });
+
+  std::string line;
+  while (!shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (options_.shed_on_overflow) {
+      if (!queue.TryPush(line)) {
+        if (shutdown_requested()) break;
+        emit(ShedReply(line, StrCat("request queue full (",
+                                    options_.max_queue, " in flight)")));
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.shed;
+        ++replies;
+      }
+    } else {
+      if (!queue.Push(line)) break;  // closed by shutdown
+    }
+  }
+  queue.Close();
+  worker.join();
+  return replies;
+}
+
+Status Server::ServeUnixSocket(const std::string& path) {
+  sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::ParseError(
+        StrCat("socket path too long: '", path, "'"));
+  }
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    return Status::Internal(
+        StrCat("socket: ", std::strerror(errno)));
+  }
+  ::unlink(path.c_str());  // stale socket from a crashed server
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size());
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 8) != 0) {
+    Status st = Status::Internal(
+        StrCat("bind/listen on '", path, "': ", std::strerror(errno)));
+    ::close(listener);
+    return st;
+  }
+  // Connections are served sequentially: the analyzer is the shared,
+  // stateful resource, and interleaving clients would interleave their
+  // update/check streams.
+  while (!shutdown_requested()) {
+    int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      ::close(listener);
+      ::unlink(path.c_str());
+      return Status::Internal(
+          StrCat("accept: ", std::strerror(errno)));
+    }
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open && !shutdown_requested()) {
+      ssize_t n = ::read(conn, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<size_t>(n));
+      size_t start = 0;
+      for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+           nl = buffer.find('\n', start)) {
+        std::string line = buffer.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        std::string reply = HandleLine(line);
+        reply.push_back('\n');
+        size_t off = 0;
+        while (off < reply.size()) {
+          ssize_t w = ::write(conn, reply.data() + off, reply.size() - off);
+          if (w < 0 && errno == EINTR) continue;
+          if (w <= 0) {
+            open = false;  // client went away; drop the connection
+            break;
+          }
+          off += static_cast<size_t>(w);
+        }
+        if (!open) break;
+      }
+      buffer.erase(0, start);
+    }
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return Status::Ok();
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,149 @@
+#ifndef HORNSAFE_CORE_SERVER_H_
+#define HORNSAFE_CORE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "core/analyzer.h"
+#include "core/pipeline_cache.h"
+#include "lang/program.h"
+#include "util/deadline.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Options for the long-lived analysis server (`hornsafe serve`).
+struct ServerOptions {
+  /// Base analyzer configuration. The failure-model context (`exec`) is
+  /// replaced per request from `deadline_ms` / the server default; the
+  /// rest applies to every analysis.
+  AnalyzerOptions analyzer;
+  /// Shared pipeline cache (not owned; may be null). Requests that
+  /// re-check unchanged cones are served from it.
+  PipelineCache* cache = nullptr;
+  /// Deadline applied to requests that carry no "deadline_ms" field.
+  /// 0 = no deadline.
+  uint64_t default_deadline_ms = 0;
+  /// Bounded in-flight request queue: lines read but not yet analyzed.
+  size_t max_queue = 64;
+  /// Queue-overflow policy. `false` (default) applies backpressure —
+  /// the reader blocks until the worker catches up, so every request
+  /// is served in order and replies are deterministic. `true` sheds
+  /// load instead: overflowing requests are answered immediately with
+  /// an `unavailable` error and never analyzed.
+  bool shed_on_overflow = false;
+  /// Applied to every parsed program before analysis (the CLI installs
+  /// standard-builtin registration here; core cannot depend on eval).
+  std::function<Status(Program*)> prepare_program;
+};
+
+/// Long-lived analysis server speaking line-delimited JSON: one request
+/// object per input line, exactly one reply object per request, in
+/// request order under the default (backpressure) policy.
+///
+/// Request:  {"id": 7, "method": "check", "program": "...",
+///            "deadline_ms": 50}
+/// Reply:    {"id": 7, "ok": true, "result": {...}}
+///      or   {"id": 7, "ok": false,
+///            "error": {"code": "...", "message": "..."}}
+///
+/// Methods:
+///   check     analyze every query of "program" (or, absent a
+///             "program", of the server's current program); "query"
+///             restricts to one literal. Verdicts carry the stop
+///             reason, so a deadline-degraded kUndecided is
+///             distinguishable from a budget-degraded one.
+///   explain   `check` plus the per-argument explanation text
+///             (witness renderings / budget notes).
+///   update    replace the server's program, re-running the polynomial
+///             pipeline and diffing cone fingerprints; reports how
+///             many cones the edit dirtied (the editor loop's
+///             cheap-per-keystroke call).
+///   stats     analyzer counters, cache statistics and server request
+///             accounting.
+///   shutdown  acknowledge and stop the serve loop; requests already
+///             queued behind it are answered with `unavailable`.
+///
+/// Failure model (DESIGN.md, D13): a malformed line, an unparsable
+/// program, an expired deadline or an analysis error produces an error
+/// *reply* — the loop never exits and the process never crashes on
+/// untrusted input.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Handles one request line, returning exactly one reply line
+  /// (without the trailing newline). Never throws.
+  std::string HandleLine(const std::string& line);
+
+  /// Reads requests from `in` until EOF or a shutdown request; writes
+  /// one reply line per request to `out`. Returns the number of
+  /// requests served (including error replies).
+  uint64_t Serve(std::istream& in, std::ostream& out);
+
+  /// Binds a unix-domain socket at `path` (unlinking any stale one)
+  /// and serves connections sequentially, each with the line protocol
+  /// of `Serve`. Returns once a connection sends `shutdown`.
+  Status ServeUnixSocket(const std::string& path);
+
+  /// Asks the serve loop to stop and cancels the in-flight analysis
+  /// (safe from any thread; the reply for the cancelled request
+  /// reports its positions as kUndecided/cancelled).
+  void RequestShutdown();
+
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+  /// Request accounting, also surfaced by the `stats` method.
+  struct Counters {
+    uint64_t requests = 0;   // lines received
+    uint64_t served = 0;     // replies produced by HandleLine
+    uint64_t errors = 0;     // error replies (malformed, failed, ...)
+    uint64_t shed = 0;       // replies produced by load-shedding
+  };
+  Counters counters() const;
+
+ private:
+  Json Dispatch(const Json& request);
+  Json DoCheck(const Json& request, bool with_explanations);
+  Json DoUpdate(const Json& request);
+  Json DoStats() const;
+
+  /// Parses and installs `source` as the server program (Create on
+  /// first use, incremental Update afterwards). Returns the update
+  /// stats (all-dirty on first build).
+  Result<SafetyAnalyzer::UpdateStats> InstallProgram(
+      const std::string& source);
+
+  /// The per-request failure-model context: the request's deadline (or
+  /// the server default) plus the server's cancellation token.
+  ExecContext MakeExec(const Json& request) const;
+
+  ServerOptions options_;
+  std::unique_ptr<SafetyAnalyzer> analyzer_;
+  std::atomic<bool> shutdown_{false};
+  CancelToken cancel_;
+
+  mutable std::mutex mu_;  // guards counters_
+  Counters counters_;
+};
+
+/// Builds the error reply for a request line that was shed before
+/// analysis (queue overflow or post-shutdown drain). `line` is parsed
+/// only to recover the request id; `message` names the reason.
+std::string ShedReply(const std::string& line, const std::string& message);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_SERVER_H_

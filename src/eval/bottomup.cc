@@ -450,6 +450,7 @@ Status BottomUpEvaluator::Run() {
           StrCat("fixpoint not reached after ", options_.max_iterations,
                  " iterations"));
     }
+    HORNSAFE_RETURN_IF_ERROR(options_.exec.Check("bottom-up evaluation"));
     // Install fresh tuples as the next delta.
     for (Relation& d : delta_) d.clear();
     bool any = false;
@@ -461,6 +462,12 @@ Status BottomUpEvaluator::Run() {
           return Status::BudgetExhausted(
               StrCat("more than ", options_.max_tuples,
                      " tuples derived; the query may be unsafe"));
+        }
+        if (options_.exec.active() &&
+            (stats_.tuples_derived &
+             (ExecContext::kCheckInterval - 1)) == 0) {
+          HORNSAFE_RETURN_IF_ERROR(
+              options_.exec.Check("bottom-up evaluation"));
         }
       }
     }

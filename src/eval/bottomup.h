@@ -10,6 +10,7 @@
 #include "eval/relation.h"
 #include "lang/program.h"
 #include "lang/unify.h"
+#include "util/deadline.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -28,6 +29,12 @@ struct BottomUpOptions {
   uint64_t max_tuples = 1'000'000;
   /// Abort after this many fixpoint iterations.
   uint64_t max_iterations = 1'000'000;
+  /// Wall-clock deadline / cancellation, checked at every iteration
+  /// barrier and every `ExecContext::kCheckInterval` installed tuples.
+  /// Exceeding either aborts the fixpoint with kDeadlineExceeded /
+  /// kCancelled (derived relations are left partial and must not be
+  /// queried).
+  ExecContext exec;
   /// Record, for every derived tuple, the rule and premise tuples of
   /// its first derivation (why-provenance), enabling `Explain`.
   /// Forces serial evaluation (jobs is ignored).

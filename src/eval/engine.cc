@@ -10,10 +10,19 @@ Result<Engine> Engine::Create(Program program, const EngineOptions& options) {
   Engine e;
   e.program_ = std::make_unique<Program>(std::move(program));
   e.options_ = options;
+  if (options.exec.active()) e.set_exec(options.exec);
   HORNSAFE_RETURN_IF_ERROR(
       RegisterStandardBuiltins(e.program_.get(), &e.builtins_));
   HORNSAFE_RETURN_IF_ERROR(e.program_->Validate());
   return e;
+}
+
+void Engine::set_exec(const ExecContext& exec) {
+  options_.exec = exec;
+  options_.analyzer.exec = exec;
+  options_.bottom_up.exec = exec;
+  options_.top_down.exec = exec;
+  if (analyzer_) analyzer_->set_exec(exec);
 }
 
 Status Engine::RegisterBuiltin(std::string_view name, uint32_t arity,

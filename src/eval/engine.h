@@ -28,6 +28,11 @@ struct EngineOptions {
   AnalyzerOptions analyzer;
   BottomUpOptions bottom_up;
   TopDownOptions top_down;
+  /// Failure-model context applied to the whole engine: forwarded into
+  /// the analyzer, bottom-up and top-down options at Create (it wins
+  /// over any exec set on the nested options when active). Replaceable
+  /// per request with `Engine::set_exec`.
+  ExecContext exec;
 };
 
 /// The deductive-database engine: parses/holds a program, registers
@@ -73,6 +78,11 @@ class Engine {
   /// Convenience overload: parses `literal_text` (e.g.
   /// "ancestor(sem, Y, J)") against the engine's program.
   Result<QueryResult> Query(std::string_view literal_text);
+
+  /// Installs the failure-model context for subsequent analyses and
+  /// evaluations (the per-request deadline/cancellation of a long-lived
+  /// server). Call between queries only.
+  void set_exec(const ExecContext& exec);
 
   Engine(Engine&&) = default;
   Engine& operator=(Engine&&) = default;

@@ -62,6 +62,10 @@ Status TopDownEvaluator::SolveGoals(std::vector<Literal> goals,
         StrCat("SLD resolution exceeded ", options_.max_steps,
                " steps; the query may be unsafe or non-terminating"));
   }
+  if (options_.exec.active() &&
+      (stats_.steps & (ExecContext::kCheckInterval - 1)) == 0) {
+    HORNSAFE_RETURN_IF_ERROR(options_.exec.Check("SLD resolution"));
+  }
   if (depth > options_.max_depth) {
     return Status::BudgetExhausted("SLD resolution exceeded maximum depth");
   }

@@ -7,6 +7,7 @@
 #include "eval/relation.h"
 #include "lang/program.h"
 #include "lang/unify.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace hornsafe {
@@ -21,6 +22,11 @@ struct TopDownOptions {
   size_t max_depth = 2'000;
   /// Stop after this many solutions (0 = unlimited).
   size_t max_solutions = 0;
+  /// Wall-clock deadline / cancellation, checked every
+  /// `ExecContext::kCheckInterval` resolution steps. Exceeding either
+  /// aborts the search with kDeadlineExceeded / kCancelled (solutions
+  /// found so far are discarded).
+  ExecContext exec;
 };
 
 /// Statistics for one Solve call.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lang/attr_set.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -215,6 +216,19 @@ std::vector<FiniteDependency> Program::TakeFds() {
 }
 
 Status Program::Validate() const {
+  // The analysis machinery packs argument positions into 64-bit
+  // AttrSet masks (attr_set.h asserts the bound, which is UB once
+  // NDEBUG strips it) — reject wider predicates here, where user input
+  // enters, instead of deep inside the pipeline.
+  for (size_t p = 0; p < predicates_.size(); ++p) {
+    if (predicates_[p].arity > AttrSet::kMaxAttrs) {
+      return Status::InvalidProgram(
+          StrCat("predicate '", PredicateName(static_cast<PredicateId>(p)),
+                 "' has arity ", predicates_[p].arity,
+                 "; at most ", AttrSet::kMaxAttrs,
+                 " arguments are supported"));
+    }
+  }
   // EDB and IDB are disjoint by construction (AddRule flips the kind to
   // derived and AddFact rejects non-finite-base predicates), but facts may
   // have been added before a rule turned the predicate derived.

@@ -18,6 +18,9 @@
 //                               derivation trees for the literal's answers
 //   hornsafe repl <file>        interactive: analyze + evaluate queries
 //                               read from stdin
+//   hornsafe serve [file]       long-lived analysis server: one JSON
+//                               request per stdin line, one JSON reply
+//                               per stdout line (or over --socket)
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when `check`
 // finds an unsafe or undecided query.
@@ -38,11 +41,13 @@
 #include "core/analyzer.h"
 #include "core/finiteness.h"
 #include "core/report.h"
+#include "core/server.h"
 #include "core/termination.h"
 #include "eval/bottomup.h"
 #include "eval/engine.h"
 #include "parser/parser.h"
 #include "transform/simplify.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -61,6 +66,15 @@ struct CliFlags {
   std::string cache_dir;
   /// Disable the pipeline cache entirely.
   bool no_cache = false;
+  /// serve: default per-request deadline (0 = none).
+  long deadline_ms = 0;
+  /// serve: bounded in-flight request queue size.
+  long max_queue = 64;
+  /// serve: shed overflowing requests with `unavailable` replies
+  /// instead of applying backpressure.
+  bool shed = false;
+  /// serve: unix-domain socket path (empty = stdin/stdout).
+  std::string socket_path;
 };
 
 CliFlags g_flags;
@@ -83,16 +97,28 @@ int Usage() {
                "literal's answers\n"
                "  repl <file>                  interactive query loop over "
                "the program\n"
+               "  serve [file]                 line-delimited JSON analysis "
+               "server (stdin/stdout or --socket)\n"
                "flags (check/run/repl/explain):\n"
                "  --jobs N                     analyze/evaluate with N "
                "worker threads (default 1; 0 = all hardware threads)\n"
                "  --stats                      print analysis counters "
                "(check) or fixpoint statistics per query (run/repl)\n"
-               "flags (check):\n"
+               "flags (check/serve):\n"
                "  --cache-dir DIR              persist the pipeline cache "
                "under DIR; warm re-checks of unchanged cones skip their "
                "subset searches\n"
-               "  --no-cache                   disable the pipeline cache\n");
+               "  --no-cache                   disable the pipeline cache\n"
+               "flags (serve):\n"
+               "  --deadline-ms N              default per-request deadline "
+               "(0 = none); requests may override with \"deadline_ms\"\n"
+               "  --max-queue N                bounded in-flight request "
+               "queue (default 64)\n"
+               "  --shed                       answer overflowing requests "
+               "with an 'unavailable' error instead of applying "
+               "backpressure\n"
+               "  --socket PATH                serve over a unix-domain "
+               "socket instead of stdin/stdout\n");
   return 1;
 }
 
@@ -512,6 +538,53 @@ int CmdRepl(const char* path) {
   return 0;
 }
 
+int CmdServe(const char* path) {
+  std::unique_ptr<PipelineCache> cache;
+  if (!g_flags.no_cache) {
+    PipelineCache::Options copts;
+    copts.dir = g_flags.cache_dir;
+    cache = std::make_unique<PipelineCache>(copts);
+  }
+  ServerOptions sopts;
+  sopts.analyzer.jobs = g_flags.jobs;
+  sopts.cache = cache.get();
+  sopts.default_deadline_ms = static_cast<uint64_t>(g_flags.deadline_ms);
+  sopts.max_queue = static_cast<size_t>(g_flags.max_queue);
+  sopts.shed_on_overflow = g_flags.shed;
+  // The analyzer must see the constraints of any standard builtin a
+  // served program references (same contract as `check`).
+  sopts.prepare_program = [](Program* program) {
+    BuiltinRegistry referenced;
+    return RegisterReferencedStandardBuiltins(program, &referenced);
+  };
+  Server server(std::move(sopts));
+  if (path != nullptr) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open '%s'\n", path);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Json preload = Json::Object();
+    preload.Set("id", "preload");
+    preload.Set("method", "update");
+    preload.Set("program", buffer.str());
+    std::string reply = server.HandleLine(preload.Dump());
+    std::fprintf(stderr, "preload: %s\n", reply.c_str());
+  }
+  if (!g_flags.socket_path.empty()) {
+    Status st = server.ServeUnixSocket(g_flags.socket_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
+  server.Serve(std::cin, std::cout);
+  return 0;
+}
+
 int CmdMatrix(const char* path, const char* spec) {
   const char* slash = std::strrchr(spec, '/');
   if (slash == nullptr) {
@@ -584,26 +657,63 @@ bool ParseFlags(int* argc, char** argv) {
       g_flags.cache_dir = argv[++i];
       continue;
     }
-    const char* value = nullptr;
-    if (std::strncmp(arg, "--jobs=", 7) == 0) {
-      value = arg + 7;
-    } else if (std::strcmp(arg, "--jobs") == 0) {
-      if (i + 1 >= *argc) {
-        std::fprintf(stderr, "--jobs requires a count\n");
-        return false;
-      }
-      value = argv[++i];
-    }
-    if (value != nullptr) {
-      char* end = nullptr;
-      long jobs = std::strtol(value, &end, 10);
-      if (end == value || *end != '\0' || jobs < 0 || jobs > 4096) {
-        std::fprintf(stderr, "invalid --jobs value '%s'\n", value);
-        return false;
-      }
-      g_flags.jobs = static_cast<int>(jobs);
+    if (std::strcmp(arg, "--shed") == 0) {
+      g_flags.shed = true;
       continue;
     }
+    if (std::strncmp(arg, "--socket=", 9) == 0) {
+      g_flags.socket_path = arg + 9;
+      continue;
+    }
+    if (std::strcmp(arg, "--socket") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--socket requires a path\n");
+        return false;
+      }
+      g_flags.socket_path = argv[++i];
+      continue;
+    }
+    // Numeric flags: --<name> N or --<name>=N.
+    struct NumFlag {
+      const char* name;
+      long* target;
+      long min, max;
+    };
+    const NumFlag kNumFlags[] = {
+        {"--jobs", nullptr, 0, 4096},
+        {"--deadline-ms", &g_flags.deadline_ms, 0, 86'400'000},
+        {"--max-queue", &g_flags.max_queue, 1, 1 << 20},
+    };
+    bool consumed = false;
+    for (const NumFlag& f : kNumFlags) {
+      size_t len = std::strlen(f.name);
+      const char* value = nullptr;
+      if (std::strncmp(arg, f.name, len) == 0 && arg[len] == '=') {
+        value = arg + len + 1;
+      } else if (std::strcmp(arg, f.name) == 0) {
+        if (i + 1 >= *argc) {
+          std::fprintf(stderr, "%s requires a value\n", f.name);
+          return false;
+        }
+        value = argv[++i];
+      } else {
+        continue;
+      }
+      char* end = nullptr;
+      long v = std::strtol(value, &end, 10);
+      if (end == value || *end != '\0' || v < f.min || v > f.max) {
+        std::fprintf(stderr, "invalid %s value '%s'\n", f.name, value);
+        return false;
+      }
+      if (f.target != nullptr) {
+        *f.target = v;
+      } else {
+        g_flags.jobs = static_cast<int>(v);
+      }
+      consumed = true;
+      break;
+    }
+    if (consumed) continue;
     argv[out++] = argv[i];
   }
   *argc = out;
@@ -612,6 +722,9 @@ bool ParseFlags(int* argc, char** argv) {
 
 int Main(int argc, char** argv) {
   if (!ParseFlags(&argc, argv)) return 1;
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return CmdServe(argc >= 3 ? argv[2] : nullptr);
+  }
   if (argc < 3) return Usage();
   const char* cmd = argv[1];
   if (std::strcmp(cmd, "check") == 0) return CmdCheck(argv[2]);

@@ -1,0 +1,35 @@
+#include "util/deadline.h"
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+const char* StopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kNone:
+      return "none";
+    case StopReason::kBudget:
+      return "budget";
+    case StopReason::kDeadline:
+      return "deadline";
+    case StopReason::kCancelled:
+      return "cancelled";
+  }
+  return "?";
+}
+
+Status ExecContext::Check(const char* what) const {
+  switch (ShouldStop()) {
+    case StopReason::kNone:
+    case StopReason::kBudget:
+      return Status::Ok();
+    case StopReason::kDeadline:
+      return Status::DeadlineExceeded(
+          StrCat(what, " exceeded its deadline"));
+    case StopReason::kCancelled:
+      return Status::Cancelled(StrCat(what, " was cancelled"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace hornsafe

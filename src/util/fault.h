@@ -1,0 +1,99 @@
+#ifndef HORNSAFE_UTIL_FAULT_H_
+#define HORNSAFE_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace hornsafe {
+
+/// The disk-tier fault classes the injector can produce. Each maps to a
+/// concrete syscall-level failure mode of the PipelineCache disk tier:
+///
+///   kReadError   — the entry file cannot be read (EIO); transient.
+///   kWriteError  — fwrite/write fails mid-stream (EIO); transient.
+///   kShortWrite  — only a prefix of the payload reaches the file
+///                  before the write fails; transient.
+///   kTornRename  — the rename "succeeds" but the destination holds a
+///                  truncated payload (models a crash between write and
+///                  fsync on a filesystem that reorders metadata);
+///                  persistent until the reader self-heals by unlink.
+///   kBitFlip     — one bit of the read-back payload is flipped
+///                  (models media corruption); persistent until the
+///                  checksum catches it and the reader unlinks.
+///   kEnospc      — the temp file cannot be created or extended
+///                  (ENOSPC); persistent for the write attempt, treated
+///                  as a non-fatal skip.
+enum class FaultKind : uint8_t {
+  kReadError = 0,
+  kWriteError,
+  kShortWrite,
+  kTornRename,
+  kBitFlip,
+  kEnospc,
+  kNumKinds,  // sentinel
+};
+
+const char* FaultKindName(FaultKind k);
+
+/// Deterministic, process-wide fault injector for the disk tier.
+///
+/// Disabled (all probabilities zero) unless configured, so production
+/// call sites pay one predicted-not-taken branch. Configuration comes
+/// from `Configure(spec)` or the `HORNSAFE_FAULTS` environment variable
+/// with the same syntax:
+///
+///   "read_error=0.1,bit_flip=0.05,seed=42"
+///
+/// Decisions are drawn from a seeded splitmix64 stream under a mutex,
+/// so a given (spec, call sequence) always injects the same faults —
+/// the serve soak compares a faulted run against a fault-free run and
+/// needs the faulted run to be reproducible.
+class FaultInjector {
+ public:
+  struct Counters {
+    uint64_t injected[static_cast<size_t>(FaultKind::kNumKinds)] = {};
+    uint64_t decisions = 0;
+  };
+
+  /// The process-wide injector used by the PipelineCache disk tier.
+  /// Reads HORNSAFE_FAULTS once on first access.
+  static FaultInjector& Global();
+
+  FaultInjector() = default;
+
+  /// Parses `spec` ("<kind>=<probability>,...,seed=<n>"); unknown keys
+  /// or malformed numbers return false and leave the config unchanged.
+  /// An empty spec disables injection.
+  bool Configure(std::string_view spec);
+
+  /// True when any fault has non-zero probability.
+  bool enabled() const { return enabled_; }
+
+  /// Draws one decision for `kind`. Never fires when disabled.
+  bool ShouldInject(FaultKind kind);
+
+  /// Flips one pseudo-randomly chosen bit of `*data` (no-op on empty).
+  void CorruptOneBit(std::string* data);
+
+  /// Deterministic truncation point for a torn write: a strict prefix
+  /// length in [0, size).
+  size_t TornLength(size_t size);
+
+  Counters counters() const;
+  void ResetCounters();
+
+ private:
+  uint64_t NextRandom();
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  double probability_[static_cast<size_t>(FaultKind::kNumKinds)] = {};
+  uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
+  Counters counters_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_FAULT_H_

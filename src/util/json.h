@@ -1,0 +1,114 @@
+#ifndef HORNSAFE_UTIL_JSON_H_
+#define HORNSAFE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// A minimal JSON value for the serve protocol (util-only: no external
+/// dependency is available in the build image). Supports the full JSON
+/// grammar except that numbers are held as doubles (adequate for ids,
+/// counters and millisecond deadlines) and \u escapes outside the BMP
+/// are passed through as their two surrogate escapes.
+///
+/// Parsing is strict and never throws: malformed input yields a
+/// kParseError status, which the server turns into an error *reply* —
+/// the failure-model contract is that no input byte sequence can
+/// terminate the process.
+class Json {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() = default;  // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Json(int64_t i)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Json(uint64_t u)  // NOLINT
+      : type_(Type::kNumber), num_(static_cast<double>(u)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), str_(s) {}  // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsNumber(double fallback = 0) const {
+    return is_number() ? num_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(num_) : fallback;
+  }
+  const std::string& AsString() const { return str_; }
+
+  // --- Object / array access -------------------------------------------
+
+  /// Member lookup; returns a shared null for missing keys or non-objects.
+  const Json& operator[](std::string_view key) const;
+  Json& Set(std::string key, Json value);
+  bool Has(std::string_view key) const;
+
+  const std::vector<Json>& items() const { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  void Append(Json value);
+  size_t size() const {
+    return type_ == Type::kArray ? items_.size() : members_.size();
+  }
+
+  // --- Serialization ----------------------------------------------------
+
+  /// Compact single-line rendering (keys in insertion order; strings
+  /// escaped so the output never contains a raw newline — the serve
+  /// protocol is line-delimited).
+  std::string Dump() const;
+
+  /// Strict parse of a complete JSON document.
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Json> items_;                             // kArray
+  std::vector<std::pair<std::string, Json>> members_;  // kObject
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_JSON_H_

@@ -18,6 +18,12 @@ const char* StatusCodeName(StatusCode code) {
       return "BudgetExhausted";
     case StatusCode::kUnsafeQuery:
       return "UnsafeQuery";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -30,6 +30,14 @@ enum class StatusCode {
   kBudgetExhausted,
   /// Evaluation refused because the query was not proved safe.
   kUnsafeQuery,
+  /// The operation's wall-clock deadline passed before it finished.
+  /// Verdicts degrade to kUndecided rather than aborting (see
+  /// DESIGN.md, D13).
+  kDeadlineExceeded,
+  /// The operation's CancelToken was triggered.
+  kCancelled,
+  /// The caller overflowed a bounded queue and the request was shed.
+  kUnavailable,
   /// Internal invariant violation; indicates a bug in hornsafe itself.
   kInternal,
 };
@@ -69,6 +77,15 @@ class Status {
   }
   static Status UnsafeQuery(std::string m) {
     return Status(StatusCode::kUnsafeQuery, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

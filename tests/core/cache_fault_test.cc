@@ -1,0 +1,200 @@
+// Disk-tier robustness: no corruption of an on-disk cache entry may
+// crash the process or change a verdict — a damaged entry is always a
+// clean miss that the analyzer recomputes (and self-heals by unlink).
+// Faults are injected two ways: physically (truncating / bit-flipping /
+// zero-filling the .hsv files on disk) and through the deterministic
+// FaultInjector wrapping every disk syscall.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/pipeline_cache.h"
+#include "parser/parser.h"
+#include "util/fault.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kProgram[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    "r(X) :- t(X,Y), r(Y), a(Y).\n"
+    "r(X) :- b(X).\n"
+    "s(X,Y) :- t(X,Z), s(Z,Y).\n"
+    "s(X,Y) :- b(X), b(Y).\n"
+    "?- r(X).\n"
+    "?- s(X,Y).\n";
+
+class CacheFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           StrCat("hornsafe_cache_fault_", ::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name(),
+                  "_", getpid());
+    fs::remove_all(dir_);
+    auto parsed = ParseProgram(kProgram);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    program_ = std::make_unique<Program>(std::move(*parsed));
+  }
+
+  void TearDown() override {
+    // Never leak injection into other tests in this binary.
+    FaultInjector::Global().Configure("");
+    fs::remove_all(dir_);
+  }
+
+  /// Analyzes with a fresh disk-backed cache and returns the rendered
+  /// verdicts (safety + explanation per position, in query order).
+  std::vector<std::string> Analyze() {
+    PipelineCache::Options copts;
+    copts.dir = dir_.string();
+    copts.retry_backoff_us = 0;  // keep injected-retry tests fast
+    PipelineCache cache(copts);
+    AnalyzerOptions opts;
+    opts.cache = &cache;
+    auto analyzer = SafetyAnalyzer::Create(*program_, opts);
+    EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+    std::vector<std::string> out;
+    if (!analyzer.ok()) return out;
+    for (QueryAnalysis& q : analyzer->AnalyzeQueries()) {
+      for (const ArgumentVerdict& a : q.args) {
+        out.push_back(StrCat(SafetyName(a.safety), "|", a.steps, "|",
+                             a.explanation));
+      }
+    }
+    return out;
+  }
+
+  std::vector<fs::path> EntryFiles() const {
+    std::vector<fs::path> files;
+    for (const auto& e : fs::directory_iterator(dir_)) {
+      if (e.path().extension() == ".hsv") files.push_back(e.path());
+    }
+    return files;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<Program> program_;
+};
+
+TEST_F(CacheFaultTest, RandomizedCorruptionAlwaysCleanMissNeverWrongVerdict) {
+  std::vector<std::string> golden = Analyze();  // cold run populates disk
+  ASSERT_FALSE(golden.empty());
+  ASSERT_FALSE(EntryFiles().empty());
+
+  Rng rng(0xfa5742);
+  for (int round = 0; round < 30; ++round) {
+    // Re-populate, then damage every entry file a random way.
+    Analyze();
+    std::vector<fs::path> files = EntryFiles();
+    ASSERT_FALSE(files.empty());
+    for (const fs::path& f : files) {
+      uint64_t size = fs::file_size(f);
+      switch (rng.Next() % 4) {
+        case 0: {  // truncate to a random prefix
+          fs::resize_file(f, rng.Next() % (size ? size : 1));
+          break;
+        }
+        case 1: {  // flip one random bit
+          std::fstream s(f, std::ios::in | std::ios::out |
+                                std::ios::binary);
+          uint64_t byte = rng.Next() % size;
+          s.seekg(static_cast<std::streamoff>(byte));
+          char c = 0;
+          s.get(c);
+          c ^= static_cast<char>(1u << (rng.Next() % 8));
+          s.seekp(static_cast<std::streamoff>(byte));
+          s.put(c);
+          break;
+        }
+        case 2: {  // zero-fill the whole file
+          std::ofstream s(f, std::ios::binary | std::ios::trunc);
+          std::string zeros(size, '\0');
+          s.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+          break;
+        }
+        case 3: {  // empty file
+          std::ofstream s(f, std::ios::binary | std::ios::trunc);
+          break;
+        }
+      }
+    }
+    // Every damaged entry must read as a miss and the verdicts must be
+    // bit-identical to the cold run — never a crash, never a wrong or
+    // missing verdict.
+    std::vector<std::string> warm = Analyze();
+    EXPECT_EQ(warm, golden) << "round " << round;
+  }
+}
+
+TEST_F(CacheFaultTest, CorruptEntriesSelfHealByUnlink) {
+  Analyze();
+  std::vector<fs::path> files = EntryFiles();
+  ASSERT_FALSE(files.empty());
+  // Zero-fill one entry; the next lookup must unlink it...
+  std::ofstream(files[0], std::ios::binary | std::ios::trunc)
+      << std::string(16, '\0');
+  Analyze();
+  // ...and the store after the miss must have rewritten a valid entry.
+  EXPECT_EQ(EntryFiles().size(), files.size());
+  std::vector<std::string> healed = Analyze();
+  EXPECT_FALSE(healed.empty());
+}
+
+TEST_F(CacheFaultTest, InjectedFaultsNeverChangeVerdicts) {
+  std::vector<std::string> golden = Analyze();
+
+  // Hammer every failure mode at once, deterministically.
+  ASSERT_TRUE(FaultInjector::Global().Configure(
+      "read_error=0.3,write_error=0.2,short_write=0.2,torn_rename=0.3,"
+      "bit_flip=0.3,enospc=0.2,seed=1234"));
+  for (int round = 0; round < 10; ++round) {
+    std::vector<std::string> faulted = Analyze();
+    EXPECT_EQ(faulted, golden) << "round " << round;
+  }
+  FaultInjector::Global().Configure("");
+  std::vector<std::string> after = Analyze();
+  EXPECT_EQ(after, golden);
+}
+
+TEST_F(CacheFaultTest, EnospcIsANonFatalSkip) {
+  ASSERT_TRUE(FaultInjector::Global().Configure("enospc=1,seed=5"));
+  std::vector<std::string> verdicts = Analyze();
+  EXPECT_FALSE(verdicts.empty());
+  // Every store was skipped: the disk tier holds no entries, but the
+  // analysis succeeded from memory.
+  EXPECT_TRUE(EntryFiles().empty());
+  FaultInjector::Global().Configure("");
+}
+
+TEST_F(CacheFaultTest, StaleTmpFilesAreSweptOnOpen) {
+  fs::create_directories(dir_);
+  std::ofstream(dir_ / "deadbeef.hsv.tmp.12345") << "partial write";
+  std::ofstream(dir_ / "cafe.hsv.tmp.99") << "x";
+  PipelineCache::Options copts;
+  copts.dir = dir_.string();
+  PipelineCache cache(copts);
+  EXPECT_EQ(cache.stats().tmp_files_swept, 2u);
+  int remaining = 0;
+  for (const auto& e : fs::directory_iterator(dir_)) {
+    (void)e;
+    ++remaining;
+  }
+  EXPECT_EQ(remaining, 0);
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,278 @@
+// The serve loop's failure-model contract: every request line gets
+// exactly one reply line, malformed input produces error replies (never
+// a crash or a dropped connection), deadlines degrade verdicts with the
+// right stop reason, and the bounded queue sheds or backpressures as
+// configured.
+
+#include "core/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace hornsafe {
+namespace {
+
+constexpr char kSafeProgram[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    "r(X) :- t(X,Y), r(Y), a(Y).\n"
+    "r(X) :- b(X).\n"
+    "?- r(X).\n";
+
+constexpr char kHardProgram[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    ".infinite t2/2.\n"
+    "p(X1,X2) :- p(X1,X2), t(X1,Y1), t(X2,Y2).\n"
+    "p(X1,X2) :- t2(X1,Z1), t2(X2,Z2).\n"
+    "?- p(X1,X2).\n";
+
+Json MustParseReply(const std::string& line) {
+  Result<Json> parsed = Json::Parse(line);
+  EXPECT_TRUE(parsed.ok()) << "unparsable reply: " << line;
+  return parsed.ok() ? *parsed : Json();
+}
+
+std::string CheckRequest(int id, const std::string& program,
+                         int64_t deadline_ms = -1) {
+  Json req = Json::Object();
+  req.Set("id", int64_t{id});
+  req.Set("method", "check");
+  req.Set("program", program);
+  if (deadline_ms >= 0) req.Set("deadline_ms", deadline_ms);
+  return req.Dump();
+}
+
+TEST(ServerTest, CheckReturnsVerdicts) {
+  Server server(ServerOptions{});
+  Json reply = MustParseReply(server.HandleLine(CheckRequest(1, kSafeProgram)));
+  EXPECT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  EXPECT_EQ(reply["id"].AsInt(), 1);
+  const Json& queries = reply["result"]["queries"];
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries.items()[0]["safety"].AsString(), "safe");
+  const Json& args = queries.items()[0]["args"];
+  ASSERT_EQ(args.size(), 1u);
+  EXPECT_EQ(args.items()[0]["safety"].AsString(), "safe");
+  EXPECT_EQ(args.items()[0]["stop"].AsString(), "none");
+}
+
+TEST(ServerTest, ExplainIncludesExplanations) {
+  Server server(ServerOptions{});
+  Json req = Json::Object();
+  req.Set("id", int64_t{2});
+  req.Set("method", "explain");
+  req.Set("program", kSafeProgram);
+  Json reply = MustParseReply(server.HandleLine(req.Dump()));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  const Json& arg =
+      reply["result"]["queries"].items()[0]["args"].items()[0];
+  EXPECT_TRUE(arg.Has("explanation"));
+}
+
+TEST(ServerTest, MalformedRequestsGetErrorRepliesNotCrashes) {
+  Server server(ServerOptions{});
+  const char* kBad[] = {
+      "not json at all",
+      "{\"no\": \"method\"}",
+      "{\"method\": 42}",
+      "{\"method\": \"frobnicate\"}",
+      "{\"method\": \"update\"}",                        // missing program
+      "{\"method\": \"check\", \"program\": \"( syntax error\"}",
+      "[1,2,3]",                                         // not an object
+      "{\"method\": \"check\", \"program\": \"p(X) :- q(X.\"}",
+  };
+  for (const char* line : kBad) {
+    Json reply = MustParseReply(server.HandleLine(line));
+    EXPECT_FALSE(reply["ok"].AsBool()) << line;
+    EXPECT_TRUE(reply["error"]["message"].is_string()) << line;
+  }
+  // The server still works after the barrage.
+  Json reply = MustParseReply(server.HandleLine(CheckRequest(9, kSafeProgram)));
+  EXPECT_TRUE(reply["ok"].AsBool());
+  EXPECT_EQ(server.counters().errors, 8u);
+}
+
+TEST(ServerTest, OverlongArityIsAnErrorReplyNotAnAbort) {
+  // 65 arguments exceeds AttrSet::kMaxAttrs; Program::Validate must
+  // turn this into a clean error reply (under NDEBUG the old assert
+  // would have been skipped and the analysis would corrupt masks).
+  std::string head = "wide(";
+  for (int i = 0; i < 65; ++i) head += (i ? ",X" : "X") + std::to_string(i);
+  head += ")";
+  std::string program = head + " :- base(X0).\n?- " + head + ".\n";
+  Server server(ServerOptions{});
+  Json reply = MustParseReply(server.HandleLine(CheckRequest(1, program)));
+  EXPECT_FALSE(reply["ok"].AsBool());
+  EXPECT_NE(reply["error"]["message"].AsString().find("arity"),
+            std::string::npos)
+      << reply.Dump();
+}
+
+TEST(ServerTest, ExpiredDeadlineDegradesToUndecidedDeadline) {
+  Server server(ServerOptions{});
+  // Install the program with no deadline (the build itself needs time),
+  // then check under an already-expired one.
+  Json install = Json::Object();
+  install.Set("id", int64_t{1});
+  install.Set("method", "update");
+  install.Set("program", kHardProgram);
+  Json installed = MustParseReply(server.HandleLine(install.Dump()));
+  ASSERT_TRUE(installed["ok"].AsBool()) << installed.Dump();
+
+  Json check = Json::Object();
+  check.Set("id", int64_t{2});
+  check.Set("method", "check");
+  check.Set("deadline_ms", int64_t{0});
+  Json reply = MustParseReply(server.HandleLine(check.Dump()));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  const Json& args = reply["result"]["queries"].items()[0]["args"];
+  ASSERT_GE(args.size(), 1u);
+  for (const Json& arg : args.items()) {
+    EXPECT_EQ(arg["safety"].AsString(), "undecided");
+    EXPECT_EQ(arg["stop"].AsString(), "deadline");
+  }
+
+  // Without the deadline the same query resolves for real.
+  Json check2 = Json::Object();
+  check2.Set("id", int64_t{3});
+  check2.Set("method", "check");
+  Json reply2 = MustParseReply(server.HandleLine(check2.Dump()));
+  ASSERT_TRUE(reply2["ok"].AsBool());
+  for (const Json& arg :
+       reply2["result"]["queries"].items()[0]["args"].items()) {
+    EXPECT_EQ(arg["stop"].AsString(), "none") << reply2.Dump();
+  }
+}
+
+TEST(ServerTest, UpdateReportsDirtyCones) {
+  Server server(ServerOptions{});
+  Json first = Json::Object();
+  first.Set("id", int64_t{1});
+  first.Set("method", "update");
+  first.Set("program", kSafeProgram);
+  Json r1 = MustParseReply(server.HandleLine(first.Dump()));
+  ASSERT_TRUE(r1["ok"].AsBool()) << r1.Dump();
+  EXPECT_GT(r1["result"]["predicates"].AsInt(), 0);
+
+  // Same program again: nothing dirtied.
+  Json r2 = MustParseReply(server.HandleLine(first.Dump()));
+  ASSERT_TRUE(r2["ok"].AsBool()) << r2.Dump();
+  EXPECT_EQ(r2["result"]["dirty_predicates"].AsInt(), 0) << r2.Dump();
+  EXPECT_EQ(r2["result"]["clean_predicates"].AsInt(),
+            r2["result"]["predicates"].AsInt());
+}
+
+TEST(ServerTest, PredicateTargetedCheck) {
+  Server server(ServerOptions{});
+  Json install = Json::Object();
+  install.Set("id", int64_t{1});
+  install.Set("method", "update");
+  install.Set("program", kSafeProgram);
+  ASSERT_TRUE(MustParseReply(server.HandleLine(install.Dump()))["ok"]
+                  .AsBool());
+
+  Json check = Json::Object();
+  check.Set("id", int64_t{2});
+  check.Set("method", "check");
+  check.Set("predicate", "r/1");
+  check.Set("adornment", "f");
+  Json reply = MustParseReply(server.HandleLine(check.Dump()));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  EXPECT_EQ(reply["result"]["queries"].items()[0]["safety"].AsString(),
+            "safe");
+
+  check.Set("predicate", "nosuch/3");
+  Json missing = MustParseReply(server.HandleLine(check.Dump()));
+  EXPECT_FALSE(missing["ok"].AsBool());
+}
+
+TEST(ServerTest, StatsReportsCounters) {
+  Server server(ServerOptions{});
+  server.HandleLine(CheckRequest(1, kSafeProgram));
+  Json stats = MustParseReply(
+      server.HandleLine("{\"id\": 5, \"method\": \"stats\"}"));
+  ASSERT_TRUE(stats["ok"].AsBool()) << stats.Dump();
+  EXPECT_EQ(stats["id"].AsInt(), 5);
+  EXPECT_GE(stats["result"]["server"]["requests"].AsInt(), 1);
+  EXPECT_GE(stats["result"]["analyzer"]["positions_analyzed"].AsInt(), 1);
+}
+
+TEST(ServerTest, ServeLoopRepliesOncePerLineAndStopsOnShutdown) {
+  ServerOptions opts;
+  Server server(std::move(opts));
+  std::istringstream in(
+      CheckRequest(1, kSafeProgram) + "\n" +
+      "garbage line\n" +
+      "{\"id\": 3, \"method\": \"shutdown\"}\n" +
+      CheckRequest(4, kSafeProgram) + "\n");  // behind the shutdown
+  std::ostringstream out;
+  uint64_t replies = server.Serve(in, out);
+  EXPECT_TRUE(server.shutdown_requested());
+
+  std::vector<std::string> lines;
+  std::istringstream result(out.str());
+  std::string line;
+  while (std::getline(result, line)) lines.push_back(line);
+  // One reply per request that was read before the loop stopped; the
+  // request queued behind the shutdown (if read at all) is shed.
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(replies, lines.size());
+  EXPECT_TRUE(MustParseReply(lines[0])["ok"].AsBool());
+  EXPECT_FALSE(MustParseReply(lines[1])["ok"].AsBool());
+  Json shutdown_reply = MustParseReply(lines[2]);
+  EXPECT_TRUE(shutdown_reply["ok"].AsBool());
+  EXPECT_TRUE(shutdown_reply["result"]["shutdown"].AsBool());
+}
+
+TEST(ServerTest, ShedPolicyAnswersOverflowWithUnavailable) {
+  ServerOptions opts;
+  opts.max_queue = 1;
+  opts.shed_on_overflow = true;
+  Server server(std::move(opts));
+  // Direct unit test of the shed reply (the race of actually
+  // overflowing a live queue is timing-dependent; the policy plumbing
+  // is what must be correct).
+  std::string reply = ShedReply("{\"id\": 77, \"method\": \"check\"}",
+                                "request queue full");
+  Json parsed = MustParseReply(reply);
+  EXPECT_FALSE(parsed["ok"].AsBool());
+  EXPECT_EQ(parsed["id"].AsInt(), 77);
+  EXPECT_EQ(parsed["error"]["code"].AsString(),
+            std::string(StatusCodeName(StatusCode::kUnavailable)));
+
+  // Unparsable shed line still yields a correlatable (null-id) reply.
+  Json parsed2 = MustParseReply(ShedReply("not json", "overflow"));
+  EXPECT_TRUE(parsed2["id"].is_null());
+  EXPECT_FALSE(parsed2["ok"].AsBool());
+}
+
+TEST(ServerTest, BackpressureServesEveryRequestInOrder) {
+  ServerOptions opts;
+  opts.max_queue = 2;  // force Push to block while the worker analyzes
+  Server server(std::move(opts));
+  std::string input;
+  for (int i = 1; i <= 8; ++i) input += CheckRequest(i, kSafeProgram) + "\n";
+  std::istringstream in(input);
+  std::ostringstream out;
+  uint64_t replies = server.Serve(in, out);
+  EXPECT_EQ(replies, 8u);
+  std::istringstream result(out.str());
+  std::string line;
+  int expected_id = 1;
+  while (std::getline(result, line)) {
+    Json reply = MustParseReply(line);
+    EXPECT_TRUE(reply["ok"].AsBool()) << line;
+    EXPECT_EQ(reply["id"].AsInt(), expected_id++);
+  }
+  EXPECT_EQ(expected_id, 9);
+  EXPECT_EQ(server.counters().shed, 0u);
+}
+
+}  // namespace
+}  // namespace hornsafe

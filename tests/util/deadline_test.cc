@@ -1,0 +1,91 @@
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace hornsafe {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining_millis(), -1);
+}
+
+TEST(DeadlineTest, AfterZeroIsAlreadyExpired) {
+  Deadline d = Deadline::AfterMillis(0);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, FutureDeadlineIsNotExpired) {
+  Deadline d = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_millis(), 0);
+}
+
+TEST(DeadlineTest, AtPastTimePointIsExpired) {
+  Deadline d = Deadline::At(Deadline::Clock::now() -
+                            std::chrono::milliseconds(10));
+  EXPECT_TRUE(d.expired());
+}
+
+TEST(CancelTokenTest, CancelIsStickyAndResettable) {
+  CancelToken token;
+  EXPECT_FALSE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  token.Reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(ExecContextTest, DefaultNeverStops) {
+  ExecContext exec;
+  EXPECT_FALSE(exec.active());
+  EXPECT_EQ(exec.ShouldStop(), StopReason::kNone);
+  EXPECT_TRUE(exec.Check("test").ok());
+}
+
+TEST(ExecContextTest, ExpiredDeadlineStopsWithDeadlineReason) {
+  ExecContext exec;
+  exec.deadline = Deadline::AfterMillis(0);
+  EXPECT_TRUE(exec.active());
+  EXPECT_EQ(exec.ShouldStop(), StopReason::kDeadline);
+  Status st = exec.Check("the widget");
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(st.message().find("the widget"), std::string::npos);
+}
+
+TEST(ExecContextTest, CancellationTakesPrecedenceOverDeadline) {
+  CancelToken token;
+  token.Cancel();
+  ExecContext exec;
+  exec.cancel = &token;
+  exec.deadline = Deadline::AfterMillis(0);  // also expired
+  EXPECT_EQ(exec.ShouldStop(), StopReason::kCancelled);
+  Status st = exec.Check("the widget");
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(ExecContextTest, CancelTokenAloneActivatesTheContext) {
+  CancelToken token;
+  ExecContext exec;
+  exec.cancel = &token;
+  EXPECT_TRUE(exec.active());
+  EXPECT_EQ(exec.ShouldStop(), StopReason::kNone);
+  token.Cancel();
+  EXPECT_EQ(exec.ShouldStop(), StopReason::kCancelled);
+}
+
+TEST(StopReasonTest, NamesAreStable) {
+  EXPECT_STREQ(StopReasonName(StopReason::kNone), "none");
+  EXPECT_STREQ(StopReasonName(StopReason::kBudget), "budget");
+  EXPECT_STREQ(StopReasonName(StopReason::kDeadline), "deadline");
+  EXPECT_STREQ(StopReasonName(StopReason::kCancelled), "cancelled");
+}
+
+}  // namespace
+}  // namespace hornsafe

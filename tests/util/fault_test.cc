@@ -1,0 +1,122 @@
+#include "util/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hornsafe {
+namespace {
+
+TEST(FaultInjectorTest, DisabledByDefault) {
+  FaultInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.ShouldInject(FaultKind::kReadError));
+  }
+  EXPECT_EQ(inj.counters().decisions, 0u);
+}
+
+TEST(FaultInjectorTest, ConfigureParsesSpec) {
+  FaultInjector inj;
+  EXPECT_TRUE(inj.Configure("read_error=0.5,bit_flip=0.25,seed=7"));
+  EXPECT_TRUE(inj.enabled());
+  EXPECT_TRUE(inj.Configure(""));  // empty spec disables
+  EXPECT_FALSE(inj.enabled());
+}
+
+TEST(FaultInjectorTest, ConfigureRejectsGarbage) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("read_error=0.5"));
+  EXPECT_FALSE(inj.Configure("unknown_kind=0.5"));
+  EXPECT_FALSE(inj.Configure("read_error=notanumber"));
+  EXPECT_FALSE(inj.Configure("read_error=1.5"));   // out of [0,1]
+  EXPECT_FALSE(inj.Configure("read_error=-0.1"));
+  EXPECT_FALSE(inj.Configure("read_error"));       // missing '='
+  EXPECT_FALSE(inj.Configure("seed=xyz"));
+  // A rejected spec leaves the previous config in place.
+  EXPECT_TRUE(inj.enabled());
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("write_error=1"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(inj.ShouldInject(FaultKind::kWriteError));
+    EXPECT_FALSE(inj.ShouldInject(FaultKind::kReadError));
+  }
+  EXPECT_EQ(inj.counters()
+                .injected[static_cast<size_t>(FaultKind::kWriteError)],
+            50u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisionSequence) {
+  auto draw = [](const char* spec) {
+    FaultInjector inj;
+    EXPECT_TRUE(inj.Configure(spec));
+    std::string bits;
+    for (int i = 0; i < 200; ++i) {
+      bits += inj.ShouldInject(FaultKind::kBitFlip) ? '1' : '0';
+    }
+    return bits;
+  };
+  std::string a = draw("bit_flip=0.3,seed=42");
+  std::string b = draw("bit_flip=0.3,seed=42");
+  std::string c = draw("bit_flip=0.3,seed=43");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide
+  EXPECT_NE(a.find('1'), std::string::npos);
+  EXPECT_NE(a.find('0'), std::string::npos);
+}
+
+TEST(FaultInjectorTest, CorruptOneBitChangesExactlyOneBit) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("bit_flip=1,seed=1"));
+  std::string original(64, '\x5a');
+  std::string corrupted = original;
+  inj.CorruptOneBit(&corrupted);
+  int differing_bits = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(original[i]) ^
+                         static_cast<unsigned char>(corrupted[i]);
+    while (diff != 0) {
+      differing_bits += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(differing_bits, 1);
+
+  std::string empty;
+  inj.CorruptOneBit(&empty);  // must not crash
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultInjectorTest, TornLengthIsStrictPrefix) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("torn_rename=1,seed=9"));
+  for (int i = 0; i < 100; ++i) {
+    size_t len = inj.TornLength(100);
+    EXPECT_LT(len, 100u);
+  }
+  EXPECT_EQ(inj.TornLength(0), 0u);
+}
+
+TEST(FaultInjectorTest, CountersTrackDecisionsAndReset) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("enospc=1"));
+  inj.ShouldInject(FaultKind::kEnospc);
+  inj.ShouldInject(FaultKind::kReadError);
+  FaultInjector::Counters c = inj.counters();
+  EXPECT_EQ(c.decisions, 2u);
+  EXPECT_EQ(c.injected[static_cast<size_t>(FaultKind::kEnospc)], 1u);
+  inj.ResetCounters();
+  EXPECT_EQ(inj.counters().decisions, 0u);
+}
+
+TEST(FaultKindTest, NamesMatchSpecKeys) {
+  EXPECT_STREQ(FaultKindName(FaultKind::kReadError), "read_error");
+  EXPECT_STREQ(FaultKindName(FaultKind::kTornRename), "torn_rename");
+  EXPECT_STREQ(FaultKindName(FaultKind::kEnospc), "enospc");
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,109 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hornsafe {
+namespace {
+
+Json MustParse(const std::string& text) {
+  Result<Json> parsed = Json::Parse(text);
+  EXPECT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+  return parsed.ok() ? *parsed : Json();
+}
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_EQ(MustParse("true").AsBool(), true);
+  EXPECT_EQ(MustParse("false").AsBool(false), false);
+  EXPECT_EQ(MustParse("42").AsInt(), 42);
+  EXPECT_DOUBLE_EQ(MustParse("-2.5e2").AsNumber(), -250.0);
+  EXPECT_EQ(MustParse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  Json j = MustParse(
+      R"({"id": 7, "tags": ["a", "b"], "nested": {"ok": true}})");
+  EXPECT_EQ(j["id"].AsInt(), 7);
+  ASSERT_TRUE(j["tags"].is_array());
+  ASSERT_EQ(j["tags"].size(), 2u);
+  EXPECT_EQ(j["tags"].items()[1].AsString(), "b");
+  EXPECT_TRUE(j["nested"]["ok"].AsBool());
+  EXPECT_TRUE(j["missing"].is_null());
+  EXPECT_TRUE(j["missing"]["deeper"].is_null());
+}
+
+TEST(JsonTest, ParsesEscapes) {
+  Json j = MustParse(R"("a\"b\\c\ndA")");
+  EXPECT_EQ(j.AsString(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  const char* kBad[] = {
+      "",        "{",      "[1,",     "{\"a\":}",  "tru",
+      "\"unterminated",  "{\"a\" 1}", "[1 2]", "{}extra",
+      "\"bad \x01 control\"",
+  };
+  for (const char* text : kBad) {
+    Result<Json> parsed = Json::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(JsonTest, DepthLimitPreventsStackExhaustion) {
+  // 1000 nested arrays would recurse 1000 frames without the cap.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  Result<Json> parsed = Json::Parse(deep);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(JsonTest, DumpIsSingleLineAndRoundTrips) {
+  Json obj = Json::Object();
+  obj.Set("id", int64_t{3});
+  obj.Set("text", "line1\nline2\ttab");
+  obj.Set("flag", true);
+  Json arr = Json::Array();
+  arr.Append(1.5);
+  arr.Append(Json());
+  obj.Set("items", std::move(arr));
+
+  std::string dumped = obj.Dump();
+  EXPECT_EQ(dumped.find('\n'), std::string::npos)
+      << "raw newline breaks the line protocol: " << dumped;
+
+  Json round = MustParse(dumped);
+  EXPECT_EQ(round["id"].AsInt(), 3);
+  EXPECT_EQ(round["text"].AsString(), "line1\nline2\ttab");
+  EXPECT_TRUE(round["flag"].AsBool());
+  ASSERT_EQ(round["items"].size(), 2u);
+  EXPECT_DOUBLE_EQ(round["items"].items()[0].AsNumber(), 1.5);
+  EXPECT_TRUE(round["items"].items()[1].is_null());
+}
+
+TEST(JsonTest, IntegersDumpWithoutFraction) {
+  Json j = Json(uint64_t{123456789});
+  EXPECT_EQ(j.Dump(), "123456789");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json(2.5).Dump().substr(0, 3), "2.5");
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  Json obj = Json::Object();
+  obj.Set("k", 1.0);
+  obj.Set("k", 2.0);
+  EXPECT_EQ(obj.size(), 1u);
+  EXPECT_DOUBLE_EQ(obj["k"].AsNumber(), 2.0);
+}
+
+TEST(JsonTest, ParsesWhitespaceLiberally) {
+  Json j = MustParse(" \t{ \"a\" : [ 1 , 2 ] } \n");
+  EXPECT_EQ(j["a"].size(), 2u);
+}
+
+}  // namespace
+}  // namespace hornsafe
