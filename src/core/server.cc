@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <condition_variable>
 #include <cstring>
@@ -144,6 +145,16 @@ ExecContext Server::MakeExec(const Json& request) const {
   return exec;
 }
 
+void Server::InstallExec(const Json& request) {
+  ExecContext exec = MakeExec(request);
+  // A cold SafetyAnalyzer::Create reads options_.analyzer.exec; a live
+  // analyzer holds its own copy that only set_exec replaces. Both paths
+  // must run under *this* request's deadline — a stale one left over
+  // from an expired check would fail every later update.
+  options_.analyzer.exec = exec;
+  if (analyzer_ != nullptr) analyzer_->set_exec(exec);
+}
+
 Result<SafetyAnalyzer::UpdateStats> Server::InstallProgram(
     const std::string& source) {
   HORNSAFE_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
@@ -194,10 +205,6 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
                       "no program installed; send \"program\" with check "
                       "or call update first");
   }
-  // Install the per-request failure-model context. Serving is
-  // single-threaded per request, so no analysis is in flight here.
-  analyzer_->set_exec(MakeExec(request));
-
   Json queries = Json::Array();
   if (request["predicate"].is_string()) {
     // Targeted form: {"predicate": "p/2", "adornment": "bf"}.
@@ -306,6 +313,11 @@ Json Server::Dispatch(const Json& request) {
                       "request requires a string \"method\" field");
   }
   const std::string& m = method.AsString();
+  // Install the per-request failure-model context before any method
+  // that can analyze (update rebuilds state, check may install a
+  // program). Serving is single-threaded per request, so no analysis
+  // is in flight here.
+  InstallExec(request);
   if (m == "check") return DoCheck(request, /*with_explanations=*/false);
   if (m == "explain") return DoCheck(request, /*with_explanations=*/true);
   if (m == "update") return DoUpdate(request);
@@ -365,7 +377,9 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
   };
 
   BoundedQueue queue(options_.max_queue);
-  uint64_t replies = 0;
+  // Incremented by the worker for queued requests and by the reader on
+  // the shed path, concurrently.
+  std::atomic<uint64_t> replies{0};
   std::thread worker([&] {
     std::string line;
     while (queue.Pop(&line)) {
@@ -378,7 +392,7 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
       } else {
         emit(HandleLine(line));
       }
-      ++replies;
+      replies.fetch_add(1, std::memory_order_relaxed);
       if (shutdown_requested()) queue.Close();
     }
   });
@@ -391,9 +405,11 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
         if (shutdown_requested()) break;
         emit(ShedReply(line, StrCat("request queue full (",
                                     options_.max_queue, " in flight)")));
-        std::lock_guard<std::mutex> lock(mu_);
-        ++counters_.shed;
-        ++replies;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++counters_.shed;
+        }
+        replies.fetch_add(1, std::memory_order_relaxed);
       }
     } else {
       if (!queue.Push(line)) break;  // closed by shutdown
@@ -401,7 +417,7 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
   }
   queue.Close();
   worker.join();
-  return replies;
+  return replies.load(std::memory_order_relaxed);
 }
 
 Status Server::ServeUnixSocket(const std::string& path) {

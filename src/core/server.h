@@ -55,10 +55,13 @@ struct ServerOptions {
 ///
 /// Methods:
 ///   check     analyze every query of "program" (or, absent a
-///             "program", of the server's current program); "query"
-///             restricts to one literal. Verdicts carry the stop
-///             reason, so a deadline-degraded kUndecided is
-///             distinguishable from a budget-degraded one.
+///             "program", of the server's current program); a
+///             "predicate" field ("name/arity") restricts analysis to
+///             that predicate, with an optional "adornment" string of
+///             'b'/'f' letters selecting one binding pattern. Verdicts
+///             carry the stop reason, so a deadline-degraded
+///             kUndecided is distinguishable from a budget-degraded
+///             one.
 ///   explain   `check` plus the per-argument explanation text
 ///             (witness renderings / budget notes).
 ///   update    replace the server's program, re-running the polynomial
@@ -129,6 +132,12 @@ class Server {
   /// The per-request failure-model context: the request's deadline (or
   /// the server default) plus the server's cancellation token.
   ExecContext MakeExec(const Json& request) const;
+
+  /// Installs `request`'s exec context on both the live analyzer and
+  /// the options a cold Create would read, replacing whatever the
+  /// previous request left behind. Called by Dispatch before any
+  /// method that can analyze.
+  void InstallExec(const Json& request);
 
   ServerOptions options_;
   std::unique_ptr<SafetyAnalyzer> analyzer_;

@@ -84,7 +84,7 @@ bool FaultInjector::Configure(std::string_view spec) {
     probability_[k] = probs[k];
     any |= probs[k] > 0.0;
   }
-  enabled_ = any;
+  enabled_.store(any, std::memory_order_relaxed);
   rng_state_ = seed;
   return true;
 }
@@ -98,7 +98,7 @@ uint64_t FaultInjector::NextRandom() {
 }
 
 bool FaultInjector::ShouldInject(FaultKind kind) {
-  if (!enabled_) return false;
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   ++counters_.decisions;
   size_t i = static_cast<size_t>(kind);

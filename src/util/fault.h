@@ -1,6 +1,7 @@
 #ifndef HORNSAFE_UTIL_FAULT_H_
 #define HORNSAFE_UTIL_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -69,7 +70,7 @@ class FaultInjector {
   bool Configure(std::string_view spec);
 
   /// True when any fault has non-zero probability.
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Draws one decision for `kind`. Never fires when disabled.
   bool ShouldInject(FaultKind kind);
@@ -88,7 +89,10 @@ class FaultInjector {
   uint64_t NextRandom();
 
   mutable std::mutex mu_;
-  bool enabled_ = false;
+  /// Atomic so the lock-free fast path in ShouldInject/enabled() can
+  /// read it while Configure writes under mu_; relaxed is enough — a
+  /// racing reconfigure may miss this one decision either way.
+  std::atomic<bool> enabled_{false};
   double probability_[static_cast<size_t>(FaultKind::kNumKinds)] = {};
   uint64_t rng_state_ = 0x9e3779b97f4a7c15ULL;
   Counters counters_;

@@ -150,6 +150,40 @@ TEST(ServerTest, ExpiredDeadlineDegradesToUndecidedDeadline) {
   }
 }
 
+TEST(ServerTest, ExpiredDeadlineDoesNotPoisonLaterRequests) {
+  // Regression: the exec context must be reinstalled per request.  A
+  // check whose deadline had already expired used to leave its dead
+  // deadline on the analyzer, so every later update (which rebuilds
+  // state under options.exec) failed with DeadlineExceeded until a
+  // deadline-free check happened to reset it.
+  Server server(ServerOptions{});
+  Json install = Json::Object();
+  install.Set("id", int64_t{1});
+  install.Set("method", "update");
+  install.Set("program", kSafeProgram);
+  ASSERT_TRUE(MustParseReply(server.HandleLine(install.Dump()))["ok"]
+                  .AsBool());
+
+  Json expired = Json::Object();
+  expired.Set("id", int64_t{2});
+  expired.Set("method", "check");
+  expired.Set("deadline_ms", int64_t{0});
+  Json degraded = MustParseReply(server.HandleLine(expired.Dump()));
+  ASSERT_TRUE(degraded["ok"].AsBool()) << degraded.Dump();
+
+  // The editor loop's next keystroke: an update with no deadline.
+  install.Set("id", int64_t{3});
+  Json updated = MustParseReply(server.HandleLine(install.Dump()));
+  EXPECT_TRUE(updated["ok"].AsBool()) << updated.Dump();
+
+  // A check that installs a program (the cold-create path reads the
+  // options exec) must run under its own context too.
+  Json reply = MustParseReply(server.HandleLine(CheckRequest(4, kSafeProgram)));
+  EXPECT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  const Json& arg = reply["result"]["queries"].items()[0]["args"].items()[0];
+  EXPECT_EQ(arg["stop"].AsString(), "none") << reply.Dump();
+}
+
 TEST(ServerTest, UpdateReportsDirtyCones) {
   Server server(ServerOptions{});
   Json first = Json::Object();
