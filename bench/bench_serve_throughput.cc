@@ -1,0 +1,206 @@
+// Concurrent-serve throughput: W client threads hammer one Server's
+// `HandleLine` (the exact entry point `Serve`'s workers call, minus the
+// request queue — so the numbers isolate the analysis path, not stdin
+// framing) over a jobs x workers grid and two traffic shapes:
+//
+//   * check_only — targeted checks (plus some explains) against the
+//     preloaded modular program; the read path the snapshot split is
+//     supposed to make embarrassingly parallel.
+//   * mixed — the same stream with ~10% `update` requests cycling
+//     single-rule edits, so checks keep answering from the pinned old
+//     snapshot while rebuilds publish off to the side (DESIGN.md, D14).
+//
+// The total request count is fixed across thread counts (split
+// round-robin), so requests/sec is directly comparable; per-request
+// latency percentiles come from per-thread timestamp vectors merged
+// after the run. Every reply is asserted ok. Results go to
+// BENCH_serve.json (rps, p50_us, p99_us) for the CI scaling assert.
+
+#include <benchmark/benchmark.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/pipeline_cache.h"
+#include "core/server.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+/// Modules / ring length of the served program — big enough that an
+/// update's pipeline rebuild is real work to overlap checks with, small
+/// enough for bench-smoke.
+constexpr int kModules = 4;
+constexpr int kRing = 4;
+/// Fixed per-run request total; divisible by every thread count in the
+/// grid so the round-robin split is exact.
+constexpr int kTotalRequests = 384;
+
+void Check(bool cond, const char* what) {
+  if (!cond) {
+    std::fprintf(stderr, "bench_serve_throughput: %s\n", what);
+    std::abort();
+  }
+}
+
+double Seconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       t0)
+      .count();
+}
+
+std::string UpdateRequest(int id, int edit) {
+  Json req = Json::Object();
+  req.Set("id", int64_t{id});
+  req.Set("method", "update");
+  req.Set("program", bench::ModularWorkloadText(kModules, kRing, edit));
+  return req.Dump();
+}
+
+std::string CheckRequest(int id, int module, bool explain) {
+  Json req = Json::Object();
+  req.Set("id", int64_t{id});
+  req.Set("method", explain ? "explain" : "check");
+  req.Set("predicate", StrCat("b0_m", module, "/1"));
+  return req.Dump();
+}
+
+struct RunResult {
+  double rps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// One full run: fresh server + cache, preload, then `threads` clients
+/// drain their pre-built request slices concurrently. The check-only
+/// cache is memory-only (after the first pass every request is a pure
+/// in-memory read — the scaling limit is lock contention); the mixed
+/// cache gets a disk tier, because that is the deployed shape and its
+/// write-through fsyncs are exactly the stalls extra workers overlap
+/// (every edit mints fresh cone fingerprints, so stores keep happening
+/// all run long).
+RunResult RunWorkload(size_t threads, size_t jobs, bool mixed) {
+  PipelineCache::Options copts;
+  std::string cache_dir;
+  if (mixed) {
+    static int run_seq = 0;
+    cache_dir = (std::filesystem::temp_directory_path() /
+                 StrCat("hornsafe_bench_serve_", ::getpid(), "_",
+                        run_seq++))
+                    .string();
+    copts.dir = cache_dir;
+  }
+  PipelineCache cache(copts);
+  ServerOptions sopts;
+  sopts.analyzer.jobs = static_cast<int>(jobs);
+  sopts.cache = &cache;
+  sopts.workers = threads;
+  Server server(sopts);
+
+  std::string preload = server.HandleLine(UpdateRequest(0, -1));
+  Check(preload.find("\"ok\":true") != std::string::npos,
+        "preload update failed");
+
+  // Pre-built request lines, split round-robin so every thread count
+  // sees the same module / explain / update mix.
+  std::vector<std::vector<std::string>> slices(threads);
+  int edits = 0;
+  for (int i = 0; i < kTotalRequests; ++i) {
+    std::string line;
+    if (mixed && i % 10 == 3) {
+      line = UpdateRequest(i + 1, edits++);
+    } else {
+      line = CheckRequest(i + 1, i % kModules, i % 7 == 5);
+    }
+    slices[static_cast<size_t>(i) % threads].push_back(std::move(line));
+  }
+
+  std::vector<std::vector<double>> lat_us(threads);
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      lat_us[t].reserve(slices[t].size());
+      for (const std::string& line : slices[t]) {
+        auto r0 = std::chrono::steady_clock::now();
+        std::string reply = server.HandleLine(line);
+        lat_us[t].push_back(Seconds(r0) * 1e6);
+        Check(reply.find("\"ok\":true") != std::string::npos,
+              "request got an error reply");
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  const double wall = Seconds(t0);
+
+  std::vector<double> all;
+  all.reserve(kTotalRequests);
+  for (const std::vector<double>& v : lat_us) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(cache_dir, ec);
+  }
+
+  std::sort(all.begin(), all.end());
+  RunResult out;
+  out.rps = static_cast<double>(kTotalRequests) / wall;
+  out.p50_us = all[all.size() / 2];
+  out.p99_us = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  return out;
+}
+
+void BM_ServeThroughput(benchmark::State& state, const char* label,
+                        bool mixed) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const size_t jobs = static_cast<size_t>(state.range(1));
+  // Keep the best round: scheduler hiccups only ever make a round
+  // slower, so max-rps is the stable, comparable figure for the CI
+  // scaling assert.
+  RunResult r;
+  for (auto _ : state) {
+    RunResult round = RunWorkload(workers, jobs, mixed);
+    if (round.rps > r.rps) r = round;
+  }
+  state.counters["rps"] = r.rps;
+  state.counters["p99_us"] = r.p99_us;
+
+  bench::JsonDump& dump = bench::JsonDump::Get("serve");
+  std::string name =
+      StrCat(label, "/workers=", workers, "/jobs=", jobs);
+  dump.Record(name, "rps", r.rps);
+  dump.Record(name, "p50_us", r.p50_us);
+  dump.Record(name, "p99_us", r.p99_us);
+}
+
+// The workers grid at jobs=1 isolates request-level parallelism; the
+// workers=4/jobs=2 point shows the two axes compose (per-request
+// position fan-out inside each worker's analysis).
+BENCHMARK_CAPTURE(BM_ServeThroughput, check_only, "check_only", false)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ServeThroughput, mixed, "mixed", true)
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hornsafe

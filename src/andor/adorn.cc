@@ -62,6 +62,11 @@ const std::vector<Adornment>& AdornmentCache::For(const TermPool& pool,
                                                  const Literal& lit) {
   (void)pool;
   std::vector<uint32_t> pattern = GroupPattern(lit);
+  // The pattern enumeration is cheap enough to run under the lock; two
+  // builders racing on the same new pattern is resolved by emplace,
+  // which keeps the first entry (so outstanding references never see a
+  // replacement).
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = memo_.find(pattern);
   if (it == memo_.end()) {
     std::vector<Adornment> adornments = AdornmentsForPattern(pattern);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,16 +41,25 @@ std::vector<Adornment> ConsistentAdornments(const TermPool& pool,
 /// only on the literal's *grouping pattern* — which positions hold the
 /// same variable — so r(X,Y), s(A,B) and r(U,V) all share one cache
 /// entry, and the 2^groups enumeration runs once per pattern instead of
-/// once per occurrence. One cache serves literals of any predicate.
+/// once per occurrence. One cache serves literals of any predicate, and
+/// may be probed from concurrent pipeline builds (it lives inside the
+/// shared PipelineCache): lookups are internally locked, and entries
+/// are never evicted or overwritten, so a returned reference stays
+/// valid and immutable for the cache's lifetime even across concurrent
+/// inserts (std::map nodes are address-stable).
 class AdornmentCache {
  public:
   /// Cached ConsistentAdornments(pool, lit). The reference stays valid
   /// until the cache is destroyed (entries are never evicted).
   const std::vector<Adornment>& For(const TermPool& pool, const Literal& lit);
 
-  size_t size() const { return memo_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return memo_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   /// Key: first-occurrence group index per argument position.
   std::map<std::vector<uint32_t>, std::vector<Adornment>> memo_;
 };

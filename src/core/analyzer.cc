@@ -49,10 +49,10 @@ std::string QueryAnalysis::Summary(const Program& program) const {
   return out;
 }
 
-Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
+Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
     const Program& program, const AnalyzerOptions& options) {
-  auto state = std::make_unique<State>();
-  State& s = *state;
+  auto snap = std::make_shared<AnalysisSnapshot>();
+  AnalysisSnapshot& s = *snap;
   s.options = options;
   PipelineCache* cache = options.cache;
 
@@ -126,6 +126,19 @@ Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
 
   s.fps = ComputeFingerprints(s.canon.program);
 
+  // Intern the display variables now, while this build is still
+  // private: the read path synthesises display literals from these ids
+  // and must not touch the (shared, frozen) term pool.
+  uint32_t max_arity = 0;
+  for (PredicateId p = 0;
+       p < static_cast<PredicateId>(s.canon.program.num_predicates()); ++p) {
+    max_arity = std::max(max_arity, s.canon.program.predicate(p).arity);
+  }
+  s.display_vars.reserve(max_arity);
+  for (uint32_t k = 0; k < max_arity; ++k) {
+    s.display_vars.push_back(s.canon.program.Var(StrCat("A", k + 1)));
+  }
+
   // Everything besides the cone that can influence a search's verdict
   // *or its step count*: option flags and budget, whether the Theorem 5
   // escape is active (it disables the SCC/memo short-circuits
@@ -143,32 +156,68 @@ Result<std::unique_ptr<SafetyAnalyzer::State>> SafetyAnalyzer::BuildState(
   ctx = CombineHash(ctx, s.scc->has_reach_sets() ? 1 : 0);
   s.context_hash = ctx;
 
-  return state;
+  return std::shared_ptr<const AnalysisSnapshot>(std::move(snap));
 }
 
 Result<SafetyAnalyzer> SafetyAnalyzer::Create(
     const Program& program, const AnalyzerOptions& options) {
   SafetyAnalyzer a;
-  HORNSAFE_ASSIGN_OR_RETURN(a.state_, BuildState(program, options));
+  a.shared_ = std::make_shared<Shared>();
+  a.shared_->default_exec = options.exec;
+  HORNSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
+                            BuildSnapshot(program, options));
+  a.shared_->snapshot = std::move(snap);
   return a;
 }
 
+std::shared_ptr<const AnalysisSnapshot> SafetyAnalyzer::snapshot() const {
+  std::lock_guard<std::mutex> lock(shared_->snapshot_mu);
+  return shared_->snapshot;
+}
+
+const AnalysisSnapshot& SafetyAnalyzer::snapshot_ref() const {
+  std::lock_guard<std::mutex> lock(shared_->snapshot_mu);
+  return *shared_->snapshot;
+}
+
+void SafetyAnalyzer::Publish(std::shared_ptr<const AnalysisSnapshot> snap) {
+  std::lock_guard<std::mutex> lock(shared_->snapshot_mu);
+  shared_->snapshot = std::move(snap);
+}
+
+ExecContext SafetyAnalyzer::default_exec() const {
+  std::lock_guard<std::mutex> lock(shared_->exec_mu);
+  return shared_->default_exec;
+}
+
+void SafetyAnalyzer::set_exec(const ExecContext& exec) {
+  std::lock_guard<std::mutex> lock(shared_->exec_mu);
+  shared_->default_exec = exec;
+}
+
 Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
-    const Program& program) {
+    const Program& program, const ExecContext& exec) {
+  // One builder at a time; readers keep serving the published snapshot
+  // for the whole build.
+  std::lock_guard<std::mutex> update_lock(shared_->update_mu);
+  std::shared_ptr<const AnalysisSnapshot> old = snapshot();
+
   // Snapshot the previous build's cone fingerprints by predicate
   // name/arity (ids are not stable across builds).
   std::unordered_map<std::string, uint64_t> old_cones;
   {
-    const Program& oldp = state_->canon.program;
+    const Program& oldp = old->canon.program;
     for (PredicateId p = 0;
          p < static_cast<PredicateId>(oldp.num_predicates()); ++p) {
       old_cones[StrCat(oldp.PredicateName(p), "/",
-                       oldp.predicate(p).arity)] = state_->fps.cone[p];
+                       oldp.predicate(p).arity)] = old->fps.cone[p];
     }
   }
 
-  HORNSAFE_ASSIGN_OR_RETURN(std::unique_ptr<State> fresh,
-                            BuildState(program, state_->options));
+  AnalyzerOptions build_options = old->options;
+  build_options.exec = exec;
+  HORNSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> fresh,
+                            BuildSnapshot(program, build_options));
 
   UpdateStats out;
   const Program& newp = fresh->canon.program;
@@ -184,61 +233,85 @@ Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
     }
   }
 
-  // Cumulative counters survive the swap.
-  fresh->counters = state_->counters;
-  fresh->steps_spent.store(
-      state_->steps_spent.load(std::memory_order_relaxed),
-      std::memory_order_relaxed);
-  state_ = std::move(fresh);
-  if (state_->options.cache != nullptr) {
-    state_->options.cache->NoteInvalidatedCones(out.dirty_predicates);
+  // The swap: one pointer store under the snapshot lock. In-flight
+  // analyses pinned `old` and finish against it; the next `snapshot()`
+  // call sees `fresh`. Counters live outside the snapshot and carry
+  // over untouched.
+  Publish(std::move(fresh));
+  shared_->counters.snapshot_swaps.fetch_add(1, std::memory_order_relaxed);
+  if (build_options.cache != nullptr) {
+    build_options.cache->NoteInvalidatedCones(out.dirty_predicates);
   }
   return out;
 }
 
-SubsetOptions SafetyAnalyzer::MakeSubsetOptions() {
+Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
+    const Program& program) {
+  return Update(program, default_exec());
+}
+
+SubsetOptions SafetyAnalyzer::MakeSubsetOptions(const AnalysisSnapshot& snap,
+                                                const ExecContext& exec) {
   SubsetOptions opts;
-  opts.budget = state_->options.subset_budget;
-  opts.exec = state_->options.exec;
-  if (state_->mono) opts.escape = state_->mono->MakeEscape();
-  opts.scc = state_->scc.get();
+  opts.budget = snap.options.subset_budget;
+  opts.exec = exec;
+  if (snap.mono) opts.escape = snap.mono->MakeEscape();
+  opts.scc = snap.scc.get();
   return opts;
 }
 
-ThreadPool& SafetyAnalyzer::Pool(size_t threads) {
-  if (!state_->pool || state_->pool->num_threads() < threads) {
-    // Replacing the pool joins the old workers first (no task is in
-    // flight here: the pool is only touched between analyses).
-    state_->pool = std::make_unique<ThreadPool>(threads);
+std::shared_ptr<ThreadPool> SafetyAnalyzer::Pool(size_t threads) {
+  std::lock_guard<std::mutex> lock(shared_->pool_mu);
+  if (!shared_->pool || shared_->pool->num_threads() < threads) {
+    // Grow-only replacement: an analysis mid-flight on the old pool
+    // holds its own shared_ptr copy, so the old workers drain and join
+    // only after the last user releases it.
+    shared_->pool = std::make_shared<ThreadPool>(threads);
   }
-  return *state_->pool;
+  return shared_->pool;
 }
 
 SafetyAnalyzer::Counters SafetyAnalyzer::counters() const {
-  Counters c = state_->counters;
-  c.steps = state_->steps_spent.load(std::memory_order_relaxed);
+  const SharedCounters& sc = shared_->counters;
+  Counters c;
+  c.positions_analyzed = sc.positions_analyzed.load(std::memory_order_relaxed);
+  c.subset_searches = sc.subset_searches.load(std::memory_order_relaxed);
+  c.steps = sc.steps.load(std::memory_order_relaxed);
+  c.graphs_checked = sc.graphs_checked.load(std::memory_order_relaxed);
+  c.memo_hits = sc.memo_hits.load(std::memory_order_relaxed);
+  c.memo_misses = sc.memo_misses.load(std::memory_order_relaxed);
+  c.scc_short_circuits =
+      sc.scc_short_circuits.load(std::memory_order_relaxed);
+  c.parallel_tasks = sc.parallel_tasks.load(std::memory_order_relaxed);
+  c.serial_tasks = sc.serial_tasks.load(std::memory_order_relaxed);
+  c.cache_hits = sc.cache_hits.load(std::memory_order_relaxed);
+  c.cache_misses = sc.cache_misses.load(std::memory_order_relaxed);
+  c.snapshot_swaps = sc.snapshot_swaps.load(std::memory_order_relaxed);
   return c;
 }
 
-QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
-                                               uint64_t adornment_mask) {
-  Program& p = state_->canon.program;
-  const AndOrSystem& system = state_->system;
-  PipelineCache* cache = state_->options.cache;
+QueryAnalysis SafetyAnalyzer::AnalyzePredicate(const AnalysisSnapshot& snap,
+                                               PredicateId pred,
+                                               uint64_t adornment_mask,
+                                               const ExecContext& exec) {
+  const Program& p = snap.canon.program;
+  const AndOrSystem& system = snap.system;
+  PipelineCache* cache = snap.options.cache;
+  SharedCounters& counters = shared_->counters;
   QueryAnalysis out;
   const uint32_t arity = p.predicate(pred).arity;
-  // Synthesise a display literal with fresh variables.
+  // Synthesise a display literal from the pre-interned variables (the
+  // snapshot is frozen: nothing on this path may touch the term pool).
   Literal lit;
   lit.pred = pred;
   for (uint32_t k = 0; k < arity; ++k) {
-    lit.args.push_back(p.Var(StrCat("A", k + 1)));
+    lit.args.push_back(snap.display_vars[k]);
   }
   out.query = lit;
 
-  SubsetOptions sopts = MakeSubsetOptions();
+  SubsetOptions sopts = MakeSubsetOptions(snap, exec);
 
-  // Classify serially (display-literal interning above and predicate
-  // lookups mutate no shared state from here on) and collect the
+  // Classify (read-only against the frozen snapshot) and collect the
   // argument positions that need an actual subset search. Positions
   // whose (cone fingerprint, context, adornment, position) key hits the
   // pipeline cache are resolved right here without searching.
@@ -276,9 +349,9 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
       SearchJob job;
       job.position = k;
       job.root = system.FindHeadArg(pred, adornment_mask, k);
-      if (cache != nullptr && pred < state_->fps.cone.size()) {
-        job.key = MakeVerdictKey(state_->fps.cone[pred],
-                                 state_->context_hash, adornment_mask, k);
+      if (cache != nullptr && pred < snap.fps.cone.size()) {
+        job.key = MakeVerdictKey(snap.fps.cone[pred], snap.context_hash,
+                                 adornment_mask, k);
         job.has_key = true;
         if (std::optional<CachedVerdict> hit = cache->Lookup(job.key)) {
           v.safety = hit->verdict;
@@ -290,10 +363,10 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
           // reason reconstructs from the verdict bit-identically.
           v.stop = hit->verdict == Safety::kUndecided ? StopReason::kBudget
                                                       : StopReason::kNone;
-          state_->counters.cache_hits += 1;
+          counters.cache_hits.fetch_add(1, std::memory_order_relaxed);
           continue;
         }
-        state_->counters.cache_misses += 1;
+        counters.cache_misses.fetch_add(1, std::memory_order_relaxed);
       }
       searches.push_back(std::move(job));
     }
@@ -303,29 +376,30 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
   // Each position gets its own budget and fresh memo table, so every
   // SubsetResult is independent of scheduling; only the aggregate
   // steps tally is shared (and atomic).
-  size_t want = state_->options.jobs <= 0
+  size_t want = snap.options.jobs <= 0
                     ? ThreadPool::DefaultThreads()
-                    : static_cast<size_t>(state_->options.jobs);
+                    : static_cast<size_t>(snap.options.jobs);
   if (want > 1 && searches.size() > 1) {
-    ThreadPool& pool = Pool(std::min(want, searches.size()));
+    std::shared_ptr<ThreadPool> pool =
+        Pool(std::min(want, searches.size()));
     std::vector<std::future<void>> done;
     done.reserve(searches.size());
     for (SearchJob& job : searches) {
-      done.push_back(pool.Submit([this, &job, &sopts] {
-        job.res = CheckSubsetCondition(state_->system, job.root, sopts);
-        state_->steps_spent.fetch_add(job.res.steps,
-                                      std::memory_order_relaxed);
+      done.push_back(pool->Submit([&snap, &job, &sopts, &counters] {
+        job.res = CheckSubsetCondition(snap.system, job.root, sopts);
+        counters.steps.fetch_add(job.res.steps, std::memory_order_relaxed);
       }));
     }
     for (std::future<void>& f : done) f.get();
-    state_->counters.parallel_tasks += searches.size();
+    counters.parallel_tasks.fetch_add(searches.size(),
+                                      std::memory_order_relaxed);
   } else {
     for (SearchJob& job : searches) {
       job.res = CheckSubsetCondition(system, job.root, sopts);
-      state_->steps_spent.fetch_add(job.res.steps,
-                                    std::memory_order_relaxed);
+      counters.steps.fetch_add(job.res.steps, std::memory_order_relaxed);
     }
-    state_->counters.serial_tasks += searches.size();
+    counters.serial_tasks.fetch_add(searches.size(),
+                                    std::memory_order_relaxed);
   }
 
   // Deterministic merge: verdicts, explanations, and counters are
@@ -386,13 +460,16 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
       cv.explanation = v.explanation;
       cache->Store(job.key, cv);
     }
-    state_->counters.subset_searches += 1;
-    state_->counters.graphs_checked += res.graphs_checked;
-    state_->counters.memo_hits += res.memo_hits;
-    state_->counters.memo_misses += res.memo_misses;
-    state_->counters.scc_short_circuits += res.scc_short_circuits;
+    counters.subset_searches.fetch_add(1, std::memory_order_relaxed);
+    counters.graphs_checked.fetch_add(res.graphs_checked,
+                                      std::memory_order_relaxed);
+    counters.memo_hits.fetch_add(res.memo_hits, std::memory_order_relaxed);
+    counters.memo_misses.fetch_add(res.memo_misses,
+                                   std::memory_order_relaxed);
+    counters.scc_short_circuits.fetch_add(res.scc_short_circuits,
+                                          std::memory_order_relaxed);
   }
-  state_->counters.positions_analyzed += arity;
+  counters.positions_analyzed.fetch_add(arity, std::memory_order_relaxed);
 
   bool any_unsafe = false;
   bool any_undecided = false;
@@ -407,19 +484,33 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
   return out;
 }
 
-QueryAnalysis SafetyAnalyzer::AnalyzeQueryLiteral(const Literal& query) {
+QueryAnalysis SafetyAnalyzer::AnalyzeQueryLiteral(const AnalysisSnapshot& snap,
+                                                  const Literal& query,
+                                                  const ExecContext& exec) {
   // Canonical queries have all-distinct-variable arguments, so the
   // relevant adornment is all-free.
-  QueryAnalysis out = AnalyzePredicate(query.pred, 0);
+  QueryAnalysis out = AnalyzePredicate(snap, query.pred, 0, exec);
   out.query = query;
   return out;
 }
 
+QueryAnalysis SafetyAnalyzer::AnalyzePredicate(PredicateId pred,
+                                               uint64_t adornment_mask) {
+  std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
+  return AnalyzePredicate(*snap, pred, adornment_mask, default_exec());
+}
+
+QueryAnalysis SafetyAnalyzer::AnalyzeQueryLiteral(const Literal& query) {
+  std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
+  return AnalyzeQueryLiteral(*snap, query, default_exec());
+}
+
 std::vector<QueryAnalysis> SafetyAnalyzer::AnalyzeQueries() {
+  std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
+  ExecContext exec = default_exec();
   std::vector<QueryAnalysis> out;
-  std::vector<Literal> queries = state_->canon.program.queries();
-  for (const Literal& q : queries) {
-    out.push_back(AnalyzeQueryLiteral(q));
+  for (const Literal& q : snap->canon.program.queries()) {
+    out.push_back(AnalyzeQueryLiteral(*snap, q, exec));
   }
   return out;
 }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -48,10 +49,12 @@ struct AnalyzerOptions {
   /// and by every subset search. Searches stopped by either degrade
   /// their position to kUndecided (with the StopReason recorded on the
   /// ArgumentVerdict) instead of aborting; such degraded verdicts are
-  /// never written to the pipeline cache. Replaceable per request with
-  /// `set_exec` — long-lived analyzers (hornsafe serve) install each
-  /// request's deadline before analyzing. Not part of the cache context
-  /// hash (a cached verdict is valid under any deadline).
+  /// never written to the pipeline cache. This field is the *default*
+  /// context, used by the legacy single-threaded entry points;
+  /// concurrent callers (hornsafe serve workers) pass a per-request
+  /// ExecContext to the snapshot-pinned overloads instead. Replaceable
+  /// with `set_exec`. Not part of the cache context hash (a cached
+  /// verdict is valid under any deadline).
   ExecContext exec;
   /// Worker threads for fanning per-argument-position subset searches
   /// across the pool: 1 = serial (default), 0 = hardware default.
@@ -60,11 +63,13 @@ struct AnalyzerOptions {
   /// memo table, and results are merged in position order.
   int jobs = 1;
   /// Cross-query pipeline cache (not owned; may outlive any number of
-  /// analyzers and be shared between them). When set, per-position
-  /// subset verdicts are served by cone fingerprint, and the
-  /// canonicalization / emptiness / adornment stages reuse cached
-  /// artifacts. Results are bit-identical with and without a cache for
-  /// entries produced by structurally identical cones (DESIGN.md, D12).
+  /// analyzers and be shared between them — including between worker
+  /// threads analyzing concurrently; every tier is thread-safe). When
+  /// set, per-position subset verdicts are served by cone fingerprint,
+  /// and the canonicalization / emptiness / adornment stages reuse
+  /// cached artifacts. Results are bit-identical with and without a
+  /// cache for entries produced by structurally identical cones
+  /// (DESIGN.md, D12).
   PipelineCache* cache = nullptr;
 };
 
@@ -103,17 +108,73 @@ struct QueryAnalysis {
   std::string Summary(const Program& program) const;
 };
 
+/// One immutable build of the analysis pipeline: canonical program,
+/// adorned program, pruned And-Or system, condensation, monotonicity
+/// analyzer and cone fingerprints — everything a subset search reads.
+///
+/// A snapshot is frozen once `SafetyAnalyzer` publishes it: no member
+/// function of the read path mutates it (display variables are
+/// pre-interned at build time), so any number of worker threads may
+/// analyze against the same snapshot concurrently while an `Update`
+/// builds its successor off to the side. Snapshots are reference
+/// counted (`std::shared_ptr`); a reader that pinned one keeps it alive
+/// across any number of swaps (epoch-style reclamation — see DESIGN.md,
+/// D14).
+struct AnalysisSnapshot {
+  /// The options this snapshot was built under. `exec` records the
+  /// build-time context only; the read path takes a per-request
+  /// ExecContext instead of consulting this copy.
+  AnalyzerOptions options;
+  CanonicalizationResult canon;
+  AdornedProgram adorned;
+  AndOrSystem system;
+  std::unique_ptr<MonotonicityAnalyzer> mono;
+  std::unique_ptr<SccAnalysis> scc;
+  /// Per-predicate structural fingerprints of the canonical program.
+  ProgramFingerprints fps;
+  /// Hash of everything besides the cone that can influence a subset
+  /// search (option flags, budget, escape availability, whether the
+  /// condensation materialised reach sets). Mixed into every cache
+  /// key so entries never leak across analysis configurations.
+  uint64_t context_hash = 0;
+  /// Display variables "A1".."A<max arity>", interned at build time so
+  /// that synthesising a display literal on the read path never touches
+  /// the term pool.
+  std::vector<TermId> display_vars;
+
+  /// Pipeline size statistics (used by benches and EXPERIMENTS.md).
+  struct Stats {
+    size_t canonical_rules = 0;
+    size_t adorned_rules = 0;
+    size_t nodes = 0;
+    size_t rules_total = 0;
+    size_t rules_live = 0;
+    size_t rules_pruned_emptiness = 0;
+    size_t rules_pruned_reduction = 0;
+  };
+  Stats stats;
+};
+
 /// End-to-end implementation of the paper's decision procedure:
 ///
 ///   canonicalize (Alg. 1) -> adorn (H*) -> And-Or_H (Alg. 2)
 ///   -> emptiness pruning (Alg. 3) -> reduction (Alg. 4)
 ///   -> subset condition (Thms. 3/4) [+ monotonicity escape (Thm. 5)]
 ///
-/// Construction runs the pipeline once; query analyses then share the
-/// pruned propositional system. `Update` re-runs the (polynomial)
-/// pipeline for an edited program and relies on the shared
-/// `PipelineCache` to skip the (exponential) subset searches of every
-/// cone the edit did not reach.
+/// Construction runs the pipeline once and publishes the result as an
+/// immutable `AnalysisSnapshot`; query analyses read the snapshot.
+/// `Update` re-runs the (polynomial) pipeline for an edited program
+/// into a *fresh* snapshot and swaps it in atomically, so concurrent
+/// readers never observe a half-built program: a check that pinned the
+/// old snapshot keeps answering from it, the next check sees the new
+/// one. The shared `PipelineCache` skips the (exponential) subset
+/// searches of every cone the edit did not reach.
+///
+/// Thread-safety: `snapshot()`, the snapshot-pinned Analyze overloads,
+/// `Update` and `counters()` are safe to call concurrently from any
+/// number of threads (updates serialize among themselves). The legacy
+/// no-snapshot overloads and the introspection accessors read the
+/// *current* snapshot and are intended for single-threaded use.
 class SafetyAnalyzer {
  public:
   /// Builds the analyzer for `program` (any Horn program; Algorithm 1 is
@@ -121,16 +182,31 @@ class SafetyAnalyzer {
   static Result<SafetyAnalyzer> Create(const Program& program,
                                        const AnalyzerOptions& options = {});
 
-  /// Analyzes every query registered in the program. (Non-const only
-  /// because display literals intern fresh variable names.)
+  // --- Read path --------------------------------------------------------
+
+  /// Pins the current snapshot: the returned pointer stays valid (and
+  /// immutable) for as long as the caller holds it, across any number
+  /// of concurrent Updates.
+  std::shared_ptr<const AnalysisSnapshot> snapshot() const;
+
+  /// Analyzes one predicate of `snap`'s canonical program under the
+  /// given adornment (bit k set = argument k bound) and failure-model
+  /// context. Safe to call concurrently from any number of threads.
+  QueryAnalysis AnalyzePredicate(const AnalysisSnapshot& snap,
+                                 PredicateId pred, uint64_t adornment_mask,
+                                 const ExecContext& exec);
+
+  /// Analyzes a literal of `snap`'s canonical program. Canonical
+  /// queries are all-variable, so the all-free adornment applies.
+  QueryAnalysis AnalyzeQueryLiteral(const AnalysisSnapshot& snap,
+                                    const Literal& query,
+                                    const ExecContext& exec);
+
+  // Legacy single-threaded entry points: pin the current snapshot and
+  // analyze under the default exec context (AnalyzerOptions::exec as
+  // last set by `set_exec`).
   std::vector<QueryAnalysis> AnalyzeQueries();
-
-  /// Analyzes one predicate of the *canonical* program under the given
-  /// adornment (bit k set = argument k bound).
   QueryAnalysis AnalyzePredicate(PredicateId pred, uint64_t adornment_mask);
-
-  /// Analyzes a literal of the canonical program. Canonical queries are
-  /// all-variable, so the all-free adornment applies.
   QueryAnalysis AnalyzeQueryLiteral(const Literal& query);
 
   // --- Incremental re-analysis ------------------------------------------
@@ -147,45 +223,47 @@ class SafetyAnalyzer {
     size_t clean_predicates = 0;
   };
 
-  /// Replaces the analyzed program with `program`, re-running the
-  /// polynomial pipeline (canonicalize/adorn/build/prune) and diffing
-  /// per-predicate cone fingerprints against the previous build. With a
-  /// configured cache, subsequent analyses recompute only the dirty
-  /// cones; verdicts, explanations and per-position step counts are
+  /// Replaces the analyzed program with `program`: re-runs the
+  /// polynomial pipeline (canonicalize/adorn/build/prune) into a fresh
+  /// snapshot, diffs per-predicate cone fingerprints against the
+  /// previous build, and publishes the fresh snapshot with one atomic
+  /// swap. Concurrent checks that pinned the old snapshot are
+  /// undisturbed; concurrent Updates serialize. With a configured
+  /// cache, subsequent analyses recompute only the dirty cones;
+  /// verdicts, explanations and per-position step counts are
   /// bit-identical to a cold analyzer built on `program`. Cumulative
-  /// counters carry over. On error the analyzer is left unchanged.
+  /// counters carry over. On error the published snapshot is unchanged.
+  Result<UpdateStats> Update(const Program& program,
+                             const ExecContext& exec);
   Result<UpdateStats> Update(const Program& program);
 
-  /// Installs the failure-model context for subsequent analyses (the
-  /// per-request deadline/cancellation of a long-lived server). Call
-  /// between analyses only — the context is read by searches already in
-  /// flight.
-  void set_exec(const ExecContext& exec) { state_->options.exec = exec; }
+  /// Installs the default failure-model context used by the legacy
+  /// no-snapshot entry points. Call between analyses only; concurrent
+  /// callers pass their ExecContext per call instead.
+  void set_exec(const ExecContext& exec);
 
   // --- Introspection ----------------------------------------------------
 
-  const Program& canonical() const { return state_->canon.program; }
+  // The accessors below read the *current* snapshot and return
+  // references into it; they are meant for single-threaded callers
+  // (CLI, tests). Concurrent readers must pin via `snapshot()` and read
+  // the snapshot's fields directly, or the referenced build could be
+  // reclaimed under them by an Update.
+  const Program& canonical() const { return snapshot_ref().canon.program; }
   const CanonicalizationResult& canonicalization() const {
-    return state_->canon;
+    return snapshot_ref().canon;
   }
-  const AdornedProgram& adorned() const { return state_->adorned; }
-  const AndOrSystem& system() const { return state_->system; }
-  const AnalyzerOptions& options() const { return state_->options; }
+  const AdornedProgram& adorned() const { return snapshot_ref().adorned; }
+  const AndOrSystem& system() const { return snapshot_ref().system; }
+  const AnalyzerOptions& options() const { return snapshot_ref().options; }
 
   /// Cone fingerprints of the canonical program (lang/fingerprint.h).
-  const ProgramFingerprints& fingerprints() const { return state_->fps; }
+  const ProgramFingerprints& fingerprints() const {
+    return snapshot_ref().fps;
+  }
 
-  /// Pipeline size statistics (used by benches and EXPERIMENTS.md).
-  struct Stats {
-    size_t canonical_rules = 0;
-    size_t adorned_rules = 0;
-    size_t nodes = 0;
-    size_t rules_total = 0;
-    size_t rules_live = 0;
-    size_t rules_pruned_emptiness = 0;
-    size_t rules_pruned_reduction = 0;
-  };
-  const Stats& stats() const { return state_->stats; }
+  using Stats = AnalysisSnapshot::Stats;
+  const Stats& stats() const { return snapshot_ref().stats; }
 
   /// Cumulative search counters across every analysis run on this
   /// analyzer (hornsafe_cli --stats). `steps` aggregates the budget
@@ -205,12 +283,14 @@ class SafetyAnalyzer {
     /// cache is configured).
     uint64_t cache_hits = 0;
     uint64_t cache_misses = 0;
+    /// Snapshots published by Update (0 for a never-updated analyzer).
+    uint64_t snapshot_swaps = 0;
   };
   Counters counters() const;
 
   /// The condensation shared by every subset search (computed once
   /// after pruning).
-  const SccAnalysis& scc() const { return *state_->scc; }
+  const SccAnalysis& scc() const { return *snapshot_ref().scc; }
 
   SafetyAnalyzer(SafetyAnalyzer&&) = default;
   SafetyAnalyzer& operator=(SafetyAnalyzer&&) = default;
@@ -218,43 +298,61 @@ class SafetyAnalyzer {
  private:
   SafetyAnalyzer() = default;
 
-  SubsetOptions MakeSubsetOptions();
+  /// Monotonic counters, accumulated from whichever thread finished the
+  /// work. Individually exact; a concurrent reader may observe fields
+  /// from slightly different instants (they are independent tallies,
+  /// not a torn struct — each field is its own atomic).
+  struct SharedCounters {
+    std::atomic<uint64_t> positions_analyzed{0};
+    std::atomic<uint64_t> subset_searches{0};
+    std::atomic<uint64_t> steps{0};
+    std::atomic<uint64_t> graphs_checked{0};
+    std::atomic<uint64_t> memo_hits{0};
+    std::atomic<uint64_t> memo_misses{0};
+    std::atomic<uint64_t> scc_short_circuits{0};
+    std::atomic<uint64_t> parallel_tasks{0};
+    std::atomic<uint64_t> serial_tasks{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> snapshot_swaps{0};
+  };
 
-  /// The pool, created on first parallel analysis.
-  ThreadPool& Pool(size_t threads);
-
-  /// All pipeline state lives behind one pointer so that moving the
-  /// analyzer never invalidates the internal references held by the
-  /// monotonicity analyzer.
-  struct State {
-    AnalyzerOptions options;
-    CanonicalizationResult canon;
-    AdornedProgram adorned;
-    AndOrSystem system;
-    std::unique_ptr<MonotonicityAnalyzer> mono;
-    std::unique_ptr<SccAnalysis> scc;
-    std::unique_ptr<ThreadPool> pool;
-    Stats stats;
-    /// Per-predicate structural fingerprints of the canonical program.
-    ProgramFingerprints fps;
-    /// Hash of everything besides the cone that can influence a subset
-    /// search (option flags, budget, escape availability, whether the
-    /// condensation materialised reach sets). Mixed into every cache
-    /// key so entries never leak across analysis configurations.
-    uint64_t context_hash = 0;
-    /// Shared atomic budget tally: every finished search adds its steps
-    /// here from whichever thread ran it; the rest of Counters is
-    /// merged serially after the per-predicate join.
-    std::atomic<uint64_t> steps_spent{0};
-    Counters counters;
+  /// Everything that outlives snapshot swaps and analyzer moves:
+  /// mutexes are not movable, so the analyzer owns this block through a
+  /// shared_ptr and stays cheaply movable.
+  struct Shared {
+    /// Guards `snapshot` (pointer load/store only; never held while
+    /// building or analyzing).
+    mutable std::mutex snapshot_mu;
+    std::shared_ptr<const AnalysisSnapshot> snapshot;
+    /// Serializes Updates: one builder at a time, readers undisturbed.
+    std::mutex update_mu;
+    /// Guards lazy creation/growth of the search fan-out pool.
+    std::mutex pool_mu;
+    std::shared_ptr<ThreadPool> pool;
+    /// Default exec for the legacy entry points (set_exec).
+    std::mutex exec_mu;
+    ExecContext default_exec;
+    SharedCounters counters;
   };
 
   /// Runs the full (polynomial) pipeline for `program`, probing the
   /// cache's canonicalization/emptiness/adornment tiers when configured.
-  static Result<std::unique_ptr<State>> BuildState(
+  static Result<std::shared_ptr<const AnalysisSnapshot>> BuildSnapshot(
       const Program& program, const AnalyzerOptions& options);
 
-  std::unique_ptr<State> state_;
+  static SubsetOptions MakeSubsetOptions(const AnalysisSnapshot& snap,
+                                         const ExecContext& exec);
+
+  /// The fan-out pool, created on first parallel analysis; grow-only
+  /// (an in-flight analysis keeps its pinned pool alive).
+  std::shared_ptr<ThreadPool> Pool(size_t threads);
+
+  const AnalysisSnapshot& snapshot_ref() const;
+  ExecContext default_exec() const;
+  void Publish(std::shared_ptr<const AnalysisSnapshot> snap);
+
+  std::shared_ptr<Shared> shared_;
 };
 
 }  // namespace hornsafe

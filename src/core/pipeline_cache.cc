@@ -74,6 +74,10 @@ PipelineCache::PipelineCache(Options options)
     : options_(std::move(options)) {
   if (options_.max_entries == 0) options_.max_entries = 1;
   if (options_.disk_retries < 0) options_.disk_retries = 0;
+  shard_count_ =
+      options_.max_entries >= kVerdictShards * 64 ? kVerdictShards : 1;
+  shard_capacity_ =
+      (options_.max_entries + shard_count_ - 1) / shard_count_;
   // Sweep temp files abandoned by crashed writers: they are never
   // renamed into place, so anything still matching "*.tmp.*" is dead
   // weight from a previous process.
@@ -87,60 +91,62 @@ PipelineCache::PipelineCache(Options options)
         continue;
       }
       std::filesystem::remove(entry.path(), ec);
-      if (!ec) ++stats_.tmp_files_swept;
+      if (!ec) ++misc_stats_.tmp_files_swept;
     }
   }
 }
 
 std::optional<CachedVerdict> PipelineCache::Lookup(const CacheKey& key) {
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
-      ++stats_.verdict_hits;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      ++shard.hits;
       return it->second->verdict;
     }
   }
   if (!options_.dir.empty()) {
     std::optional<CachedVerdict> from_disk = DiskLookup(key);
     if (from_disk) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.verdict_hits;
-      if (index_.find(key) == index_.end()) {
-        InsertLocked(key, *from_disk);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      ++shard.hits;
+      if (shard.index.find(key) == shard.index.end()) {
+        InsertLocked(shard, key, *from_disk);
       }
       return from_disk;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.verdict_misses;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.misses;
   return std::nullopt;
 }
 
 void PipelineCache::Store(const CacheKey& key, const CachedVerdict& verdict) {
+  Shard& shard = ShardFor(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = index_.find(key);
-    if (it != index_.end()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
       it->second->verdict = verdict;
-      lru_.splice(lru_.begin(), lru_, it->second);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     } else {
-      InsertLocked(key, verdict);
-      ++stats_.verdict_insertions;
+      InsertLocked(shard, key, verdict);
+      ++shard.insertions;
     }
   }
   if (!options_.dir.empty()) DiskStore(key, verdict);
 }
 
-void PipelineCache::InsertLocked(const CacheKey& key,
+void PipelineCache::InsertLocked(Shard& shard, const CacheKey& key,
                                  const CachedVerdict& verdict) {
-  lru_.push_front({key, verdict});
-  index_[key] = lru_.begin();
-  while (lru_.size() > options_.max_entries) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++stats_.verdict_evictions;
+  shard.lru.push_front({key, verdict});
+  shard.index[key] = shard.lru.begin();
+  while (shard.lru.size() > shard_capacity_) {
+    shard.index.erase(shard.lru.back().key);
+    shard.lru.pop_back();
+    ++shard.evictions;
   }
 }
 
@@ -150,8 +156,8 @@ std::string PipelineCache::DiskPath(const CacheKey& key) const {
 
 void PipelineCache::RetryBackoff(int attempt) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_retry_attempts;
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_retry_attempts;
   }
   if (options_.retry_backoff_us == 0) return;
   uint64_t us = static_cast<uint64_t>(options_.retry_backoff_us)
@@ -168,20 +174,20 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
     // EIO is transient: retry with backoff, then degrade to a miss.
     if (faults.ShouldInject(FaultKind::kReadError)) {
       if (attempt < options_.disk_retries) continue;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.disk_read_failures;
+      std::lock_guard<std::mutex> lock(misc_mu_);
+      ++misc_stats_.disk_read_failures;
       return std::nullopt;
     }
     int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
     if (fd < 0) {
       if (errno == ENOENT) {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.disk_misses;
+        std::lock_guard<std::mutex> lock(misc_mu_);
+        ++misc_stats_.disk_misses;
         return std::nullopt;
       }
       if (attempt < options_.disk_retries) continue;
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.disk_read_failures;
+      std::lock_guard<std::mutex> lock(misc_mu_);
+      ++misc_stats_.disk_read_failures;
       return std::nullopt;
     }
     data.clear();
@@ -200,8 +206,8 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
     ::close(fd);
     if (read_ok) break;
     if (attempt >= options_.disk_retries) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.disk_read_failures;
+      std::lock_guard<std::mutex> lock(misc_mu_);
+      ++misc_stats_.disk_read_failures;
       return std::nullopt;
     }
   }
@@ -214,8 +220,8 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
     // A bad entry is just a miss; drop the file so it is not re-read.
     std::error_code ec;
     std::filesystem::remove(path, ec);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_corrupt;
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_corrupt;
     return std::nullopt;
   };
 
@@ -255,8 +261,8 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
     return corrupt();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_hits;
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_hits;
   }
   return out;
 }
@@ -292,13 +298,13 @@ void PipelineCache::DiskStore(const CacheKey& key,
 
   auto skip_full_disk = [&]() {
     ::unlink(tmp.c_str());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_write_skips;
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_write_skips;
   };
   auto fail = [&]() {
     ::unlink(tmp.c_str());
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.disk_write_failures;
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_write_failures;
   };
 
   for (int attempt = 0;; ++attempt) {
@@ -368,17 +374,20 @@ void PipelineCache::DiskStore(const CacheKey& key,
 
 std::optional<CanonicalizationResult> PipelineCache::LookupCanonicalization(
     uint64_t strict_hash, uint64_t options_bits) {
+  // Artifact tiers are probed once per pipeline build (concurrent
+  // ephemeral builds share this cache), so the whole scan — splice
+  // included — runs under misc_mu_; returning a copy keeps the caller
+  // off the list after unlock.
   CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
+  std::lock_guard<std::mutex> lock(misc_mu_);
   for (auto it = canon_.begin(); it != canon_.end(); ++it) {
     if (it->first == key) {
       canon_.splice(canon_.begin(), canon_, it);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.canon_hits;
+      ++misc_stats_.canon_hits;
       return canon_.front().second;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.canon_misses;
+  ++misc_stats_.canon_misses;
   return std::nullopt;
 }
 
@@ -386,44 +395,63 @@ void PipelineCache::StoreCanonicalization(uint64_t strict_hash,
                                           uint64_t options_bits,
                                           const CanonicalizationResult& r) {
   CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
+  std::lock_guard<std::mutex> lock(misc_mu_);
   canon_.emplace_front(key, r);
   while (canon_.size() > kMaxArtifacts) canon_.pop_back();
 }
 
 std::optional<std::vector<bool>> PipelineCache::LookupEmptiness(
     uint64_t strict_hash) {
+  std::lock_guard<std::mutex> lock(misc_mu_);
   for (auto it = emptiness_.begin(); it != emptiness_.end(); ++it) {
     if (it->first == strict_hash) {
       emptiness_.splice(emptiness_.begin(), emptiness_, it);
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.emptiness_hits;
+      ++misc_stats_.emptiness_hits;
       return emptiness_.front().second;
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.emptiness_misses;
+  ++misc_stats_.emptiness_misses;
   return std::nullopt;
 }
 
 void PipelineCache::StoreEmptiness(uint64_t strict_hash,
                                    const std::vector<bool>& bits) {
+  std::lock_guard<std::mutex> lock(misc_mu_);
   emptiness_.emplace_front(strict_hash, bits);
   while (emptiness_.size() > kMaxArtifacts) emptiness_.pop_back();
 }
 
 void PipelineCache::NoteInvalidatedCones(size_t count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.cones_invalidated += count;
+  std::lock_guard<std::mutex> lock(misc_mu_);
+  misc_stats_.cones_invalidated += count;
 }
 
 PipelineCacheStats PipelineCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  PipelineCacheStats out;
+  {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    out = misc_stats_;
+  }
+  // Per-shard tallies are exact (every bump happens under the shard
+  // lock); the sum is a consistent-enough snapshot — a concurrent
+  // lookup may land before or after it, same as with one global lock.
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    out.verdict_hits += shard.hits;
+    out.verdict_misses += shard.misses;
+    out.verdict_insertions += shard.insertions;
+    out.verdict_evictions += shard.evictions;
+  }
+  return out;
 }
 
 size_t PipelineCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lru_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
 }
 
 }  // namespace hornsafe

@@ -1,6 +1,7 @@
 #ifndef HORNSAFE_CORE_PIPELINE_CACHE_H_
 #define HORNSAFE_CORE_PIPELINE_CACHE_H_
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -92,7 +93,11 @@ struct PipelineCacheStats {
 ///     position) -> CachedVerdict. In-memory LRU backed by an optional
 ///     on-disk directory (write-through; lookups fall back to disk and
 ///     promote). This is the tier that skips exponential subset
-///     searches. Thread-safe.
+///     searches. Lock-striped across kVerdictShards slices keyed by the
+///     low bits of the 128-bit key, so serve workers checking distinct
+///     cones never contend on one mutex; hit/miss/insert/evict counters
+///     are kept per shard and summed by `stats()`, so they stay exact
+///     under any number of concurrent readers.
 ///   * *canonicalization tier* — strict program hash -> Algorithm 1
 ///     output, keyed on the exact rendered listing so the cached copy
 ///     is bit-identical to what a cold run would rebuild. Small LRU.
@@ -102,8 +107,11 @@ struct PipelineCacheStats {
 ///     across rebuilds (its keys are program-independent grouping
 ///     patterns, so reuse across arbitrary programs is sound).
 ///
-/// The canonicalization/emptiness/adornment tiers are only touched from
-/// the (serial) pipeline build, not from search worker threads.
+/// Every tier is thread-safe: one PipelineCache serves any number of
+/// concurrent analyzer builds and subset searches (serve workers share
+/// one instance — see DESIGN.md, D14). The artifact tiers sit behind a
+/// single mutex (they are touched once per pipeline build, not per
+/// search, so striping them would buy nothing).
 ///
 /// Disk format: one file per key under `options.dir`, named
 /// "<key hex>.hsv", containing a magic tag, a format version, the
@@ -148,7 +156,7 @@ class PipelineCache {
   std::optional<CachedVerdict> Lookup(const CacheKey& key);
   void Store(const CacheKey& key, const CachedVerdict& verdict);
 
-  // --- Pipeline-artifact tiers (externally serialized) ------------------
+  // --- Pipeline-artifact tiers (thread-safe) ----------------------------
 
   /// Canonicalization output for the strict-hashed input program, or
   /// nullopt. `options_bits` folds the CanonicalizeOptions flags.
@@ -174,6 +182,11 @@ class PipelineCache {
   size_t size() const;
   const Options& options() const { return options_; }
 
+  /// Verdict-tier lock stripes. 16 is far past the worker counts we
+  /// serve (contention halves with every doubling; beyond the core
+  /// count the extra stripes only cost a few empty maps).
+  static constexpr size_t kVerdictShards = 16;
+
  private:
   struct VerdictEntry {
     CacheKey key;
@@ -181,20 +194,55 @@ class PipelineCache {
   };
   using Lru = std::list<VerdictEntry>;
 
+  /// One lock stripe of the verdict tier: an independent LRU over the
+  /// keys that hash to this shard, with its own counters (summed by
+  /// `stats()` — per-shard tallies under the shard lock are exact, and
+  /// aggregation on read keeps the hot path free of shared atomics).
+  struct Shard {
+    mutable std::mutex mu;
+    Lru lru;  // front = most recently used
+    std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const CacheKey& key) {
+    // `lo` is the fully mixed structural hash; its low bits are as good
+    // as any.
+    return shards_[static_cast<size_t>(key.lo) % shard_count_];
+  }
+
   std::optional<CachedVerdict> DiskLookup(const CacheKey& key);
   void DiskStore(const CacheKey& key, const CachedVerdict& verdict);
   std::string DiskPath(const CacheKey& key) const;
   /// Counts a retry and sleeps `retry_backoff_us << (attempt-1)` µs.
   void RetryBackoff(int attempt);
-  /// Inserts into the LRU assuming `mu_` is held; evicts as needed.
-  void InsertLocked(const CacheKey& key, const CachedVerdict& verdict);
+  /// Inserts into `shard`'s LRU assuming its lock is held; evicts as
+  /// needed.
+  void InsertLocked(Shard& shard, const CacheKey& key,
+                    const CachedVerdict& verdict);
 
   Options options_;
+  /// Active stripes: caches below kVerdictShards * 64 entries collapse
+  /// to one stripe — exact global LRU for the tiny capacities tests and
+  /// tuning configs use, where eviction order matters and contention
+  /// does not; production-sized caches use all kVerdictShards.
+  size_t shard_count_ = 1;
+  /// Per-shard LRU capacity: ceil(max_entries / shard_count_), so the
+  /// configured total is an upper bound within rounding. Eviction is
+  /// per shard (a hot shard evicts while a cold one sits half-empty —
+  /// the usual striped-LRU approximation).
+  size_t shard_capacity_ = 1;
+  std::array<Shard, kVerdictShards> shards_;
 
-  mutable std::mutex mu_;
-  Lru lru_;  // front = most recently used
-  std::unordered_map<CacheKey, Lru::iterator, CacheKeyHash> index_;
-  PipelineCacheStats stats_;
+  /// Guards the artifact tiers and the non-verdict counters (disk,
+  /// invalidation, canon/emptiness). Never held during disk I/O.
+  mutable std::mutex misc_mu_;
+  /// Only the non-verdict fields are used; `stats()` overlays the
+  /// verdict fields from the shards.
+  PipelineCacheStats misc_stats_;
 
   /// Small LRUs for whole-pipeline artifacts (strict-hash keyed).
   static constexpr size_t kMaxArtifacts = 8;

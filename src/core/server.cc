@@ -9,11 +9,14 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <optional>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "parser/parser.h"
 #include "util/strings.h"
+#include "util/thread_pool.h"
 
 namespace hornsafe {
 namespace {
@@ -51,9 +54,10 @@ Json VerdictToJson(const ArgumentVerdict& a, bool with_explanations) {
   return arg;
 }
 
-/// Bounded MPSC line queue with close semantics: Push blocks while
+/// Bounded MPMC line queue with close semantics: Push blocks while
 /// full (backpressure), TryPush sheds instead, Pop blocks while empty
-/// and returns false once the queue is closed and drained.
+/// and returns false once the queue is closed and drained. Any number
+/// of workers may Pop concurrently.
 class BoundedQueue {
  public:
   explicit BoundedQueue(size_t capacity)
@@ -130,6 +134,32 @@ Server::Counters Server::counters() const {
   return counters_;
 }
 
+size_t Server::workers() const {
+  return options_.workers == 0 ? ThreadPool::DefaultThreads()
+                               : options_.workers;
+}
+
+std::shared_ptr<SafetyAnalyzer> Server::served_analyzer() const {
+  std::lock_guard<std::mutex> lock(analyzer_mu_);
+  return analyzer_;
+}
+
+void Server::AccumulateEphemeral(const SafetyAnalyzer::Counters& c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ephemeral_seen_ = true;
+  ephemeral_totals_.positions_analyzed += c.positions_analyzed;
+  ephemeral_totals_.subset_searches += c.subset_searches;
+  ephemeral_totals_.steps += c.steps;
+  ephemeral_totals_.graphs_checked += c.graphs_checked;
+  ephemeral_totals_.memo_hits += c.memo_hits;
+  ephemeral_totals_.memo_misses += c.memo_misses;
+  ephemeral_totals_.scc_short_circuits += c.scc_short_circuits;
+  ephemeral_totals_.parallel_tasks += c.parallel_tasks;
+  ephemeral_totals_.serial_tasks += c.serial_tasks;
+  ephemeral_totals_.cache_hits += c.cache_hits;
+  ephemeral_totals_.cache_misses += c.cache_misses;
+}
+
 ExecContext Server::MakeExec(const Json& request) const {
   ExecContext exec;
   exec.cancel = &cancel_;
@@ -145,42 +175,42 @@ ExecContext Server::MakeExec(const Json& request) const {
   return exec;
 }
 
-void Server::InstallExec(const Json& request) {
-  ExecContext exec = MakeExec(request);
-  // A cold SafetyAnalyzer::Create reads options_.analyzer.exec; a live
-  // analyzer holds its own copy that only set_exec replaces. Both paths
-  // must run under *this* request's deadline — a stale one left over
-  // from an expired check would fail every later update.
-  options_.analyzer.exec = exec;
-  if (analyzer_ != nullptr) analyzer_->set_exec(exec);
-}
-
 Result<SafetyAnalyzer::UpdateStats> Server::InstallProgram(
-    const std::string& source) {
+    const std::string& source, const ExecContext& exec) {
   HORNSAFE_ASSIGN_OR_RETURN(Program program, ParseProgram(source));
   if (options_.prepare_program) {
     HORNSAFE_RETURN_IF_ERROR(options_.prepare_program(&program));
   }
-  if (analyzer_ != nullptr) {
-    return analyzer_->Update(program);
+  // Serialize the create-or-update decision: two cold updates racing
+  // here must not both Create (one build would be lost along with its
+  // counters). Checks do not take this lock — they pin whatever
+  // snapshot is currently published.
+  std::lock_guard<std::mutex> lock(install_mu_);
+  if (std::shared_ptr<SafetyAnalyzer> live = served_analyzer()) {
+    return live->Update(program, exec);
   }
-  HORNSAFE_ASSIGN_OR_RETURN(
-      SafetyAnalyzer analyzer,
-      SafetyAnalyzer::Create(program, options_.analyzer));
-  analyzer_ = std::make_unique<SafetyAnalyzer>(std::move(analyzer));
+  AnalyzerOptions aopts = options_.analyzer;
+  aopts.exec = exec;
+  HORNSAFE_ASSIGN_OR_RETURN(SafetyAnalyzer analyzer,
+                            SafetyAnalyzer::Create(program, aopts));
+  auto fresh = std::make_shared<SafetyAnalyzer>(std::move(analyzer));
   SafetyAnalyzer::UpdateStats stats;
-  stats.predicates = analyzer_->canonical().num_predicates();
+  stats.predicates = fresh->snapshot()->canon.program.num_predicates();
   stats.dirty_predicates = stats.predicates;  // cold build: all new
+  {
+    std::lock_guard<std::mutex> publish(analyzer_mu_);
+    analyzer_ = std::move(fresh);
+  }
   return stats;
 }
 
-Json Server::DoUpdate(const Json& request) {
+Json Server::DoUpdate(const Json& request, const ExecContext& exec) {
   const Json& program = request["program"];
   if (!program.is_string()) {
     return ErrorReply(request["id"], StatusCode::kParseError,
                       "update requires a string \"program\" field");
   }
-  auto stats = InstallProgram(program.AsString());
+  auto stats = InstallProgram(program.AsString(), exec);
   if (!stats.ok()) {
     return ErrorReply(request["id"], stats.status().code(),
                       stats.status().message());
@@ -192,19 +222,52 @@ Json Server::DoUpdate(const Json& request) {
   return OkReply(request["id"], std::move(result));
 }
 
-Json Server::DoCheck(const Json& request, bool with_explanations) {
+Json Server::DoCheck(const Json& request, bool with_explanations,
+                     const ExecContext& exec) {
+  // A request-supplied program is analyzed by a one-shot analyzer that
+  // shares the verdict cache (repeated checks of the same cones stay
+  // warm) but is never installed: only `update` replaces the served
+  // program, so concurrent checks cannot perturb each other or block
+  // behind this build.
+  std::optional<SafetyAnalyzer> ephemeral;
+  std::shared_ptr<SafetyAnalyzer> served;
+  SafetyAnalyzer* analyzer = nullptr;
   if (request["program"].is_string()) {
-    if (auto installed = InstallProgram(request["program"].AsString());
-        !installed.ok()) {
-      return ErrorReply(request["id"], installed.status().code(),
-                        installed.status().message());
+    Result<Program> program = ParseProgram(request["program"].AsString());
+    if (!program.ok()) {
+      return ErrorReply(request["id"], program.status().code(),
+                        program.status().message());
     }
+    if (options_.prepare_program) {
+      if (Status st = options_.prepare_program(&*program); !st.ok()) {
+        return ErrorReply(request["id"], st.code(), st.message());
+      }
+    }
+    AnalyzerOptions aopts = options_.analyzer;
+    aopts.exec = exec;
+    Result<SafetyAnalyzer> created = SafetyAnalyzer::Create(*program, aopts);
+    if (!created.ok()) {
+      return ErrorReply(request["id"], created.status().code(),
+                        created.status().message());
+    }
+    ephemeral.emplace(std::move(*created));
+    analyzer = &*ephemeral;
+  } else {
+    served = served_analyzer();
+    if (served == nullptr) {
+      return ErrorReply(request["id"], StatusCode::kNotFound,
+                        "no program installed; send \"program\" with check "
+                        "or call update first");
+    }
+    analyzer = served.get();
   }
-  if (analyzer_ == nullptr) {
-    return ErrorReply(request["id"], StatusCode::kNotFound,
-                      "no program installed; send \"program\" with check "
-                      "or call update first");
-  }
+
+  // Pin the snapshot once: every read below — predicate lookup, query
+  // iteration, analysis — sees this build even if an update swaps a new
+  // one in mid-request.
+  std::shared_ptr<const AnalysisSnapshot> snap = analyzer->snapshot();
+  const Program& prog = snap->canon.program;
+
   Json queries = Json::Array();
   if (request["predicate"].is_string()) {
     // Targeted form: {"predicate": "p/2", "adornment": "bf"}.
@@ -215,8 +278,7 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
     if (slash != std::string::npos) {
       arity = static_cast<uint32_t>(
           std::strtoul(spec.c_str() + slash + 1, nullptr, 10));
-      pred = analyzer_->canonical().FindPredicate(spec.substr(0, slash),
-                                                  arity);
+      pred = prog.FindPredicate(spec.substr(0, slash), arity);
     }
     if (pred == kInvalidPredicate) {
       return ErrorReply(request["id"], StatusCode::kNotFound,
@@ -235,7 +297,8 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
         if (bits[k] == 'b') mask |= uint64_t{1} << k;
       }
     }
-    QueryAnalysis analysis = analyzer_->AnalyzePredicate(pred, mask);
+    QueryAnalysis analysis = analyzer->AnalyzePredicate(*snap, pred, mask,
+                                                        exec);
     Json q = Json::Object();
     q.Set("query", spec);
     q.Set("safety", SafetyName(analysis.overall));
@@ -246,10 +309,11 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
     q.Set("args", std::move(args));
     queries.Append(std::move(q));
   } else {
-    for (const Literal& lit : analyzer_->canonical().queries()) {
-      QueryAnalysis analysis = analyzer_->AnalyzeQueryLiteral(lit);
+    for (const Literal& lit : prog.queries()) {
+      QueryAnalysis analysis = analyzer->AnalyzeQueryLiteral(*snap, lit,
+                                                             exec);
       Json q = Json::Object();
-      q.Set("query", analyzer_->canonical().ToString(lit));
+      q.Set("query", prog.ToString(lit));
       q.Set("safety", SafetyName(analysis.overall));
       Json args = Json::Array();
       for (const ArgumentVerdict& a : analysis.args) {
@@ -259,6 +323,7 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
       queries.Append(std::move(q));
     }
   }
+  if (ephemeral) AccumulateEphemeral(ephemeral->counters());
   Json result = Json::Object();
   result.Set("queries", std::move(queries));
   return OkReply(request["id"], std::move(result));
@@ -266,8 +331,26 @@ Json Server::DoCheck(const Json& request, bool with_explanations) {
 
 Json Server::DoStats() const {
   Json result = Json::Object();
-  if (analyzer_ != nullptr) {
-    SafetyAnalyzer::Counters c = analyzer_->counters();
+  std::shared_ptr<SafetyAnalyzer> served = served_analyzer();
+  SafetyAnalyzer::Counters c;
+  bool have_analyzer = served != nullptr;
+  if (served != nullptr) c = served->counters();
+  {
+    // Fold in the totals of completed ephemeral (check-with-program)
+    // analyzers, so `stats` reflects all analysis work the server did.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ephemeral_seen_) have_analyzer = true;
+    c.positions_analyzed += ephemeral_totals_.positions_analyzed;
+    c.subset_searches += ephemeral_totals_.subset_searches;
+    c.steps += ephemeral_totals_.steps;
+    c.graphs_checked += ephemeral_totals_.graphs_checked;
+    c.memo_hits += ephemeral_totals_.memo_hits;
+    c.memo_misses += ephemeral_totals_.memo_misses;
+    c.scc_short_circuits += ephemeral_totals_.scc_short_circuits;
+    c.cache_hits += ephemeral_totals_.cache_hits;
+    c.cache_misses += ephemeral_totals_.cache_misses;
+  }
+  if (have_analyzer) {
     Json a = Json::Object();
     a.Set("positions_analyzed", c.positions_analyzed);
     a.Set("subset_searches", c.subset_searches);
@@ -276,6 +359,7 @@ Json Server::DoStats() const {
     a.Set("memo_misses", c.memo_misses);
     a.Set("cache_hits", c.cache_hits);
     a.Set("cache_misses", c.cache_misses);
+    a.Set("snapshot_swaps", c.snapshot_swaps);
     result.Set("analyzer", std::move(a));
   }
   if (options_.cache != nullptr) {
@@ -298,6 +382,7 @@ Json Server::DoStats() const {
   srv.Set("served", sc.served);
   srv.Set("errors", sc.errors);
   srv.Set("shed", sc.shed);
+  srv.Set("workers", uint64_t{workers()});
   result.Set("server", std::move(srv));
   return OkReply(Json(), std::move(result));
 }
@@ -313,14 +398,18 @@ Json Server::Dispatch(const Json& request) {
                       "request requires a string \"method\" field");
   }
   const std::string& m = method.AsString();
-  // Install the per-request failure-model context before any method
-  // that can analyze (update rebuilds state, check may install a
-  // program). Serving is single-threaded per request, so no analysis
-  // is in flight here.
-  InstallExec(request);
-  if (m == "check") return DoCheck(request, /*with_explanations=*/false);
-  if (m == "explain") return DoCheck(request, /*with_explanations=*/true);
-  if (m == "update") return DoUpdate(request);
+  // The per-request failure-model context is a value threaded through
+  // the call tree — never installed on shared state, so concurrent
+  // requests each run under their own deadline (and a stale deadline
+  // can never poison a later request).
+  ExecContext exec = MakeExec(request);
+  if (m == "check") {
+    return DoCheck(request, /*with_explanations=*/false, exec);
+  }
+  if (m == "explain") {
+    return DoCheck(request, /*with_explanations=*/true, exec);
+  }
+  if (m == "update") return DoUpdate(request, exec);
   if (m == "stats") {
     Json reply = DoStats();
     reply.Set("id", request["id"]);
@@ -377,10 +466,11 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
   };
 
   BoundedQueue queue(options_.max_queue);
-  // Incremented by the worker for queued requests and by the reader on
+  // Incremented by workers for queued requests and by the reader on
   // the shed path, concurrently.
   std::atomic<uint64_t> replies{0};
-  std::thread worker([&] {
+  const size_t num_workers = workers();
+  auto worker_loop = [&] {
     std::string line;
     while (queue.Pop(&line)) {
       if (shutdown_requested()) {
@@ -395,7 +485,12 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
       replies.fetch_add(1, std::memory_order_relaxed);
       if (shutdown_requested()) queue.Close();
     }
-  });
+  };
+  // Scoped to this call: the pool's destructor (below, after the queue
+  // closes) joins every worker loop. Detached submission — the loops
+  // report nothing; completion is the join.
+  auto pool = std::make_unique<ThreadPool>(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) pool->SubmitDetached(worker_loop);
 
   std::string line;
   while (!shutdown_requested() && std::getline(in, line)) {
@@ -416,7 +511,7 @@ uint64_t Server::Serve(std::istream& in, std::ostream& out) {
     }
   }
   queue.Close();
-  worker.join();
+  pool.reset();  // drain + join the worker loops
   return replies.load(std::memory_order_relaxed);
 }
 
@@ -443,9 +538,10 @@ Status Server::ServeUnixSocket(const std::string& path) {
     ::close(listener);
     return st;
   }
-  // Connections are served sequentially: the analyzer is the shared,
-  // stateful resource, and interleaving clients would interleave their
-  // update/check streams.
+  // Connections are accepted sequentially: interleaving clients would
+  // interleave their update/check streams (each connection still gets
+  // the full worker-pool treatment on stdin serve; socket serve is the
+  // single-editor path).
   while (!shutdown_requested()) {
     int conn = ::accept(listener, nullptr, nullptr);
     if (conn < 0) {

@@ -73,6 +73,9 @@ struct CliFlags {
   /// serve: shed overflowing requests with `unavailable` replies
   /// instead of applying backpressure.
   bool shed = false;
+  /// serve: concurrent request workers (1 = serial in-order replies,
+  /// 0 = one per hardware thread).
+  long workers = 1;
   /// serve: unix-domain socket path (empty = stdin/stdout).
   std::string socket_path;
 };
@@ -114,6 +117,11 @@ int Usage() {
                "(0 = none); requests may override with \"deadline_ms\"\n"
                "  --max-queue N                bounded in-flight request "
                "queue (default 64)\n"
+               "  --workers N                  serve requests with N "
+               "concurrent workers (default 1: strict in-order replies; "
+               "0 = all hardware threads; N > 1 replies in completion "
+               "order, updates swap in atomically, checks never block "
+               "behind them)\n"
                "  --shed                       answer overflowing requests "
                "with an 'unavailable' error instead of applying "
                "backpressure\n"
@@ -551,6 +559,7 @@ int CmdServe(const char* path) {
   sopts.default_deadline_ms = static_cast<uint64_t>(g_flags.deadline_ms);
   sopts.max_queue = static_cast<size_t>(g_flags.max_queue);
   sopts.shed_on_overflow = g_flags.shed;
+  sopts.workers = static_cast<size_t>(g_flags.workers);
   // The analyzer must see the constraints of any standard builtin a
   // served program references (same contract as `check`).
   sopts.prepare_program = [](Program* program) {
@@ -683,6 +692,7 @@ bool ParseFlags(int* argc, char** argv) {
         {"--jobs", nullptr, 0, 4096},
         {"--deadline-ms", &g_flags.deadline_ms, 0, 86'400'000},
         {"--max-queue", &g_flags.max_queue, 1, 1 << 20},
+        {"--workers", &g_flags.workers, 0, 4096},
     };
     bool consumed = false;
     for (const NumFlag& f : kNumFlags) {

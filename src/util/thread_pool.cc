@@ -20,14 +20,21 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::Submit(std::function<void()> task) {
-  std::packaged_task<void()> wrapped(std::move(task));
-  std::future<void> result = wrapped.get_future();
+  // packaged_task is move-only and std::function requires copyable
+  // targets, so the wrapper rides behind a shared_ptr.
+  auto wrapped = std::make_shared<std::packaged_task<void()>>(
+      std::move(task));
+  std::future<void> result = wrapped->get_future();
+  SubmitDetached([wrapped] { (*wrapped)(); });
+  return result;
+}
+
+void ThreadPool::SubmitDetached(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(wrapped));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
-  return result;
 }
 
 size_t ThreadPool::DefaultThreads() {
@@ -37,7 +44,7 @@ size_t ThreadPool::DefaultThreads() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });

@@ -30,6 +30,15 @@ class ThreadPool {
   /// Enqueues `task`; some worker runs it in FIFO order.
   std::future<void> Submit(std::function<void()> task);
 
+  /// Fire-and-forget `Submit`: no packaged_task wrapper, no future
+  /// allocation, no way to observe completion other than destroying the
+  /// pool (which drains the queue and joins). For long-lived loops —
+  /// e.g. serve workers that run until their request queue closes — and
+  /// hot fan-out where the caller synchronizes through its own latch.
+  /// The task must not throw (there is no future to carry the
+  /// exception; a throw terminates the process).
+  void SubmitDetached(std::function<void()> task);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// The hardware thread count, with a floor of 1 when unknown.
@@ -39,7 +48,9 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  /// Plain closures; `Submit` layers its packaged_task on top so the
+  /// detached path pays for neither the wrapper nor the shared state.
+  std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;

@@ -8,8 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "util/json.h"
@@ -306,6 +308,122 @@ TEST(ServerTest, BackpressureServesEveryRequestInOrder) {
   }
   EXPECT_EQ(expected_id, 9);
   EXPECT_EQ(server.counters().shed, 0u);
+}
+
+TEST(ServerTest, MultiWorkerServeAnswersEveryRequestExactlyOnce) {
+  // With workers > 1 replies arrive in completion order, but the
+  // one-reply-per-request contract is unchanged: every id comes back
+  // exactly once, every reply is well-formed, and the loop drains
+  // cleanly on EOF.
+  ServerOptions opts;
+  opts.workers = 4;
+  Server server(std::move(opts));
+  EXPECT_EQ(server.workers(), 4u);
+
+  constexpr int kRequests = 16;
+  std::string input;
+  for (int i = 1; i <= kRequests; ++i) {
+    input += CheckRequest(i, kSafeProgram) + "\n";
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  uint64_t replies = server.Serve(in, out);
+  EXPECT_EQ(replies, static_cast<uint64_t>(kRequests));
+
+  std::set<int64_t> ids;
+  std::istringstream result(out.str());
+  std::string line;
+  while (std::getline(result, line)) {
+    Json reply = MustParseReply(line);
+    EXPECT_TRUE(reply["ok"].AsBool()) << line;
+    EXPECT_TRUE(ids.insert(reply["id"].AsInt()).second)
+        << "duplicate reply for id " << reply["id"].AsInt();
+  }
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kRequests));
+  EXPECT_EQ(*ids.begin(), 1);
+  EXPECT_EQ(*ids.rbegin(), kRequests);
+  EXPECT_EQ(server.counters().errors, 0u);
+}
+
+TEST(ServerTest, ConcurrentHandleLineMixedTrafficStaysCoherent) {
+  // HandleLine is the concurrency surface Serve's workers share; drive
+  // it directly from four threads with mixed check / update / stats
+  // traffic. Every reply must be ok (checks are ephemeral, updates
+  // serialize, stats snapshots are never torn) and the request
+  // accounting must add up exactly afterwards.
+  Server server(ServerOptions{});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&server, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = t * kPerThread + i + 1;
+        std::string line;
+        if (i % 4 == 1) {
+          Json req = Json::Object();
+          req.Set("id", int64_t{id});
+          req.Set("method", "update");
+          req.Set("program", i % 8 == 1 ? kSafeProgram : kHardProgram);
+          line = req.Dump();
+        } else if (i % 4 == 3) {
+          Json req = Json::Object();
+          req.Set("id", int64_t{id});
+          req.Set("method", "stats");
+          line = req.Dump();
+        } else {
+          line = CheckRequest(id, kSafeProgram);
+        }
+        Json reply = MustParseReply(server.HandleLine(line));
+        EXPECT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+        EXPECT_EQ(reply["id"].AsInt(), id);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+
+  Server::Counters after = server.counters();
+  EXPECT_EQ(after.requests, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(after.served, after.requests);
+  EXPECT_EQ(after.errors, 0u);
+}
+
+TEST(ServerTest, CheckWithProgramDoesNotReplaceServedProgram) {
+  // A request-supplied program is analyzed ephemerally: afterwards the
+  // served program — and only it — still answers targeted checks.
+  Server server(ServerOptions{});
+  Json update = Json::Object();
+  update.Set("id", int64_t{1});
+  update.Set("method", "update");
+  update.Set("program", kSafeProgram);
+  ASSERT_TRUE(MustParseReply(server.HandleLine(update.Dump()))["ok"]
+                  .AsBool());
+
+  // Ephemeral check of a different program succeeds...
+  Json eph = MustParseReply(server.HandleLine(CheckRequest(2, kHardProgram)));
+  EXPECT_TRUE(eph["ok"].AsBool()) << eph.Dump();
+
+  // ...but r/1 (the served program) still resolves, and p/2 (only in
+  // the ephemeral program) does not.
+  Json targeted = Json::Object();
+  targeted.Set("id", int64_t{3});
+  targeted.Set("method", "check");
+  targeted.Set("predicate", "r/1");
+  Json served = MustParseReply(server.HandleLine(targeted.Dump()));
+  ASSERT_TRUE(served["ok"].AsBool()) << served.Dump();
+  EXPECT_EQ(served["result"]["queries"].items()[0]["safety"].AsString(),
+            "safe");
+
+  Json missing = Json::Object();
+  missing.Set("id", int64_t{4});
+  missing.Set("method", "check");
+  missing.Set("predicate", "p/2");
+  Json gone = MustParseReply(server.HandleLine(missing.Dump()));
+  EXPECT_FALSE(gone["ok"].AsBool());
+  EXPECT_EQ(gone["error"]["code"].AsString(),
+            std::string(StatusCodeName(StatusCode::kNotFound)));
 }
 
 }  // namespace

@@ -1,0 +1,207 @@
+// The snapshot-swap publication contract (DESIGN.md, D14): an analyzer
+// update builds the new analysis world off to the side and publishes it
+// with one atomic pointer swap. Checks pin the snapshot they start on,
+// so a check that is in flight when an update lands keeps answering
+// from the *old* program — bit-identically to what it would have said
+// before the update — and checks never block behind a rebuild. These
+// tests exercise the pin-across-swap semantics directly through the
+// snapshot API, then hammer the analyzer with concurrent readers and
+// writers (the TSan job runs this binary).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/pipeline_cache.h"
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+// Example 4 with and without the finite guard: same predicate name and
+// query, opposite verdicts — a swap is observable through one bit.
+constexpr char kGuardedText[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    "r(X) :- t(X,Y), r(Y), a(Y).\n"
+    "r(X) :- b(X).\n"
+    "?- r(X).\n";
+constexpr char kUnguardedText[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    "r(X) :- t(X,Y), r(Y).\n"
+    "r(X) :- b(X).\n"
+    "?- r(X).\n";
+
+Program MustParse(const char* text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// Analyzes r/1 (all arguments free) against the given pinned snapshot.
+Safety VerdictOn(SafetyAnalyzer& analyzer, const AnalysisSnapshot& snap,
+                 const ExecContext& exec = {}) {
+  PredicateId r = snap.canon.program.FindPredicate("r", 1);
+  EXPECT_NE(r, kInvalidPredicate);
+  return analyzer.AnalyzePredicate(snap, r, /*mask=*/0, exec).overall;
+}
+
+TEST(SnapshotSwapTest, PinnedSnapshotSurvivesSwap) {
+  auto analyzer = SafetyAnalyzer::Create(MustParse(kGuardedText));
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+
+  std::shared_ptr<const AnalysisSnapshot> pinned = analyzer->snapshot();
+  EXPECT_EQ(VerdictOn(*analyzer, *pinned), Safety::kSafe);
+
+  auto up = analyzer->Update(MustParse(kUnguardedText));
+  ASSERT_TRUE(up.ok()) << up.status().ToString();
+  EXPECT_EQ(analyzer->counters().snapshot_swaps, 1u);
+
+  // The published snapshot is a different object with the new verdict...
+  std::shared_ptr<const AnalysisSnapshot> fresh = analyzer->snapshot();
+  EXPECT_NE(pinned.get(), fresh.get());
+  EXPECT_EQ(VerdictOn(*analyzer, *fresh), Safety::kUnsafe);
+  // ...while the pinned pre-update world stays fully analyzable and
+  // still answers with the old verdict.
+  EXPECT_EQ(VerdictOn(*analyzer, *pinned), Safety::kSafe);
+}
+
+TEST(SnapshotSwapTest, InFlightCheckKeepsAnsweringFromOldSnapshot) {
+  // A check pins its snapshot, then an update completes *while the
+  // check is still running*; the check's world must not shift under it.
+  // The interleaving is forced, not raced: the checker signals after
+  // pinning, waits for the swap to be published, and only then
+  // analyzes.
+  auto analyzer = SafetyAnalyzer::Create(MustParse(kGuardedText));
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+
+  std::promise<void> pinned_p;
+  std::promise<void> swapped_p;
+  std::future<void> pinned = pinned_p.get_future();
+  std::future<void> swapped = swapped_p.get_future();
+
+  std::thread checker([&] {
+    std::shared_ptr<const AnalysisSnapshot> snap = analyzer->snapshot();
+    pinned_p.set_value();
+    swapped.wait();  // the unguarded program is now published
+    EXPECT_EQ(VerdictOn(*analyzer, *snap), Safety::kSafe)
+        << "in-flight check observed the swapped-in program";
+  });
+
+  pinned.wait();
+  auto up = analyzer->Update(MustParse(kUnguardedText));
+  EXPECT_TRUE(up.ok()) << up.status().ToString();
+  swapped_p.set_value();
+  checker.join();
+
+  EXPECT_EQ(VerdictOn(*analyzer, *analyzer->snapshot()),
+            Safety::kUnsafe);
+}
+
+TEST(SnapshotSwapTest, ConcurrentChecksAndUpdatesStayCoherent) {
+  // Readers hammer whatever snapshot is current while the writer flips
+  // the program between the guarded and unguarded variants. Every
+  // verdict must be one of the two coherent worlds — never a blend —
+  // and the analyzer must survive the full interleaving (TSan-clean).
+  constexpr int kReaders = 4;
+  constexpr int kChecksPerReader = 40;
+  constexpr int kUpdates = 12;
+
+  auto analyzer = SafetyAnalyzer::Create(MustParse(kGuardedText));
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < kChecksPerReader; ++i) {
+        std::shared_ptr<const AnalysisSnapshot> snap =
+            analyzer->snapshot();
+        Safety v = VerdictOn(*analyzer, *snap);
+        EXPECT_TRUE(v == Safety::kSafe || v == Safety::kUnsafe);
+      }
+    });
+  }
+
+  Program guarded = MustParse(kGuardedText);
+  Program unguarded = MustParse(kUnguardedText);
+  for (int u = 0; u < kUpdates; ++u) {
+    auto up = analyzer->Update(u % 2 == 0 ? unguarded : guarded);
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+  }
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(analyzer->counters().snapshot_swaps,
+            static_cast<uint64_t>(kUpdates));
+  // kUpdates is even, so the final world is the guarded one.
+  EXPECT_EQ(VerdictOn(*analyzer, *analyzer->snapshot()), Safety::kSafe);
+}
+
+TEST(SnapshotSwapTest, ConcurrentUpdatesSerializeAndBothPublish) {
+  auto analyzer = SafetyAnalyzer::Create(MustParse(kGuardedText));
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+
+  std::thread a([&] {
+    auto up = analyzer->Update(MustParse(kUnguardedText));
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+  });
+  std::thread b([&] {
+    auto up = analyzer->Update(MustParse(kGuardedText));
+    EXPECT_TRUE(up.ok()) << up.status().ToString();
+  });
+  a.join();
+  b.join();
+
+  EXPECT_EQ(analyzer->counters().snapshot_swaps, 2u);
+  // Last writer wins is unordered here; the invariant is that the
+  // published world is one of the two complete ones.
+  Safety v = VerdictOn(*analyzer, *analyzer->snapshot());
+  EXPECT_TRUE(v == Safety::kSafe || v == Safety::kUnsafe);
+}
+
+TEST(SnapshotSwapTest, SharedCacheConcurrentAnalyzersMatchColdRun) {
+  // Two analyzers over the same program share one verdict cache and
+  // analyze concurrently; their results must be bit-identical to a
+  // cache-less cold run (D11/D12: cache entries store the exact cost
+  // metadata and explanation the cold search produced).
+  auto cold = SafetyAnalyzer::Create(MustParse(kGuardedText));
+  ASSERT_TRUE(cold.ok());
+  std::vector<QueryAnalysis> want = cold->AnalyzeQueries();
+
+  PipelineCache cache;
+  AnalyzerOptions opts;
+  opts.cache = &cache;
+  auto a1 = SafetyAnalyzer::Create(MustParse(kGuardedText), opts);
+  auto a2 = SafetyAnalyzer::Create(MustParse(kGuardedText), opts);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+
+  auto check = [&](SafetyAnalyzer& a) {
+    for (int i = 0; i < 8; ++i) {
+      std::vector<QueryAnalysis> got = a.AnalyzeQueries();
+      ASSERT_EQ(got.size(), want.size());
+      for (size_t q = 0; q < got.size(); ++q) {
+        EXPECT_EQ(got[q].overall, want[q].overall);
+        ASSERT_EQ(got[q].args.size(), want[q].args.size());
+        for (size_t k = 0; k < got[q].args.size(); ++k) {
+          EXPECT_EQ(got[q].args[k].safety, want[q].args[k].safety);
+          EXPECT_EQ(got[q].args[k].explanation,
+                    want[q].args[k].explanation);
+        }
+      }
+    }
+  };
+  std::thread t1([&] { check(*a1); });
+  std::thread t2([&] { check(*a2); });
+  t1.join();
+  t2.join();
+}
+
+}  // namespace
+}  // namespace hornsafe

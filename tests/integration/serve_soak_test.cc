@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -31,11 +32,12 @@ struct RunResult {
 
 RunResult RunServe(const std::string& request_file,
                    const std::string& cache_dir,
-                   const std::string& faults_spec) {
+                   const std::string& faults_spec,
+                   const std::string& extra_args = "") {
   std::string cmd = StrCat(
       "HORNSAFE_FAULTS='", faults_spec, "' ", HORNSAFE_CLI_PATH,
-      " serve --cache-dir ", cache_dir, " < ", request_file,
-      " 2>/dev/null");
+      " serve --cache-dir ", cache_dir, " ", extra_args, " < ",
+      request_file, " 2>/dev/null");
   RunResult result;
   std::FILE* pipe = popen(cmd.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -74,10 +76,13 @@ std::string ProgramVariant(int k) {
 /// program variants, periodic updates and stats, ~5% malformed lines.
 /// Every request is deterministic, so the faulted and fault-free runs
 /// see byte-identical input.
-void WriteRequests(const std::string& path) {
+/// `with_shutdown = false` swaps the final shutdown for one more check:
+/// the multi-worker run ends on EOF instead, so no tail request can be
+/// shed by a shutdown racing the last few in-flight analyses.
+void WriteRequests(const std::string& path, bool with_shutdown = true) {
   std::ofstream out(path);
   for (int i = 1; i <= kRequests; ++i) {
-    if (i == kRequests) {
+    if (i == kRequests && with_shutdown) {
       Json req = Json::Object();
       req.Set("id", int64_t{i});
       req.Set("method", "shutdown");
@@ -116,7 +121,8 @@ void WriteRequests(const std::string& path) {
 /// explanation — all cache-invariant, so fault-induced cache misses
 /// must not change them). Stats/counter payloads are fault-dependent
 /// by design and excluded.
-std::string VerdictProjection(const std::string& line) {
+std::string VerdictProjection(const std::string& line,
+                              bool with_update_diff = true) {
   Result<Json> parsed = Json::Parse(line);
   if (!parsed.ok()) return StrCat("UNPARSABLE:", line);
   const Json& reply = *parsed;
@@ -149,11 +155,15 @@ std::string VerdictProjection(const std::string& line) {
     proj.Set("queries", std::move(qs));
   }
   // Update replies: the dirty/clean split is fault-invariant (cone
-  // fingerprints do not depend on the disk tier).
+  // fingerprints do not depend on the disk tier) but NOT
+  // order-invariant — it diffs against whichever update landed last —
+  // so the multi-worker comparison drops it.
   if (reply["result"]["predicates"].is_number()) {
     proj.Set("predicates", reply["result"]["predicates"]);
-    proj.Set("dirty", reply["result"]["dirty_predicates"]);
-    proj.Set("clean", reply["result"]["clean_predicates"]);
+    if (with_update_diff) {
+      proj.Set("dirty", reply["result"]["dirty_predicates"]);
+      proj.Set("clean", reply["result"]["clean_predicates"]);
+    }
   }
   return proj.Dump();
 }
@@ -187,6 +197,56 @@ TEST(ServeSoakTest, FaultedRunMatchesFaultFreeVerdictForVerdict) {
     EXPECT_EQ(VerdictProjection(clean.lines[i]),
               VerdictProjection(faulted.lines[i]))
         << "reply " << i << " diverged under fault injection";
+  }
+
+  fs::remove_all(root);
+}
+
+TEST(ServeSoakTest, MultiWorkerSoakMatchesSerialReplay) {
+  // The same scripted mix (minus the shutdown: the run ends on EOF so
+  // no tail request is shed by a racing shutdown) served once serially
+  // fault-free and once with --workers 4 *plus* disk faults. Replies
+  // interleave by completion in the parallel run, but every check and
+  // explain in this workload carries its own program, so each verdict
+  // is a pure function of its request: after projecting away the
+  // order-dependent update diff, the reply *multisets* must match
+  // exactly — concurrency and injected faults may reorder work, never
+  // change an answer.
+  fs::path root = fs::temp_directory_path() /
+                  StrCat("hornsafe_soak_mw_", getpid());
+  fs::remove_all(root);
+  fs::create_directories(root);
+  std::string requests = (root / "requests.jsonl").string();
+  WriteRequests(requests, /*with_shutdown=*/false);
+
+  RunResult serial =
+      RunServe(requests, (root / "cache_serial").string(), "");
+  RunResult parallel = RunServe(
+      requests, (root / "cache_parallel").string(),
+      "read_error=0.1,write_error=0.1,short_write=0.05,torn_rename=0.1,"
+      "bit_flip=0.1,enospc=0.05,seed=20260808",
+      "--workers 4");
+
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  ASSERT_EQ(serial.lines.size(), static_cast<size_t>(kRequests));
+  ASSERT_EQ(parallel.lines.size(), serial.lines.size());
+
+  std::vector<std::string> want, got;
+  want.reserve(serial.lines.size());
+  got.reserve(parallel.lines.size());
+  for (const std::string& line : serial.lines) {
+    want.push_back(VerdictProjection(line, /*with_update_diff=*/false));
+  }
+  for (const std::string& line : parallel.lines) {
+    got.push_back(VerdictProjection(line, /*with_update_diff=*/false));
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i])
+        << "sorted reply " << i << " diverged between the serial and "
+        << "multi-worker runs";
   }
 
   fs::remove_all(root);
