@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "lint/lint.h"
 #include "parser/parser.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
@@ -222,6 +223,30 @@ Json Server::DoUpdate(const Json& request, const ExecContext& exec) {
   return OkReply(request["id"], std::move(result));
 }
 
+Json Server::DoLint(const Json& request) const {
+  const Json& program_field = request["program"];
+  if (!program_field.is_string()) {
+    return ErrorReply(request["id"], StatusCode::kParseError,
+                      "lint requires a string \"program\" field");
+  }
+  // No snapshot, no analysis, no state: lint is a pure function of the
+  // request text, which is what makes its replies trivially identical
+  // across worker counts and fault schedules.
+  std::vector<Diagnostic> diags;
+  Result<Program> program = ParseProgram(program_field.AsString());
+  if (!program.ok()) {
+    diags.push_back(DiagnosticFromStatus(program.status()));
+  } else {
+    if (options_.prepare_program) {
+      if (Status st = options_.prepare_program(&*program); !st.ok()) {
+        return ErrorReply(request["id"], st.code(), st.message());
+      }
+    }
+    diags = LintProgram(*program);
+  }
+  return OkReply(request["id"], DiagnosticsToJson(diags));
+}
+
 Json Server::DoCheck(const Json& request, bool with_explanations,
                      const ExecContext& exec) {
   // A request-supplied program is analyzed by a one-shot analyzer that
@@ -410,6 +435,7 @@ Json Server::Dispatch(const Json& request) {
     return DoCheck(request, /*with_explanations=*/true, exec);
   }
   if (m == "update") return DoUpdate(request, exec);
+  if (m == "lint") return DoLint(request);
   if (m == "stats") {
     Json reply = DoStats();
     reply.Set("id", request["id"]);
@@ -524,7 +550,10 @@ Status Server::ServeUnixSocket(const std::string& path) {
   int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listener < 0) {
     return Status::Internal(
-        StrCat("socket: ", std::strerror(errno)));
+        StrCat("socket: ",
+               // NOLINTNEXTLINE(concurrency-mt-unsafe): errno is
+               // captured on the single accept thread.
+               std::strerror(errno)));
   }
   ::unlink(path.c_str());  // stale socket from a crashed server
   std::memset(&addr, 0, sizeof(addr));
@@ -534,7 +563,9 @@ Status Server::ServeUnixSocket(const std::string& path) {
              sizeof(addr)) != 0 ||
       ::listen(listener, 8) != 0) {
     Status st = Status::Internal(
-        StrCat("bind/listen on '", path, "': ", std::strerror(errno)));
+        StrCat("bind/listen on '", path,
+               // NOLINTNEXTLINE(concurrency-mt-unsafe): accept thread only.
+               "': ", std::strerror(errno)));
     ::close(listener);
     return st;
   }
@@ -549,7 +580,9 @@ Status Server::ServeUnixSocket(const std::string& path) {
       ::close(listener);
       ::unlink(path.c_str());
       return Status::Internal(
-          StrCat("accept: ", std::strerror(errno)));
+          StrCat("accept: ",
+                 // NOLINTNEXTLINE(concurrency-mt-unsafe): accept thread only.
+                 std::strerror(errno)));
     }
     std::string buffer;
     char chunk[4096];

@@ -83,6 +83,27 @@ struct ServerOptions {
 ///             swap, so concurrent checks keep answering from the old
 ///             program and never block behind the update (DESIGN.md,
 ///             D14).
+///   lint      static diagnostics for "program" (required), without
+///             running any analysis. Always replies ok on well-formed
+///             requests — an unparsable program is itself a diagnostic
+///             (HS001), not an error reply. The result mirrors
+///             `hornsafe lint --json` exactly:
+///
+///               {"diagnostics": [{"code": "HS005",
+///                                 "severity": "error" | "warning"
+///                                             | "note",
+///                                 "line": 3, "column": 1,
+///                                 "message": "...",
+///                                 "note": "..."}, ...],
+///                "errors": E, "warnings": W, "notes": N}
+///
+///             "diagnostics" is ordered by (line, column, code); "note"
+///             is omitted when empty; "line"/"column" are 0 for
+///             diagnostics with no source position; the three counters
+///             partition the array by severity. Purely observational:
+///             the served program, snapshot and caches are untouched,
+///             so lint traffic can interleave with checks and updates
+///             at any worker count.
 ///   stats     analyzer counters, cache statistics and server request
 ///             accounting (one coherent snapshot of the server
 ///             counters — never torn values, even mid-traffic).
@@ -152,6 +173,7 @@ class Server {
   Json DoCheck(const Json& request, bool with_explanations,
                const ExecContext& exec);
   Json DoUpdate(const Json& request, const ExecContext& exec);
+  Json DoLint(const Json& request) const;
   Json DoStats() const;
 
   /// Parses and installs `source` as the server program (Create on

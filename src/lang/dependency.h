@@ -5,6 +5,7 @@
 
 #include "lang/attr_set.h"
 #include "lang/literal.h"
+#include "lang/source_span.h"
 
 namespace hornsafe {
 
@@ -19,6 +20,9 @@ struct FiniteDependency {
   PredicateId pred = kInvalidPredicate;
   AttrSet lhs;
   AttrSet rhs;
+  /// Position of the `.fd` directive (0 = built programmatically).
+  /// Metadata only: excluded from equality and structural hashes.
+  SourceSpan span;
 
   bool operator==(const FiniteDependency& o) const {
     return pred == o.pred && lhs == o.lhs && rhs == o.rhs;
@@ -51,6 +55,9 @@ struct MonotonicityConstraint {
   uint32_t rhs_attr = 0;
   /// Constant bound (const forms only).
   int64_t bound = 0;
+  /// Position of the `.mono` directive (0 = built programmatically).
+  /// Metadata only: excluded from equality and structural hashes.
+  SourceSpan span;
 
   bool operator==(const MonotonicityConstraint& o) const {
     return pred == o.pred && kind == o.kind && lhs_attr == o.lhs_attr &&

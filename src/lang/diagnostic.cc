@@ -1,0 +1,67 @@
+#include "lang/diagnostic.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/strings.h"
+
+namespace hornsafe {
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag, std::string_view file) {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ':';
+  }
+  if (diag.span.valid()) {
+    out += StrCat(diag.span.line, ":", diag.span.column, ": ");
+  } else if (!file.empty()) {
+    out += ' ';
+  }
+  out += StrCat(SeverityName(diag.severity), "[", diag.code, "]: ",
+                diag.message);
+  return out;
+}
+
+std::string FormatDiagnosticWithNote(const Diagnostic& diag,
+                                     std::string_view file) {
+  std::string out = FormatDiagnostic(diag, file);
+  if (!diag.note.empty()) {
+    out += "\n  note: ";
+    out += diag.note;
+  }
+  return out;
+}
+
+void SortDiagnostics(std::vector<Diagnostic>* diags) {
+  std::stable_sort(diags->begin(), diags->end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return std::tie(a.span.line, a.span.column, a.code,
+                                     a.message) <
+                            std::tie(b.span.line, b.span.column, b.code,
+                                     b.message);
+                   });
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& diags,
+                     Severity severity) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+}  // namespace hornsafe

@@ -1,0 +1,73 @@
+#ifndef HORNSAFE_LANG_DIAGNOSTIC_H_
+#define HORNSAFE_LANG_DIAGNOSTIC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/source_span.h"
+
+namespace hornsafe {
+
+/// Severity of one static-analysis finding.
+enum class Severity : uint8_t {
+  /// Stylistic or redundancy finding; never affects a verdict.
+  kNote,
+  /// The program is analyzable but the finding predicts a degenerate
+  /// or surprising safety verdict (e.g. an undeclared-FD infinite
+  /// predicate can only come out unsafe).
+  kWarning,
+  /// The program violates a structural requirement; analysis either
+  /// refuses it or its verdicts are meaningless.
+  kError,
+};
+
+/// Printable name of a `Severity` ("note" / "warning" / "error").
+const char* SeverityName(Severity severity);
+
+/// One span-carrying static-analysis finding. This is the single error
+/// surface shared by `Program::Validate()` (structural errors) and the
+/// lint checks in `src/lint/` (advisory findings): every diagnostic
+/// carries a stable `HSnnn` code, a source span when the offending
+/// clause was parsed from text, a primary message, and an optional
+/// secondary note (typically a fix suggestion).
+///
+/// The code table lives in docs/SYNTAX.md ("Diagnostic codes").
+struct Diagnostic {
+  /// Stable machine-readable code, "HS001".."HSnnn".
+  std::string code;
+  Severity severity = Severity::kWarning;
+  SourceSpan span;
+  std::string message;
+  /// Optional elaboration / fix suggestion ("" = none).
+  std::string note;
+};
+
+/// Renders `diag` in the canonical compiler style:
+///
+///   <file>:<line>:<col>: <severity>[<code>]: <message>
+///
+/// The `<file>:` prefix is omitted when `file` is empty; the
+/// `<line>:<col>:` part is omitted for spanless diagnostics. The note,
+/// when present, is NOT included — callers emit it as a follow-up
+/// `note: ...` line (see FormatDiagnosticWithNote).
+std::string FormatDiagnostic(const Diagnostic& diag, std::string_view file);
+
+/// `FormatDiagnostic` plus a "  note: ..." second line when the
+/// diagnostic carries one.
+std::string FormatDiagnosticWithNote(const Diagnostic& diag,
+                                     std::string_view file);
+
+/// Sorts diagnostics into the canonical reporting order: by source
+/// position, then code, then message — deterministic for golden tests
+/// regardless of the order checks ran in.
+void SortDiagnostics(std::vector<Diagnostic>* diags);
+
+/// Number of diagnostics at exactly `severity`.
+size_t CountSeverity(const std::vector<Diagnostic>& diags,
+                     Severity severity);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_DIAGNOSTIC_H_

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "lang/source_span.h"
 #include "lang/term.h"
 
 namespace hornsafe {
@@ -18,6 +19,9 @@ inline constexpr PredicateId kInvalidPredicate = static_cast<PredicateId>(-1);
 struct Literal {
   PredicateId pred = kInvalidPredicate;
   std::vector<TermId> args;
+  /// Where the literal was parsed from, if it came from source text.
+  /// Metadata only: excluded from equality and structural hashes.
+  SourceSpan span;
 
   bool operator==(const Literal& o) const {
     return pred == o.pred && args == o.args;

@@ -42,6 +42,11 @@ PredicateId Program::FindPredicate(std::string_view name,
   return it == predicate_index_.end() ? kInvalidPredicate : it->second;
 }
 
+void Program::SetPredicateSpan(PredicateId id, SourceSpan span) {
+  if (id >= predicates_.size()) return;
+  if (!predicates_[id].span.valid()) predicates_[id].span = span;
+}
+
 Status Program::DeclareInfinite(PredicateId id) {
   PredicateInfo& info = predicates_[id];
   if (info.kind == PredicateKind::kDerived) {
@@ -215,32 +220,55 @@ std::vector<FiniteDependency> Program::TakeFds() {
   return out;
 }
 
-Status Program::Validate() const {
-  // The analysis machinery packs argument positions into 64-bit
+std::vector<Diagnostic> Program::ValidateDiagnostics() const {
+  std::vector<Diagnostic> out;
+  // HS003: the analysis machinery packs argument positions into 64-bit
   // AttrSet masks (attr_set.h asserts the bound, which is UB once
   // NDEBUG strips it) — reject wider predicates here, where user input
   // enters, instead of deep inside the pipeline.
   for (size_t p = 0; p < predicates_.size(); ++p) {
     if (predicates_[p].arity > AttrSet::kMaxAttrs) {
-      return Status::InvalidProgram(
+      out.push_back(Diagnostic{
+          "HS003", Severity::kError, predicates_[p].span,
           StrCat("predicate '", PredicateName(static_cast<PredicateId>(p)),
-                 "' has arity ", predicates_[p].arity,
-                 "; at most ", AttrSet::kMaxAttrs,
-                 " arguments are supported"));
+                 "' has arity ", predicates_[p].arity, "; at most ",
+                 AttrSet::kMaxAttrs, " arguments are supported"),
+          ""});
     }
   }
-  // EDB and IDB are disjoint by construction (AddRule flips the kind to
-  // derived and AddFact rejects non-finite-base predicates), but facts may
-  // have been added before a rule turned the predicate derived.
+  // HS004: EDB and IDB are disjoint by construction (AddRule flips the
+  // kind to derived and AddFact rejects non-finite-base predicates), but
+  // facts may have been added before a rule turned the predicate derived.
+  // Report each offending predicate once, at the first offending fact.
+  std::vector<PredicateId> reported;
   for (const Literal& f : facts_) {
-    if (predicates_[f.pred].kind == PredicateKind::kDerived) {
-      return Status::InvalidProgram(
-          StrCat("predicate '", PredicateName(f.pred),
-                 "' has both stored facts and rules; the EDB and IDB must "
-                 "be disjoint (paper, Section 1)"));
+    if (predicates_[f.pred].kind != PredicateKind::kDerived) continue;
+    if (std::find(reported.begin(), reported.end(), f.pred) !=
+        reported.end()) {
+      continue;
     }
+    reported.push_back(f.pred);
+    out.push_back(Diagnostic{
+        "HS004", Severity::kError, f.span,
+        StrCat("predicate '", PredicateName(f.pred),
+               "' has both stored facts and rules; the EDB and IDB must "
+               "be disjoint (paper, Section 1)"),
+        ""});
   }
-  return Status::Ok();
+  SortDiagnostics(&out);
+  return out;
+}
+
+Status Program::Validate() const {
+  std::vector<Diagnostic> diags = ValidateDiagnostics();
+  if (diags.empty()) return Status::Ok();
+  const Diagnostic& first = diags.front();
+  if (first.span.valid()) {
+    return Status::InvalidProgram(StrCat("line ", first.span.line, ":",
+                                         first.span.column, ": ",
+                                         first.message));
+  }
+  return Status::InvalidProgram(first.message);
 }
 
 std::string Program::ToString(const Literal& lit) const {

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "lang/dependency.h"
+#include "lang/diagnostic.h"
 #include "lang/literal.h"
 #include "lang/rule.h"
+#include "lang/source_span.h"
 #include "lang/symbol.h"
 #include "lang/term.h"
 #include "util/status.h"
@@ -35,6 +37,9 @@ struct PredicateInfo {
   SymbolId name = kInvalidSymbol;
   uint32_t arity = 0;
   PredicateKind kind = PredicateKind::kFiniteBase;
+  /// Source position of the predicate's first occurrence (declaration
+  /// or first use); 0 when interned programmatically.
+  SourceSpan span;
 };
 
 /// A complete deductive database: symbol/term pools, predicate metadata,
@@ -67,6 +72,11 @@ class Program {
 
   /// Returns the id of `name/arity` or `kInvalidPredicate` if unknown.
   PredicateId FindPredicate(std::string_view name, uint32_t arity) const;
+
+  /// Records the source position of `id`'s first occurrence. Only the
+  /// first call takes effect (later uses do not move the span); the
+  /// parser calls this as it interns predicates.
+  void SetPredicateSpan(PredicateId id, SourceSpan span);
 
   const PredicateInfo& predicate(PredicateId id) const {
     return predicates_[id];
@@ -141,8 +151,17 @@ class Program {
   std::vector<FiniteDependency> TakeFds();
 
   /// Checks global invariants: EDB and IDB predicate sets are disjoint
-  /// and every query predicate exists.
+  /// and every predicate's arity is representable. Returns the first
+  /// failure of `ValidateDiagnostics()` as a kInvalidProgram status
+  /// (with the diagnostic's source position in the message when known).
   Status Validate() const;
+
+  /// The span-carrying form of `Validate()`: every structural-invariant
+  /// violation as an error diagnostic (HS003 arity limit, HS004 EDB/IDB
+  /// overlap — see docs/SYNTAX.md). The lint driver merges these with
+  /// the advisory checks of src/lint, so structural errors and lint
+  /// findings share one error surface.
+  std::vector<Diagnostic> ValidateDiagnostics() const;
 
   // --- Convenience term builders (primarily for tests and examples) -----
 

@@ -14,6 +14,10 @@ namespace hornsafe {
 struct Rule {
   Literal head;
   std::vector<Literal> body;
+  /// Position of the clause's first token in the source text (0 =
+  /// built programmatically). Metadata only: excluded from equality
+  /// and structural hashes.
+  SourceSpan span;
 
   bool operator==(const Rule& o) const {
     return head == o.head && body == o.body;

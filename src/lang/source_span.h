@@ -1,0 +1,23 @@
+#ifndef HORNSAFE_LANG_SOURCE_SPAN_H_
+#define HORNSAFE_LANG_SOURCE_SPAN_H_
+
+namespace hornsafe {
+
+/// A position in the program source text, 1-based (the lexer's
+/// convention). Line 0 means "unknown" — the clause was built
+/// programmatically (tests, canonicalization) rather than parsed.
+///
+/// Spans are *metadata*: they never participate in equality or in the
+/// structural hashes (`r(X) :- f(X)` on line 3 and the same rule on
+/// line 7 are the same rule), so threading them through `Program` does
+/// not perturb the pipeline cache or duplicate detection.
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LANG_SOURCE_SPAN_H_

@@ -1,0 +1,396 @@
+#include "lint/lint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/fd.h"
+#include "lang/attr_set.h"
+#include "lang/struct_hash.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+
+namespace {
+
+/// "name/arity" rendering used in every message.
+std::string PredSig(const Program& p, PredicateId id) {
+  return StrCat(p.PredicateName(id), "/", p.predicate(id).arity);
+}
+
+/// Appends each variable's occurrences in `lit` to `*counts` and records
+/// first-occurrence order in `*order` (which may already contain some of
+/// them).
+void CountVars(const Program& p, const Literal& lit,
+               std::unordered_map<TermId, int>* counts,
+               std::vector<TermId>* order) {
+  std::vector<TermId> vars;
+  for (TermId a : lit.args) p.terms().CollectVariables(a, &vars);
+  for (TermId v : vars) {
+    if (++(*counts)[v] == 1 &&
+        std::find(order->begin(), order->end(), v) == order->end()) {
+      order->push_back(v);
+    }
+  }
+}
+
+// --- HS002: unbound head variables ------------------------------------
+//
+// A head variable that occurs nowhere else in the rule — neither in the
+// body nor a second time in the head — is never constrained by any
+// derivation, so the defined relation is infinite over any infinite
+// domain (range restriction). A repeated head occurrence is allowed:
+// `concat([], Z, Z).` (paper, Example 7) equates two head positions and
+// is handled by the safety analysis proper.
+void CheckUnboundHeadVars(const Program& p, std::vector<Diagnostic>* out) {
+  for (const Rule& rule : p.rules()) {
+    std::unordered_map<TermId, int> head_count, body_count;
+    std::vector<TermId> head_order, body_order;
+    CountVars(p, rule.head, &head_count, &head_order);
+    for (const Literal& b : rule.body) CountVars(p, b, &body_count, &body_order);
+    for (TermId v : head_order) {
+      if (head_count[v] == 1 && body_count[v] == 0) {
+        out->push_back(Diagnostic{
+            "HS002", Severity::kError, rule.head.span,
+            StrCat("head variable '",
+                   p.symbols().Name(p.terms().Get(v).symbol),
+                   "' in rule for '", PredSig(p, rule.head.pred),
+                   "' occurs nowhere else in the rule"),
+            "every head variable must be bound by a body literal or "
+            "repeated in the head (range restriction)"});
+      }
+    }
+  }
+}
+
+// --- HS010: singleton variables ---------------------------------------
+//
+// A named variable that occurs exactly once in a rule, in the body, is
+// usually a typo (a misspelt join variable silently weakens the join).
+// Underscore-prefixed names opt out — the parser renames each anonymous
+// `_` to a fresh `_Gn`, so those are exempt by construction. Queries are
+// exempt too: their singletons are the answer variables.
+void CheckSingletonVars(const Program& p, std::vector<Diagnostic>* out) {
+  for (const Rule& rule : p.rules()) {
+    std::unordered_map<TermId, int> head_count, body_count;
+    std::vector<TermId> head_order, body_order;
+    CountVars(p, rule.head, &head_count, &head_order);
+    for (const Literal& b : rule.body) CountVars(p, b, &body_count, &body_order);
+    for (TermId v : body_order) {
+      if (body_count[v] != 1 || head_count.count(v) != 0) continue;
+      const std::string& name = p.symbols().Name(p.terms().Get(v).symbol);
+      if (!name.empty() && name[0] == '_') continue;
+      out->push_back(Diagnostic{
+          "HS010", Severity::kWarning, rule.span,
+          StrCat("singleton variable '", name, "' in rule for '",
+                 PredSig(p, rule.head.pred), "'"),
+          "rename to '_' if the value is intentionally unused"});
+    }
+  }
+}
+
+// --- HS005: unconstrained infinite EDB predicates ---------------------
+//
+// An infinite base predicate with no finiteness dependencies and no
+// monotonicity constraints can never contribute a finiteness argument:
+// Algorithm 2 finds no determinant for any of its arguments and
+// Theorem 5 has no decreasing chain to bound, so every query that
+// reaches it through a free position is refused.
+void CheckUnconstrainedInfinite(const Program& p,
+                                std::vector<Diagnostic>* out) {
+  for (PredicateId id = 0; id < p.num_predicates(); ++id) {
+    if (!p.IsInfiniteBase(id)) continue;
+    if (!p.FdsFor(id).empty() || !p.MonosFor(id).empty()) continue;
+    out->push_back(Diagnostic{
+        "HS005", Severity::kWarning, p.predicate(id).span,
+        StrCat("infinite predicate '", PredSig(p, id),
+               "' has no finiteness dependencies or monotonicity "
+               "constraints"),
+        "no query through it can be proved safe; declare '.fd' or "
+        "'.mono' constraints"});
+  }
+}
+
+// --- HS006: monotonicity on unbounded positions -----------------------
+//
+// An attribute-vs-attribute constraint `i > j` only helps Theorem 5 if
+// the descending chain it induces is bounded: one of the two positions
+// must be finitely determined (appear on the right-hand side of some
+// declared dependency) or bounded by a constant constraint. Otherwise
+// the chain can descend forever and the declaration is dead weight.
+void CheckUnboundedMono(const Program& p, std::vector<Diagnostic>* out) {
+  for (const MonotonicityConstraint& mc : p.monos()) {
+    if (mc.kind != MonoKind::kAttrGreaterAttr) continue;
+    AttrSet bounded;
+    for (const FiniteDependency& fd : p.fds()) {
+      if (fd.pred == mc.pred) bounded = bounded.Union(fd.rhs);
+    }
+    for (const MonotonicityConstraint& other : p.monos()) {
+      if (other.pred == mc.pred && other.kind != MonoKind::kAttrGreaterAttr) {
+        bounded.Add(other.lhs_attr);
+      }
+    }
+    if (bounded.Contains(mc.lhs_attr) || bounded.Contains(mc.rhs_attr)) {
+      continue;
+    }
+    out->push_back(Diagnostic{
+        "HS006", Severity::kWarning, mc.span,
+        StrCat("monotonicity constraint on '", PredSig(p, mc.pred),
+               "' relates positions ", mc.lhs_attr + 1, " and ",
+               mc.rhs_attr + 1,
+               ", neither of which is bounded by any finiteness "
+               "dependency or constant bound"),
+        "Theorem 5 needs the decreasing chain bounded; add an '.fd' "
+        "whose right-hand side covers one of the positions, or a "
+        "'> const(c)' bound"});
+  }
+}
+
+// --- HS007: empty least fixpoints -------------------------------------
+//
+// Bottom-up productivity: base predicates are assumed non-empty; a
+// derived predicate is productive once some rule for it has an
+// all-productive body. Derived predicates that never become productive
+// have an empty least fixpoint — every derivation recurses (directly or
+// mutually) without a base case, so every query against them is
+// vacuously finite and almost certainly a mistake.
+void CheckEmptyFixpoint(const Program& p, std::vector<Diagnostic>* out) {
+  std::vector<char> productive(p.num_predicates(), 0);
+  for (PredicateId id = 0; id < p.num_predicates(); ++id) {
+    if (!p.IsDerived(id)) productive[id] = 1;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : p.rules()) {
+      if (productive[rule.head.pred]) continue;
+      bool all = true;
+      for (const Literal& b : rule.body) {
+        if (!productive[b.pred]) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        productive[rule.head.pred] = 1;
+        changed = true;
+      }
+    }
+  }
+  for (PredicateId id = 0; id < p.num_predicates(); ++id) {
+    if (!p.IsDerived(id) || productive[id]) continue;
+    out->push_back(Diagnostic{
+        "HS007", Severity::kWarning, p.predicate(id).span,
+        StrCat("derived predicate '", PredSig(p, id),
+               "' has an empty least fixpoint: every rule for it "
+               "recurses"),
+        "add a non-recursive base rule or facts for a predicate it "
+        "depends on"});
+  }
+}
+
+// --- HS008: duplicate rules -------------------------------------------
+//
+// Two rules that are alpha-equivalent (equal up to variable renaming;
+// StructuralRuleHash) derive exactly the same tuples, so the second is
+// dead weight — usually a copy-paste slip.
+void CheckDuplicateRules(const Program& p, std::vector<Diagnostic>* out) {
+  std::unordered_map<uint64_t, const Rule*> seen;
+  for (const Rule& rule : p.rules()) {
+    uint64_t h = StructuralRuleHash(p, rule);
+    auto [it, inserted] = seen.emplace(h, &rule);
+    if (inserted) continue;
+    std::string note;
+    if (it->second->span.valid()) {
+      note = StrCat("first occurrence at line ", it->second->span.line, ":",
+                    it->second->span.column);
+    }
+    out->push_back(Diagnostic{
+        "HS008", Severity::kWarning, rule.span,
+        StrCat("duplicate rule for '", PredSig(p, rule.head.pred),
+               "' (identical up to variable renaming)"),
+        note});
+  }
+}
+
+// --- HS009: predicates unreachable from any query ---------------------
+//
+// Reachability from the query roots down through rule bodies. Derived
+// predicates outside the reachable cone are never consulted by any
+// declared query — dead code in the program. Skipped entirely when the
+// program declares no queries (nothing to be reachable *from*).
+void CheckUnreachable(const Program& p, std::vector<Diagnostic>* out) {
+  if (p.queries().empty()) return;
+  std::vector<char> reached(p.num_predicates(), 0);
+  std::vector<PredicateId> stack;
+  for (const Literal& q : p.queries()) {
+    if (!reached[q.pred]) {
+      reached[q.pred] = 1;
+      stack.push_back(q.pred);
+    }
+  }
+  while (!stack.empty()) {
+    PredicateId top = stack.back();
+    stack.pop_back();
+    for (const Rule& rule : p.rules()) {
+      if (rule.head.pred != top) continue;
+      for (const Literal& b : rule.body) {
+        if (!reached[b.pred]) {
+          reached[b.pred] = 1;
+          stack.push_back(b.pred);
+        }
+      }
+    }
+  }
+  for (PredicateId id = 0; id < p.num_predicates(); ++id) {
+    if (!p.IsDerived(id) || reached[id]) continue;
+    out->push_back(Diagnostic{
+        "HS009", Severity::kWarning, p.predicate(id).span,
+        StrCat("derived predicate '", PredSig(p, id),
+               "' is unreachable from any query"),
+        ""});
+  }
+}
+
+// --- HS011: redundant finiteness dependencies -------------------------
+//
+// A dependency implied by the others over the same predicate (Armstrong
+// closure, Theorem 1) adds nothing to any analysis — the closure the
+// analyzer consults is identical without it.
+void CheckRedundantFds(const Program& p, std::vector<Diagnostic>* out) {
+  for (PredicateId id = 0; id < p.num_predicates(); ++id) {
+    std::vector<FiniteDependency> fds = p.FdsFor(id);
+    if (fds.size() < 2) continue;
+    for (size_t i = 0; i < fds.size(); ++i) {
+      if (!IsRedundant(fds, i)) continue;
+      out->push_back(Diagnostic{
+          "HS011", Severity::kNote, fds[i].span,
+          StrCat("finiteness dependency ", fds[i].lhs.ToString(), " -> ",
+                 fds[i].rhs.ToString(), " on '", PredSig(p, id),
+                 "' is implied by the other declared dependencies"),
+          ""});
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<LintCheckInfo>& LintChecks() {
+  static const std::vector<LintCheckInfo>* kChecks =
+      new std::vector<LintCheckInfo>{
+          {"HS001", Severity::kError,
+           "program text does not parse or load (lexer, parser, or "
+           "structural error)"},
+          {"HS002", Severity::kError,
+           "head variable occurs nowhere else in its rule (range "
+           "restriction)"},
+          {"HS003", Severity::kError,
+           "predicate arity exceeds the 64-argument analysis limit"},
+          {"HS004", Severity::kError,
+           "predicate has both stored facts and rules (EDB/IDB overlap)"},
+          {"HS005", Severity::kWarning,
+           "infinite EDB predicate has no finiteness dependencies or "
+           "monotonicity constraints"},
+          {"HS006", Severity::kWarning,
+           "monotonicity constraint relates positions no dependency or "
+           "constant ever bounds"},
+          {"HS007", Severity::kWarning,
+           "derived predicate has an empty least fixpoint (no "
+           "non-recursive derivation)"},
+          {"HS008", Severity::kWarning,
+           "duplicate rule, identical up to variable renaming"},
+          {"HS009", Severity::kWarning,
+           "derived predicate is unreachable from any query"},
+          {"HS010", Severity::kWarning,
+           "singleton variable in a rule body (possible typo)"},
+          {"HS011", Severity::kNote,
+           "finiteness dependency is implied by the others (redundant)"},
+      };
+  return *kChecks;
+}
+
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const LintOptions& options) {
+  std::vector<Diagnostic> out = program.ValidateDiagnostics();
+  CheckUnboundHeadVars(program, &out);
+  CheckUnconstrainedInfinite(program, &out);
+  CheckUnboundedMono(program, &out);
+  CheckEmptyFixpoint(program, &out);
+  CheckDuplicateRules(program, &out);
+  CheckUnreachable(program, &out);
+  CheckSingletonVars(program, &out);
+  CheckRedundantFds(program, &out);
+  if (!options.suppress.empty()) {
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [&](const Diagnostic& d) {
+                               return std::find(options.suppress.begin(),
+                                                options.suppress.end(),
+                                                d.code) !=
+                                      options.suppress.end();
+                             }),
+              out.end());
+  }
+  SortDiagnostics(&out);
+  return out;
+}
+
+Diagnostic DiagnosticFromStatus(const Status& status) {
+  Diagnostic d;
+  d.code = "HS001";
+  d.severity = Severity::kError;
+  d.message = status.message();
+  // ParseProgram validates before returning, so the structural errors
+  // surface here as a failed load; recover their own codes from the
+  // Validate message wording (pinned by lint_test) so one error surface
+  // still distinguishes them.
+  if (status.code() == StatusCode::kInvalidProgram) {
+    if (d.message.find("arguments are supported") != std::string::npos) {
+      d.code = "HS003";
+    } else if (d.message.find("EDB and IDB") != std::string::npos) {
+      d.code = "HS004";
+    }
+  }
+  // Parser and validator errors conventionally start "line L:C: ";
+  // recover the span and strip the prefix so it is not printed twice.
+  const std::string& m = status.message();
+  if (m.rfind("line ", 0) == 0) {
+    const char* s = m.c_str() + 5;
+    char* end = nullptr;
+    long line = std::strtol(s, &end, 10);
+    if (end != s && *end == ':') {
+      const char* s2 = end + 1;
+      long col = std::strtol(s2, &end, 10);
+      if (end != s2 && end[0] == ':' && end[1] == ' ' && line > 0) {
+        d.span = SourceSpan{static_cast<int>(line), static_cast<int>(col)};
+        d.message = std::string(end + 2);
+      }
+    }
+  }
+  return d;
+}
+
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diags) {
+  Json arr = Json::Array();
+  for (const Diagnostic& d : diags) {
+    Json item = Json::Object();
+    item.Set("code", d.code);
+    item.Set("severity", SeverityName(d.severity));
+    item.Set("line", static_cast<int64_t>(d.span.line));
+    item.Set("column", static_cast<int64_t>(d.span.column));
+    item.Set("message", d.message);
+    if (!d.note.empty()) item.Set("note", d.note);
+    arr.Append(std::move(item));
+  }
+  Json out = Json::Object();
+  out.Set("diagnostics", std::move(arr));
+  out.Set("errors",
+          static_cast<int64_t>(CountSeverity(diags, Severity::kError)));
+  out.Set("warnings",
+          static_cast<int64_t>(CountSeverity(diags, Severity::kWarning)));
+  out.Set("notes",
+          static_cast<int64_t>(CountSeverity(diags, Severity::kNote)));
+  return out;
+}
+
+}  // namespace hornsafe

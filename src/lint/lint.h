@@ -1,0 +1,62 @@
+#ifndef HORNSAFE_LINT_LINT_H_
+#define HORNSAFE_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lang/diagnostic.h"
+#include "lang/program.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// Options for `LintProgram`.
+struct LintOptions {
+  /// Diagnostic codes to suppress, exact match (e.g. "HS010").
+  std::vector<std::string> suppress;
+};
+
+/// Descriptor of one registered check: its code, the severity it emits
+/// at, and a one-line summary (the docs/SYNTAX.md table is generated
+/// from the same wording and pinned by a test).
+struct LintCheckInfo {
+  const char* code;
+  Severity severity;
+  const char* summary;
+};
+
+/// Every diagnostic code the toolchain can emit, ordered by code. This
+/// includes the codes produced outside `LintProgram` proper: HS001
+/// (parse errors, via `DiagnosticFromStatus`) and HS003/HS004
+/// (structural validation, via `Program::ValidateDiagnostics`).
+const std::vector<LintCheckInfo>& LintChecks();
+
+/// Runs every advisory check plus the structural validations
+/// (`Program::ValidateDiagnostics`) over `program` and returns the
+/// merged diagnostic list in source order. Purely observational: never
+/// mutates the program, and programs with warnings still analyze to the
+/// same verdicts.
+std::vector<Diagnostic> LintProgram(const Program& program,
+                                    const LintOptions& options = {});
+
+/// Wraps a parse/validate failure `Status` as an HS001 error
+/// diagnostic, recovering the span from the conventional
+/// "line L:C: " message prefix when present.
+Diagnostic DiagnosticFromStatus(const Status& status);
+
+/// JSON rendering shared by `hornsafe lint --json` and the serve `lint`
+/// method (schema documented in core/server.h):
+///
+///   {"diagnostics": [{"code": "HS005", "severity": "warning",
+///                     "line": 3, "column": 1, "message": "...",
+///                     "note": "..."}, ...],
+///    "errors": E, "warnings": W, "notes": N}
+///
+/// "note" is omitted when empty; "line"/"column" are 0 for diagnostics
+/// with no source position.
+Json DiagnosticsToJson(const std::vector<Diagnostic>& diags);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_LINT_LINT_H_

@@ -41,6 +41,10 @@ class LexerImpl {
     std::vector<Token> out;
     while (true) {
       SkipWhitespaceAndComments();
+      // Tokens carry the position of their FIRST character (diagnostics
+      // point at the start of the offending token, as editors expect).
+      tok_line_ = line_;
+      tok_column_ = column_;
       if (AtEnd()) {
         out.push_back(Make(TokenKind::kEof));
         return out;
@@ -83,8 +87,8 @@ class LexerImpl {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
-    t.line = line_;
-    t.column = column_;
+    t.line = tok_line_;
+    t.column = tok_column_;
     return t;
   }
 
@@ -200,6 +204,9 @@ class LexerImpl {
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
+  /// Position of the first character of the token being lexed.
+  int tok_line_ = 1;
+  int tok_column_ = 1;
 };
 
 }  // namespace

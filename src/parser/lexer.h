@@ -36,7 +36,8 @@ enum class TokenKind : uint8_t {
 /// Printable name of a token kind, for error messages.
 const char* TokenKindName(TokenKind kind);
 
-/// One lexed token with its source position (1-based line/column).
+/// One lexed token with its source position (1-based line/column of the
+/// token's first character).
 struct Token {
   TokenKind kind = TokenKind::kEof;
   std::string text;      // identifier spelling or quoted-atom contents

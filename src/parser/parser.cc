@@ -10,6 +10,19 @@ namespace hornsafe {
 
 namespace {
 
+/// The position of `t` as a span.
+SourceSpan SpanOf(const Token& t) { return SourceSpan{t.line, t.column}; }
+
+/// Prefixes an error status's message with `span`'s position, keeping
+/// the code. `Program::Add*` errors carry no positions of their own;
+/// the parser attaches the offending clause's here so that every error
+/// escaping ParseProgram names a source location.
+Status AtSpan(SourceSpan span, Status status) {
+  if (status.ok() || !span.valid()) return status;
+  return Status(status.code(), StrCat("line ", span.line, ":", span.column,
+                                      ": ", status.message()));
+}
+
 class ParserImpl {
  public:
   ParserImpl(std::vector<Token> tokens, Program* program)
@@ -25,11 +38,15 @@ class ParserImpl {
     // EDB/IDB partition stays disjoint (paper, Section 1).
     std::vector<Literal> facts = program_->TakeFacts();
     for (Literal& f : facts) {
+      SourceSpan span = f.span;
       if (program_->IsDerived(f.pred)) {
+        Rule rule{std::move(f), {}};
+        rule.span = span;
         HORNSAFE_RETURN_IF_ERROR(
-            program_->AddRule(Rule{std::move(f), {}}));
+            AtSpan(span, program_->AddRule(std::move(rule))));
       } else {
-        HORNSAFE_RETURN_IF_ERROR(program_->AddFact(std::move(f)));
+        HORNSAFE_RETURN_IF_ERROR(
+            AtSpan(span, program_->AddFact(std::move(f))));
       }
     }
     return program_->Validate();
@@ -70,24 +87,36 @@ class ParserImpl {
 
   Status ParseItem() {
     if (Check(TokenKind::kDirective)) return ParseDirective();
-    if (Match(TokenKind::kQuery)) return ParseQuery();
+    if (Check(TokenKind::kQuery)) {
+      SourceSpan span = SpanOf(Peek());
+      Advance();
+      return ParseQuery(span);
+    }
     return ParseClause();
   }
 
   // --- Directives -------------------------------------------------------
 
   Status ParseDirective() {
+    const Token& tok = Peek();
+    SourceSpan span = SpanOf(tok);
     std::string name = Advance().text;
     if (name == "infinite" || name == "finite") {
       return ParsePredicateDecl(name == "infinite");
     }
-    if (name == "fd") return ParseFdDecl();
-    if (name == "mono") return ParseMonoDecl();
-    return Error(StrCat("unknown directive '.", name, "'"));
+    if (name == "fd") return ParseFdDecl(span);
+    if (name == "mono") return ParseMonoDecl(span);
+    // Point at the directive itself, not the token after it.
+    return AtSpan(span,
+                  Status::ParseError(StrCat("unknown directive '.", name,
+                                            "'; expected .infinite, .finite, "
+                                            ".fd or .mono")));
   }
 
   Status ParsePredicateDecl(bool infinite) {
     if (!Check(TokenKind::kAtom)) return Error("expected predicate name");
+    const Token& name_tok = Peek();
+    SourceSpan span = SpanOf(name_tok);
     std::string pred_name = Advance().text;
     HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kSlash, "'/'"));
     if (!Check(TokenKind::kInt)) return Error("expected arity");
@@ -97,27 +126,29 @@ class ParserImpl {
     }
     PredicateId pred = program_->InternPredicate(
         pred_name, static_cast<uint32_t>(arity));
+    program_->SetPredicateSpan(pred, span);
     if (infinite) {
-      HORNSAFE_RETURN_IF_ERROR(program_->DeclareInfinite(pred));
+      HORNSAFE_RETURN_IF_ERROR(AtSpan(span, program_->DeclareInfinite(pred)));
     }
     return Expect(TokenKind::kPeriod, "'.' after declaration");
   }
 
   /// `.fd pred: 1 2 -> 3.` — attribute positions are 1-based in the
   /// surface syntax, matching the paper's convention.
-  Status ParseFdDecl() {
+  Status ParseFdDecl(SourceSpan span) {
     HORNSAFE_ASSIGN_OR_RETURN(PredicateId pred, ParseConstraintHead());
     HORNSAFE_ASSIGN_OR_RETURN(AttrSet lhs, ParseAttrList(pred));
     HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kArrow, "'->'"));
     HORNSAFE_ASSIGN_OR_RETURN(AttrSet rhs, ParseAttrList(pred));
-    HORNSAFE_RETURN_IF_ERROR(
-        program_->AddFiniteDependency(FiniteDependency{pred, lhs, rhs}));
+    FiniteDependency fd{pred, lhs, rhs};
+    fd.span = span;
+    HORNSAFE_RETURN_IF_ERROR(AtSpan(span, program_->AddFiniteDependency(fd)));
     return Expect(TokenKind::kPeriod, "'.' after finiteness dependency");
   }
 
   /// `.mono pred: i > j.` | `.mono pred: i > const(c).` |
   /// `.mono pred: i < const(c).`
-  Status ParseMonoDecl() {
+  Status ParseMonoDecl(SourceSpan span) {
     HORNSAFE_ASSIGN_OR_RETURN(PredicateId pred, ParseConstraintHead());
     HORNSAFE_ASSIGN_OR_RETURN(uint32_t lhs, ParseAttrIndex(pred));
     bool greater;
@@ -131,6 +162,7 @@ class ParserImpl {
     MonotonicityConstraint mc;
     mc.pred = pred;
     mc.lhs_attr = lhs;
+    mc.span = span;
     if (Check(TokenKind::kAtom) && Peek().text == "const") {
       Advance();
       HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
@@ -148,7 +180,7 @@ class ParserImpl {
       mc.kind = MonoKind::kAttrGreaterAttr;
       mc.rhs_attr = rhs;
     }
-    HORNSAFE_RETURN_IF_ERROR(program_->AddMonotonicity(mc));
+    HORNSAFE_RETURN_IF_ERROR(AtSpan(span, program_->AddMonotonicity(mc)));
     return Expect(TokenKind::kPeriod, "'.' after monotonicity constraint");
   }
 
@@ -214,6 +246,7 @@ class ParserImpl {
   // --- Clauses and queries ----------------------------------------------
 
   Status ParseClause() {
+    SourceSpan span = SpanOf(Peek());
     HORNSAFE_ASSIGN_OR_RETURN(Literal head, ParseLiteral());
     std::vector<Literal> body;
     if (Match(TokenKind::kImplies)) {
@@ -222,16 +255,18 @@ class ParserImpl {
     HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after clause"));
     if (body.empty() && IsGroundLiteral(head) &&
         !program_->IsDerived(head.pred)) {
-      return program_->AddFact(std::move(head));
+      return AtSpan(span, program_->AddFact(std::move(head)));
     }
-    return program_->AddRule(Rule{std::move(head), std::move(body)});
+    Rule rule{std::move(head), std::move(body)};
+    rule.span = span;
+    return AtSpan(span, program_->AddRule(std::move(rule)));
   }
 
-  Status ParseQuery() {
+  Status ParseQuery(SourceSpan span) {
     HORNSAFE_ASSIGN_OR_RETURN(std::vector<Literal> lits, ParseLiteralList());
     HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kPeriod, "'.' after query"));
     if (lits.size() == 1) {
-      return program_->AddQuery(std::move(lits[0]));
+      return AtSpan(span, program_->AddQuery(std::move(lits[0])));
     }
     // Conjunctive query: introduce a fresh derived predicate over the
     // conjunction's distinct variables (Example 6 construction).
@@ -246,9 +281,13 @@ class ParserImpl {
     SymbolId qname = program_->symbols().InternFresh("query");
     PredicateId qpred = program_->InternPredicate(
         qname, static_cast<uint32_t>(vars.size()));
+    program_->SetPredicateSpan(qpred, span);
     Literal qhead{qpred, vars};
-    HORNSAFE_RETURN_IF_ERROR(program_->AddRule(Rule{qhead, std::move(lits)}));
-    return program_->AddQuery(std::move(qhead));
+    qhead.span = span;
+    Rule qrule{qhead, std::move(lits)};
+    qrule.span = span;
+    HORNSAFE_RETURN_IF_ERROR(AtSpan(span, program_->AddRule(std::move(qrule))));
+    return AtSpan(span, program_->AddQuery(std::move(qhead)));
   }
 
   Result<std::vector<Literal>> ParseLiteralList() {
@@ -262,6 +301,7 @@ class ParserImpl {
 
   Result<Literal> ParseLiteral() {
     if (!Check(TokenKind::kAtom)) return Error("expected predicate name");
+    SourceSpan span = SpanOf(Peek());
     std::string name = Advance().text;
     std::vector<TermId> args;
     if (Match(TokenKind::kLParen)) {
@@ -271,7 +311,10 @@ class ParserImpl {
       } while (Match(TokenKind::kComma));
       HORNSAFE_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
     }
-    return program_->MakeLiteral(name, std::move(args));
+    Literal lit = program_->MakeLiteral(name, std::move(args));
+    lit.span = span;
+    program_->SetPredicateSpan(lit.pred, span);
+    return lit;
   }
 
   Result<TermId> ParseTerm() {

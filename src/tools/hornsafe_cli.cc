@@ -16,6 +16,8 @@
 //                               query-irrelevant clauses removed
 //   hornsafe explain <file> <literal>
 //                               derivation trees for the literal's answers
+//   hornsafe lint <file>        static diagnostics (HS001..HS011) with
+//                               source positions; --json for tooling
 //   hornsafe repl <file>        interactive: analyze + evaluate queries
 //                               read from stdin
 //   hornsafe serve [file]       long-lived analysis server: one JSON
@@ -23,7 +25,8 @@
 //                               per stdout line (or over --socket)
 //
 // Exit status: 0 on success, 1 on usage/parse errors, 2 when `check`
-// finds an unsafe or undecided query.
+// finds an unsafe or undecided query or `lint` reports an error-severity
+// diagnostic.
 
 #include <cctype>
 #include <cstdio>
@@ -45,6 +48,7 @@
 #include "core/termination.h"
 #include "eval/bottomup.h"
 #include "eval/engine.h"
+#include "lint/lint.h"
 #include "parser/parser.h"
 #include "transform/simplify.h"
 #include "util/json.h"
@@ -78,6 +82,10 @@ struct CliFlags {
   long workers = 1;
   /// serve: unix-domain socket path (empty = stdin/stdout).
   std::string socket_path;
+  /// lint: emit machine-readable JSON instead of file:line:col text.
+  bool json = false;
+  /// lint: comma-separated diagnostic codes to suppress.
+  std::string suppress;
 };
 
 CliFlags g_flags;
@@ -98,6 +106,8 @@ int Usage() {
                "clauses\n"
                "  explain <file> <literal>     derivation trees for the "
                "literal's answers\n"
+               "  lint <file>                  static diagnostics with "
+               "source positions (see docs/SYNTAX.md for the codes)\n"
                "  repl <file>                  interactive query loop over "
                "the program\n"
                "  serve [file]                 line-delimited JSON analysis "
@@ -107,6 +117,11 @@ int Usage() {
                "worker threads (default 1; 0 = all hardware threads)\n"
                "  --stats                      print analysis counters "
                "(check) or fixpoint statistics per query (run/repl)\n"
+               "flags (lint):\n"
+               "  --json                       one JSON object on stdout "
+               "instead of file:line:col lines\n"
+               "  --suppress CODES             comma-separated diagnostic "
+               "codes to silence (e.g. HS009,HS010)\n"
                "flags (check/serve):\n"
                "  --cache-dir DIR              persist the pipeline cache "
                "under DIR; warm re-checks of unchanged cones skip their "
@@ -216,12 +231,80 @@ void PrintCacheStats(const PipelineCache& cache) {
       static_cast<unsigned long long>(s.emptiness_misses));
 }
 
+/// Prints the merged lint diagnostics for `program` to stdout, one per
+/// line with `path` as the file prefix.
+void PrintLintDiagnostics(const Program& program, const char* path) {
+  for (const Diagnostic& d : LintProgram(program)) {
+    std::printf("%s\n", FormatDiagnosticWithNote(d, path).c_str());
+  }
+}
+
+/// Parses the --suppress flag's comma-separated code list.
+LintOptions LintOptionsFromFlags() {
+  LintOptions options;
+  const std::string& spec = g_flags.suppress;
+  for (size_t pos = 0; pos < spec.size();) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    if (comma > pos) options.suppress.push_back(spec.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return options;
+}
+
+int CmdLint(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open '%s'\n", path);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  // A load failure is itself a diagnostic (HS001/HS003/HS004) rather
+  // than a bare error print: editors consume lint output uniformly.
+  std::vector<Diagnostic> diags;
+  auto parsed = ParseProgram(buffer.str());
+  if (!parsed.ok()) {
+    diags.push_back(DiagnosticFromStatus(parsed.status()));
+  } else {
+    Program program = std::move(parsed).value();
+    // Same contract as `check`: the advisory checks must see the
+    // constraints of any standard builtin the program references, or
+    // e.g. plus/3 would be flagged as an unconstrained predicate.
+    BuiltinRegistry referenced;
+    if (Status st = RegisterReferencedStandardBuiltins(&program, &referenced);
+        !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    diags = LintProgram(program, LintOptionsFromFlags());
+  }
+  if (g_flags.json) {
+    std::printf("%s\n", DiagnosticsToJson(diags).Dump().c_str());
+  } else if (diags.empty()) {
+    std::printf("%s: clean\n", path);
+  } else {
+    for (const Diagnostic& d : diags) {
+      std::printf("%s\n", FormatDiagnosticWithNote(d, path).c_str());
+    }
+    std::printf("%zu error(s), %zu warning(s), %zu note(s)\n",
+                CountSeverity(diags, Severity::kError),
+                CountSeverity(diags, Severity::kWarning),
+                CountSeverity(diags, Severity::kNote));
+  }
+  return CountSeverity(diags, Severity::kError) > 0 ? 2 : 0;
+}
+
 int CmdCheck(const char* path) {
   auto parsed = Load(path);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
     return 1;
   }
+  // Advisory diagnostics first, on the program as written (spans refer
+  // to the source text, not the canonical form). Purely informational:
+  // verdicts and exit status are unaffected.
+  PrintLintDiagnostics(*parsed, path);
   // Memory-only cache by default (useful when several queries share
   // cones); --cache-dir adds the persistent tier so warm re-checks skip
   // unchanged cones; --no-cache disables caching outright.
@@ -670,6 +753,22 @@ bool ParseFlags(int* argc, char** argv) {
       g_flags.shed = true;
       continue;
     }
+    if (std::strcmp(arg, "--json") == 0) {
+      g_flags.json = true;
+      continue;
+    }
+    if (std::strncmp(arg, "--suppress=", 11) == 0) {
+      g_flags.suppress = arg + 11;
+      continue;
+    }
+    if (std::strcmp(arg, "--suppress") == 0) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "--suppress requires a code list\n");
+        return false;
+      }
+      g_flags.suppress = argv[++i];
+      continue;
+    }
     if (std::strncmp(arg, "--socket=", 9) == 0) {
       g_flags.socket_path = arg + 9;
       continue;
@@ -745,6 +844,7 @@ int Main(int argc, char** argv) {
   if (std::strcmp(cmd, "report") == 0) return CmdReport(argv[2]);
   if (std::strcmp(cmd, "dot") == 0) return CmdDot(argv[2]);
   if (std::strcmp(cmd, "simplify") == 0) return CmdSimplify(argv[2]);
+  if (std::strcmp(cmd, "lint") == 0) return CmdLint(argv[2]);
   if (std::strcmp(cmd, "repl") == 0) return CmdRepl(argv[2]);
   if (std::strcmp(cmd, "explain") == 0) {
     if (argc < 4) return Usage();

@@ -37,6 +37,8 @@ const char* FaultKindName(FaultKind k) {
 FaultInjector& FaultInjector::Global() {
   static FaultInjector* injector = [] {
     auto* inj = new FaultInjector();
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): read once, inside the
+    // magic-static initializer, before any worker threads exist.
     if (const char* spec = std::getenv("HORNSAFE_FAULTS")) {
       inj->Configure(spec);
     }

@@ -174,7 +174,7 @@ class Result {
 #define HORNSAFE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
   auto tmp = (rexpr);                                    \
   if (!tmp.ok()) return tmp.status();                    \
-  lhs = std::move(tmp).value()
+  lhs = std::move(tmp).value()  // NOLINT(bugprone-macro-parentheses): lhs may declare a variable
 
 }  // namespace hornsafe
 

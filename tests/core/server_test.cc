@@ -426,5 +426,91 @@ TEST(ServerTest, CheckWithProgramDoesNotReplaceServedProgram) {
             std::string(StatusCodeName(StatusCode::kNotFound)));
 }
 
+std::string LintRequest(int id, const std::string& program) {
+  Json req = Json::Object();
+  req.Set("id", int64_t{id});
+  req.Set("method", "lint");
+  req.Set("program", program);
+  return req.Dump();
+}
+
+TEST(ServerTest, LintReturnsSchemaConformingDiagnostics) {
+  // Field names here are the documented schema (src/core/server.h);
+  // renaming any of them is a protocol break this test pins.
+  Server server(ServerOptions{});
+  Json reply = MustParseReply(server.HandleLine(
+      LintRequest(1, ".infinite f/1.\nr(X) :- f(X).\n?- r(X).\n")));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  EXPECT_EQ(reply["id"].AsInt(), 1);
+  const Json& result = reply["result"];
+  ASSERT_TRUE(result["diagnostics"].is_array()) << reply.Dump();
+  EXPECT_TRUE(result["errors"].is_number());
+  EXPECT_TRUE(result["warnings"].is_number());
+  EXPECT_TRUE(result["notes"].is_number());
+  ASSERT_EQ(result["diagnostics"].size(), 1u);  // HS005 on f/1
+  const Json& diag = result["diagnostics"].items()[0];
+  EXPECT_EQ(diag["code"].AsString(), "HS005");
+  EXPECT_EQ(diag["severity"].AsString(), "warning");
+  EXPECT_EQ(diag["line"].AsInt(), 1);
+  EXPECT_EQ(diag["column"].AsInt(), 11);
+  EXPECT_TRUE(diag["message"].is_string());
+  EXPECT_TRUE(diag["note"].is_string());  // HS005 carries a fix hint
+  EXPECT_EQ(result["warnings"].AsInt(), 1);
+  EXPECT_EQ(result["errors"].AsInt(), 0);
+}
+
+TEST(ServerTest, LintOfCleanProgramIsEmpty) {
+  Server server(ServerOptions{});
+  Json reply =
+      MustParseReply(server.HandleLine(LintRequest(2, kSafeProgram)));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  EXPECT_EQ(reply["result"]["diagnostics"].size(), 0u);
+  EXPECT_EQ(reply["result"]["warnings"].AsInt(), 0);
+}
+
+TEST(ServerTest, LintOfUnparsableProgramIsAnOkReplyWithHs001) {
+  // Unlike check, lint treats a parse failure as a *finding*: the reply
+  // is ok and the failure is an HS001 error diagnostic with position.
+  Server server(ServerOptions{});
+  Json reply = MustParseReply(
+      server.HandleLine(LintRequest(3, "p(X) :-\n  q(,X).\n")));
+  ASSERT_TRUE(reply["ok"].AsBool()) << reply.Dump();
+  const Json& diags = reply["result"]["diagnostics"];
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags.items()[0]["code"].AsString(), "HS001");
+  EXPECT_EQ(diags.items()[0]["severity"].AsString(), "error");
+  EXPECT_EQ(diags.items()[0]["line"].AsInt(), 2);
+  EXPECT_EQ(reply["result"]["errors"].AsInt(), 1);
+}
+
+TEST(ServerTest, LintWithoutProgramIsAnErrorReply) {
+  Server server(ServerOptions{});
+  Json reply =
+      MustParseReply(server.HandleLine("{\"id\":4,\"method\":\"lint\"}"));
+  EXPECT_FALSE(reply["ok"].AsBool());
+  EXPECT_TRUE(reply["error"]["message"].is_string());
+}
+
+TEST(ServerTest, LintDoesNotDisturbServedProgram) {
+  Server server(ServerOptions{});
+  Json update = Json::Object();
+  update.Set("id", int64_t{1});
+  update.Set("method", "update");
+  update.Set("program", kSafeProgram);
+  ASSERT_TRUE(MustParseReply(server.HandleLine(update.Dump()))["ok"]
+                  .AsBool());
+  ASSERT_TRUE(MustParseReply(
+                  server.HandleLine(LintRequest(2, "loop(X) :- loop(X).")))
+                  ["ok"]
+                      .AsBool());
+  // The served program still answers predicate-targeted checks.
+  Json targeted = Json::Object();
+  targeted.Set("id", int64_t{3});
+  targeted.Set("method", "check");
+  targeted.Set("predicate", "r/1");
+  Json served = MustParseReply(server.HandleLine(targeted.Dump()));
+  ASSERT_TRUE(served["ok"].AsBool()) << served.Dump();
+}
+
 }  // namespace
 }  // namespace hornsafe

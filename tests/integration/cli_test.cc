@@ -291,6 +291,61 @@ TEST(CliTest, CacheDirFlagRequiresValue) {
       << r.output;
 }
 
+TEST(CliTest, LintCleanProgramSaysClean) {
+  CliResult r = RunCli(StrCat("lint ", ProgramPath("ancestor.hs")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find(": clean"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, LintWarningsExitZeroWithSummary) {
+  CliResult r = RunCli(StrCat("lint ", ProgramPath("lint_showcase.hs")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("warning[HS005]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("note[HS011]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 error(s), 7 warning(s), 1 note(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, LintErrorsExitTwo) {
+  CliResult r = RunCli(StrCat("lint ", ProgramPath("lint_errors.hs")));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("error[HS002]"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, LintSuppressSilencesListedCodes) {
+  CliResult r = RunCli(StrCat(
+      "lint --suppress HS005,HS006,HS007,HS008,HS009,HS010,HS011 ",
+      ProgramPath("lint_showcase.hs")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find(": clean"), std::string::npos) << r.output;
+}
+
+TEST(CliTest, LintJsonIsParseableShape) {
+  CliResult r =
+      RunCli(StrCat("lint --json ", ProgramPath("lint_showcase.hs")));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("warning["), std::string::npos);  // json only
+  EXPECT_NE(r.output.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"code\":\"HS005\""), std::string::npos)
+      << r.output;
+}
+
+TEST(CliTest, CheckSurfacesLintWarningsWithoutChangingVerdicts) {
+  // check prints advisory lint findings before the analysis report; the
+  // verdict text and exit code stay exactly what the analyzer decides.
+  CliResult r =
+      RunCli(StrCat("check ", ProgramPath("unsafe_projection.hs")));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("warning[HS005]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("unsafe"), std::string::npos);
+  // A clean program's check output carries no lint chatter.
+  CliResult clean = RunCli(StrCat("check ", ProgramPath("ancestor.hs")));
+  EXPECT_EQ(clean.exit_code, 0);
+  EXPECT_EQ(clean.output.find("warning["), std::string::npos)
+      << clean.output;
+}
+
 TEST(CliTest, WeightedPathsMembershipRuns) {
   CliResult r = RunCli(StrCat("run ", ProgramPath("weighted_paths.hs")));
   EXPECT_EQ(r.exit_code, 0) << r.output;

@@ -108,6 +108,24 @@ void WriteRequests(const std::string& path, bool with_shutdown = true) {
     } else if (i % 10 == 5) {
       req.Set("method", "explain");
       req.Set("program", ProgramVariant((i / 10) % 5));
+    } else if (i % 10 == 9) {
+      // ~10% lint traffic, cycling clean / warning-laden / unparsable
+      // programs: diagnostics are a pure function of the request text,
+      // so they must be identical under faults and across workers.
+      req.Set("method", "lint");
+      switch ((i / 10) % 3) {
+        case 0:
+          req.Set("program", ProgramVariant((i / 10) % 5));
+          break;
+        case 1:
+          req.Set("program",
+                  ".infinite osc/2.\nloop(X) :- loop(X).\n"
+                  "w(X) :- osc(X, Extra).\n?- w(a).\n");
+          break;
+        default:
+          req.Set("program", "p(X) :-\n  q(,X).\n");  // HS001 path
+          break;
+      }
     } else {
       req.Set("method", "check");
       req.Set("program", ProgramVariant((i / 7) % 5));
@@ -164,6 +182,14 @@ std::string VerdictProjection(const std::string& line,
       proj.Set("dirty", reply["result"]["dirty_predicates"]);
       proj.Set("clean", reply["result"]["clean_predicates"]);
     }
+  }
+  // Lint replies: diagnostics never touch the disk tier or the served
+  // snapshot, so the whole payload is comparable verbatim.
+  if (reply["result"]["diagnostics"].is_array()) {
+    proj.Set("diagnostics", reply["result"]["diagnostics"]);
+    proj.Set("errors", reply["result"]["errors"]);
+    proj.Set("warnings", reply["result"]["warnings"]);
+    proj.Set("notes", reply["result"]["notes"]);
   }
   return proj.Dump();
 }

@@ -1,0 +1,101 @@
+#include "lang/diagnostic.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace hornsafe {
+namespace {
+
+TEST(DiagnosticTest, SeverityNames) {
+  EXPECT_STREQ(SeverityName(Severity::kNote), "note");
+  EXPECT_STREQ(SeverityName(Severity::kWarning), "warning");
+  EXPECT_STREQ(SeverityName(Severity::kError), "error");
+}
+
+TEST(DiagnosticTest, FormatWithFileAndSpan) {
+  Diagnostic d{"HS005", Severity::kWarning, SourceSpan{7, 11},
+               "infinite predicate 'osc/2' has no constraints", ""};
+  EXPECT_EQ(FormatDiagnostic(d, "prog.hs"),
+            "prog.hs:7:11: warning[HS005]: infinite predicate 'osc/2' has "
+            "no constraints");
+}
+
+TEST(DiagnosticTest, FormatOmitsEmptyFile) {
+  Diagnostic d{"HS002", Severity::kError, SourceSpan{3, 1}, "bad head", ""};
+  EXPECT_EQ(FormatDiagnostic(d, ""), "3:1: error[HS002]: bad head");
+}
+
+TEST(DiagnosticTest, FormatOmitsInvalidSpan) {
+  Diagnostic d{"HS001", Severity::kError, SourceSpan{}, "unreadable", ""};
+  EXPECT_EQ(FormatDiagnostic(d, "prog.hs"),
+            "prog.hs: error[HS001]: unreadable");
+}
+
+TEST(DiagnosticTest, FormatWithNoteAppendsSecondLine) {
+  Diagnostic d{"HS008", Severity::kWarning, SourceSpan{27, 1},
+               "duplicate rule", "first occurrence at line 23:1"};
+  EXPECT_EQ(FormatDiagnosticWithNote(d, "p.hs"),
+            "p.hs:27:1: warning[HS008]: duplicate rule\n"
+            "  note: first occurrence at line 23:1");
+  d.note.clear();
+  EXPECT_EQ(FormatDiagnosticWithNote(d, "p.hs"),
+            "p.hs:27:1: warning[HS008]: duplicate rule");
+}
+
+TEST(DiagnosticTest, SortOrdersByPositionThenCode) {
+  std::vector<Diagnostic> diags{
+      {"HS009", Severity::kWarning, SourceSpan{5, 1}, "b", ""},
+      {"HS007", Severity::kWarning, SourceSpan{5, 1}, "a", ""},
+      {"HS002", Severity::kError, SourceSpan{2, 9}, "c", ""},
+      {"HS002", Severity::kError, SourceSpan{2, 3}, "d", ""},
+  };
+  SortDiagnostics(&diags);
+  EXPECT_EQ(diags[0].message, "d");
+  EXPECT_EQ(diags[1].message, "c");
+  EXPECT_EQ(diags[2].code, "HS007");
+  EXPECT_EQ(diags[3].code, "HS009");
+}
+
+TEST(DiagnosticTest, SortIsStableForIdenticalKeys) {
+  // Two diagnostics with equal (span, code, message) keep their relative
+  // order — golden output must not depend on the sort implementation.
+  std::vector<Diagnostic> diags{
+      {"HS010", Severity::kWarning, SourceSpan{1, 1}, "same", "first"},
+      {"HS010", Severity::kWarning, SourceSpan{1, 1}, "same", "second"},
+  };
+  SortDiagnostics(&diags);
+  EXPECT_EQ(diags[0].note, "first");
+  EXPECT_EQ(diags[1].note, "second");
+}
+
+TEST(DiagnosticTest, SpanlessSortsBeforePositioned) {
+  std::vector<Diagnostic> diags{
+      {"HS005", Severity::kWarning, SourceSpan{1, 1}, "positioned", ""},
+      {"HS001", Severity::kError, SourceSpan{}, "global", ""},
+  };
+  SortDiagnostics(&diags);
+  EXPECT_EQ(diags[0].message, "global");
+}
+
+TEST(DiagnosticTest, CountSeverityCountsExactMatches) {
+  std::vector<Diagnostic> diags{
+      {"HS002", Severity::kError, {}, "", ""},
+      {"HS005", Severity::kWarning, {}, "", ""},
+      {"HS010", Severity::kWarning, {}, "", ""},
+      {"HS011", Severity::kNote, {}, "", ""},
+  };
+  EXPECT_EQ(CountSeverity(diags, Severity::kError), 1u);
+  EXPECT_EQ(CountSeverity(diags, Severity::kWarning), 2u);
+  EXPECT_EQ(CountSeverity(diags, Severity::kNote), 1u);
+}
+
+TEST(DiagnosticTest, SpanValidity) {
+  EXPECT_FALSE(SourceSpan{}.valid());
+  EXPECT_TRUE((SourceSpan{1, 1}).valid());
+  EXPECT_TRUE((SourceSpan{3, 0}).valid());  // column unknown is still a line
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,138 @@
+// Golden-file tests for `hornsafe lint` over the shipped example
+// programs: the text and JSON renderings are pinned byte-for-byte, and
+// every example outside the intentional lint fixtures must be clean.
+//
+// To regenerate after an intentional output change:
+//   cd examples/programs && hornsafe lint <file>        > ../../tests/lint/golden/<stem>.lint.txt
+//   cd examples/programs && hornsafe lint --json <file> > ../../tests/lint/golden/<stem>.lint.json
+// (run from the programs directory so diagnostics carry bare filenames).
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/strings.h"
+
+#ifndef HORNSAFE_CLI_PATH
+#error "HORNSAFE_CLI_PATH must be defined by the build"
+#endif
+#ifndef HORNSAFE_PROGRAMS_DIR
+#error "HORNSAFE_PROGRAMS_DIR must be defined by the build"
+#endif
+#ifndef HORNSAFE_GOLDEN_DIR
+#error "HORNSAFE_GOLDEN_DIR must be defined by the build"
+#endif
+
+namespace hornsafe {
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+/// Runs `hornsafe <args>` with the example-programs directory as the
+/// working directory, so lint output carries bare filenames.
+CliResult RunLint(const std::string& args) {
+  std::string command = StrCat("cd ", HORNSAFE_PROGRAMS_DIR, " && ",
+                               HORNSAFE_CLI_PATH, " ", args, " 2>&1");
+  FILE* pipe = popen(command.c_str(), "r");
+  CliResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buffer;
+  size_t n;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    result.output.append(buffer.data(), n);
+  }
+  int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string ReadGolden(const std::string& name) {
+  std::ifstream in(StrCat(HORNSAFE_GOLDEN_DIR, "/", name));
+  EXPECT_TRUE(in.good()) << "missing golden file: " << name;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Asserts text and JSON lint output over `program` match the goldens
+/// byte for byte and that the exit code is as pinned.
+void ExpectMatchesGolden(const std::string& program, int want_exit) {
+  std::string stem = program.substr(0, program.rfind('.'));
+  CliResult text = RunLint(StrCat("lint ", program));
+  EXPECT_EQ(text.exit_code, want_exit) << text.output;
+  EXPECT_EQ(text.output, ReadGolden(StrCat(stem, ".lint.txt")))
+      << "text lint output drifted for " << program;
+  CliResult json = RunLint(StrCat("lint --json ", program));
+  EXPECT_EQ(json.exit_code, want_exit) << json.output;
+  EXPECT_EQ(json.output, ReadGolden(StrCat(stem, ".lint.json")))
+      << "json lint output drifted for " << program;
+}
+
+TEST(LintGoldenTest, CleanProgram) {
+  ExpectMatchesGolden("ancestor.hs", 0);
+}
+
+TEST(LintGoldenTest, WarningShowcase) {
+  ExpectMatchesGolden("lint_showcase.hs", 0);  // warnings do not fail lint
+}
+
+TEST(LintGoldenTest, ErrorFixture) {
+  ExpectMatchesGolden("lint_errors.hs", 2);
+}
+
+TEST(LintGoldenTest, UnsafeProjectionWarnsWithoutFailing) {
+  ExpectMatchesGolden("unsafe_projection.hs", 0);
+}
+
+TEST(LintGoldenTest, CorpusIsCleanOutsideFixtures) {
+  // The shipped corpus stays lint-clean; only the intentional fixtures
+  // may produce diagnostics. A new example that trips a check must
+  // either be fixed or added here with its own golden.
+  const std::vector<std::string> fixtures = {
+      "lint_showcase.hs", "lint_errors.hs", "unsafe_projection.hs"};
+  DIR* dir = opendir(HORNSAFE_PROGRAMS_DIR);
+  ASSERT_NE(dir, nullptr);
+  size_t checked = 0;
+  while (dirent* entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() < 3 || name.substr(name.size() - 3) != ".hs") continue;
+    bool fixture = false;
+    for (const std::string& f : fixtures) fixture = fixture || f == name;
+    if (fixture) continue;
+    CliResult r = RunLint(StrCat("lint ", name));
+    EXPECT_EQ(r.exit_code, 0) << name << ": " << r.output;
+    EXPECT_EQ(r.output, StrCat(name, ": clean\n")) << r.output;
+    ++checked;
+  }
+  closedir(dir);
+  EXPECT_GE(checked, 4u);  // ancestor, concat, example13, weighted_paths
+}
+
+TEST(LintGoldenTest, JsonSummaryCountsMatchDiagnosticsArray) {
+  CliResult r = RunLint("lint --json lint_showcase.hs");
+  ASSERT_EQ(r.exit_code, 0) << r.output;
+  // Cheap structural sanity on top of the byte-identical golden: the
+  // rendered counts appear and the array is non-empty.
+  EXPECT_NE(r.output.find("\"diagnostics\":["), std::string::npos);
+  EXPECT_NE(r.output.find("\"warnings\":7"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"notes\":1"), std::string::npos) << r.output;
+}
+
+TEST(LintGoldenTest, UnreadableFileFailsWithUsageExit) {
+  CliResult r = RunLint("lint /nonexistent/path.hs");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos) << r.output;
+}
+
+}  // namespace
+}  // namespace hornsafe

@@ -1,0 +1,353 @@
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+/// Parses `text` (must succeed) and lints it.
+std::vector<Diagnostic> Lint(const std::string& text,
+                             const LintOptions& options = {}) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return LintProgram(*program, options);
+}
+
+/// The codes of `diags`, in order.
+std::vector<std::string> Codes(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : diags) out.push_back(d.code);
+  return out;
+}
+
+bool HasCode(const std::vector<Diagnostic>& diags, const std::string& code) {
+  for (const Diagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- HS001 -------------------------------------------------------------
+
+TEST(LintTest, ParseFailureBecomesHs001WithSpan) {
+  auto program = ParseProgram("p(X) :-\n  q(,X).");
+  ASSERT_FALSE(program.ok());
+  Diagnostic d = DiagnosticFromStatus(program.status());
+  EXPECT_EQ(d.code, "HS001");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_GT(d.span.column, 0);
+  // The position prefix is stripped: the span carries it instead.
+  EXPECT_EQ(d.message.find("line "), std::string::npos);
+}
+
+TEST(LintTest, NoHs001OnValidProgram) {
+  EXPECT_FALSE(HasCode(Lint("p(a).\n?- p(X).\n"), "HS001"));
+}
+
+TEST(LintTest, StatusWithoutPositionKeepsFullMessage) {
+  Diagnostic d = DiagnosticFromStatus(Status::ParseError("no position here"));
+  EXPECT_EQ(d.code, "HS001");
+  EXPECT_FALSE(d.span.valid());
+  EXPECT_EQ(d.message, "no position here");
+}
+
+// --- HS002 -------------------------------------------------------------
+
+TEST(LintTest, UnboundHeadVariableIsHs002Error) {
+  std::vector<Diagnostic> diags =
+      Lint("e(a, b).\nfree(X, Y) :- e(X, X).\n?- free(a, Y).\n");
+  ASSERT_TRUE(HasCode(diags, "HS002"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS002") continue;
+    EXPECT_EQ(d.severity, Severity::kError);
+    EXPECT_EQ(d.span.line, 2);
+    EXPECT_NE(d.message.find("'Y'"), std::string::npos);
+  }
+}
+
+TEST(LintTest, RepeatedHeadVariableIsNotHs002) {
+  // Example 7's `concat([], Z, Z).`: Z occurs twice in the head, which
+  // equates two positions — legal, the safety analysis handles it.
+  EXPECT_FALSE(HasCode(
+      Lint("concat([X|Y], Z, [X|U]) :- concat(Y, Z, U).\nconcat([], Z, Z).\n"
+           "?- concat(A, B, [1]).\n"),
+      "HS002"));
+}
+
+TEST(LintTest, BodyBoundHeadVariableIsNotHs002) {
+  EXPECT_FALSE(HasCode(Lint("e(a, b).\np(X, Y) :- e(X, Y).\n?- p(a, Y).\n"),
+                       "HS002"));
+}
+
+// --- HS003 / HS004 -----------------------------------------------------
+
+TEST(LintTest, ArityBeyondAttrSetLimitIsHs003) {
+  Program p;
+  p.InternPredicate("wide", 65);
+  std::vector<Diagnostic> diags = p.ValidateDiagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "HS003");
+  EXPECT_EQ(diags[0].severity, Severity::kError);
+  // LintProgram folds the structural diagnostics in.
+  EXPECT_TRUE(HasCode(LintProgram(p), "HS003"));
+  Program ok;
+  ok.InternPredicate("fits", 64);
+  EXPECT_TRUE(ok.ValidateDiagnostics().empty());
+}
+
+TEST(LintTest, EdbIdbOverlapIsHs004AtTheFactSpan) {
+  Program p;
+  Literal fact = p.MakeLiteral("r", {p.Atom("a")});
+  fact.span = SourceSpan{4, 2};
+  ASSERT_TRUE(p.AddFact(fact).ok());
+  ASSERT_TRUE(
+      p.AddRule(Rule{p.MakeLiteral("r", {p.Var("X")}),
+                     {p.MakeLiteral("e", {p.Var("X")})}})
+          .ok());
+  std::vector<Diagnostic> diags = p.ValidateDiagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "HS004");
+  EXPECT_EQ(diags[0].span.line, 4);
+  EXPECT_EQ(diags[0].span.column, 2);
+  // Validate() reports the same failure with the position inline.
+  Status st = p.Validate();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 4:2: "), std::string::npos);
+}
+
+TEST(LintTest, DistinctPredicatesAreNotHs004) {
+  Program p;
+  ASSERT_TRUE(p.AddFact(p.MakeLiteral("e", {p.Atom("a")})).ok());
+  ASSERT_TRUE(p.AddRule(Rule{p.MakeLiteral("r", {p.Var("X")}),
+                             {p.MakeLiteral("e", {p.Var("X")})}})
+                  .ok());
+  EXPECT_TRUE(p.ValidateDiagnostics().empty());
+}
+
+// --- HS005 -------------------------------------------------------------
+
+TEST(LintTest, UnconstrainedInfinitePredicateIsHs005) {
+  std::vector<Diagnostic> diags =
+      Lint(".infinite f/1.\nr(X) :- f(X).\n?- r(X).\n");
+  ASSERT_TRUE(HasCode(diags, "HS005"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS005") continue;
+    EXPECT_EQ(d.severity, Severity::kWarning);
+    EXPECT_EQ(d.span.line, 1);
+    EXPECT_EQ(d.span.column, 11);  // first char of 'f' in the declaration
+  }
+}
+
+TEST(LintTest, InfinitePredicateWithFdIsNotHs005) {
+  EXPECT_FALSE(HasCode(Lint(".infinite f/2.\n.fd f: 1 -> 2.\n"
+                            "r(X, Y) :- f(X, Y).\n?- r(1, Y).\n"),
+                       "HS005"));
+}
+
+TEST(LintTest, InfinitePredicateWithOnlyMonoIsNotHs005) {
+  EXPECT_FALSE(HasCode(
+      Lint(".infinite f/1.\n.mono f: 1 > const(0).\nr(X) :- f(X).\n"),
+      "HS005"));
+}
+
+// --- HS006 -------------------------------------------------------------
+
+TEST(LintTest, MonoOnUnboundedPositionsIsHs006) {
+  std::vector<Diagnostic> diags =
+      Lint(".infinite d/2.\n.mono d: 1 > 2.\n");
+  ASSERT_TRUE(HasCode(diags, "HS006"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS006") continue;
+    EXPECT_EQ(d.span.line, 2);
+    EXPECT_EQ(d.span.column, 1);  // the '.mono' directive itself
+  }
+}
+
+TEST(LintTest, MonoWithFdBoundedPositionIsNotHs006) {
+  EXPECT_FALSE(HasCode(
+      Lint(".infinite d/2.\n.fd d: 1 -> 2.\n.mono d: 1 > 2.\n"), "HS006"));
+}
+
+TEST(LintTest, MonoWithConstBoundIsNotHs006) {
+  // `2 > const(0)` bounds position 2, so the 1 > 2 chain terminates.
+  EXPECT_FALSE(HasCode(Lint(".infinite d/2.\n.mono d: 2 > const(0).\n"
+                            ".mono d: 1 > 2.\n"),
+                       "HS006"));
+}
+
+// --- HS007 -------------------------------------------------------------
+
+TEST(LintTest, RecursionWithoutBaseCaseIsHs007) {
+  EXPECT_TRUE(HasCode(Lint("loop(X) :- loop(X).\n"), "HS007"));
+}
+
+TEST(LintTest, MutualRecursionWithoutBaseCaseIsHs007) {
+  std::vector<std::string> codes =
+      Codes(Lint("a(X) :- b(X).\nb(X) :- a(X).\n"));
+  // Both members of the empty cycle are flagged.
+  EXPECT_EQ(std::count(codes.begin(), codes.end(), std::string("HS007")), 2);
+}
+
+TEST(LintTest, BaseCaseDefeatsHs007) {
+  EXPECT_FALSE(
+      HasCode(Lint("e(a, b).\np(X, Y) :- e(X, Y).\n"
+                   "p(X, Y) :- e(X, Z), p(Z, Y).\n?- p(a, Y).\n"),
+              "HS007"));
+}
+
+TEST(LintTest, FactlessEdbStillCountsAsBase) {
+  // example13's `b` has no facts, but EDB relations are externally
+  // supplied — the fixpoint check must not assume them empty.
+  EXPECT_FALSE(
+      HasCode(Lint("r(X) :- b(X).\nr(X) :- f(X), r(X).\n?- r(X).\n"),
+              "HS007"));
+}
+
+// --- HS008 -------------------------------------------------------------
+
+TEST(LintTest, AlphaEquivalentDuplicateRuleIsHs008) {
+  std::vector<Diagnostic> diags = Lint(
+      "e(a, b).\np(X, Y) :- e(X, Y).\np(U, V) :- e(U, V).\n?- p(a, Y).\n");
+  ASSERT_TRUE(HasCode(diags, "HS008"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS008") continue;
+    EXPECT_EQ(d.span.line, 3);  // the second occurrence is the problem
+    EXPECT_NE(d.note.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(LintTest, DistinctRulesAreNotHs008) {
+  EXPECT_FALSE(HasCode(Lint("e(a, b).\np(X, Y) :- e(X, Y).\n"
+                            "p(X, Y) :- e(Y, X).\n?- p(a, Y).\n"),
+                       "HS008"));
+}
+
+// --- HS009 -------------------------------------------------------------
+
+TEST(LintTest, PredicateOutsideQueryConeIsHs009) {
+  std::vector<Diagnostic> diags =
+      Lint("e(a, b).\np(X) :- e(X, X).\nq(X) :- e(X, X).\n?- p(a).\n");
+  ASSERT_TRUE(HasCode(diags, "HS009"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS009") continue;
+    EXPECT_NE(d.message.find("'q/1'"), std::string::npos);
+  }
+}
+
+TEST(LintTest, NoQueriesMeansNoHs009) {
+  EXPECT_FALSE(HasCode(Lint("e(a, b).\np(X) :- e(X, X).\n"), "HS009"));
+}
+
+// --- HS010 -------------------------------------------------------------
+
+TEST(LintTest, SingletonBodyVariableIsHs010) {
+  std::vector<Diagnostic> diags =
+      Lint("e(a, b).\np(X) :- e(X, Extra).\n?- p(a).\n");
+  ASSERT_TRUE(HasCode(diags, "HS010"));
+}
+
+TEST(LintTest, UnderscoreVariablesAreExemptFromHs010) {
+  // `_` is parser-renamed to a fresh `_Gn`; explicitly named `_Foo`
+  // variables opt out the same way.
+  EXPECT_FALSE(HasCode(
+      Lint("e(a, b).\np(X) :- e(X, _).\nq(X) :- e(X, _Skip).\n?- p(a).\n"),
+      "HS010"));
+}
+
+TEST(LintTest, QuerySingletonsAreExemptFromHs010) {
+  EXPECT_FALSE(
+      HasCode(Lint("e(a, b).\np(X, Y) :- e(X, Y).\n?- p(a, Answer).\n"),
+              "HS010"));
+}
+
+// --- HS011 -------------------------------------------------------------
+
+TEST(LintTest, TransitivelyImpliedFdIsHs011Note) {
+  std::vector<Diagnostic> diags =
+      Lint(".infinite c/3.\n.fd c: 1 -> 2.\n.fd c: 2 -> 3.\n"
+           ".fd c: 1 -> 3.\n");
+  ASSERT_TRUE(HasCode(diags, "HS011"));
+  for (const Diagnostic& d : diags) {
+    if (d.code != "HS011") continue;
+    EXPECT_EQ(d.severity, Severity::kNote);
+    EXPECT_EQ(d.span.line, 4);
+  }
+}
+
+TEST(LintTest, IndependentFdsAreNotHs011) {
+  EXPECT_FALSE(HasCode(
+      Lint(".infinite s/2.\n.fd s: 1 -> 2.\n.fd s: 2 -> 1.\n"), "HS011"));
+}
+
+// --- Engine behavior ---------------------------------------------------
+
+TEST(LintTest, DiagnosticsAreSortedBySourcePosition) {
+  std::vector<Diagnostic> diags = Lint(
+      "loop(X) :- loop(X).\n.infinite f/1.\nr(X) :- f(X).\n?- r(X).\n");
+  for (size_t i = 1; i < diags.size(); ++i) {
+    EXPECT_LE(diags[i - 1].span.line, diags[i].span.line);
+  }
+}
+
+TEST(LintTest, SuppressFiltersByCode) {
+  LintOptions options;
+  options.suppress = {"HS007", "HS009"};
+  std::vector<Diagnostic> diags =
+      Lint("loop(X) :- loop(X).\n?- loop(a).\n", options);
+  EXPECT_FALSE(HasCode(diags, "HS007"));
+  EXPECT_FALSE(HasCode(diags, "HS009"));
+}
+
+TEST(LintTest, CleanProgramProducesNoDiagnostics) {
+  EXPECT_TRUE(
+      Lint("parent(cain, adam).\nanc(X, Y) :- parent(X, Y).\n"
+           "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n?- anc(cain, Y).\n")
+          .empty());
+}
+
+TEST(LintTest, RegistryListsElevenOrderedUniqueCodes) {
+  const std::vector<LintCheckInfo>& checks = LintChecks();
+  ASSERT_EQ(checks.size(), 11u);
+  for (size_t i = 1; i < checks.size(); ++i) {
+    EXPECT_LT(std::string(checks[i - 1].code), std::string(checks[i].code));
+  }
+  EXPECT_STREQ(checks.front().code, "HS001");
+  EXPECT_STREQ(checks.back().code, "HS011");
+}
+
+TEST(LintTest, JsonSchemaFieldNames) {
+  std::vector<Diagnostic> diags =
+      Lint(".infinite f/1.\nr(X) :- f(X).\n?- r(X).\n");
+  Json json = DiagnosticsToJson(diags);
+  ASSERT_TRUE(json.is_object());
+  ASSERT_TRUE(json["diagnostics"].is_array());
+  EXPECT_TRUE(json["errors"].is_number());
+  EXPECT_TRUE(json["warnings"].is_number());
+  EXPECT_TRUE(json["notes"].is_number());
+  ASSERT_GE(json["diagnostics"].size(), 1u);
+  const Json& first = json["diagnostics"].items()[0];
+  EXPECT_TRUE(first["code"].is_string());
+  EXPECT_TRUE(first["severity"].is_string());
+  EXPECT_TRUE(first["line"].is_number());
+  EXPECT_TRUE(first["column"].is_number());
+  EXPECT_TRUE(first["message"].is_string());
+  EXPECT_EQ(json["warnings"].AsInt(),
+            static_cast<int64_t>(CountSeverity(diags, Severity::kWarning)));
+}
+
+TEST(LintTest, JsonOmitsEmptyNote) {
+  std::vector<Diagnostic> diags{
+      Diagnostic{"HS009", Severity::kWarning, SourceSpan{1, 1}, "m", ""}};
+  Json json = DiagnosticsToJson(diags);
+  EXPECT_FALSE(json["diagnostics"].items()[0].Has("note"));
+}
+
+}  // namespace
+}  // namespace hornsafe

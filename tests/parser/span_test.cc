@@ -1,0 +1,147 @@
+// Source-span threading: the parser stamps rules, literals, constraints
+// and predicates with the position of their defining token, and every
+// error path reports a "line L:C" position. Diagnostics (src/lint) rely
+// on both properties.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "parser/parser.h"
+
+namespace hornsafe {
+namespace {
+
+constexpr char kProgram[] =
+    "% leading comment\n"
+    ".infinite successor/2.\n"
+    ".fd successor: 1 -> 2.\n"
+    ".mono successor: 2 > 1.\n"
+    "parent(cain, adam).\n"
+    "\n"
+    "anc(X, Y) :- parent(X, Y).\n"
+    "anc(X, Y) :- parent(X, Z), anc(Z, Y).\n"
+    "?- anc(cain, Y).\n";
+
+TEST(SpanTest, RulesCarryTheirFirstTokenPosition) {
+  auto program = ParseProgram(kProgram);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules().size(), 2u);
+  EXPECT_EQ(program->rules()[0].span.line, 7);
+  EXPECT_EQ(program->rules()[0].span.column, 1);
+  EXPECT_EQ(program->rules()[1].span.line, 8);
+  EXPECT_EQ(program->rules()[1].span.column, 1);
+}
+
+TEST(SpanTest, LiteralsCarryTheirPredicateTokenPosition) {
+  auto program = ParseProgram(kProgram);
+  ASSERT_TRUE(program.ok());
+  const Rule& recursive = program->rules()[1];
+  EXPECT_EQ(recursive.head.span.line, 8);
+  EXPECT_EQ(recursive.head.span.column, 1);
+  ASSERT_EQ(recursive.body.size(), 2u);
+  EXPECT_EQ(recursive.body[0].span.line, 8);
+  EXPECT_EQ(recursive.body[0].span.column, 14);  // parent(
+  EXPECT_EQ(recursive.body[1].span.line, 8);
+  EXPECT_EQ(recursive.body[1].span.column, 28);  // anc(
+}
+
+TEST(SpanTest, FactsCarryTheirPosition) {
+  auto program = ParseProgram(kProgram);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->facts().size(), 1u);
+  EXPECT_EQ(program->facts()[0].span.line, 5);
+  EXPECT_EQ(program->facts()[0].span.column, 1);
+}
+
+TEST(SpanTest, ConstraintsCarryTheirDirectivePosition) {
+  auto program = ParseProgram(kProgram);
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->fds().size(), 1u);
+  EXPECT_EQ(program->fds()[0].span.line, 3);
+  EXPECT_EQ(program->fds()[0].span.column, 1);
+  ASSERT_EQ(program->monos().size(), 1u);
+  EXPECT_EQ(program->monos()[0].span.line, 4);
+  EXPECT_EQ(program->monos()[0].span.column, 1);
+}
+
+TEST(SpanTest, PredicatesCarryTheirFirstOccurrence) {
+  auto program = ParseProgram(kProgram);
+  ASSERT_TRUE(program.ok());
+  PredicateId successor = program->FindPredicate("successor", 2);
+  ASSERT_NE(successor, kInvalidPredicate);
+  // First occurrence is the name token inside `.infinite successor/2.`.
+  EXPECT_EQ(program->predicate(successor).span.line, 2);
+  EXPECT_EQ(program->predicate(successor).span.column, 11);
+  PredicateId anc = program->FindPredicate("anc", 2);
+  ASSERT_NE(anc, kInvalidPredicate);
+  EXPECT_EQ(program->predicate(anc).span.line, 7);
+  EXPECT_EQ(program->predicate(anc).span.column, 1);
+}
+
+TEST(SpanTest, FirstOccurrenceWinsForPredicateSpans) {
+  auto program = ParseProgram("p(a).\np(b).\n");
+  ASSERT_TRUE(program.ok());
+  PredicateId p = program->FindPredicate("p", 1);
+  ASSERT_NE(p, kInvalidPredicate);
+  EXPECT_EQ(program->predicate(p).span.line, 1);
+}
+
+TEST(SpanTest, SpanIsMetadataOnly) {
+  // Spans must not affect structural equality — analyses hash and compare
+  // literals/rules without regard to where they were written.
+  auto program = ParseProgram("p(a).\n\n\n   p(a).\n");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->facts().size(), 2u);
+  EXPECT_NE(program->facts()[0].span.line, program->facts()[1].span.line);
+  EXPECT_TRUE(program->facts()[0] == program->facts()[1]);
+}
+
+// --- Error paths: every ParseError names a position --------------------
+
+/// Asserts that parsing `text` fails with "line L:C" in the message.
+void ExpectErrorAt(const std::string& text, const std::string& position) {
+  auto program = ParseProgram(text);
+  ASSERT_FALSE(program.ok()) << "expected failure for: " << text;
+  EXPECT_NE(program.status().message().find("line " + position),
+            std::string::npos)
+      << "message lacks 'line " << position
+      << "': " << program.status().message();
+}
+
+TEST(SpanTest, LexErrorsCarryPosition) {
+  ExpectErrorAt("p(a).\nq(#).\n", "2:3");        // stray character
+  ExpectErrorAt("p('unterminated).", "1:18");    // quote runs to end of input
+}
+
+TEST(SpanTest, ClauseSyntaxErrorsCarryPosition) {
+  ExpectErrorAt("p(a)\nq(b).\n", "2:1");   // missing '.' — error at 'q'
+  ExpectErrorAt("p(a,).\n", "1:5");        // missing argument after ','
+  ExpectErrorAt("p(a) :- .\n", "1:9");     // empty body
+}
+
+TEST(SpanTest, DirectiveErrorsCarryPosition) {
+  ExpectErrorAt(".bogus p/1.\n", "1:1");             // unknown directive
+  ExpectErrorAt(".infinite p.\n", "1:12");           // missing /arity
+  ExpectErrorAt(".fd nosuch: 1 -> 2.\n", "1:5");     // unknown predicate
+  ExpectErrorAt("f(a, b).\n.fd f: 9 -> 2.\n", "2:8");  // attr out of range
+}
+
+TEST(SpanTest, SemanticErrorsCarryDefiningClausePosition) {
+  // These fail inside Program::Add*; the parser re-files the status with
+  // the position of the offending clause.
+  ExpectErrorAt("p(X) :- q(X).\n.infinite p/1.\n", "2:11");  // derived → infinite
+  ExpectErrorAt(".infinite f/1.\nf(a).\n", "2:1");      // fact on infinite
+  ExpectErrorAt(".infinite f/1.\nf(X) :- p(X).\n", "2:1");  // rule head infinite
+  ExpectErrorAt("p(X) :- q(X).\n.fd p: 1 -> 1.\n", "2:1");  // fd on derived
+  ExpectErrorAt("p(X) :- q(X).\n.mono p: 1 > const(0).\n", "2:1");
+}
+
+TEST(SpanTest, QueryErrorsCarryPosition) {
+  // Trailing ',' at end of input: the next-literal error lands on EOF,
+  // whose position is the character after the last consumed newline.
+  ExpectErrorAt("p(a).\n?- p(a),\n", "3:1");
+}
+
+}  // namespace
+}  // namespace hornsafe
