@@ -65,61 +65,98 @@ double Seconds(std::chrono::steady_clock::time_point t0) {
 void BM_IncrementalEditWorkload(benchmark::State& state) {
   const int modules = static_cast<int>(state.range(0));
 
-  // Cold baseline: a fresh cache-less analyzer per edited program.
-  uint64_t cold_steps = 0;
-  double cold_seconds = 0;
-  std::vector<std::vector<QueryAnalysis>> cold_results;
+  // Pre-parse every edited program once, outside both timed loops, so
+  // cold and warm timings compare analysis pipelines, not the parser.
+  Program base =
+      bench::MustParse(bench::ModularWorkloadText(modules, kRing));
+  std::vector<Program> edits;
   for (int e = 0; e < kEdits; ++e) {
-    Program p = bench::MustParse(
-        bench::ModularWorkloadText(modules, kRing, e));
-    auto t0 = std::chrono::steady_clock::now();
+    edits.push_back(bench::MustParse(
+        bench::ModularWorkloadText(modules, kRing, e)));
+  }
+
+  // Reference results for the bit-identity check, computed once
+  // untimed; the cold *timing* runs inside the iteration loop below so
+  // cold and warm samples are interleaved and see the same host noise.
+  std::vector<std::vector<QueryAnalysis>> cold_results;
+  uint64_t cold_steps_once = 0;
+  for (const Program& p : edits) {
     auto analyzer = SafetyAnalyzer::Create(p);
     Check(analyzer.ok(), "cold Create failed");
     cold_results.push_back(analyzer->AnalyzeQueries());
-    cold_seconds += Seconds(t0);
-    cold_steps += analyzer->counters().steps;
+    cold_steps_once += analyzer->counters().steps;
   }
 
-  // Warm loop (timed): one shared cache, primed on the unedited
-  // program, then Update + re-analyze per edit.
+  // Timed loop: each iteration runs the cold baseline (a fresh
+  // cache-less analyzer per edited program) and then the warm stream
+  // (one shared cache, primed on the unedited program, then Update +
+  // re-analyze per edit) back to back.
+  double cold_seconds = 0;
+  uint64_t cold_build_ns = 0;
   uint64_t warm_steps = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_lookups = 0;
-  double warm_seconds = 0;
+  uint64_t fragments_spliced = 0;
+  uint64_t fragments_rebuilt = 0;
+  double warm_update_seconds = 0;
+  double warm_analyze_seconds = 0;
   uint64_t rounds = 0;
+  SafetyAnalyzer::Counters stage_totals;
   for (auto _ : state) {
+    for (const Program& p : edits) {
+      auto t0 = std::chrono::steady_clock::now();
+      auto cold = SafetyAnalyzer::Create(p);
+      Check(cold.ok(), "cold Create failed");
+      benchmark::DoNotOptimize(cold->AnalyzeQueries());
+      cold_seconds += Seconds(t0);
+      cold_build_ns += cold->counters().stage_build_ns;
+    }
+
     PipelineCache cache;
     AnalyzerOptions opts;
     opts.cache = &cache;
-    Program base =
-        bench::MustParse(bench::ModularWorkloadText(modules, kRing));
     auto analyzer = SafetyAnalyzer::Create(base, opts);
     Check(analyzer.ok(), "warm Create failed");
     analyzer->AnalyzeQueries();  // prime the cache (not counted)
-    const uint64_t primed_steps = analyzer->counters().steps;
+    const SafetyAnalyzer::Counters primed = analyzer->counters();
     auto t0 = std::chrono::steady_clock::now();
     for (int e = 0; e < kEdits; ++e) {
-      Program p = bench::MustParse(
-          bench::ModularWorkloadText(modules, kRing, e));
-      auto up = analyzer->Update(p);
+      auto up = analyzer->Update(edits[static_cast<size_t>(e)]);
       Check(up.ok(), "Update failed");
       Check(up->dirty_predicates > 0, "edit dirtied no cone");
       Check(up->clean_predicates > 0, "edit dirtied every cone");
+      warm_update_seconds += Seconds(t0);
+      auto t1 = std::chrono::steady_clock::now();
       std::vector<QueryAnalysis> warm = analyzer->AnalyzeQueries();
       Check(SameAnalyses(warm, cold_results[static_cast<size_t>(e)]),
             "warm analysis differs from cold");
+      warm_analyze_seconds += Seconds(t1);
+      t0 = std::chrono::steady_clock::now();
     }
-    warm_seconds += Seconds(t0);
     SafetyAnalyzer::Counters c = analyzer->counters();
-    warm_steps += c.steps - primed_steps;
+    warm_steps += c.steps - primed.steps;
     cache_hits += c.cache_hits;
     cache_lookups += c.cache_hits + c.cache_misses;
+    fragments_spliced += c.fragments_spliced - primed.fragments_spliced;
+    fragments_rebuilt += c.fragments_rebuilt - primed.fragments_rebuilt;
+    stage_totals.stage_canonicalize_ns +=
+        c.stage_canonicalize_ns - primed.stage_canonicalize_ns;
+    stage_totals.stage_fingerprint_ns +=
+        c.stage_fingerprint_ns - primed.stage_fingerprint_ns;
+    stage_totals.stage_fd_ns += c.stage_fd_ns - primed.stage_fd_ns;
+    stage_totals.stage_adorn_ns += c.stage_adorn_ns - primed.stage_adorn_ns;
+    stage_totals.stage_build_ns += c.stage_build_ns - primed.stage_build_ns;
+    stage_totals.stage_prune_ns += c.stage_prune_ns - primed.stage_prune_ns;
+    stage_totals.stage_scc_ns += c.stage_scc_ns - primed.stage_scc_ns;
+    stage_totals.stage_search_ns +=
+        c.stage_search_ns - primed.stage_search_ns;
     ++rounds;
   }
   if (rounds == 0) return;
+  Check(fragments_spliced > 0, "warm updates spliced no fragments");
 
   const double cold_per_edit =
-      static_cast<double>(cold_steps) / kEdits;
+      static_cast<double>(cold_steps_once) / kEdits;
   const double warm_per_edit =
       static_cast<double>(warm_steps) / static_cast<double>(rounds) /
       kEdits;
@@ -130,8 +167,18 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
           ? static_cast<double>(cache_hits) /
                 static_cast<double>(cache_lookups)
           : 0;
+  const double fragment_reuse_rate =
+      fragments_spliced + fragments_rebuilt > 0
+          ? static_cast<double>(fragments_spliced) /
+                static_cast<double>(fragments_spliced + fragments_rebuilt)
+          : 0;
   state.counters["step_ratio"] = step_ratio;
   state.counters["hit_rate"] = hit_rate;
+  state.counters["fragment_reuse_rate"] = fragment_reuse_rate;
+
+  // Per-edit stage breakdown of the warm updates (milliseconds).
+  const double per_edit_ms =
+      1e-6 / static_cast<double>(rounds) / kEdits;
 
   bench::JsonDump& dump = bench::JsonDump::Get("safety");
   std::string name = StrCat("incremental_edit/modules=", modules);
@@ -139,9 +186,39 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
   dump.Record(name, "warm_steps_per_edit", warm_per_edit);
   dump.Record(name, "step_ratio", step_ratio);
   dump.Record(name, "hit_rate", hit_rate);
-  dump.Record(name, "cold_seconds_per_edit", cold_seconds / kEdits);
+  const double per_edit = 1.0 / static_cast<double>(rounds) / kEdits;
+  dump.Record(name, "cold_seconds_per_edit", cold_seconds * per_edit);
   dump.Record(name, "warm_seconds_per_edit",
-              warm_seconds / static_cast<double>(rounds) / kEdits);
+              (warm_update_seconds + warm_analyze_seconds) * per_edit);
+  dump.Record(name, "warm_update_seconds_per_edit",
+              warm_update_seconds * per_edit);
+  dump.Record(name, "warm_analyze_seconds_per_edit",
+              warm_analyze_seconds * per_edit);
+  dump.Record(name, "fragment_reuse_rate", fragment_reuse_rate);
+  dump.Record(name, "cold_stage_build_ms_per_edit",
+              static_cast<double>(cold_build_ns) * per_edit_ms);
+  dump.Record(name, "warm_stage_canonicalize_ms_per_edit",
+              static_cast<double>(stage_totals.stage_canonicalize_ns) *
+                  per_edit_ms);
+  dump.Record(name, "warm_stage_fingerprint_ms_per_edit",
+              static_cast<double>(stage_totals.stage_fingerprint_ns) *
+                  per_edit_ms);
+  dump.Record(name, "warm_stage_fd_ms_per_edit",
+              static_cast<double>(stage_totals.stage_fd_ns) * per_edit_ms);
+  dump.Record(name, "warm_stage_adorn_ms_per_edit",
+              static_cast<double>(stage_totals.stage_adorn_ns) *
+                  per_edit_ms);
+  dump.Record(name, "warm_stage_build_ms_per_edit",
+              static_cast<double>(stage_totals.stage_build_ns) *
+                  per_edit_ms);
+  dump.Record(name, "warm_stage_prune_ms_per_edit",
+              static_cast<double>(stage_totals.stage_prune_ns) *
+                  per_edit_ms);
+  dump.Record(name, "warm_stage_scc_ms_per_edit",
+              static_cast<double>(stage_totals.stage_scc_ns) * per_edit_ms);
+  dump.Record(name, "warm_stage_search_ms_per_edit",
+              static_cast<double>(stage_totals.stage_search_ns) *
+                  per_edit_ms);
 }
 BENCHMARK(BM_IncrementalEditWorkload)->Arg(4)->Arg(8)->Arg(16);
 

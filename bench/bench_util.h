@@ -274,12 +274,14 @@ inline std::string RandomFamilyText(uint64_t seed, int rules,
 
 /// The incremental-analysis edit workload: `modules` independent copies
 /// of the SharedDiamond family (predicate names suffixed "_m<j>"), each
-/// with its own query, every module *safe*. `edit >= 0` structurally
-/// edits module `edit % modules` by appending a fresh guard literal
-/// (whose name varies with `edit`) to that module's grounding rule, so
-/// exactly that module's ring cones change fingerprint; every other
-/// module is byte-identical across edits. With a shared pipeline cache
-/// a warm re-analysis therefore re-searches one module out of
+/// exporting every ring predicate as a query point (the serve model:
+/// one `check` re-verifies all published queries after each edit),
+/// every module *safe*. `edit >= 0` structurally edits module
+/// `edit % modules` by appending a fresh guard literal (whose name
+/// varies with `edit`) to that module's grounding rule, so exactly that
+/// module's ring cones change fingerprint; every other module is
+/// byte-identical across edits. With a shared pipeline cache a warm
+/// re-analysis therefore re-searches one module's queries out of
 /// `modules`.
 inline std::string ModularWorkloadText(int modules, int m, int edit = -1) {
   std::string text;
@@ -303,7 +305,10 @@ inline std::string ModularWorkloadText(int modules, int m, int edit = -1) {
     } else {
       text += StrCat("b0", s, "(X) :- c", s, "(X).\n");
     }
-    text += StrCat("?- b0", s, "(X).\n");
+    for (int i = 0; i < m; ++i) {
+      text += StrCat("?- b", i, s, "(X).\n");
+      text += StrCat("?- d", i, s, "(X).\n");
+    }
   }
   return text;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "fd/fd.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -10,6 +9,14 @@ namespace hornsafe {
 namespace {
 
 /// Builder for one call to BuildAndOrSystem.
+///
+/// Every node acquisition and rule emission funnels through Note()/
+/// Emit(), which double as the fragment recorder: processing a rule
+/// fresh captures a replay template of rule-local coordinates, and
+/// ReplayRule() re-resolves a captured template against a new adorned
+/// rule. Replay performs the identical Intern*/AddRule sequence a fresh
+/// ProcessRule would, so spliced and fresh builds are bit-identical
+/// (see andor/fragment.h for the argument).
 class SystemBuilder {
  public:
   SystemBuilder(const Program& program, const AdornedProgram& adorned,
@@ -17,32 +24,304 @@ class SystemBuilder {
       : program_(program), adorned_(adorned), opts_(opts) {}
 
   Result<AndOrSystem> Run() {
+    FragmentRecording* rec = opts_.recording;
+    if (rec != nullptr) {
+      rec->by_adorned.clear();
+      rec->by_adorned.resize(adorned_.rules.size());
+    }
+    // Adorned rules of one canonical rule are consecutive, one per head
+    // adornment in enumeration order; the ordinal selects the template.
+    uint32_t prev_source = 0;
+    uint32_t ordinal = 0;
+    bool first = true;
     for (const AdornedRule& ar : adorned_.rules) {
-      ProcessRule(ar);
+      ordinal = (!first && ar.source_rule == prev_source) ? ordinal + 1 : 0;
+      prev_source = ar.source_rule;
+      first = false;
+      ComputeRuleVars(ar);
+      const RuleFragment* frag =
+          opts_.splice != nullptr &&
+                  ar.source_rule < opts_.splice->by_rule.size()
+              ? opts_.splice->by_rule[ar.source_rule]
+              : nullptr;
+      if (frag != nullptr && ordinal < frag->per_adornment.size() &&
+          TemplateFits(ar, *frag, ordinal)) {
+        ReplayRule(ar, frag->per_adornment[ordinal]);
+        if (rec != nullptr) ++rec->rules_spliced;
+      } else {
+        BeginRecording(ar);
+        ProcessRule(ar);
+        EndRecording(ar);
+        if (rec != nullptr) ++rec->rules_rebuilt;
+      }
     }
     return std::move(system_);
   }
 
  private:
-  NodeId Var(const AdornedRule& ar, TermId v) {
-    return system_.InternVariable(ar.adorned_index, v);
+  // --- Recorded acquisition/emission wrappers ---------------------------
+
+  NodeId Note(NodeId id, const FragmentNodeSpec& spec) {
+    if (cur_tmpl_ != nullptr) {
+      auto [it, inserted] = cur_spec_of_.try_emplace(
+          id, static_cast<uint32_t>(cur_tmpl_->specs.size()));
+      (void)it;
+      if (inserted) cur_tmpl_->specs.push_back(spec);
+    }
+    return id;
   }
 
-  NodeId BodyArg(const AdornedRule& ar, const BodyOccurrence& occ,
-                 uint32_t k) {
-    return system_.InternBodyArg(
-        occ.occurrence_id, k, occ.lit.pred, ar.adorned_index,
-        occ.kind == PredicateKind::kInfiniteBase);
+  NodeId Zero() {
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kZero;
+    return Note(system_.zero(), s);
+  }
+
+  NodeId One() {
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kOne;
+    return Note(system_.one(), s);
+  }
+
+  NodeId OwnHead(const AdornedRule& ar, uint32_t k) {
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kHeadArg;
+    s.occ = -1;
+    s.position = k;
+    s.adornment_mask = ar.adornment.bound_mask;
+    return Note(
+        system_.InternHeadArg(ar.head_pred, ar.adornment.bound_mask, k), s);
+  }
+
+  NodeId CalleeHead(const AdornedRule& ar, size_t occ_idx, uint64_t mask,
+                    uint32_t k) {
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kHeadArg;
+    s.occ = static_cast<int32_t>(occ_idx);
+    s.position = k;
+    s.adornment_mask = mask;
+    return Note(system_.InternHeadArg(ar.body[occ_idx].lit.pred, mask, k), s);
+  }
+
+  NodeId Var(const AdornedRule& ar, TermId v) {
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kVariable;
+    s.var_slot = VarSlot(v);
+    return Note(system_.InternVariable(ar.adorned_index, v), s);
+  }
+
+  NodeId BodyArg(const AdornedRule& ar, size_t occ_idx, uint32_t k) {
+    const BodyOccurrence& occ = ar.body[occ_idx];
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kBodyArg;
+    s.occ = static_cast<int32_t>(occ_idx);
+    s.position = k;
+    return Note(system_.InternBodyArg(
+                    occ.occurrence_id, k, occ.lit.pred, ar.adorned_index,
+                    occ.kind == PredicateKind::kInfiniteBase),
+                s);
+  }
+
+  NodeId AdornedArg(const AdornedRule& ar, size_t occ_idx, uint64_t mask,
+                    uint32_t k) {
+    const BodyOccurrence& occ = ar.body[occ_idx];
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kBodyArgAdorned;
+    s.occ = static_cast<int32_t>(occ_idx);
+    s.position = k;
+    s.adornment_mask = mask;
+    return Note(system_.InternBodyArgAdorned(occ.occurrence_id, mask, k,
+                                             occ.lit.pred, ar.adorned_index),
+                s);
+  }
+
+  NodeId FdChoice(const AdornedRule& ar, size_t occ_idx, uint32_t k,
+                  uint32_t i) {
+    const BodyOccurrence& occ = ar.body[occ_idx];
+    FragmentNodeSpec s;
+    s.kind = FragmentSpecKind::kFdChoice;
+    s.occ = static_cast<int32_t>(occ_idx);
+    s.position = k;
+    s.fd_index = i;
+    return Note(system_.InternFdChoice(occ.occurrence_id, k, i, occ.lit.pred,
+                                       ar.adorned_index),
+                s);
+  }
+
+  void Emit(PropRule rule) {
+    if (cur_tmpl_ != nullptr) {
+      FragmentPropRule fr;
+      bool ok = SpecOf(rule.head, &fr.head);
+      fr.body.reserve(rule.body.size());
+      for (NodeId b : rule.body) {
+        uint32_t idx = 0;
+        ok = ok && SpecOf(b, &idx);
+        fr.body.push_back(idx);
+      }
+      if (ok) {
+        cur_tmpl_->rules.push_back(std::move(fr));
+      } else {
+        // A node reached Emit without passing Note — drop the template
+        // rather than cache a hole (EndRecording discards it).
+        cur_tmpl_ = nullptr;
+      }
+    }
+    system_.AddRule(std::move(rule));
+  }
+
+  bool SpecOf(NodeId id, uint32_t* out) const {
+    auto it = cur_spec_of_.find(id);
+    if (it == cur_spec_of_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  void BeginRecording(const AdornedRule& ar) {
+    cur_tmpl_ = nullptr;
+    cur_spec_of_.clear();
+    if (opts_.recording == nullptr) return;
+    auto& slot = opts_.recording->by_adorned[ar.adorned_index];
+    slot = std::make_unique<AdornedRuleTemplate>();
+    cur_tmpl_ = slot.get();
+  }
+
+  void EndRecording(const AdornedRule& ar) {
+    if (opts_.recording != nullptr && cur_tmpl_ == nullptr) {
+      opts_.recording->by_adorned[ar.adorned_index].reset();
+    }
+    cur_tmpl_ = nullptr;
+    cur_spec_of_.clear();
+  }
+
+  // --- Replay -----------------------------------------------------------
+
+  /// Defensive structural check before committing to a template: the
+  /// guard should guarantee all of this, but a mismatch must degrade to
+  /// a fresh build, never to out-of-bounds replay.
+  bool TemplateFits(const AdornedRule& ar, const RuleFragment& frag,
+                    uint32_t ordinal) const {
+    if (frag.adornment_masks.size() != frag.per_adornment.size()) {
+      return false;
+    }
+    if (frag.adornment_masks[ordinal] != ar.adornment.bound_mask) {
+      return false;
+    }
+    for (const FragmentNodeSpec& s : frag.per_adornment[ordinal].specs) {
+      switch (s.kind) {
+        case FragmentSpecKind::kZero:
+        case FragmentSpecKind::kOne:
+          break;
+        case FragmentSpecKind::kHeadArg:
+          if (s.occ < 0) {
+            if (s.position >= ar.head.args.size()) return false;
+            break;
+          }
+          [[fallthrough]];
+        case FragmentSpecKind::kBodyArg:
+        case FragmentSpecKind::kBodyArgAdorned:
+        case FragmentSpecKind::kFdChoice:
+          if (s.occ < 0 ||
+              static_cast<size_t>(s.occ) >= ar.body.size() ||
+              s.position >= ar.body[s.occ].lit.args.size()) {
+            return false;
+          }
+          break;
+        case FragmentSpecKind::kVariable:
+          if (s.var_slot >= rule_vars_.size()) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  NodeId Resolve(const AdornedRule& ar, const FragmentNodeSpec& s) {
+    switch (s.kind) {
+      case FragmentSpecKind::kZero:
+        return system_.zero();
+      case FragmentSpecKind::kOne:
+        return system_.one();
+      case FragmentSpecKind::kHeadArg: {
+        PredicateId pred =
+            s.occ < 0 ? ar.head_pred : ar.body[s.occ].lit.pred;
+        return system_.InternHeadArg(pred, s.adornment_mask, s.position);
+      }
+      case FragmentSpecKind::kVariable:
+        return system_.InternVariable(ar.adorned_index,
+                                      rule_vars_[s.var_slot]);
+      case FragmentSpecKind::kBodyArg: {
+        const BodyOccurrence& occ = ar.body[s.occ];
+        return system_.InternBodyArg(
+            occ.occurrence_id, s.position, occ.lit.pred, ar.adorned_index,
+            occ.kind == PredicateKind::kInfiniteBase);
+      }
+      case FragmentSpecKind::kBodyArgAdorned: {
+        const BodyOccurrence& occ = ar.body[s.occ];
+        return system_.InternBodyArgAdorned(occ.occurrence_id,
+                                            s.adornment_mask, s.position,
+                                            occ.lit.pred, ar.adorned_index);
+      }
+      case FragmentSpecKind::kFdChoice: {
+        const BodyOccurrence& occ = ar.body[s.occ];
+        return system_.InternFdChoice(occ.occurrence_id, s.position,
+                                      s.fd_index, occ.lit.pred,
+                                      ar.adorned_index);
+      }
+    }
+    return system_.zero();
+  }
+
+  void ReplayRule(const AdornedRule& ar, const AdornedRuleTemplate& tmpl) {
+    // Resolving the specs in first-acquisition order makes every node
+    // that is new to this system come into existence at exactly the
+    // point the fresh build would have created it.
+    resolved_.clear();
+    resolved_.reserve(tmpl.specs.size());
+    for (const FragmentNodeSpec& s : tmpl.specs) {
+      resolved_.push_back(Resolve(ar, s));
+    }
+    for (const FragmentPropRule& fr : tmpl.rules) {
+      PropRule rule;
+      rule.head = resolved_[fr.head];
+      rule.body.reserve(fr.body.size());
+      for (uint32_t b : fr.body) rule.body.push_back(resolved_[b]);
+      rule.source_adorned_rule = ar.adorned_index;
+      system_.AddRule(std::move(rule));
+    }
+  }
+
+  // --- Fresh build (Algorithm 2) ----------------------------------------
+
+  /// Distinct variables of the rule in first-occurrence order (head
+  /// first, then body left to right) — the coordinate system for
+  /// kVariable specs, shared by fresh step 2 and replay.
+  void ComputeRuleVars(const AdornedRule& ar) {
+    rule_vars_.clear();
+    auto note = [&](TermId v) {
+      if (std::find(rule_vars_.begin(), rule_vars_.end(), v) ==
+          rule_vars_.end()) {
+        rule_vars_.push_back(v);
+      }
+    };
+    for (TermId a : ar.head.args) note(a);
+    for (const BodyOccurrence& occ : ar.body) {
+      for (TermId a : occ.lit.args) note(a);
+    }
+  }
+
+  uint32_t VarSlot(TermId v) const {
+    auto it = std::find(rule_vars_.begin(), rule_vars_.end(), v);
+    return static_cast<uint32_t>(it - rule_vars_.begin());
   }
 
   void ProcessRule(const AdornedRule& ar) {
     Step1HeadArgs(ar);
     Step2Variables(ar);
-    for (const BodyOccurrence& occ : ar.body) {
+    for (size_t occ_idx = 0; occ_idx < ar.body.size(); ++occ_idx) {
+      const BodyOccurrence& occ = ar.body[occ_idx];
       if (occ.kind == PredicateKind::kDerived) {
-        Step3DerivedOccurrence(ar, occ);
+        Step3DerivedOccurrence(ar, occ_idx);
       } else if (occ.kind == PredicateKind::kInfiniteBase) {
-        Step4InfiniteOccurrence(ar, occ);
+        Step4InfiniteOccurrence(ar, occ_idx);
       }
       // Finite-base occurrences generate no nodes: they only ground
       // variables in step 2.
@@ -51,31 +330,17 @@ class SystemBuilder {
 
   void Step1HeadArgs(const AdornedRule& ar) {
     for (uint32_t k = 0; k < ar.head.args.size(); ++k) {
-      NodeId head =
-          system_.InternHeadArg(ar.head_pred, ar.adornment.bound_mask, k);
+      NodeId head = OwnHead(ar, k);
       if (ar.adornment.IsBound(k)) {
-        system_.AddRule(PropRule{head, {system_.zero()}, ar.adorned_index});
+        Emit(PropRule{head, {Zero()}, ar.adorned_index});
       } else {
-        system_.AddRule(
-            PropRule{head, {Var(ar, ar.head.args[k])}, ar.adorned_index});
+        Emit(PropRule{head, {Var(ar, ar.head.args[k])}, ar.adorned_index});
       }
     }
   }
 
   void Step2Variables(const AdornedRule& ar) {
-    // Distinct variables of the rule, in first-occurrence order.
-    std::vector<TermId> vars;
-    auto note = [&](TermId v) {
-      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
-        vars.push_back(v);
-      }
-    };
-    for (TermId a : ar.head.args) note(a);
-    for (const BodyOccurrence& occ : ar.body) {
-      for (TermId a : occ.lit.args) note(a);
-    }
-
-    for (TermId v : vars) {
+    for (TermId v : rule_vars_) {
       NodeId var_node = Var(ar, v);
       // Bound head positions and finite-base occurrences ground the
       // variable outright.
@@ -93,44 +358,40 @@ class SystemBuilder {
         }
       }
       if (grounded) {
-        system_.AddRule(
-            PropRule{var_node, {system_.zero()}, ar.adorned_index});
+        Emit(PropRule{var_node, {Zero()}, ar.adorned_index});
         continue;
       }
       // C_X: every derived/infinite body argument the variable occurs in.
       std::vector<NodeId> conjunct;
-      for (const BodyOccurrence& occ : ar.body) {
+      for (size_t occ_idx = 0; occ_idx < ar.body.size(); ++occ_idx) {
+        const BodyOccurrence& occ = ar.body[occ_idx];
         if (occ.kind == PredicateKind::kFiniteBase) continue;
         for (uint32_t k = 0; k < occ.lit.args.size(); ++k) {
           if (occ.lit.args[k] == v) {
-            conjunct.push_back(BodyArg(ar, occ, k));
+            conjunct.push_back(BodyArg(ar, occ_idx, k));
           }
         }
       }
       if (conjunct.empty()) {
         // The variable occurs only in free head positions: it ranges over
         // the entire (infinite) domain.
-        system_.AddRule(
-            PropRule{var_node, {system_.one()}, ar.adorned_index});
+        Emit(PropRule{var_node, {One()}, ar.adorned_index});
       } else {
-        system_.AddRule(
-            PropRule{var_node, std::move(conjunct), ar.adorned_index});
+        Emit(PropRule{var_node, std::move(conjunct), ar.adorned_index});
       }
     }
   }
 
-  void Step3DerivedOccurrence(const AdornedRule& ar,
-                              const BodyOccurrence& occ) {
+  void Step3DerivedOccurrence(const AdornedRule& ar, size_t occ_idx) {
+    const BodyOccurrence& occ = ar.body[occ_idx];
     const std::vector<Adornment>& adornments =
         adornment_cache_.For(program_.terms(), occ.lit);
     for (uint32_t k = 0; k < occ.lit.args.size(); ++k) {
-      NodeId arg_node = BodyArg(ar, occ, k);
+      NodeId arg_node = BodyArg(ar, occ_idx, k);
       std::vector<NodeId> conjunct;
       for (const Adornment& a1 : adornments) {
         if (a1.IsBound(k)) continue;
-        NodeId adorned_node = system_.InternBodyArgAdorned(
-            occ.occurrence_id, a1.bound_mask, k, occ.lit.pred,
-            ar.adorned_index);
+        NodeId adorned_node = AdornedArg(ar, occ_idx, a1.bound_mask, k);
         conjunct.push_back(adorned_node);
         // The strategy is inapplicable if a bound variable is unsafe.
         std::vector<TermId> bound_vars;
@@ -144,18 +405,16 @@ class SystemBuilder {
           }
         }
         for (TermId y : bound_vars) {
-          system_.AddRule(
-              PropRule{adorned_node, {Var(ar, y)}, ar.adorned_index});
+          Emit(PropRule{adorned_node, {Var(ar, y)}, ar.adorned_index});
         }
         // Even with safe bindings, the callee's adorned head may be
         // unsafe.
-        NodeId callee = system_.InternHeadArg(occ.lit.pred, a1.bound_mask, k);
-        system_.AddRule(PropRule{adorned_node, {callee}, ar.adorned_index});
+        NodeId callee = CalleeHead(ar, occ_idx, a1.bound_mask, k);
+        Emit(PropRule{adorned_node, {callee}, ar.adorned_index});
       }
       // k is free in the all-free adornment, so the conjunct is never
       // empty.
-      system_.AddRule(
-          PropRule{arg_node, std::move(conjunct), ar.adorned_index});
+      Emit(PropRule{arg_node, std::move(conjunct), ar.adorned_index});
     }
   }
 
@@ -172,30 +431,43 @@ class SystemBuilder {
     return it->second;
   }
 
-  void Step4InfiniteOccurrence(const AdornedRule& ar,
-                               const BodyOccurrence& occ) {
-    FdClosureIndex& fds = FdIndexFor(occ.lit.pred);
+  /// Determinants of argument `k`, from the shared frozen index when the
+  /// caller provided one for this predicate, else the local lazy index.
+  const std::vector<AttrSet>& DeterminantsFor(PredicateId pred,
+                                              uint32_t arity, uint32_t k) {
+    if (opts_.fd_indexes != nullptr) {
+      auto it = opts_.fd_indexes->find(pred);
+      if (it != opts_.fd_indexes->end() && it->second != nullptr &&
+          it->second->frozen()) {
+        const FdClosureIndex& idx = *it->second;
+        return opts_.use_fd_closure ? idx.Minimal(arity, k)
+                                    : idx.Declared(k);
+      }
+    }
+    FdClosureIndex& fds = FdIndexFor(pred);
+    return opts_.use_fd_closure ? fds.Minimal(arity, k) : fds.Declared(k);
+  }
+
+  void Step4InfiniteOccurrence(const AdornedRule& ar, size_t occ_idx) {
+    const BodyOccurrence& occ = ar.body[occ_idx];
     uint32_t arity = static_cast<uint32_t>(occ.lit.args.size());
     for (uint32_t k = 0; k < arity; ++k) {
-      NodeId arg_node = BodyArg(ar, occ, k);
+      NodeId arg_node = BodyArg(ar, occ_idx, k);
       const std::vector<AttrSet>& determinants =
-          opts_.use_fd_closure ? fds.Minimal(arity, k) : fds.Declared(k);
+          DeterminantsFor(occ.lit.pred, arity, k);
       if (determinants.empty()) {
         // No dependency restricts this argument: unsafe leaf.
-        system_.AddRule(
-            PropRule{arg_node, {system_.one()}, ar.adorned_index});
+        Emit(PropRule{arg_node, {One()}, ar.adorned_index});
         continue;
       }
       std::vector<NodeId> conjunct;
       for (uint32_t i = 0; i < determinants.size(); ++i) {
-        NodeId choice = system_.InternFdChoice(
-            occ.occurrence_id, k, i, occ.lit.pred, ar.adorned_index);
+        NodeId choice = FdChoice(ar, occ_idx, k, i);
         conjunct.push_back(choice);
         if (determinants[i].Empty()) {
           // An empty antecedent is always applicable: the argument is
           // finite outright through this dependency.
-          system_.AddRule(
-              PropRule{choice, {system_.zero()}, ar.adorned_index});
+          Emit(PropRule{choice, {Zero()}, ar.adorned_index});
           continue;
         }
         std::vector<TermId> antecedent_vars;
@@ -207,11 +479,10 @@ class SystemBuilder {
           }
         }
         for (TermId y : antecedent_vars) {
-          system_.AddRule(PropRule{choice, {Var(ar, y)}, ar.adorned_index});
+          Emit(PropRule{choice, {Var(ar, y)}, ar.adorned_index});
         }
       }
-      system_.AddRule(
-          PropRule{arg_node, std::move(conjunct), ar.adorned_index});
+      Emit(PropRule{arg_node, std::move(conjunct), ar.adorned_index});
     }
   }
 
@@ -221,6 +492,15 @@ class SystemBuilder {
   AndOrSystem system_;
   AdornmentCache adornment_cache_;
   std::unordered_map<PredicateId, FdClosureIndex> fd_index_;
+
+  /// Per-rule state: distinct variables (coordinate system for
+  /// kVariable), the template being recorded (null when not recording
+  /// or recording was abandoned), the NodeId -> spec-index map of the
+  /// current rule, and the replay resolution scratch buffer.
+  std::vector<TermId> rule_vars_;
+  AdornedRuleTemplate* cur_tmpl_ = nullptr;
+  std::unordered_map<NodeId, uint32_t> cur_spec_of_;
+  std::vector<NodeId> resolved_;
 };
 
 }  // namespace

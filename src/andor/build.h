@@ -1,8 +1,13 @@
 #ifndef HORNSAFE_ANDOR_BUILD_H_
 #define HORNSAFE_ANDOR_BUILD_H_
 
+#include <memory>
+#include <unordered_map>
+
 #include "andor/adorn.h"
+#include "andor/fragment.h"
 #include "andor/system.h"
+#include "fd/fd.h"
 #include "lang/program.h"
 #include "util/status.h"
 
@@ -16,6 +21,25 @@ struct BuildOptions {
   /// closure of the declared dependencies — strictly more safety is
   /// detected, at exponential-in-arity cost per occurrence.
   bool use_fd_closure = false;
+
+  /// Pre-closed dependency indexes by predicate id (frozen — see
+  /// FdClosureCache). Occurrences of predicates present in the map read
+  /// determinants from the shared index instead of deriving them;
+  /// absent predicates fall back to a build-local lazy index. May be
+  /// null.
+  using FdIndexMap =
+      std::unordered_map<PredicateId, std::shared_ptr<const FdClosureIndex>>;
+  const FdIndexMap* fd_indexes = nullptr;
+
+  /// Fragment templates to splice per canonical rule (andor/fragment.h);
+  /// null (or a null entry) means build fresh. Splicing produces a
+  /// system bit-identical to a fresh build.
+  const FragmentSplicePlan* splice = nullptr;
+
+  /// When set, fresh-built adorned rules record replay templates here
+  /// (sized/filled by the builder) and the spliced/rebuilt tallies are
+  /// kept, so the caller can cache the new fragments.
+  FragmentRecording* recording = nullptr;
 };
 
 /// Algorithm 2 of the paper: derives the propositional system And-Or_H

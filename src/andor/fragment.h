@@ -1,0 +1,137 @@
+#ifndef HORNSAFE_ANDOR_FRAGMENT_H_
+#define HORNSAFE_ANDOR_FRAGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lang/program.h"
+
+namespace hornsafe {
+
+/// Reusable And-Or fragments for the differential pipeline front half
+/// (DESIGN.md, D12).
+///
+/// The obstacle to caching built And-Or fragments directly is node-id
+/// remapping: `AndOrSystem` node ids are global creation-order indices,
+/// `NodeName`/`Describe` render occurrence ids and adorned-rule indices
+/// into explanation text, and the bit-identity contract demands that a
+/// warm build equal a cold build byte for byte. Storing concrete nodes
+/// would bake the *old* build's ids into the cache.
+///
+/// The fragments here therefore store no node ids at all. A fragment is
+/// a *replay template*: the sequence of node acquisitions one fresh
+/// `ProcessRule` performed, each described by rule-local coordinates
+/// (body-occurrence index, argument position, adornment mask, variable
+/// slot), plus the propositional rules it emitted as indices into that
+/// acquisition sequence. Splicing a template into a new build resolves
+/// every coordinate against the *new* adorned rule — new predicate ids,
+/// new occurrence ids, new adorned-rule index, new term ids — and
+/// replays the same `Intern*`/`AddRule` calls in the same order. By
+/// induction over the acquisition sequence this creates exactly the
+/// nodes a fresh `ProcessRule` would create, in the same order, so the
+/// resulting system is identical to a cold build — including ids and
+/// rendered names — while skipping the per-rule analysis work (variable
+/// grounding scans, adornment consistency walks, FD determinant
+/// derivations).
+///
+/// Soundness of reuse rests on the *guard* (ComputeRuleGuard): two
+/// canonical rules with equal guards produce the same template. The
+/// guard folds the alpha-invariant structural rule hash (head/body
+/// predicates, argument grouping patterns — which fix the adornment
+/// enumeration and the variable grounding pattern), each body
+/// occurrence's predicate kind (which selects step 2 grounding and the
+/// step 3 / step 4 dispatch), each infinite-base callee's dependency
+/// set and arity (which fix the step 4 determinants), and the
+/// use_fd_closure flag (which selects declared vs minimal
+/// determinants). Everything else `ProcessRule` reads is resolved at
+/// replay time from the new rule.
+
+/// How one node of a template is re-acquired at replay time. Mirrors
+/// PropNodeKind, but holds rule-local coordinates instead of ids.
+enum class FragmentSpecKind : uint8_t {
+  kZero,
+  kOne,
+  kHeadArg,
+  kVariable,
+  kBodyArg,
+  kBodyArgAdorned,
+  kFdChoice,
+};
+
+struct FragmentNodeSpec {
+  FragmentSpecKind kind = FragmentSpecKind::kZero;
+  /// kHeadArg: -1 = the rule's own head, else the body-occurrence index
+  /// of the callee. Other occurrence kinds: the body-occurrence index.
+  int32_t occ = -1;
+  /// Argument position (kHeadArg/kBodyArg/kBodyArgAdorned/kFdChoice).
+  uint32_t position = 0;
+  /// kHeadArg/kBodyArgAdorned: raw adornment mask. Masks are grouping-
+  /// pattern-determined positional bitmasks, identical for guard-equal
+  /// rules, so the recorded value replays verbatim.
+  uint64_t adornment_mask = 0;
+  /// kVariable: index into the rule's distinct-variable list in
+  /// first-occurrence order (head first, then body left to right).
+  uint32_t var_slot = 0;
+  /// kFdChoice: determinant index.
+  uint32_t fd_index = 0;
+};
+
+/// One emitted propositional rule, as indices into the spec sequence.
+struct FragmentPropRule {
+  uint32_t head = 0;
+  std::vector<uint32_t> body;
+};
+
+/// Everything ProcessRule did for one adorned rule: node acquisitions
+/// in first-acquisition order, then rule emissions in emission order.
+struct AdornedRuleTemplate {
+  std::vector<FragmentNodeSpec> specs;
+  std::vector<FragmentPropRule> rules;
+};
+
+/// The templates of one canonical rule, one per consistent head
+/// adornment in enumeration order (all-free first). `adornment_masks`
+/// doubles as the persisted adornment set: BuildAdornedProgram splices
+/// it back for clean rules without re-deriving the grouping pattern.
+struct RuleFragment {
+  uint64_t guard = 0;
+  std::vector<uint64_t> adornment_masks;
+  std::vector<AdornedRuleTemplate> per_adornment;
+};
+
+/// Fragments for every canonical rule of one predicate, in that
+/// build's rule order. Cached per (cone fingerprint, use_fd_closure):
+/// the cone fingerprint covers the predicate's own rules and
+/// everything they can reach, so a matching cone implies matching
+/// guards for every rule (guard matching still runs, to pair reordered
+/// clauses with the right template).
+struct ConeFragment {
+  std::vector<RuleFragment> rules;
+};
+
+/// The splice decisions for one build, parallel to the new canonical
+/// program's rule list. A null entry means "build fresh (and record)".
+/// `pinned` keeps the cached cones alive for the build's duration.
+struct FragmentSplicePlan {
+  std::vector<const RuleFragment*> by_rule;
+  std::vector<std::shared_ptr<const ConeFragment>> pinned;
+};
+
+/// Templates captured by a recording build, parallel to the adorned
+/// rule list; null entries were spliced (or recording was abandoned).
+struct FragmentRecording {
+  std::vector<std::unique_ptr<AdornedRuleTemplate>> by_adorned;
+  /// Adorned rules spliced from templates vs processed fresh.
+  uint64_t rules_spliced = 0;
+  uint64_t rules_rebuilt = 0;
+};
+
+/// The reuse guard for rule `rule_index` of `canonical` (see the file
+/// comment for what it covers and why that is sufficient).
+uint64_t ComputeRuleGuard(const Program& canonical, uint32_t rule_index,
+                          bool use_fd_closure);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_ANDOR_FRAGMENT_H_

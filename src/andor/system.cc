@@ -30,6 +30,13 @@ size_t AndOrSystem::KeyHash::operator()(
   return seed;
 }
 
+size_t AndOrSystem::RuleKeyHash::operator()(
+    const std::vector<NodeId>& k) const {
+  size_t seed = k.size();
+  for (NodeId v : k) HashCombine(seed, std::hash<uint32_t>{}(v));
+  return seed;
+}
+
 AndOrSystem::AndOrSystem() {
   zero_ = AddNode(PropNode{PropNodeKind::kZero, kInvalidPredicate, 0, 0, 0,
                            kInvalidTerm, 0, 0, false});

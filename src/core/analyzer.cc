@@ -8,6 +8,7 @@
 #include "andor/lfp.h"
 #include "andor/reduce.h"
 #include "lang/struct_hash.h"
+#include "util/stage_timer.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -58,36 +59,180 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
 
   HORNSAFE_RETURN_IF_ERROR(program.Validate());
   HORNSAFE_RETURN_IF_ERROR(options.exec.Check("analyzer build"));
+  StageTimer timer;
 
   // Algorithm 1, behind the canonicalization tier: keyed on the strict
   // (rendered-listing) hash, so a hit replays the exact output a cold
-  // run would rebuild.
+  // run would rebuild. The artifact is frozen behind a shared_ptr and
+  // shared between the tier and every snapshot that hits it, so a warm
+  // hit costs one hash lookup instead of a deep Program copy. Display
+  // variables are interned on the miss path, while the canonical
+  // program is still private, and travel with the artifact; every
+  // later stage takes the program by const reference and interns
+  // nothing.
+  auto freeze = [&](CanonicalizationResult canon)
+      -> std::shared_ptr<const CanonicalizationResult> {
+    uint32_t max_arity = 0;
+    const size_t np = canon.program.num_predicates();
+    for (PredicateId p = 0; p < static_cast<PredicateId>(np); ++p) {
+      max_arity = std::max(max_arity, canon.program.predicate(p).arity);
+    }
+    s.display_vars.clear();
+    s.display_vars.reserve(max_arity);
+    for (uint32_t k = 0; k < max_arity; ++k) {
+      s.display_vars.push_back(canon.program.Var(StrCat("A", k + 1)));
+    }
+    return std::make_shared<const CanonicalizationResult>(std::move(canon));
+  };
   if (cache != nullptr) {
     uint64_t strict = StrictProgramHash(program);
     uint64_t bits = CanonicalizeOptionBits(options.canonicalize);
     if (auto hit = cache->LookupCanonicalization(strict, bits)) {
-      s.canon = std::move(*hit);
+      s.canon = std::move(hit->canon);
+      s.display_vars = std::move(hit->display_vars);
     } else {
-      HORNSAFE_ASSIGN_OR_RETURN(s.canon,
+      HORNSAFE_ASSIGN_OR_RETURN(CanonicalizationResult fresh_canon,
                                 Canonicalize(program, options.canonicalize));
-      cache->StoreCanonicalization(strict, bits, s.canon);
+      s.canon = freeze(std::move(fresh_canon));
+      cache->StoreCanonicalization(strict, bits, {s.canon, s.display_vars});
     }
   } else {
-    HORNSAFE_ASSIGN_OR_RETURN(s.canon,
+    HORNSAFE_ASSIGN_OR_RETURN(CanonicalizationResult fresh_canon,
                               Canonicalize(program, options.canonicalize));
+    s.canon = freeze(std::move(fresh_canon));
   }
+  s.stats.stage_canonicalize_ns = timer.LapNs();
+
+  const Program& cp = s.canon->program;
+  const size_t num_preds = cp.num_predicates();
+  const size_t num_rules = cp.rules().size();
+
+  // Fingerprints move ahead of the And-Or stages: the fragment and FD
+  // tiers below are keyed by cone fingerprint, and (with a cache) the
+  // per-predicate hash memo skips structural hashing of textually
+  // unchanged predicates.
+  s.fps = ComputeFingerprints(
+      cp, cache != nullptr ? &cache->pred_hashes() : nullptr);
+  s.stats.stage_fingerprint_ns = timer.LapNs();
 
   HORNSAFE_RETURN_IF_ERROR(options.exec.Check("analyzer build"));
-  HORNSAFE_ASSIGN_OR_RETURN(
-      s.adorned,
-      BuildAdornedProgram(s.canon.program,
-                          cache != nullptr ? &cache->adornments() : nullptr));
+
   BuildOptions bopts;
   bopts.use_fd_closure = options.use_fd_closure;
-  HORNSAFE_ASSIGN_OR_RETURN(
-      s.system, BuildAndOrSystem(s.canon.program, s.adorned, bopts));
 
-  s.stats.canonical_rules = s.canon.program.rules().size();
+  // Pre-close the dependency index of every infinite-base predicate
+  // through the shared FdClosureCache: predicates whose dependency set
+  // is unchanged get the previous build's frozen index back in one
+  // hash lookup instead of re-running the closure fixpoints.
+  BuildOptions::FdIndexMap fd_indexes;
+  if (cache != nullptr) {
+    for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+      const PredicateInfo& info = cp.predicate(p);
+      if (info.kind != PredicateKind::kInfiniteBase) continue;
+      fd_indexes.emplace(p, cache->fd_closures().For(cp.FdsFor(p),
+                                                     info.arity,
+                                                     options.use_fd_closure));
+    }
+    bopts.fd_indexes = &fd_indexes;
+  }
+  s.stats.stage_fd_ns = timer.LapNs();
+
+  // Fragment planning: pair every canonical rule of a predicate whose
+  // cached cone fragments are present with the guard-matching replay
+  // template. Rules are tried positionally first (the common unchanged
+  // layout), falling back to a guard scan so clause reorders inside a
+  // fingerprint-equal predicate still splice.
+  FragmentSplicePlan plan;
+  FragmentRecording recording;
+  std::vector<std::vector<uint32_t>> rules_of(num_preds);
+  std::vector<char> pred_cone_hit(num_preds, 0);
+  if (cache != nullptr) {
+    for (uint32_t ri = 0; ri < static_cast<uint32_t>(num_rules); ++ri) {
+      rules_of[cp.rules()[ri].head.pred].push_back(ri);
+    }
+    std::vector<std::shared_ptr<const ConeFragment>> by_pred(num_preds);
+    for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+      if (rules_of[p].empty()) continue;
+      by_pred[p] = cache->LookupFragments(PipelineCache::FragmentKey(
+          s.fps.cone[p], options.use_fd_closure));
+      pred_cone_hit[p] = by_pred[p] != nullptr ? 1 : 0;
+    }
+    plan.by_rule.assign(num_rules, nullptr);
+    for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+      const ConeFragment* cone = by_pred[p].get();
+      if (cone == nullptr) continue;
+      for (uint32_t ord = 0; ord < rules_of[p].size(); ++ord) {
+        uint32_t ri = rules_of[p][ord];
+        uint64_t guard = ComputeRuleGuard(cp, ri, options.use_fd_closure);
+        const RuleFragment* match = nullptr;
+        if (ord < cone->rules.size() && cone->rules[ord].guard == guard) {
+          match = &cone->rules[ord];
+        } else {
+          for (const RuleFragment& rf : cone->rules) {
+            if (rf.guard == guard) {
+              match = &rf;
+              break;
+            }
+          }
+        }
+        plan.by_rule[ri] = match;
+      }
+      plan.pinned.push_back(std::move(by_pred[p]));
+    }
+    bopts.splice = &plan;
+    bopts.recording = &recording;
+  }
+
+  HORNSAFE_ASSIGN_OR_RETURN(
+      s.adorned,
+      BuildAdornedProgram(cp,
+                          cache != nullptr ? &cache->adornments() : nullptr,
+                          cache != nullptr ? &plan : nullptr));
+  s.stats.stage_adorn_ns = timer.LapNs();
+
+  HORNSAFE_ASSIGN_OR_RETURN(s.system,
+                            BuildAndOrSystem(cp, s.adorned, bopts));
+  s.stats.fragments_spliced = recording.rules_spliced;
+  s.stats.fragments_rebuilt = recording.rules_rebuilt;
+
+  // Assemble and publish fragments for predicates whose cone missed the
+  // cache: their rules were all processed fresh, so the recording holds
+  // a complete template set (unless the recorder abandoned a rule, in
+  // which case that predicate is skipped rather than cached with holes).
+  if (cache != nullptr) {
+    std::vector<RuleFragment> per_rule(num_rules);
+    std::vector<char> rule_complete(num_rules, 1);
+    for (const AdornedRule& ar : s.adorned.rules) {
+      RuleFragment& rf = per_rule[ar.source_rule];
+      rf.adornment_masks.push_back(ar.adornment.bound_mask);
+      std::unique_ptr<AdornedRuleTemplate>& tmpl =
+          recording.by_adorned[ar.adorned_index];
+      if (tmpl != nullptr) {
+        rf.per_adornment.push_back(std::move(*tmpl));
+      } else {
+        rule_complete[ar.source_rule] = 0;
+      }
+    }
+    for (PredicateId p = 0; p < static_cast<PredicateId>(num_preds); ++p) {
+      if (rules_of[p].empty() || pred_cone_hit[p]) continue;
+      bool complete = true;
+      for (uint32_t ri : rules_of[p]) complete &= rule_complete[ri] != 0;
+      if (!complete) continue;
+      auto cone = std::make_shared<ConeFragment>();
+      cone->rules.reserve(rules_of[p].size());
+      for (uint32_t ri : rules_of[p]) {
+        RuleFragment rf = std::move(per_rule[ri]);
+        rf.guard = ComputeRuleGuard(cp, ri, options.use_fd_closure);
+        cone->rules.push_back(std::move(rf));
+      }
+      cache->StoreFragments(
+          PipelineCache::FragmentKey(s.fps.cone[p], options.use_fd_closure),
+          std::move(cone));
+    }
+  }
+  s.stats.stage_build_ns = timer.LapNs();
+
+  s.stats.canonical_rules = cp.rules().size();
   s.stats.adorned_rules = s.adorned.rules.size();
   s.stats.nodes = s.system.nodes().size();
   s.stats.rules_total = s.system.num_rules();
@@ -98,14 +243,14 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
     std::optional<std::vector<bool>> empty;
     uint64_t canon_strict = 0;
     if (cache != nullptr) {
-      canon_strict = StrictProgramHash(s.canon.program);
+      canon_strict = StrictProgramHash(s.canon->program);
       empty = cache->LookupEmptiness(canon_strict);
-      if (empty && empty->size() != s.canon.program.num_predicates()) {
+      if (empty && empty->size() != s.canon->program.num_predicates()) {
         empty.reset();
       }
     }
     if (!empty) {
-      empty = EmptyPredicates(s.canon.program);
+      empty = EmptyPredicates(s.canon->program);
       if (cache != nullptr) cache->StoreEmptiness(canon_strict, *empty);
     }
     s.stats.rules_pruned_emptiness = ApplyEmptinessPruning(*empty, &s.system);
@@ -114,30 +259,17 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
     s.stats.rules_pruned_reduction = ReduceSystem(&s.system).rules_deleted;
   }
   s.stats.rules_live = s.system.NumLiveRules();
+  s.stats.stage_prune_ns = timer.LapNs();
 
-  if (options.use_monotonicity && !s.canon.program.monos().empty()) {
-    s.mono = std::make_unique<MonotonicityAnalyzer>(s.canon.program,
+  if (options.use_monotonicity && !s.canon->program.monos().empty()) {
+    s.mono = std::make_unique<MonotonicityAnalyzer>(s.canon->program,
                                                     s.adorned, s.system);
   }
   // The condensation depends on the live rule set, so it is computed
   // after pruning and then shared (read-only) by every subset search,
   // including ones running concurrently on pool threads.
   s.scc = std::make_unique<SccAnalysis>(SccAnalysis::Compute(s.system));
-
-  s.fps = ComputeFingerprints(s.canon.program);
-
-  // Intern the display variables now, while this build is still
-  // private: the read path synthesises display literals from these ids
-  // and must not touch the (shared, frozen) term pool.
-  uint32_t max_arity = 0;
-  for (PredicateId p = 0;
-       p < static_cast<PredicateId>(s.canon.program.num_predicates()); ++p) {
-    max_arity = std::max(max_arity, s.canon.program.predicate(p).arity);
-  }
-  s.display_vars.reserve(max_arity);
-  for (uint32_t k = 0; k < max_arity; ++k) {
-    s.display_vars.push_back(s.canon.program.Var(StrCat("A", k + 1)));
-  }
+  s.stats.stage_scc_ns = timer.LapNs();
 
   // Everything besides the cone that can influence a search's verdict
   // *or its step count*: option flags and budget, whether the Theorem 5
@@ -166,8 +298,29 @@ Result<SafetyAnalyzer> SafetyAnalyzer::Create(
   a.shared_->default_exec = options.exec;
   HORNSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> snap,
                             BuildSnapshot(program, options));
+  a.FoldBuildStats(snap->stats);
   a.shared_->snapshot = std::move(snap);
   return a;
+}
+
+void SafetyAnalyzer::FoldBuildStats(const AnalysisSnapshot::Stats& stats) {
+  SharedCounters& c = shared_->counters;
+  c.stage_canonicalize_ns.fetch_add(stats.stage_canonicalize_ns,
+                                    std::memory_order_relaxed);
+  c.stage_fingerprint_ns.fetch_add(stats.stage_fingerprint_ns,
+                                   std::memory_order_relaxed);
+  c.stage_fd_ns.fetch_add(stats.stage_fd_ns, std::memory_order_relaxed);
+  c.stage_adorn_ns.fetch_add(stats.stage_adorn_ns,
+                             std::memory_order_relaxed);
+  c.stage_build_ns.fetch_add(stats.stage_build_ns,
+                             std::memory_order_relaxed);
+  c.stage_prune_ns.fetch_add(stats.stage_prune_ns,
+                             std::memory_order_relaxed);
+  c.stage_scc_ns.fetch_add(stats.stage_scc_ns, std::memory_order_relaxed);
+  c.fragments_spliced.fetch_add(stats.fragments_spliced,
+                                std::memory_order_relaxed);
+  c.fragments_rebuilt.fetch_add(stats.fragments_rebuilt,
+                                std::memory_order_relaxed);
 }
 
 std::shared_ptr<const AnalysisSnapshot> SafetyAnalyzer::snapshot() const {
@@ -202,15 +355,16 @@ Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
   std::lock_guard<std::mutex> update_lock(shared_->update_mu);
   std::shared_ptr<const AnalysisSnapshot> old = snapshot();
 
-  // Snapshot the previous build's cone fingerprints by predicate
-  // name/arity (ids are not stable across builds).
-  std::unordered_map<std::string, uint64_t> old_cones;
+  // Snapshot the previous build's cone fingerprints keyed by hashed
+  // (name, arity) — ids are not stable across builds, and hashing the
+  // key avoids one string allocation per predicate per edit.
+  std::unordered_map<uint64_t, uint64_t> old_cones;
   {
-    const Program& oldp = old->canon.program;
+    const Program& oldp = old->canon->program;
     for (PredicateId p = 0;
          p < static_cast<PredicateId>(oldp.num_predicates()); ++p) {
-      old_cones[StrCat(oldp.PredicateName(p), "/",
-                       oldp.predicate(p).arity)] = old->fps.cone[p];
+      old_cones[CombineHash(HashBytes(oldp.PredicateName(p)),
+                            oldp.predicate(p).arity)] = old->fps.cone[p];
     }
   }
 
@@ -218,14 +372,15 @@ Result<SafetyAnalyzer::UpdateStats> SafetyAnalyzer::Update(
   build_options.exec = exec;
   HORNSAFE_ASSIGN_OR_RETURN(std::shared_ptr<const AnalysisSnapshot> fresh,
                             BuildSnapshot(program, build_options));
+  FoldBuildStats(fresh->stats);
 
   UpdateStats out;
-  const Program& newp = fresh->canon.program;
+  const Program& newp = fresh->canon->program;
   out.predicates = newp.num_predicates();
   for (PredicateId p = 0;
        p < static_cast<PredicateId>(newp.num_predicates()); ++p) {
-    auto it = old_cones.find(
-        StrCat(newp.PredicateName(p), "/", newp.predicate(p).arity));
+    auto it = old_cones.find(CombineHash(HashBytes(newp.PredicateName(p)),
+                                         newp.predicate(p).arity));
     if (it != old_cones.end() && it->second == fresh->fps.cone[p]) {
       ++out.clean_predicates;
     } else {
@@ -287,6 +442,18 @@ SafetyAnalyzer::Counters SafetyAnalyzer::counters() const {
   c.cache_hits = sc.cache_hits.load(std::memory_order_relaxed);
   c.cache_misses = sc.cache_misses.load(std::memory_order_relaxed);
   c.snapshot_swaps = sc.snapshot_swaps.load(std::memory_order_relaxed);
+  c.stage_canonicalize_ns =
+      sc.stage_canonicalize_ns.load(std::memory_order_relaxed);
+  c.stage_fingerprint_ns =
+      sc.stage_fingerprint_ns.load(std::memory_order_relaxed);
+  c.stage_fd_ns = sc.stage_fd_ns.load(std::memory_order_relaxed);
+  c.stage_adorn_ns = sc.stage_adorn_ns.load(std::memory_order_relaxed);
+  c.stage_build_ns = sc.stage_build_ns.load(std::memory_order_relaxed);
+  c.stage_prune_ns = sc.stage_prune_ns.load(std::memory_order_relaxed);
+  c.stage_scc_ns = sc.stage_scc_ns.load(std::memory_order_relaxed);
+  c.stage_search_ns = sc.stage_search_ns.load(std::memory_order_relaxed);
+  c.fragments_spliced = sc.fragments_spliced.load(std::memory_order_relaxed);
+  c.fragments_rebuilt = sc.fragments_rebuilt.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -294,7 +461,7 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(const AnalysisSnapshot& snap,
                                                PredicateId pred,
                                                uint64_t adornment_mask,
                                                const ExecContext& exec) {
-  const Program& p = snap.canon.program;
+  const Program& p = snap.canon->program;
   const AndOrSystem& system = snap.system;
   PipelineCache* cache = snap.options.cache;
   SharedCounters& counters = shared_->counters;
@@ -379,6 +546,7 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(const AnalysisSnapshot& snap,
   size_t want = snap.options.jobs <= 0
                     ? ThreadPool::DefaultThreads()
                     : static_cast<size_t>(snap.options.jobs);
+  StageTimer search_timer;
   if (want > 1 && searches.size() > 1) {
     std::shared_ptr<ThreadPool> pool =
         Pool(std::min(want, searches.size()));
@@ -400,6 +568,10 @@ QueryAnalysis SafetyAnalyzer::AnalyzePredicate(const AnalysisSnapshot& snap,
     }
     counters.serial_tasks.fetch_add(searches.size(),
                                     std::memory_order_relaxed);
+  }
+  if (!searches.empty()) {
+    counters.stage_search_ns.fetch_add(search_timer.LapNs(),
+                                       std::memory_order_relaxed);
   }
 
   // Deterministic merge: verdicts, explanations, and counters are
@@ -509,7 +681,7 @@ std::vector<QueryAnalysis> SafetyAnalyzer::AnalyzeQueries() {
   std::shared_ptr<const AnalysisSnapshot> snap = snapshot();
   ExecContext exec = default_exec();
   std::vector<QueryAnalysis> out;
-  for (const Literal& q : snap->canon.program.queries()) {
+  for (const Literal& q : snap->canon->program.queries()) {
     out.push_back(AnalyzeQueryLiteral(*snap, q, exec));
   }
   return out;

@@ -125,7 +125,11 @@ struct AnalysisSnapshot {
   /// build-time context only; the read path takes a per-request
   /// ExecContext instead of consulting this copy.
   AnalyzerOptions options;
-  CanonicalizationResult canon;
+  /// Frozen Algorithm 1 output. Shared with the pipeline cache's
+  /// canonicalization tier when one is configured: the tier and every
+  /// snapshot built from the same input text point at one immutable
+  /// object, so a tier hit costs no Program copy.
+  std::shared_ptr<const CanonicalizationResult> canon;
   AdornedProgram adorned;
   AndOrSystem system;
   std::unique_ptr<MonotonicityAnalyzer> mono;
@@ -151,6 +155,22 @@ struct AnalysisSnapshot {
     size_t rules_live = 0;
     size_t rules_pruned_emptiness = 0;
     size_t rules_pruned_reduction = 0;
+    /// Wall time per pipeline stage of this build (ns): Algorithm 1,
+    /// fingerprinting, FD index preparation, adornment (including
+    /// fragment planning), the Algorithm 2 build (including fragment
+    /// assembly), Algorithm 3 + 4 pruning, and condensation (+
+    /// monotonicity) — in pipeline order.
+    uint64_t stage_canonicalize_ns = 0;
+    uint64_t stage_fingerprint_ns = 0;
+    uint64_t stage_fd_ns = 0;
+    uint64_t stage_adorn_ns = 0;
+    uint64_t stage_build_ns = 0;
+    uint64_t stage_prune_ns = 0;
+    uint64_t stage_scc_ns = 0;
+    /// Adorned rules spliced from cached fragments vs processed fresh
+    /// by this build (both 0 without a cache).
+    uint64_t fragments_spliced = 0;
+    uint64_t fragments_rebuilt = 0;
   };
   Stats stats;
 };
@@ -249,9 +269,9 @@ class SafetyAnalyzer {
   // (CLI, tests). Concurrent readers must pin via `snapshot()` and read
   // the snapshot's fields directly, or the referenced build could be
   // reclaimed under them by an Update.
-  const Program& canonical() const { return snapshot_ref().canon.program; }
+  const Program& canonical() const { return snapshot_ref().canon->program; }
   const CanonicalizationResult& canonicalization() const {
-    return snapshot_ref().canon;
+    return *snapshot_ref().canon;
   }
   const AdornedProgram& adorned() const { return snapshot_ref().adorned; }
   const AndOrSystem& system() const { return snapshot_ref().system; }
@@ -285,6 +305,21 @@ class SafetyAnalyzer {
     uint64_t cache_misses = 0;
     /// Snapshots published by Update (0 for a never-updated analyzer).
     uint64_t snapshot_swaps = 0;
+    /// Cumulative per-stage wall time across every build this analyzer
+    /// ran (Create + Updates), plus the subset-search stage across
+    /// every analysis. Stage meanings: AnalysisSnapshot::Stats.
+    uint64_t stage_canonicalize_ns = 0;
+    uint64_t stage_fingerprint_ns = 0;
+    uint64_t stage_fd_ns = 0;
+    uint64_t stage_adorn_ns = 0;
+    uint64_t stage_build_ns = 0;
+    uint64_t stage_prune_ns = 0;
+    uint64_t stage_scc_ns = 0;
+    uint64_t stage_search_ns = 0;
+    /// Adorned rules spliced from cached And-Or fragments vs processed
+    /// fresh, across every build.
+    uint64_t fragments_spliced = 0;
+    uint64_t fragments_rebuilt = 0;
   };
   Counters counters() const;
 
@@ -315,6 +350,16 @@ class SafetyAnalyzer {
     std::atomic<uint64_t> cache_hits{0};
     std::atomic<uint64_t> cache_misses{0};
     std::atomic<uint64_t> snapshot_swaps{0};
+    std::atomic<uint64_t> stage_canonicalize_ns{0};
+    std::atomic<uint64_t> stage_fingerprint_ns{0};
+    std::atomic<uint64_t> stage_fd_ns{0};
+    std::atomic<uint64_t> stage_adorn_ns{0};
+    std::atomic<uint64_t> stage_build_ns{0};
+    std::atomic<uint64_t> stage_prune_ns{0};
+    std::atomic<uint64_t> stage_scc_ns{0};
+    std::atomic<uint64_t> stage_search_ns{0};
+    std::atomic<uint64_t> fragments_spliced{0};
+    std::atomic<uint64_t> fragments_rebuilt{0};
   };
 
   /// Everything that outlives snapshot swaps and analyzer moves:
@@ -351,6 +396,10 @@ class SafetyAnalyzer {
   const AnalysisSnapshot& snapshot_ref() const;
   ExecContext default_exec() const;
   void Publish(std::shared_ptr<const AnalysisSnapshot> snap);
+
+  /// Folds one build's stage breakdown and fragment tallies into the
+  /// cumulative counters (called by Create and every Update).
+  void FoldBuildStats(const AnalysisSnapshot::Stats& stats);
 
   std::shared_ptr<Shared> shared_;
 };

@@ -372,12 +372,13 @@ void PipelineCache::DiskStore(const CacheKey& key,
   }
 }
 
-std::optional<CanonicalizationResult> PipelineCache::LookupCanonicalization(
-    uint64_t strict_hash, uint64_t options_bits) {
+std::optional<PipelineCache::CanonArtifact>
+PipelineCache::LookupCanonicalization(uint64_t strict_hash,
+                                      uint64_t options_bits) {
   // Artifact tiers are probed once per pipeline build (concurrent
   // ephemeral builds share this cache), so the whole scan — splice
-  // included — runs under misc_mu_; returning a copy keeps the caller
-  // off the list after unlock.
+  // included — runs under misc_mu_; returning a copy (two words plus
+  // the display-var ids) keeps the caller off the list after unlock.
   CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
   std::lock_guard<std::mutex> lock(misc_mu_);
   for (auto it = canon_.begin(); it != canon_.end(); ++it) {
@@ -393,10 +394,11 @@ std::optional<CanonicalizationResult> PipelineCache::LookupCanonicalization(
 
 void PipelineCache::StoreCanonicalization(uint64_t strict_hash,
                                           uint64_t options_bits,
-                                          const CanonicalizationResult& r) {
+                                          CanonArtifact artifact) {
+  if (artifact.canon == nullptr) return;
   CacheKey key{MixHash(strict_hash ^ 0x63616e6fULL), options_bits};
   std::lock_guard<std::mutex> lock(misc_mu_);
-  canon_.emplace_front(key, r);
+  canon_.emplace_front(key, std::move(artifact));
   while (canon_.size() > kMaxArtifacts) canon_.pop_back();
 }
 
@@ -421,6 +423,48 @@ void PipelineCache::StoreEmptiness(uint64_t strict_hash,
   while (emptiness_.size() > kMaxArtifacts) emptiness_.pop_back();
 }
 
+CacheKey PipelineCache::FragmentKey(uint64_t cone_fp, bool use_fd_closure) {
+  uint64_t lo = CombineHash(cone_fp, use_fd_closure ? 1 : 0);
+  uint64_t hi = CombineHash(MixHash(cone_fp ^ 0x667261676d656e74ULL),
+                            use_fd_closure ? 3 : 2);
+  return {hi, lo};
+}
+
+std::shared_ptr<const ConeFragment> PipelineCache::LookupFragments(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(fragment_mu_);
+  auto it = fragment_index_.find(key);
+  if (it == fragment_index_.end()) {
+    ++fragment_misses_;
+    return nullptr;
+  }
+  fragments_.splice(fragments_.begin(), fragments_, it->second);
+  ++fragment_hits_;
+  return fragments_.front().second;
+}
+
+void PipelineCache::StoreFragments(
+    const CacheKey& key, std::shared_ptr<const ConeFragment> fragments) {
+  if (fragments == nullptr) return;
+  std::lock_guard<std::mutex> lock(fragment_mu_);
+  auto it = fragment_index_.find(key);
+  if (it != fragment_index_.end()) {
+    // Entries are content-addressed: a racing builder produced an
+    // equivalent cone, so keep the incumbent (outstanding pins stay
+    // coherent) and just refresh recency.
+    fragments_.splice(fragments_.begin(), fragments_, it->second);
+    return;
+  }
+  fragments_.emplace_front(key, std::move(fragments));
+  fragment_index_[key] = fragments_.begin();
+  ++fragment_insertions_;
+  while (fragments_.size() > kMaxFragmentEntries) {
+    fragment_index_.erase(fragments_.back().first);
+    fragments_.pop_back();
+    ++fragment_evictions_;
+  }
+}
+
 void PipelineCache::NoteInvalidatedCones(size_t count) {
   std::lock_guard<std::mutex> lock(misc_mu_);
   misc_stats_.cones_invalidated += count;
@@ -431,6 +475,23 @@ PipelineCacheStats PipelineCache::stats() const {
   {
     std::lock_guard<std::mutex> lock(misc_mu_);
     out = misc_stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(fragment_mu_);
+    out.fragment_hits = fragment_hits_;
+    out.fragment_misses = fragment_misses_;
+    out.fragment_insertions = fragment_insertions_;
+    out.fragment_evictions = fragment_evictions_;
+  }
+  {
+    FdClosureCache::Stats fd = fd_closures_.stats();
+    out.fd_index_hits = fd.hits;
+    out.fd_index_misses = fd.misses;
+  }
+  {
+    PredicateHashMemo::Stats ph = pred_hashes_.stats();
+    out.pred_hash_hits = ph.hits;
+    out.pred_hash_misses = ph.misses;
   }
   // Per-shard tallies are exact (every bump happens under the shard
   // lock); the sum is a consistent-enough snapshot — a concurrent

@@ -11,8 +11,11 @@
 #include <vector>
 
 #include "andor/adorn.h"
+#include "andor/fragment.h"
 #include "andor/subset.h"
 #include "canonical/canonical.h"
+#include "fd/fd.h"
+#include "lang/fingerprint.h"
 #include "lang/program.h"
 
 namespace hornsafe {
@@ -82,6 +85,17 @@ struct PipelineCacheStats {
   uint64_t canon_misses = 0;
   uint64_t emptiness_hits = 0;
   uint64_t emptiness_misses = 0;
+  /// And-Or fragment tier (per-cone replay templates).
+  uint64_t fragment_hits = 0;
+  uint64_t fragment_misses = 0;
+  uint64_t fragment_insertions = 0;
+  uint64_t fragment_evictions = 0;
+  /// Shared frozen FD closure indexes (FdClosureCache).
+  uint64_t fd_index_hits = 0;
+  uint64_t fd_index_misses = 0;
+  /// Per-predicate structural-hash memo (PredicateHashMemo).
+  uint64_t pred_hash_hits = 0;
+  uint64_t pred_hash_misses = 0;
 };
 
 /// Cross-query cache for the safety pipeline, shared by any number of
@@ -158,12 +172,22 @@ class PipelineCache {
 
   // --- Pipeline-artifact tiers (thread-safe) ----------------------------
 
+  /// A cached canonicalization: the frozen Algorithm 1 output plus the
+  /// display variables the storing build interned into its term pool
+  /// (analyzer.h). Shared by pointer — the producing snapshot and every
+  /// hitting snapshot read the same immutable object, so a tier hit
+  /// copies two words instead of a whole Program.
+  struct CanonArtifact {
+    std::shared_ptr<const CanonicalizationResult> canon;
+    std::vector<TermId> display_vars;
+  };
+
   /// Canonicalization output for the strict-hashed input program, or
   /// nullopt. `options_bits` folds the CanonicalizeOptions flags.
-  std::optional<CanonicalizationResult> LookupCanonicalization(
+  std::optional<CanonArtifact> LookupCanonicalization(
       uint64_t strict_hash, uint64_t options_bits);
   void StoreCanonicalization(uint64_t strict_hash, uint64_t options_bits,
-                             const CanonicalizationResult& result);
+                             CanonArtifact artifact);
 
   /// Algorithm 3 LFP bits for the strict-hashed canonical program.
   std::optional<std::vector<bool>> LookupEmptiness(uint64_t strict_hash);
@@ -171,6 +195,28 @@ class PipelineCache {
 
   /// Shared adornment-set memo (grouping-pattern keyed, never evicted).
   AdornmentCache& adornments() { return adornments_; }
+
+  /// Shared frozen FD closure indexes, keyed by (FdSetHash, arity,
+  /// closure mode) — see fd/fd.h.
+  FdClosureCache& fd_closures() { return fd_closures_; }
+
+  /// Per-predicate structural-hash memo for ComputeFingerprints — see
+  /// lang/fingerprint.h.
+  PredicateHashMemo& pred_hashes() { return pred_hashes_; }
+
+  // --- Fragment tier (thread-safe) --------------------------------------
+
+  /// The cache key of one predicate's And-Or fragments: the cone
+  /// fingerprint (covers every rule the fragments' guards fold) plus
+  /// the determinant mode, re-mixed into 128 bits.
+  static CacheKey FragmentKey(uint64_t cone_fp, bool use_fd_closure);
+
+  /// Cached replay templates for the cone, or null. The returned
+  /// pointer is immutable and safe to use concurrently; pin it for the
+  /// build's duration (FragmentSplicePlan::pinned).
+  std::shared_ptr<const ConeFragment> LookupFragments(const CacheKey& key);
+  void StoreFragments(const CacheKey& key,
+                      std::shared_ptr<const ConeFragment> fragments);
 
   // --- Accounting -------------------------------------------------------
 
@@ -246,9 +292,27 @@ class PipelineCache {
 
   /// Small LRUs for whole-pipeline artifacts (strict-hash keyed).
   static constexpr size_t kMaxArtifacts = 8;
-  std::list<std::pair<CacheKey, CanonicalizationResult>> canon_;
+  std::list<std::pair<CacheKey, CanonArtifact>> canon_;
   std::list<std::pair<uint64_t, std::vector<bool>>> emptiness_;
   AdornmentCache adornments_;
+  FdClosureCache fd_closures_;
+  PredicateHashMemo pred_hashes_;
+
+  /// Fragment tier: per-cone replay templates behind their own lock
+  /// (probed once per predicate per build — orders of magnitude hotter
+  /// than the kMaxArtifacts tiers, far colder than verdicts). LRU, one
+  /// entry per (cone fingerprint, mode).
+  static constexpr size_t kMaxFragmentEntries = 1024;
+  mutable std::mutex fragment_mu_;
+  using FragmentLru =
+      std::list<std::pair<CacheKey, std::shared_ptr<const ConeFragment>>>;
+  FragmentLru fragments_;
+  std::unordered_map<CacheKey, FragmentLru::iterator, CacheKeyHash>
+      fragment_index_;
+  uint64_t fragment_hits_ = 0;
+  uint64_t fragment_misses_ = 0;
+  uint64_t fragment_insertions_ = 0;
+  uint64_t fragment_evictions_ = 0;
 };
 
 }  // namespace hornsafe

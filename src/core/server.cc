@@ -159,6 +159,16 @@ void Server::AccumulateEphemeral(const SafetyAnalyzer::Counters& c) {
   ephemeral_totals_.serial_tasks += c.serial_tasks;
   ephemeral_totals_.cache_hits += c.cache_hits;
   ephemeral_totals_.cache_misses += c.cache_misses;
+  ephemeral_totals_.stage_canonicalize_ns += c.stage_canonicalize_ns;
+  ephemeral_totals_.stage_fingerprint_ns += c.stage_fingerprint_ns;
+  ephemeral_totals_.stage_fd_ns += c.stage_fd_ns;
+  ephemeral_totals_.stage_adorn_ns += c.stage_adorn_ns;
+  ephemeral_totals_.stage_build_ns += c.stage_build_ns;
+  ephemeral_totals_.stage_prune_ns += c.stage_prune_ns;
+  ephemeral_totals_.stage_scc_ns += c.stage_scc_ns;
+  ephemeral_totals_.stage_search_ns += c.stage_search_ns;
+  ephemeral_totals_.fragments_spliced += c.fragments_spliced;
+  ephemeral_totals_.fragments_rebuilt += c.fragments_rebuilt;
 }
 
 ExecContext Server::MakeExec(const Json& request) const {
@@ -196,7 +206,7 @@ Result<SafetyAnalyzer::UpdateStats> Server::InstallProgram(
                             SafetyAnalyzer::Create(program, aopts));
   auto fresh = std::make_shared<SafetyAnalyzer>(std::move(analyzer));
   SafetyAnalyzer::UpdateStats stats;
-  stats.predicates = fresh->snapshot()->canon.program.num_predicates();
+  stats.predicates = fresh->snapshot()->canon->program.num_predicates();
   stats.dirty_predicates = stats.predicates;  // cold build: all new
   {
     std::lock_guard<std::mutex> publish(analyzer_mu_);
@@ -291,7 +301,7 @@ Json Server::DoCheck(const Json& request, bool with_explanations,
   // iteration, analysis — sees this build even if an update swaps a new
   // one in mid-request.
   std::shared_ptr<const AnalysisSnapshot> snap = analyzer->snapshot();
-  const Program& prog = snap->canon.program;
+  const Program& prog = snap->canon->program;
 
   Json queries = Json::Array();
   if (request["predicate"].is_string()) {
@@ -374,6 +384,16 @@ Json Server::DoStats() const {
     c.scc_short_circuits += ephemeral_totals_.scc_short_circuits;
     c.cache_hits += ephemeral_totals_.cache_hits;
     c.cache_misses += ephemeral_totals_.cache_misses;
+    c.stage_canonicalize_ns += ephemeral_totals_.stage_canonicalize_ns;
+    c.stage_fingerprint_ns += ephemeral_totals_.stage_fingerprint_ns;
+    c.stage_fd_ns += ephemeral_totals_.stage_fd_ns;
+    c.stage_adorn_ns += ephemeral_totals_.stage_adorn_ns;
+    c.stage_build_ns += ephemeral_totals_.stage_build_ns;
+    c.stage_prune_ns += ephemeral_totals_.stage_prune_ns;
+    c.stage_scc_ns += ephemeral_totals_.stage_scc_ns;
+    c.stage_search_ns += ephemeral_totals_.stage_search_ns;
+    c.fragments_spliced += ephemeral_totals_.fragments_spliced;
+    c.fragments_rebuilt += ephemeral_totals_.fragments_rebuilt;
   }
   if (have_analyzer) {
     Json a = Json::Object();
@@ -385,6 +405,16 @@ Json Server::DoStats() const {
     a.Set("cache_hits", c.cache_hits);
     a.Set("cache_misses", c.cache_misses);
     a.Set("snapshot_swaps", c.snapshot_swaps);
+    a.Set("stage_canonicalize_ns", c.stage_canonicalize_ns);
+    a.Set("stage_fingerprint_ns", c.stage_fingerprint_ns);
+    a.Set("stage_fd_ns", c.stage_fd_ns);
+    a.Set("stage_adorn_ns", c.stage_adorn_ns);
+    a.Set("stage_build_ns", c.stage_build_ns);
+    a.Set("stage_prune_ns", c.stage_prune_ns);
+    a.Set("stage_scc_ns", c.stage_scc_ns);
+    a.Set("stage_search_ns", c.stage_search_ns);
+    a.Set("fragments_spliced", c.fragments_spliced);
+    a.Set("fragments_rebuilt", c.fragments_rebuilt);
     result.Set("analyzer", std::move(a));
   }
   if (options_.cache != nullptr) {
@@ -399,6 +429,14 @@ Json Server::DoStats() const {
     cs.Set("disk_write_skips", s.disk_write_skips);
     cs.Set("disk_retry_attempts", s.disk_retry_attempts);
     cs.Set("tmp_files_swept", s.tmp_files_swept);
+    cs.Set("fragment_hits", s.fragment_hits);
+    cs.Set("fragment_misses", s.fragment_misses);
+    cs.Set("fragment_insertions", s.fragment_insertions);
+    cs.Set("fragment_evictions", s.fragment_evictions);
+    cs.Set("fd_index_hits", s.fd_index_hits);
+    cs.Set("fd_index_misses", s.fd_index_misses);
+    cs.Set("pred_hash_hits", s.pred_hash_hits);
+    cs.Set("pred_hash_misses", s.pred_hash_misses);
     result.Set("cache", std::move(cs));
   }
   Counters sc = counters();

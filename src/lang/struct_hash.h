@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "lang/program.h"
 
@@ -52,6 +53,29 @@ uint64_t StructuralMonoHash(const Program& program,
 /// and monotonicity constraints. Does not look through callees — that
 /// is the cone fingerprint's job (lang/fingerprint.h).
 uint64_t StructuralPredicateHash(const Program& program, PredicateId pred);
+
+/// Every predicate's own hash in one pass: each rule/fact/dependency/
+/// constraint is hashed once and bucketed by predicate, instead of one
+/// full-program scan per predicate. out[p] == StructuralPredicateHash
+/// (program, p) for every p; pinned by tests.
+std::vector<uint64_t> StructuralPredicateHashes(const Program& program);
+
+/// StructuralProgramHash assembled from precomputed per-predicate own
+/// hashes (`own[p]` must equal StructuralPredicateHash(program, p)),
+/// so a caller that already has them — ComputeFingerprints — does not
+/// hash every clause a second time.
+uint64_t StructuralProgramHashFrom(const Program& program,
+                                   const std::vector<uint64_t>& own);
+
+/// Strict per-predicate clause-set keys: for each predicate, an
+/// order-invariant fold of the *rendered* rule/fact texts plus the raw
+/// dependency/constraint payloads. Unlike the structural hashes these
+/// are sensitive to variable names, which makes them a cheap change
+/// detector: rendering a clause is cheaper than alpha-numbering its
+/// term DAG, so the fingerprint memo (lang/fingerprint.h) keys own
+/// hashes by this and skips structural hashing for every predicate
+/// whose clauses are textually unchanged across updates.
+std::vector<uint64_t> StrictPredicateKeys(const Program& program);
 
 /// Whole-program hash: sorted fold of every predicate's own hash plus
 /// the sorted query-literal hashes. Alpha- and clause-order-invariant.

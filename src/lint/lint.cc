@@ -262,8 +262,12 @@ void CheckRedundantFds(const Program& p, std::vector<Diagnostic>* out) {
   for (PredicateId id = 0; id < p.num_predicates(); ++id) {
     std::vector<FiniteDependency> fds = p.FdsFor(id);
     if (fds.size() < 2) continue;
+    // One index per predicate: redundancy verdicts are memoized per
+    // dependency, so repeated lint passes over the same program pay the
+    // Armstrong derivations once.
+    FdClosureIndex index(fds);
     for (size_t i = 0; i < fds.size(); ++i) {
-      if (!IsRedundant(fds, i)) continue;
+      if (!index.Redundant(i)) continue;
       out->push_back(Diagnostic{
           "HS011", Severity::kNote, fds[i].span,
           StrCat("finiteness dependency ", fds[i].lhs.ToString(), " -> ",

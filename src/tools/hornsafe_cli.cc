@@ -203,6 +203,16 @@ void PrintAnalyzerStats(const SafetyAnalyzer& analyzer) {
         static_cast<unsigned long long>(c.cache_hits),
         static_cast<unsigned long long>(c.cache_misses));
   }
+  std::printf(
+      "  fragments spliced / rebuilt: %llu / %llu\n"
+      "  stage times (ms): canonicalize %.2f, fingerprint %.2f, fd %.2f, "
+      "adorn %.2f, build %.2f, prune %.2f, scc %.2f, search %.2f\n",
+      static_cast<unsigned long long>(c.fragments_spliced),
+      static_cast<unsigned long long>(c.fragments_rebuilt),
+      c.stage_canonicalize_ns / 1e6, c.stage_fingerprint_ns / 1e6,
+      c.stage_fd_ns / 1e6, c.stage_adorn_ns / 1e6, c.stage_build_ns / 1e6,
+      c.stage_prune_ns / 1e6, c.stage_scc_ns / 1e6,
+      c.stage_search_ns / 1e6);
 }
 
 void PrintCacheStats(const PipelineCache& cache) {
@@ -229,6 +239,16 @@ void PrintCacheStats(const PipelineCache& cache) {
       static_cast<unsigned long long>(s.canon_misses),
       static_cast<unsigned long long>(s.emptiness_hits),
       static_cast<unsigned long long>(s.emptiness_misses));
+  std::printf(
+      "  fragment hits / misses:   %llu / %llu\n"
+      "  fd index hits / misses:   %llu / %llu\n"
+      "  pred hash hits / misses:  %llu / %llu\n",
+      static_cast<unsigned long long>(s.fragment_hits),
+      static_cast<unsigned long long>(s.fragment_misses),
+      static_cast<unsigned long long>(s.fd_index_hits),
+      static_cast<unsigned long long>(s.fd_index_misses),
+      static_cast<unsigned long long>(s.pred_hash_hits),
+      static_cast<unsigned long long>(s.pred_hash_misses));
 }
 
 /// Prints the merged lint diagnostics for `program` to stdout, one per

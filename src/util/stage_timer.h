@@ -1,0 +1,32 @@
+#ifndef HORNSAFE_UTIL_STAGE_TIMER_H_
+#define HORNSAFE_UTIL_STAGE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hornsafe {
+
+/// Wall-clock lap timer for pipeline stage breakdowns: each LapNs()
+/// returns the nanoseconds since the previous lap (or construction) and
+/// restarts the lap. Steady clock, so laps never go negative under
+/// clock adjustments.
+class StageTimer {
+ public:
+  StageTimer() : last_(std::chrono::steady_clock::now()) {}
+
+  uint64_t LapNs() {
+    auto now = std::chrono::steady_clock::now();
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_)
+            .count());
+    last_ = now;
+    return ns;
+  }
+
+ private:
+  std::chrono::steady_clock::time_point last_;
+};
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_UTIL_STAGE_TIMER_H_

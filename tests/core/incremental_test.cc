@@ -132,6 +132,19 @@ TEST(IncrementalTest, UpdateRecomputesOnlyDirtyCones) {
   EXPECT_GT(warm_steps, 0u);       // module a really was re-searched
   EXPECT_LT(warm_steps, cold_steps);  // module b was not
   EXPECT_GT(warm->counters().cache_hits, 0u);
+
+  // The rebuild spliced module b's And-Or fragments out of the cache
+  // and only rebuilt the dirty clauses; both flows show up in the
+  // counters, as do the per-stage wall clocks `check --stats` reports.
+  SafetyAnalyzer::Counters c = warm->counters();
+  EXPECT_GT(c.fragments_spliced, 0u);
+  EXPECT_GT(c.fragments_rebuilt, 0u);
+  EXPECT_GT(c.stage_canonicalize_ns, 0u);
+  EXPECT_GT(c.stage_fingerprint_ns, 0u);
+  EXPECT_GT(c.stage_build_ns, 0u);
+  EXPECT_GT(c.stage_search_ns, 0u);
+  EXPECT_GT(cache.stats().fragment_hits, 0u);
+  EXPECT_GT(cache.stats().fragment_insertions, 0u);
 }
 
 TEST(IncrementalTest, UpdateError_LeavesAnalyzerUsable) {

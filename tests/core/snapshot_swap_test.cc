@@ -47,7 +47,7 @@ Program MustParse(const char* text) {
 /// Analyzes r/1 (all arguments free) against the given pinned snapshot.
 Safety VerdictOn(SafetyAnalyzer& analyzer, const AnalysisSnapshot& snap,
                  const ExecContext& exec = {}) {
-  PredicateId r = snap.canon.program.FindPredicate("r", 1);
+  PredicateId r = snap.canon->program.FindPredicate("r", 1);
   EXPECT_NE(r, kInvalidPredicate);
   return analyzer.AnalyzePredicate(snap, r, /*mask=*/0, exec).overall;
 }

@@ -129,5 +129,41 @@ TEST(FdTest, MinimalDeterminantsIncludesEmptySetWhenUnconditional) {
   EXPECT_TRUE(det[0].Empty());
 }
 
+TEST(FdTest, FdSetHashIsOrderInvariant) {
+  std::vector<FiniteDependency> a = {Fd({3}, {1}), Fd({1}, {0})};
+  std::vector<FiniteDependency> b = {Fd({1}, {0}), Fd({3}, {1})};
+  EXPECT_EQ(FdSetHash(a), FdSetHash(b));
+  // Content still matters: dropping or rewriting a dependency moves it.
+  EXPECT_NE(FdSetHash(a), FdSetHash({Fd({3}, {1})}));
+  EXPECT_NE(FdSetHash(a), FdSetHash({Fd({3}, {1}), Fd({1}, {2})}));
+  EXPECT_NE(FdSetHash({}), FdSetHash({Fd({0}, {1})}));
+}
+
+TEST(FdTest, ClosureCacheSharesOneFrozenIndex) {
+  FdClosureCache cache;
+  std::vector<FiniteDependency> fds = {Fd({3}, {1}), Fd({1}, {0})};
+  std::shared_ptr<const FdClosureIndex> first = cache.For(fds, 4, true);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->frozen());
+  // The same dependency set — even reordered — returns the *same*
+  // frozen object, not an equal copy.
+  std::vector<FiniteDependency> reordered = {Fd({1}, {0}), Fd({3}, {1})};
+  EXPECT_EQ(cache.For(reordered, 4, true).get(), first.get());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  // Arity and closure mode are part of the key.
+  EXPECT_NE(cache.For(fds, 5, true).get(), first.get());
+  EXPECT_NE(cache.For(fds, 4, false).get(), first.get());
+  EXPECT_EQ(cache.size(), 3u);
+
+  // The frozen const lookups answer exactly what the free functions do.
+  const std::vector<AttrSet>& min =
+      static_cast<const FdClosureIndex&>(*first).Minimal(4, 0);
+  EXPECT_EQ(min, MinimalDeterminants(fds, 4, 0));
+  EXPECT_EQ(static_cast<const FdClosureIndex&>(*first).Declared(1),
+            DeclaredDeterminants(fds, 1));
+}
+
 }  // namespace
 }  // namespace hornsafe
