@@ -79,11 +79,14 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
   // untimed; the cold *timing* runs inside the iteration loop below so
   // cold and warm samples are interleaved and see the same host noise.
   std::vector<std::vector<QueryAnalysis>> cold_results;
+  std::vector<std::string> cold_renderings;
   uint64_t cold_steps_once = 0;
   for (const Program& p : edits) {
     auto analyzer = SafetyAnalyzer::Create(p);
     Check(analyzer.ok(), "cold Create failed");
     cold_results.push_back(analyzer->AnalyzeQueries());
+    cold_renderings.push_back(
+        analyzer->system().ToString(analyzer->canonical()));
     cold_steps_once += analyzer->counters().steps;
   }
 
@@ -98,6 +101,13 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
   uint64_t cache_lookups = 0;
   uint64_t fragments_spliced = 0;
   uint64_t fragments_rebuilt = 0;
+  uint64_t segments_grafted = 0;
+  uint64_t segments_total = 0;
+  uint64_t grafts_rejected = 0;
+  uint64_t nodes_shared = 0;
+  uint64_t nodes_owned = 0;
+  uint64_t snapshot_nodes = 0;
+  uint64_t snapshot_segments_live = 0;
   double warm_update_seconds = 0;
   double warm_analyze_seconds = 0;
   uint64_t rounds = 0;
@@ -126,6 +136,12 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
       Check(up->dirty_predicates > 0, "edit dirtied no cone");
       Check(up->clean_predicates > 0, "edit dirtied every cone");
       warm_update_seconds += Seconds(t0);
+      // Byte-identity of the warm (segment-grafted, fragment-spliced)
+      // system against the cold reference build — untimed, between the
+      // update and analyze laps.
+      Check(analyzer->system().ToString(analyzer->canonical()) ==
+                cold_renderings[static_cast<size_t>(e)],
+            "warm system rendering differs from cold");
       auto t1 = std::chrono::steady_clock::now();
       std::vector<QueryAnalysis> warm = analyzer->AnalyzeQueries();
       Check(SameAnalyses(warm, cold_results[static_cast<size_t>(e)]),
@@ -139,6 +155,14 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
     cache_lookups += c.cache_hits + c.cache_misses;
     fragments_spliced += c.fragments_spliced - primed.fragments_spliced;
     fragments_rebuilt += c.fragments_rebuilt - primed.fragments_rebuilt;
+    segments_grafted += c.segments_grafted - primed.segments_grafted;
+    segments_total += c.segments_total - primed.segments_total;
+    grafts_rejected +=
+        c.segment_grafts_rejected - primed.segment_grafts_rejected;
+    nodes_shared += c.nodes_shared - primed.nodes_shared;
+    nodes_owned += c.nodes_owned - primed.nodes_owned;
+    snapshot_nodes = analyzer->stats().nodes;
+    snapshot_segments_live = analyzer->stats().segments_live;
     stage_totals.stage_canonicalize_ns +=
         c.stage_canonicalize_ns - primed.stage_canonicalize_ns;
     stage_totals.stage_fingerprint_ns +=
@@ -154,6 +178,8 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
   }
   if (rounds == 0) return;
   Check(fragments_spliced > 0, "warm updates spliced no fragments");
+  Check(segments_grafted > 0, "warm updates grafted no segments");
+  Check(nodes_shared > 0, "warm updates shared no nodes");
 
   const double cold_per_edit =
       static_cast<double>(cold_steps_once) / kEdits;
@@ -172,9 +198,20 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
           ? static_cast<double>(fragments_spliced) /
                 static_cast<double>(fragments_spliced + fragments_rebuilt)
           : 0;
+  const double segment_graft_rate =
+      segments_total > 0 ? static_cast<double>(segments_grafted) /
+                               static_cast<double>(segments_total)
+                         : 0;
+  const double node_share_rate =
+      nodes_shared + nodes_owned > 0
+          ? static_cast<double>(nodes_shared) /
+                static_cast<double>(nodes_shared + nodes_owned)
+          : 0;
   state.counters["step_ratio"] = step_ratio;
   state.counters["hit_rate"] = hit_rate;
   state.counters["fragment_reuse_rate"] = fragment_reuse_rate;
+  state.counters["segment_graft_rate"] = segment_graft_rate;
+  state.counters["node_share_rate"] = node_share_rate;
 
   // Per-edit stage breakdown of the warm updates (milliseconds).
   const double per_edit_ms =
@@ -195,6 +232,18 @@ void BM_IncrementalEditWorkload(benchmark::State& state) {
   dump.Record(name, "warm_analyze_seconds_per_edit",
               warm_analyze_seconds * per_edit);
   dump.Record(name, "fragment_reuse_rate", fragment_reuse_rate);
+  dump.Record(name, "segment_graft_rate", segment_graft_rate);
+  dump.Record(name, "node_share_rate", node_share_rate);
+  dump.Record(name, "warm_segments_grafted_per_edit",
+              static_cast<double>(segments_grafted) /
+                  static_cast<double>(rounds) / kEdits);
+  dump.Record(name, "warm_segment_grafts_rejected_per_edit",
+              static_cast<double>(grafts_rejected) /
+                  static_cast<double>(rounds) / kEdits);
+  dump.Record(name, "snapshot_nodes",
+              static_cast<double>(snapshot_nodes));
+  dump.Record(name, "snapshot_segments_live",
+              static_cast<double>(snapshot_segments_live));
   dump.Record(name, "cold_stage_build_ms_per_edit",
               static_cast<double>(cold_build_ns) * per_edit_ms);
   dump.Record(name, "warm_stage_canonicalize_ms_per_edit",

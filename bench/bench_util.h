@@ -6,7 +6,9 @@
 
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -49,6 +51,27 @@ class JsonDump {
     entries_.push_back({std::move(bench), std::move(metric), value});
   }
 
+  /// Best-effort commit id for dump provenance: CI's GITHUB_SHA when
+  /// set, else `git rev-parse HEAD`, else "unknown" (e.g. a tarball
+  /// checkout without git). Never fails the dump.
+  static std::string GitSha() {
+    if (const char* env = std::getenv("GITHUB_SHA")) {
+      if (*env != '\0') return env;
+    }
+    std::string sha;
+    if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+      char buf[64];
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) {
+        for (const char* c = buf;
+             std::isxdigit(static_cast<unsigned char>(*c)); ++c) {
+          sha += *c;
+        }
+      }
+      ::pclose(p);
+    }
+    return sha.size() == 40 ? sha : "unknown";
+  }
+
   ~JsonDump() {
     if (entries_.empty()) return;
     std::string path = StrCat("BENCH_", suite_, ".json");
@@ -59,8 +82,12 @@ class JsonDump {
     std::string tmp = StrCat(path, ".tmp.", ::getpid());
     std::FILE* f = std::fopen(tmp.c_str(), "w");
     if (f == nullptr) return;
-    std::fprintf(f, "{\n  \"suite\": \"%s\",\n  \"results\": [\n",
-                 Escape(suite_).c_str());
+    // git_sha is a top-level field, not a result row: MergeExisting's
+    // row scanner ignores it, and each flushing process re-stamps it.
+    std::fprintf(f,
+                 "{\n  \"suite\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                 "  \"results\": [\n",
+                 Escape(suite_).c_str(), Escape(GitSha()).c_str());
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(f,

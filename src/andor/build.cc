@@ -29,12 +29,119 @@ class SystemBuilder {
       rec->by_adorned.clear();
       rec->by_adorned.resize(adorned_.rules.size());
     }
+    if (opts_.segments == nullptr) {
+      ProcessAdornedRange(0, adorned_.rules.size());
+      return std::move(system_);
+    }
+
+    // Segment-planned build: one component at a time. Clean components
+    // graft their cached segment wholesale (nodes, rules, deleted bits
+    // — no Intern*/AddRule calls at all); everything else goes through
+    // the normal per-rule path, fragment splicing included. Every
+    // component leaves a SegmentSpan so later stages can prune, slice
+    // and seal per span.
+    SegmentBuildStats* stats = opts_.segment_stats;
+    size_t ai = 0;
+    for (const SegmentGraft& comp : opts_.segments->components) {
+      const uint32_t src_end = comp.first_rule + comp.num_rules;
+      size_t aj = ai;
+      uint32_t occ_base = 0;
+      uint32_t occ_count = 0;
+      bool occ_set = false;
+      while (aj < adorned_.rules.size() &&
+             adorned_.rules[aj].source_rule < src_end) {
+        const AdornedRule& ar = adorned_.rules[aj];
+        if (!occ_set && !ar.body.empty()) {
+          occ_base = ar.body.front().occurrence_id;
+          occ_set = true;
+        }
+        occ_count += static_cast<uint32_t>(ar.body.size());
+        ++aj;
+      }
+
+      SegmentSpan span;
+      span.node_begin = static_cast<uint32_t>(system_.nodes().size());
+      span.rule_begin = static_cast<uint32_t>(system_.num_rules());
+      span.ar_begin = static_cast<uint32_t>(ai);
+      span.ar_end = static_cast<uint32_t>(aj);
+      span.occ_base = occ_base;
+      span.occ_count = occ_count;
+
+      bool grafted = false;
+      if (comp.segment != nullptr) {
+        SegmentGraftContext ctx;
+        ctx.adorned = &adorned_;
+        ctx.ar_begin = static_cast<uint32_t>(ai);
+        ctx.ar_count = static_cast<uint32_t>(aj - ai);
+        ctx.occ_base = occ_base;
+        ctx.occ_count = occ_count;
+        ctx.pred_of_slot = &comp.pred_of_slot;
+        grafted = system_.GraftSegment(*comp.segment, ctx);
+        if (stats != nullptr && !grafted) ++stats->grafts_rejected;
+      }
+      if (grafted) {
+        span.grafted = true;
+        span.segment = comp.segment;
+      } else {
+        ProcessAdornedRange(ai, aj);
+      }
+      span.node_end = static_cast<uint32_t>(system_.nodes().size());
+      span.rule_end = static_cast<uint32_t>(system_.num_rules());
+      if (stats != nullptr) {
+        ++stats->segments_total;
+        if (grafted) {
+          ++stats->segments_grafted;
+          stats->nodes_shared += span.node_end - span.node_begin;
+        } else {
+          stats->nodes_owned += span.node_end - span.node_begin;
+        }
+      }
+      system_.NoteSpan(std::move(span));
+      ai = aj;
+    }
+    // Rules the plan did not cover (it should tile; degrade, don't
+    // drop). The trailing span keeps the spans tiling the system so
+    // slice-stitching stays valid.
+    if (ai < adorned_.rules.size()) {
+      SegmentSpan span;
+      span.node_begin = static_cast<uint32_t>(system_.nodes().size());
+      span.rule_begin = static_cast<uint32_t>(system_.num_rules());
+      span.ar_begin = static_cast<uint32_t>(ai);
+      span.ar_end = static_cast<uint32_t>(adorned_.rules.size());
+      bool occ_set = false;
+      for (size_t k = ai; k < adorned_.rules.size(); ++k) {
+        const AdornedRule& ar = adorned_.rules[k];
+        if (!occ_set && !ar.body.empty()) {
+          span.occ_base = ar.body.front().occurrence_id;
+          occ_set = true;
+        }
+        span.occ_count += static_cast<uint32_t>(ar.body.size());
+      }
+      ProcessAdornedRange(ai, adorned_.rules.size());
+      span.node_end = static_cast<uint32_t>(system_.nodes().size());
+      span.rule_end = static_cast<uint32_t>(system_.num_rules());
+      if (stats != nullptr) {
+        ++stats->segments_total;
+        stats->nodes_owned += span.node_end - span.node_begin;
+      }
+      system_.NoteSpan(std::move(span));
+    }
+    return std::move(system_);
+  }
+
+ private:
+  /// The per-rule path (fragment splice or fresh build) over adorned
+  /// rules [begin, end). The range always starts at a canonical-rule
+  /// boundary, so the adornment ordinal restarts cleanly.
+  void ProcessAdornedRange(size_t begin, size_t end) {
+    FragmentRecording* rec = opts_.recording;
     // Adorned rules of one canonical rule are consecutive, one per head
     // adornment in enumeration order; the ordinal selects the template.
     uint32_t prev_source = 0;
     uint32_t ordinal = 0;
     bool first = true;
-    for (const AdornedRule& ar : adorned_.rules) {
+    for (size_t i = begin; i < end; ++i) {
+      const AdornedRule& ar = adorned_.rules[i];
       ordinal = (!first && ar.source_rule == prev_source) ? ordinal + 1 : 0;
       prev_source = ar.source_rule;
       first = false;
@@ -55,10 +162,7 @@ class SystemBuilder {
         if (rec != nullptr) ++rec->rules_rebuilt;
       }
     }
-    return std::move(system_);
   }
-
- private:
   // --- Recorded acquisition/emission wrappers ---------------------------
 
   NodeId Note(NodeId id, const FragmentNodeSpec& spec) {

@@ -6,6 +6,7 @@
 
 #include "andor/adorn.h"
 #include "andor/fragment.h"
+#include "andor/segment.h"
 #include "andor/system.h"
 #include "fd/fd.h"
 #include "lang/program.h"
@@ -40,6 +41,16 @@ struct BuildOptions {
   /// (sized/filled by the builder) and the spliced/rebuilt tallies are
   /// kept, so the caller can cache the new fragments.
   FragmentRecording* recording = nullptr;
+
+  /// Per-component segment plan (andor/segment.h). When set the builder
+  /// works component by component — grafting cached segments wholesale,
+  /// building the rest normally — and records a SegmentSpan per
+  /// component in the resulting system. Null disables the segment path
+  /// entirely (the system then carries no spans).
+  const SegmentPlan* segments = nullptr;
+
+  /// Graft/reject/sharing tallies of a segment-planned build.
+  SegmentBuildStats* segment_stats = nullptr;
 };
 
 /// Algorithm 2 of the paper: derives the propositional system And-Or_H

@@ -33,31 +33,41 @@ std::vector<bool> EmptyPredicates(const Program& canonical) {
   return empty;
 }
 
-size_t ApplyEmptinessPruning(const std::vector<bool>& empty,
-                             AndOrSystem* system) {
+size_t ApplyEmptinessPruningRanges(
+    const std::vector<bool>& empty, AndOrSystem* system,
+    const std::vector<std::pair<uint32_t, uint32_t>>& rule_ranges) {
   size_t deleted = 0;
-  for (size_t ri = 0; ri < system->num_rules(); ++ri) {
-    if (system->rule_deleted(ri)) continue;
-    const PropNode& head = system->node(system->rule(ri).head);
-    bool prune = false;
-    switch (head.kind) {
-      case PropNodeKind::kHeadArg:
-      case PropNodeKind::kBodyArg:
-      case PropNodeKind::kBodyArgAdorned:
-      case PropNodeKind::kFdChoice:
-        prune = head.pred != kInvalidPredicate && empty[head.pred];
-        break;
-      case PropNodeKind::kZero:
-      case PropNodeKind::kOne:
-      case PropNodeKind::kVariable:
-        break;
-    }
-    if (prune) {
-      system->DeleteRule(ri);
-      ++deleted;
+  for (const auto& [begin, end] : rule_ranges) {
+    for (uint32_t ri = begin; ri < end; ++ri) {
+      if (system->rule_deleted(ri)) continue;
+      const PropNode& head = system->node(system->rule(ri).head);
+      bool prune = false;
+      switch (head.kind) {
+        case PropNodeKind::kHeadArg:
+        case PropNodeKind::kBodyArg:
+        case PropNodeKind::kBodyArgAdorned:
+        case PropNodeKind::kFdChoice:
+          prune = head.pred != kInvalidPredicate && empty[head.pred];
+          break;
+        case PropNodeKind::kZero:
+        case PropNodeKind::kOne:
+        case PropNodeKind::kVariable:
+          break;
+      }
+      if (prune) {
+        system->DeleteRule(ri);
+        ++deleted;
+      }
     }
   }
   return deleted;
+}
+
+size_t ApplyEmptinessPruning(const std::vector<bool>& empty,
+                             AndOrSystem* system) {
+  return ApplyEmptinessPruningRanges(
+      empty, system,
+      {{0, static_cast<uint32_t>(system->num_rules())}});
 }
 
 }  // namespace hornsafe

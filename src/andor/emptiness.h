@@ -1,6 +1,7 @@
 #ifndef HORNSAFE_ANDOR_EMPTINESS_H_
 #define HORNSAFE_ANDOR_EMPTINESS_H_
 
+#include <utility>
 #include <vector>
 
 #include "andor/system.h"
@@ -24,6 +25,15 @@ std::vector<bool> EmptyPredicates(const Program& canonical);
 /// deleted.
 size_t ApplyEmptinessPruning(const std::vector<bool>& empty,
                              AndOrSystem* system);
+
+/// ApplyEmptinessPruning restricted to the given `[begin, end)` rule
+/// ranges. The check is per-rule (head predicate emptiness), so pruning
+/// a subset of the rules is exactly the global pruning restricted —
+/// used by the segment-graft path to skip spans whose deletions were
+/// already replayed from a shared segment.
+size_t ApplyEmptinessPruningRanges(
+    const std::vector<bool>& empty, AndOrSystem* system,
+    const std::vector<std::pair<uint32_t, uint32_t>>& rule_ranges);
 
 }  // namespace hornsafe
 

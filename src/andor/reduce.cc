@@ -5,27 +5,34 @@
 
 namespace hornsafe {
 
-ReduceStats ReduceSystem(AndOrSystem* system) {
+ReduceStats ReduceSystemInRanges(AndOrSystem* system,
+                                 const std::vector<ReduceRange>& ranges) {
   ReduceStats stats;
   const size_t num_nodes = system->nodes().size();
 
-  // Rules whose body mentions each node.
+  // Rules whose body mentions each node. Scratch arrays are globally
+  // sized (indexing stays absolute) but only ranged rules/nodes are
+  // visited, so the work is proportional to the ranges.
   std::vector<std::vector<uint32_t>> used_in(num_nodes);
-  for (size_t ri = 0; ri < system->num_rules(); ++ri) {
-    if (system->rule_deleted(ri)) continue;
-    for (NodeId b : system->rule(ri).body) {
-      used_in[b].push_back(static_cast<uint32_t>(ri));
+  for (const ReduceRange& r : ranges) {
+    for (uint32_t ri = r.rule_begin; ri < r.rule_end; ++ri) {
+      if (system->rule_deleted(ri)) continue;
+      for (NodeId b : system->rule(ri).body) {
+        used_in[b].push_back(ri);
+      }
     }
   }
 
   std::vector<bool> never(num_nodes, false);
   std::deque<NodeId> queue;
-  for (NodeId n = 0; n < num_nodes; ++n) {
-    if (n == system->zero() || n == system->one()) continue;
-    if (system->RulesFor(n).empty()) {
-      never[n] = true;
-      ++stats.nodes_neverized;
-      queue.push_back(n);
+  for (const ReduceRange& r : ranges) {
+    for (NodeId n = r.node_begin; n < r.node_end; ++n) {
+      if (n == system->zero() || n == system->one()) continue;
+      if (system->RulesFor(n).empty()) {
+        never[n] = true;
+        ++stats.nodes_neverized;
+        queue.push_back(n);
+      }
     }
   }
 
@@ -46,6 +53,15 @@ ReduceStats ReduceSystem(AndOrSystem* system) {
     }
   }
   return stats;
+}
+
+ReduceStats ReduceSystem(AndOrSystem* system) {
+  ReduceRange full;
+  full.node_begin = 0;
+  full.node_end = static_cast<uint32_t>(system->nodes().size());
+  full.rule_begin = 0;
+  full.rule_end = static_cast<uint32_t>(system->num_rules());
+  return ReduceSystemInRanges(system, {full});
 }
 
 }  // namespace hornsafe

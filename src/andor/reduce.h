@@ -2,6 +2,8 @@
 #define HORNSAFE_ANDOR_REDUCE_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "andor/system.h"
 
@@ -18,6 +20,14 @@ struct ReduceStats {
   size_t nodes_neverized = 0;
 };
 
+/// One node/rule range of the system for ReduceSystemInRanges.
+struct ReduceRange {
+  uint32_t node_begin = 0;
+  uint32_t node_end = 0;
+  uint32_t rule_begin = 0;
+  uint32_t rule_end = 0;
+};
+
 /// Algorithm 4 of the paper: repeatedly (a) treat every non-terminal
 /// node without live rules as "never produces bindings" and (b) delete
 /// every rule whose body mentions such a node, until fixpoint.
@@ -26,6 +36,14 @@ struct ReduceStats {
 /// its head. Runs in time linear in total rule size (the paper states
 /// the naive O(n²) bound, Lemma 10).
 ReduceStats ReduceSystem(AndOrSystem* system);
+
+/// ReduceSystem restricted to the given ranges. Correct only when the
+/// ranges are closed (no rule edge in or out of a range except through
+/// terminals) — node-table segments by construction. The fixpoint then
+/// decomposes per range, so reducing only the non-grafted spans yields
+/// exactly the global fixpoint restricted to them.
+ReduceStats ReduceSystemInRanges(AndOrSystem* system,
+                                 const std::vector<ReduceRange>& ranges);
 
 }  // namespace hornsafe
 

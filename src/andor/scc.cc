@@ -78,27 +78,58 @@ int32_t TarjanScc(const std::vector<std::vector<NodeId>>& adj,
 
 }  // namespace
 
-SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
-  SccAnalysis out;
-  const size_t n = system.nodes().size();
-  const size_t num_rules = system.num_rules();
+std::optional<SccSlice> SccAnalysis::ComputeSlice(const AndOrSystem& system,
+                                                  uint32_t node_begin,
+                                                  uint32_t node_end,
+                                                  uint32_t rule_begin,
+                                                  uint32_t rule_end) {
+  if (node_end < node_begin || rule_end < rule_begin ||
+      node_end > system.nodes().size() || rule_end > system.num_rules()) {
+    return std::nullopt;
+  }
+  SccSlice out;
+  const uint32_t n = node_end - node_begin;
+  const uint32_t num_rules = rule_end - rule_begin;
+  out.num_nodes = n;
+  out.num_rules = num_rules;
+
+  auto in_span = [&](NodeId v) { return v >= node_begin && v < node_end; };
+
+  // Closure check: the slice is the restriction of the global analysis
+  // only when no rule edge crosses the range boundary (terminals
+  // excepted — they belong to no slice and are handled symbolically).
+  for (uint32_t ri = rule_begin; ri < rule_end; ++ri) {
+    const PropRule& r = system.rule(ri);
+    if (!IsTerminal(system, r.head) && !in_span(r.head)) return std::nullopt;
+    for (NodeId b : r.body) {
+      if (!IsTerminal(system, b) && !in_span(b)) return std::nullopt;
+    }
+  }
+  for (NodeId v = node_begin; v < node_end; ++v) {
+    if (IsTerminal(system, v)) continue;
+    for (uint32_t ri : system.RulesFor(v)) {
+      if (ri < rule_begin || ri >= rule_end) return std::nullopt;
+    }
+  }
 
   // 1. Capability greatest fixpoint: a node can appear in a 0-free
   // completion iff some live rule for it avoids the 0-node and has
-  // all-capable non-terminal members.
-  out.capable_.assign(n, 1);
+  // all-capable non-terminal members. The fixpoint of a closed range
+  // only reads capabilities inside the range, so the local fixpoint is
+  // exactly the global one restricted.
+  out.capable.assign(n, 1);
   bool changed = true;
   while (changed) {
     changed = false;
-    for (NodeId v = 0; v < n; ++v) {
-      if (!out.capable_[v] || IsTerminal(system, v)) continue;
+    for (NodeId v = node_begin; v < node_end; ++v) {
+      if (!out.capable[v - node_begin] || IsTerminal(system, v)) continue;
       bool has_usable = false;
       for (uint32_t ri : system.RulesFor(v)) {
         const PropRule& r = system.rule(ri);
         bool usable = true;
         for (NodeId b : r.body) {
           if (b == system.zero() ||
-              (!IsTerminal(system, b) && !out.capable_[b])) {
+              (!IsTerminal(system, b) && !out.capable[b - node_begin])) {
             usable = false;
             break;
           }
@@ -109,70 +140,74 @@ SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
         }
       }
       if (!has_usable) {
-        out.capable_[v] = 0;
+        out.capable[v - node_begin] = 0;
         changed = true;
       }
     }
   }
 
   // 2. Per-rule usability under the final capability map.
-  out.rule_usable_.assign(num_rules, 0);
-  for (NodeId v = 0; v < n; ++v) {
+  out.rule_usable.assign(num_rules, 0);
+  for (NodeId v = node_begin; v < node_end; ++v) {
     if (IsTerminal(system, v)) continue;
     for (uint32_t ri : system.RulesFor(v)) {
       const PropRule& r = system.rule(ri);
       bool usable = true;
       for (NodeId b : r.body) {
         if (b == system.zero() ||
-            (!IsTerminal(system, b) && !out.capable_[b])) {
+            (!IsTerminal(system, b) && !out.capable[b - node_begin])) {
           usable = false;
           break;
         }
       }
-      out.rule_usable_[ri] = usable ? 1 : 0;
+      out.rule_usable[ri - rule_begin] = usable ? 1 : 0;
     }
   }
 
-  // 3. Union (demand) graph over capable non-terminal nodes: an edge
-  // per usable-rule body membership. F-nodes participate — they carry
-  // demand even though counted cycles never pass through them.
+  // 3. Union (demand) graph over capable non-terminal nodes, in local
+  // coordinates: an edge per usable-rule body membership. F-nodes
+  // participate — they carry demand even though counted cycles never
+  // pass through them.
   std::vector<char> in_graph(n, 0);
   std::vector<std::vector<NodeId>> adj(n);
-  for (NodeId v = 0; v < n; ++v) {
-    if (IsTerminal(system, v) || !out.capable_[v]) continue;
-    in_graph[v] = 1;
+  for (NodeId v = node_begin; v < node_end; ++v) {
+    if (IsTerminal(system, v) || !out.capable[v - node_begin]) continue;
+    const uint32_t lv = v - node_begin;
+    in_graph[lv] = 1;
     for (uint32_t ri : system.RulesFor(v)) {
-      if (!out.rule_usable_[ri]) continue;
+      if (!out.rule_usable[ri - rule_begin]) continue;
       for (NodeId b : system.rule(ri).body) {
         if (IsTerminal(system, b)) continue;
-        adj[v].push_back(b);
+        adj[lv].push_back(b - node_begin);
       }
     }
   }
-  out.scc_id_.assign(n, -1);
-  out.num_sccs_ = TarjanScc(adj, in_graph, &out.scc_id_);
+  out.num_sccs = TarjanScc(adj, in_graph, &out.scc_local);
 
   // 4. F-free sub-SCCs: same edges minus f-node endpoints. A counted
   // cycle (forward edge, no f-node) is possible exactly inside an
   // f-free SCC containing a head-argument -> variable edge.
   std::vector<char> in_ffree(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    in_ffree[v] = in_graph[v] && !system.node(v).is_f_node;
+  for (uint32_t lv = 0; lv < n; ++lv) {
+    in_ffree[lv] = in_graph[lv] && !system.node(node_begin + lv).is_f_node;
   }
   std::vector<int32_t> ffs_id;
   TarjanScc(adj, in_ffree, &ffs_id);
 
-  std::vector<char> cycle_possible(out.num_sccs_, 0);
-  for (NodeId u = 0; u < n; ++u) {
-    if (!in_ffree[u] || system.node(u).kind != PropNodeKind::kHeadArg) {
+  std::vector<char> cycle_possible(out.num_sccs, 0);
+  for (NodeId u = node_begin; u < node_end; ++u) {
+    const uint32_t lu = u - node_begin;
+    if (!in_ffree[lu] || system.node(u).kind != PropNodeKind::kHeadArg) {
       continue;
     }
     for (uint32_t ri : system.RulesFor(u)) {
-      if (!out.rule_usable_[ri]) continue;
+      if (!out.rule_usable[ri - rule_begin]) continue;
       for (NodeId v : system.rule(ri).body) {
-        if (IsTerminal(system, v) || !in_ffree[v]) continue;
+        if (IsTerminal(system, v)) continue;
+        const uint32_t lv = v - node_begin;
+        if (!in_ffree[lv]) continue;
         if (system.node(v).kind != PropNodeKind::kVariable) continue;
-        if (ffs_id[u] == ffs_id[v]) cycle_possible[out.scc_id_[u]] = 1;
+        if (ffs_id[lu] == ffs_id[lv]) cycle_possible[out.scc_local[lu]] = 1;
       }
     }
   }
@@ -180,17 +215,17 @@ SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
   // 5. Propagate cycle possibility up the condensation. Components are
   // numbered in reverse topological order (edges point at smaller ids),
   // so one increasing sweep sees every successor first.
-  std::vector<std::vector<NodeId>> scc_members(out.num_sccs_);
-  for (NodeId v = 0; v < n; ++v) {
-    if (out.scc_id_[v] >= 0) scc_members[out.scc_id_[v]].push_back(v);
+  std::vector<std::vector<NodeId>> scc_members(out.num_sccs);
+  for (uint32_t lv = 0; lv < n; ++lv) {
+    if (out.scc_local[lv] >= 0) scc_members[out.scc_local[lv]].push_back(lv);
   }
   std::vector<char> reach_cycle = cycle_possible;
-  for (int32_t s = 0; s < out.num_sccs_; ++s) {
+  for (int32_t s = 0; s < out.num_sccs; ++s) {
     if (reach_cycle[s]) continue;
-    for (NodeId v : scc_members[s]) {
-      for (NodeId w : adj[v]) {
-        if (!in_graph[w]) continue;
-        int32_t t = out.scc_id_[w];
+    for (NodeId lv : scc_members[s]) {
+      for (NodeId lw : adj[lv]) {
+        if (!in_graph[lw]) continue;
+        int32_t t = out.scc_local[lw];
         if (t != s && reach_cycle[t]) {
           reach_cycle[s] = 1;
           break;
@@ -199,35 +234,139 @@ SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
       if (reach_cycle[s]) break;
     }
   }
-  out.cycle_reachable_.assign(n, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    if (out.scc_id_[v] >= 0) {
-      out.cycle_reachable_[v] = reach_cycle[out.scc_id_[v]];
+  out.cycle_reachable.assign(n, 0);
+  for (uint32_t lv = 0; lv < n; ++lv) {
+    if (out.scc_local[lv] >= 0) {
+      out.cycle_reachable[lv] = reach_cycle[out.scc_local[lv]];
     }
   }
 
   // 6. Per-SCC reachability bitsets for the search's independence
-  // frontier, bounded to keep the quadratic table small.
-  if (out.num_sccs_ > 0 && out.num_sccs_ <= kMaxSccsForReach) {
-    out.reach_blocks_ = (static_cast<size_t>(out.num_sccs_) + 63) / 64;
-    out.reach_.assign(static_cast<size_t>(out.num_sccs_) * out.reach_blocks_,
-                      0);
-    for (int32_t s = 0; s < out.num_sccs_; ++s) {
-      uint64_t* row = &out.reach_[static_cast<size_t>(s) * out.reach_blocks_];
+  // frontier. The slice always materialises its rows when it is narrow
+  // enough; Stitch re-applies the bound against the *global* SCC count
+  // and drops the rows when the stitched total is too wide.
+  if (out.num_sccs > 0 && out.num_sccs <= kMaxSccsForReach) {
+    out.reach_blocks = (static_cast<size_t>(out.num_sccs) + 63) / 64;
+    out.reach.assign(static_cast<size_t>(out.num_sccs) * out.reach_blocks,
+                     0);
+    for (int32_t s = 0; s < out.num_sccs; ++s) {
+      uint64_t* row = &out.reach[static_cast<size_t>(s) * out.reach_blocks];
       row[s / 64] |= uint64_t{1} << (s % 64);
-      for (NodeId v : scc_members[s]) {
-        for (NodeId w : adj[v]) {
-          if (!in_graph[w]) continue;
-          int32_t t = out.scc_id_[w];
+      for (NodeId lv : scc_members[s]) {
+        for (NodeId lw : adj[lv]) {
+          if (!in_graph[lw]) continue;
+          int32_t t = out.scc_local[lw];
           if (t == s) continue;
           const uint64_t* trow =
-              &out.reach_[static_cast<size_t>(t) * out.reach_blocks_];
-          for (size_t i = 0; i < out.reach_blocks_; ++i) row[i] |= trow[i];
+              &out.reach[static_cast<size_t>(t) * out.reach_blocks];
+          for (size_t i = 0; i < out.reach_blocks; ++i) row[i] |= trow[i];
         }
       }
     }
   }
   return out;
+}
+
+std::optional<SccAnalysis> SccAnalysis::Stitch(
+    const AndOrSystem& system, const std::vector<const SccSlice*>& pieces) {
+  const size_t n = system.nodes().size();
+  const size_t num_rules = system.num_rules();
+
+  size_t node_sum = 0;
+  size_t rule_sum = 0;
+  int64_t total_sccs = 0;
+  for (const SccSlice* p : pieces) {
+    if (p == nullptr) return std::nullopt;
+    if (p->capable.size() != p->num_nodes ||
+        p->cycle_reachable.size() != p->num_nodes ||
+        p->scc_local.size() != p->num_nodes ||
+        p->rule_usable.size() != p->num_rules || p->num_sccs < 0) {
+      return std::nullopt;
+    }
+    node_sum += p->num_nodes;
+    rule_sum += p->num_rules;
+    total_sccs += p->num_sccs;
+  }
+  if (rule_sum != num_rules || node_sum > n) return std::nullopt;
+  const size_t node_start = n - node_sum;
+  // Pieces tile the whole node table, or everything but the two
+  // terminals (which every range analysis treats symbolically).
+  if (node_start != 0 && node_start != 2) return std::nullopt;
+
+  SccAnalysis out;
+  out.capable_.assign(n, 1);
+  out.rule_usable_.assign(num_rules, 0);
+  out.cycle_reachable_.assign(n, 0);
+  out.scc_id_.assign(n, -1);
+  out.num_sccs_ = static_cast<int32_t>(total_sccs);
+
+  const bool want_reach = total_sccs > 0 && total_sccs <= kMaxSccsForReach;
+  if (want_reach) {
+    // Each piece is at most as wide as the total, so ComputeSlice must
+    // have materialised its rows; a piece without them did not come
+    // from ComputeSlice and cannot be stitched safely.
+    for (const SccSlice* p : pieces) {
+      if (p->num_sccs == 0) continue;
+      if (p->reach_blocks == 0 ||
+          p->reach.size() !=
+              static_cast<size_t>(p->num_sccs) * p->reach_blocks) {
+        return std::nullopt;
+      }
+    }
+    out.reach_blocks_ = (static_cast<size_t>(total_sccs) + 63) / 64;
+    out.reach_.assign(static_cast<size_t>(total_sccs) * out.reach_blocks_,
+                      0);
+  }
+
+  size_t nb = node_start;
+  size_t rb = 0;
+  int32_t scc_base = 0;
+  for (const SccSlice* p : pieces) {
+    for (uint32_t i = 0; i < p->num_nodes; ++i) {
+      out.capable_[nb + i] = p->capable[i];
+      out.cycle_reachable_[nb + i] = p->cycle_reachable[i];
+      out.scc_id_[nb + i] =
+          p->scc_local[i] < 0 ? -1 : p->scc_local[i] + scc_base;
+    }
+    for (uint32_t i = 0; i < p->num_rules; ++i) {
+      out.rule_usable_[rb + i] = p->rule_usable[i];
+    }
+    if (want_reach && p->num_sccs > 0) {
+      // Reachability never crosses slice boundaries (ranges are closed),
+      // so the global matrix is block-diagonal: each local row lands
+      // bit-shifted at its slice's SCC base.
+      const size_t bo = static_cast<size_t>(scc_base) % 64;
+      const size_t w0 = static_cast<size_t>(scc_base) / 64;
+      for (int32_t s = 0; s < p->num_sccs; ++s) {
+        const uint64_t* lrow =
+            &p->reach[static_cast<size_t>(s) * p->reach_blocks];
+        uint64_t* grow = &out.reach_[static_cast<size_t>(scc_base + s) *
+                                     out.reach_blocks_];
+        for (size_t i = 0; i < p->reach_blocks; ++i) {
+          if (w0 + i < out.reach_blocks_) grow[w0 + i] |= lrow[i] << bo;
+          if (bo != 0 && w0 + i + 1 < out.reach_blocks_) {
+            grow[w0 + i + 1] |= lrow[i] >> (64 - bo);
+          }
+        }
+      }
+    }
+    nb += p->num_nodes;
+    rb += p->num_rules;
+    scc_base += p->num_sccs;
+  }
+  return out;
+}
+
+SccAnalysis SccAnalysis::Compute(const AndOrSystem& system) {
+  // One full-range slice, stitched: trivially closed, so both steps
+  // always succeed, and the warm segment path shares every line of
+  // analysis code with this cold path.
+  std::optional<SccSlice> slice = SccAnalysis::ComputeSlice(
+      system, 0, static_cast<uint32_t>(system.nodes().size()), 0,
+      static_cast<uint32_t>(system.num_rules()));
+  std::vector<const SccSlice*> pieces{&*slice};
+  std::optional<SccAnalysis> out = SccAnalysis::Stitch(system, pieces);
+  return std::move(*out);
 }
 
 }  // namespace hornsafe

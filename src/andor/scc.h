@@ -2,11 +2,36 @@
 #define HORNSAFE_ANDOR_SCC_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "andor/system.h"
 
 namespace hornsafe {
+
+/// The condensation analysis of one node/rule range of an And-Or
+/// system, in range-relative coordinates: arrays are indexed by
+/// `node - node_begin` / `rule - rule_begin`, and SCC ids are local
+/// (0-based within the slice). Because node-table segments never share
+/// non-terminal nodes (segment.h), a slice over a segment is exactly
+/// the global analysis restricted to it, and slices concatenate into
+/// the global analysis via `SccAnalysis::Stitch`. Slices carry no
+/// absolute ids, so a slice computed against one build grafts
+/// unchanged into any later build that reuses the segment.
+struct SccSlice {
+  uint32_t num_nodes = 0;
+  uint32_t num_rules = 0;
+  std::vector<char> capable;
+  std::vector<char> rule_usable;
+  std::vector<char> cycle_reachable;
+  /// Local SCC id per node; -1 for nodes outside the union graph.
+  std::vector<int32_t> scc_local;
+  int32_t num_sccs = 0;
+  /// Local reach bitsets (0 blocks = not materialised; see
+  /// SccAnalysis::kMaxSccsForReach).
+  size_t reach_blocks = 0;
+  std::vector<uint64_t> reach;
+};
 
 /// Precomputed structure of the live And-Or system shared by every
 /// subset-condition search over it: the capability greatest fixpoint,
@@ -34,7 +59,31 @@ namespace hornsafe {
 class SccAnalysis {
  public:
   /// Runs capability + condensation over the current live rules.
+  /// Implemented as one full-range slice stitched, so the cold path and
+  /// the segment-stitched warm path share every line of analysis code.
   static SccAnalysis Compute(const AndOrSystem& system);
+
+  /// Computes the analysis of one node/rule range in range-relative
+  /// coordinates. Valid only for ranges closed under rule membership
+  /// (every rule's head/body is in-range or terminal, every in-range
+  /// node's rules are in-range) — node-table segments by construction.
+  /// Returns nullopt if the range is not closed; callers degrade to
+  /// the global Compute.
+  static std::optional<SccSlice> ComputeSlice(const AndOrSystem& system,
+                                              uint32_t node_begin,
+                                              uint32_t node_end,
+                                              uint32_t rule_begin,
+                                              uint32_t rule_end);
+
+  /// Concatenates slices (in node order) into the global analysis.
+  /// The pieces must tile the system's nodes starting at 0 or at 2
+  /// (terminals prepended) and its rules starting at 0; local SCC ids
+  /// are rebased by the running total, which reproduces the global
+  /// Tarjan numbering exactly (roots are visited in ascending node id
+  /// and DFS never leaves a segment). Returns nullopt if the pieces do
+  /// not tile or a needed reach bitset is missing.
+  static std::optional<SccAnalysis> Stitch(
+      const AndOrSystem& system, const std::vector<const SccSlice*>& pieces);
 
   /// True iff the node can appear in a 0-free completion (greatest
   /// fixpoint: some live rule avoids 0 and has all-capable members).

@@ -1,5 +1,8 @@
 #include "andor/system.h"
 
+#include <algorithm>
+
+#include "andor/segment.h"
 #include "util/strings.h"
 
 namespace hornsafe {
@@ -22,13 +25,6 @@ std::string AdornmentString(uint64_t mask, uint32_t arity) {
 }
 
 }  // namespace
-
-size_t AndOrSystem::KeyHash::operator()(
-    const std::array<uint64_t, 4>& k) const {
-  size_t seed = 0;
-  for (uint64_t v : k) HashCombine(seed, std::hash<uint64_t>{}(v));
-  return seed;
-}
 
 size_t AndOrSystem::RuleKeyHash::operator()(
     const std::vector<NodeId>& k) const {
@@ -89,10 +85,9 @@ size_t AndOrSystem::NumLiveRules() const {
 
 NodeId AndOrSystem::InternKeyed(const std::array<uint64_t, 4>& key,
                                 PropNode node) {
-  auto it = node_index_.find(key);
-  if (it != node_index_.end()) return it->second;
+  if (const NodeId* found = node_index_.Find(key)) return *found;
   NodeId id = AddNode(node);
-  node_index_.emplace(key, id);
+  node_index_.Insert(key, id);
   return id;
 }
 
@@ -164,17 +159,158 @@ NodeId AndOrSystem::InternFdChoice(uint32_t occurrence, uint32_t position,
                      n);
 }
 
+bool AndOrSystem::GraftSegment(const NodeTableSegment& seg,
+                               const SegmentGraftContext& ctx) {
+  if (ctx.adorned == nullptr || ctx.pred_of_slot == nullptr) return false;
+  if (seg.num_adorned_rules != ctx.ar_count ||
+      seg.num_occurrences != ctx.occ_count ||
+      seg.num_pred_slots != ctx.pred_of_slot->size() ||
+      static_cast<size_t>(ctx.ar_begin) + ctx.ar_count >
+          ctx.adorned->rules.size()) {
+    return false;
+  }
+
+  // Validate every relocation before touching the table: a rejected
+  // graft must leave the system byte-identical to before the call.
+  size_t indexed_nodes = 0;
+  for (const SegmentNode& sn : seg.nodes) {
+    if (sn.pred_slot >= 0 &&
+        static_cast<size_t>(sn.pred_slot) >= ctx.pred_of_slot->size()) {
+      return false;
+    }
+    switch (sn.kind) {
+      case PropNodeKind::kZero:
+      case PropNodeKind::kOne:
+        return false;
+      case PropNodeKind::kHeadArg:
+        if (sn.pred_slot < 0) return false;
+        ++indexed_nodes;
+        break;
+      case PropNodeKind::kVariable: {
+        if (sn.ar_delta >= ctx.ar_count) return false;
+        const AdornedRule& ar =
+            ctx.adorned->rules[ctx.ar_begin + sn.ar_delta];
+        if (sn.var_occ == -1) {
+          if (sn.var_pos >= ar.head.args.size()) return false;
+        } else if (sn.var_occ >= 0) {
+          if (static_cast<size_t>(sn.var_occ) >= ar.body.size() ||
+              sn.var_pos >= ar.body[sn.var_occ].lit.args.size()) {
+            return false;
+          }
+        } else {
+          return false;
+        }
+        ++indexed_nodes;
+        break;
+      }
+      case PropNodeKind::kBodyArg:
+      case PropNodeKind::kBodyArgAdorned:
+      case PropNodeKind::kFdChoice:
+        if (sn.pred_slot < 0 || sn.ar_delta >= ctx.ar_count ||
+            sn.occ_delta >= ctx.occ_count) {
+          return false;
+        }
+        break;
+    }
+  }
+  for (const SegmentRule& sr : seg.rules) {
+    if (sr.ar_delta >= ctx.ar_count) return false;
+    if (sr.head >= 2 && sr.head - 2 >= seg.nodes.size()) return false;
+    for (uint32_t ref : sr.body) {
+      if (ref >= 2 && ref - 2 >= seg.nodes.size()) return false;
+    }
+  }
+
+  const NodeId base = static_cast<NodeId>(nodes_.size());
+  // Grow geometrically, never to the exact fit: consecutive grafts
+  // would otherwise reallocate (and copy) the whole table once per
+  // component, turning the append back into O(program) memmove.
+  auto grow = [](auto& v, size_t extra) {
+    if (v.capacity() < v.size() + extra) {
+      v.reserve(std::max(v.size() + extra, v.capacity() * 2));
+    }
+  };
+  grow(nodes_, seg.nodes.size());
+  grow(rules_by_head_, seg.nodes.size());
+  grow(rules_, seg.rules.size());
+  grow(deleted_, seg.rules.size());
+  node_index_.Reserve(node_index_.size() + indexed_nodes);
+
+  for (const SegmentNode& sn : seg.nodes) {
+    PropNode n;
+    n.kind = sn.kind;
+    n.is_f_node = sn.is_f_node;
+    n.adornment_mask = sn.adornment_mask;
+    n.position = sn.position;
+    n.fd_index = sn.fd_index;
+    if (sn.pred_slot >= 0) n.pred = (*ctx.pred_of_slot)[sn.pred_slot];
+    switch (sn.kind) {
+      case PropNodeKind::kZero:
+      case PropNodeKind::kOne:
+      case PropNodeKind::kHeadArg:
+        // kHeadArg is interned program-wide: adorned_rule stays 0.
+        break;
+      case PropNodeKind::kVariable: {
+        n.adorned_rule = ctx.ar_begin + sn.ar_delta;
+        const AdornedRule& ar = ctx.adorned->rules[n.adorned_rule];
+        n.var = sn.var_occ == -1
+                    ? ar.head.args[sn.var_pos]
+                    : ar.body[sn.var_occ].lit.args[sn.var_pos];
+        break;
+      }
+      case PropNodeKind::kBodyArg:
+      case PropNodeKind::kBodyArgAdorned:
+      case PropNodeKind::kFdChoice:
+        n.adorned_rule = ctx.ar_begin + sn.ar_delta;
+        n.occurrence = ctx.occ_base + sn.occ_delta;
+        break;
+    }
+    NodeId id = AddNode(n);
+    // Re-register the externally queried intern keys (FindHeadArg roots
+    // the searches; FindVariable serves finiteness/termination). Done
+    // eagerly: lazy registration would race with concurrent readers of
+    // a published snapshot. The other kinds are never looked up.
+    if (n.kind == PropNodeKind::kHeadArg) {
+      node_index_.Insert({kTagHeadArg, (uint64_t{n.pred} << 32) | n.position,
+                          n.adornment_mask, 0},
+                         id);
+    } else if (n.kind == PropNodeKind::kVariable) {
+      node_index_.Insert({kTagVariable, n.adorned_rule, n.var, 0}, id);
+    }
+  }
+
+  for (const SegmentRule& sr : seg.rules) {
+    auto decode = [&](uint32_t ref) -> NodeId {
+      if (ref == 0) return zero_;
+      if (ref == 1) return one_;
+      return base + (ref - 2);
+    };
+    PropRule r;
+    r.head = decode(sr.head);
+    r.body.reserve(sr.body.size());
+    for (uint32_t ref : sr.body) r.body.push_back(decode(ref));
+    r.source_adorned_rule = ctx.ar_begin + sr.ar_delta;
+    uint32_t idx = static_cast<uint32_t>(rules_.size());
+    // Deleted rules keep their slot but never enter RulesFor — the
+    // exact state DeleteRule leaves behind.
+    if (!sr.deleted) rules_by_head_[r.head].push_back(idx);
+    rules_.push_back(std::move(r));
+    deleted_.push_back(sr.deleted);
+  }
+  return true;
+}
+
 NodeId AndOrSystem::FindHeadArg(PredicateId pred, uint64_t adornment_mask,
                                 uint32_t position) const {
-  auto it = node_index_.find({kTagHeadArg,
-                              (uint64_t{pred} << 32) | position,
-                              adornment_mask, 0});
-  return it == node_index_.end() ? kInvalidNode : it->second;
+  const NodeId* found = node_index_.Find(
+      {kTagHeadArg, (uint64_t{pred} << 32) | position, adornment_mask, 0});
+  return found == nullptr ? kInvalidNode : *found;
 }
 
 NodeId AndOrSystem::FindVariable(uint32_t adorned_rule, TermId var) const {
-  auto it = node_index_.find({kTagVariable, adorned_rule, var, 0});
-  return it == node_index_.end() ? kInvalidNode : it->second;
+  const NodeId* found =
+      node_index_.Find({kTagVariable, adorned_rule, var, 0});
+  return found == nullptr ? kInvalidNode : *found;
 }
 
 std::string AndOrSystem::NodeName(NodeId id, const Program& program) const {

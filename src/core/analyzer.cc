@@ -7,6 +7,7 @@
 #include "andor/emptiness.h"
 #include "andor/lfp.h"
 #include "andor/reduce.h"
+#include "andor/segment.h"
 #include "lang/struct_hash.h"
 #include "util/stage_timer.h"
 #include "util/strings.h"
@@ -137,6 +138,39 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
   }
   s.stats.stage_fd_ns = timer.LapNs();
 
+  // Algorithm 3 LFP bits, behind the emptiness tier (strict-hashed on
+  // the canonical program). Hoisted ahead of the build: the segment
+  // keys below fold the emptiness bits of each component's predicates,
+  // so they must be known before planning. The wall time still counts
+  // against the prune stage (accumulated in two laps).
+  std::optional<std::vector<bool>> empty;
+  if (options.apply_emptiness) {
+    uint64_t canon_strict = 0;
+    if (cache != nullptr) {
+      canon_strict = StrictProgramHash(cp);
+      empty = cache->LookupEmptiness(canon_strict);
+      if (empty && empty->size() != num_preds) {
+        empty.reset();
+      }
+    }
+    if (!empty) {
+      empty = EmptyPredicates(cp);
+      if (cache != nullptr) cache->StoreEmptiness(canon_strict, *empty);
+    }
+  }
+  s.stats.stage_prune_ns = timer.LapNs();
+
+  // Rule guards, shared by the fragment planning / assembly below and
+  // the segment keys (one pass instead of one ComputeRuleGuard per
+  // consumer).
+  std::vector<uint64_t> guards;
+  if (cache != nullptr) {
+    guards.resize(num_rules);
+    for (uint32_t ri = 0; ri < static_cast<uint32_t>(num_rules); ++ri) {
+      guards[ri] = ComputeRuleGuard(cp, ri, options.use_fd_closure);
+    }
+  }
+
   // Fragment planning: pair every canonical rule of a predicate whose
   // cached cone fragments are present with the guard-matching replay
   // template. Rules are tried positionally first (the common unchanged
@@ -163,7 +197,7 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
       if (cone == nullptr) continue;
       for (uint32_t ord = 0; ord < rules_of[p].size(); ++ord) {
         uint32_t ri = rules_of[p][ord];
-        uint64_t guard = ComputeRuleGuard(cp, ri, options.use_fd_closure);
+        uint64_t guard = guards[ri];
         const RuleFragment* match = nullptr;
         if (ord < cone->rules.size() && cone->rules[ord].guard == guard) {
           match = &cone->rules[ord];
@@ -189,6 +223,54 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
                           cache != nullptr ? &cache->adornments() : nullptr,
                           cache != nullptr ? &plan : nullptr));
   s.stats.stage_adorn_ns = timer.LapNs();
+
+  // Segment planning (DESIGN.md, D15): partition the canonical rules
+  // into weakly connected predicate components and look each one up in
+  // the segment tier. The key folds the component's ordered rule-guard
+  // sequence, the emptiness bits of its predicates and the prune-mode
+  // flags — everything the build + prune + condensation of that span
+  // read — so a hit replays the post-prune span bit-identically and
+  // only the edited component re-interns. Non-contiguous partitions
+  // (clause interleaving across components) skip the path entirely.
+  SegmentPlan seg_plan;
+  SegmentBuildStats seg_stats;
+  std::vector<uint64_t> comp_hashes;
+  const uint32_t seg_mode_bits = (options.use_fd_closure ? 1u : 0u) |
+                                 (options.apply_emptiness ? 2u : 0u) |
+                                 (options.apply_reduction ? 4u : 0u);
+  bool segments_active = false;
+  if (cache != nullptr) {
+    ComponentPartition partition = ComputeComponentPartition(cp);
+    if (partition.contiguous && !partition.components.empty()) {
+      segments_active = true;
+      seg_plan.components.reserve(partition.components.size());
+      comp_hashes.reserve(partition.components.size());
+      for (const PredicateComponent& comp : partition.components) {
+        uint64_t h = MixHash(0x7365676d656e7430ULL);
+        for (uint32_t ri = comp.first_rule;
+             ri < comp.first_rule + comp.num_rules; ++ri) {
+          h = CombineHash(h, guards[ri]);
+        }
+        SegmentGraft g;
+        g.first_rule = comp.first_rule;
+        g.num_rules = comp.num_rules;
+        g.pred_of_slot = ComponentPredSlots(cp, comp);
+        for (PredicateId p : g.pred_of_slot) {
+          bool is_empty =
+              empty && p < static_cast<PredicateId>(empty->size()) &&
+              (*empty)[p];
+          h = CombineHash(h, is_empty ? 1u : 0u);
+        }
+        h = CombineHash(h, comp.num_rules);
+        comp_hashes.push_back(h);
+        g.segment =
+            cache->LookupSegment(PipelineCache::SegmentKey(h, seg_mode_bits));
+        seg_plan.components.push_back(std::move(g));
+      }
+      bopts.segments = &seg_plan;
+      bopts.segment_stats = &seg_stats;
+    }
+  }
 
   HORNSAFE_ASSIGN_OR_RETURN(s.system,
                             BuildAndOrSystem(cp, s.adorned, bopts));
@@ -222,7 +304,7 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
       cone->rules.reserve(rules_of[p].size());
       for (uint32_t ri : rules_of[p]) {
         RuleFragment rf = std::move(per_rule[ri]);
-        rf.guard = ComputeRuleGuard(cp, ri, options.use_fd_closure);
+        rf.guard = guards[ri];
         cone->rules.push_back(std::move(rf));
       }
       cache->StoreFragments(
@@ -237,29 +319,54 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
   s.stats.nodes = s.system.nodes().size();
   s.stats.rules_total = s.system.num_rules();
 
+  // Prune scope: grafted spans were encoded post-prune (their deleted
+  // bits replayed at graft time), so Algorithms 3 and 4 only visit the
+  // freshly built spans; the grafted spans' tallies are stitched from
+  // the segments. Without the segment path both run globally, exactly
+  // as before. Prune is component-local (rules only reference nodes of
+  // their own component, plus the shared terminals), so the scoped runs
+  // produce the same deleted set as the global ones.
+  const std::vector<SegmentSpan>& spans = s.system.spans();
+  const bool span_path = segments_active && !spans.empty();
   if (options.apply_emptiness) {
-    // Algorithm 3 LFP bits, behind the emptiness tier (strict-hashed on
-    // the canonical program).
-    std::optional<std::vector<bool>> empty;
-    uint64_t canon_strict = 0;
-    if (cache != nullptr) {
-      canon_strict = StrictProgramHash(s.canon->program);
-      empty = cache->LookupEmptiness(canon_strict);
-      if (empty && empty->size() != s.canon->program.num_predicates()) {
-        empty.reset();
+    size_t pruned = 0;
+    if (span_path) {
+      std::vector<std::pair<uint32_t, uint32_t>> fresh_rules;
+      for (const SegmentSpan& sp : spans) {
+        if (sp.grafted) {
+          pruned += sp.segment->pruned_emptiness;
+        } else {
+          fresh_rules.emplace_back(sp.rule_begin, sp.rule_end);
+        }
       }
+      pruned += ApplyEmptinessPruningRanges(*empty, &s.system, fresh_rules);
+    } else {
+      pruned = ApplyEmptinessPruning(*empty, &s.system);
     }
-    if (!empty) {
-      empty = EmptyPredicates(s.canon->program);
-      if (cache != nullptr) cache->StoreEmptiness(canon_strict, *empty);
-    }
-    s.stats.rules_pruned_emptiness = ApplyEmptinessPruning(*empty, &s.system);
+    s.stats.rules_pruned_emptiness = pruned;
   }
   if (options.apply_reduction) {
-    s.stats.rules_pruned_reduction = ReduceSystem(&s.system).rules_deleted;
+    size_t pruned = 0;
+    if (span_path) {
+      std::vector<ReduceRange> fresh_ranges;
+      for (const SegmentSpan& sp : spans) {
+        if (sp.grafted) {
+          pruned += sp.segment->pruned_reduction;
+        } else {
+          fresh_ranges.push_back({sp.node_begin, sp.node_end,
+                                  sp.rule_begin, sp.rule_end});
+        }
+      }
+      if (!fresh_ranges.empty()) {
+        pruned += ReduceSystemInRanges(&s.system, fresh_ranges).rules_deleted;
+      }
+    } else {
+      pruned = ReduceSystem(&s.system).rules_deleted;
+    }
+    s.stats.rules_pruned_reduction = pruned;
   }
   s.stats.rules_live = s.system.NumLiveRules();
-  s.stats.stage_prune_ns = timer.LapNs();
+  s.stats.stage_prune_ns += timer.LapNs();
 
   if (options.use_monotonicity && !s.canon->program.monos().empty()) {
     s.mono = std::make_unique<MonotonicityAnalyzer>(s.canon->program,
@@ -267,9 +374,80 @@ Result<std::shared_ptr<const AnalysisSnapshot>> SafetyAnalyzer::BuildSnapshot(
   }
   // The condensation depends on the live rule set, so it is computed
   // after pruning and then shared (read-only) by every subset search,
-  // including ones running concurrently on pool threads.
-  s.scc = std::make_unique<SccAnalysis>(SccAnalysis::Compute(s.system));
+  // including ones running concurrently on pool threads. On the span
+  // path it is stitched from per-span slices — grafted spans replay
+  // the slice stored with their segment, fresh spans compute theirs —
+  // which is bit-identical to the global computation (scc.h). Any
+  // slice or stitch failure falls back to the global pass.
+  std::vector<std::optional<SccSlice>> fresh_slices;
+  if (span_path) {
+    fresh_slices.resize(spans.size());
+    bool sliced = true;
+    std::vector<const SccSlice*> pieces;
+    pieces.reserve(spans.size());
+    for (size_t i = 0; i < spans.size() && sliced; ++i) {
+      const SegmentSpan& sp = spans[i];
+      if (sp.grafted) {
+        pieces.push_back(&sp.segment->scc);
+        continue;
+      }
+      fresh_slices[i] = SccAnalysis::ComputeSlice(
+          s.system, sp.node_begin, sp.node_end, sp.rule_begin, sp.rule_end);
+      if (fresh_slices[i]) {
+        pieces.push_back(&*fresh_slices[i]);
+      } else {
+        sliced = false;
+      }
+    }
+    if (sliced) {
+      if (std::optional<SccAnalysis> stitched =
+              SccAnalysis::Stitch(s.system, pieces)) {
+        s.scc = std::make_unique<SccAnalysis>(std::move(*stitched));
+      }
+    }
+  }
+  if (s.scc == nullptr) {
+    s.scc = std::make_unique<SccAnalysis>(SccAnalysis::Compute(s.system));
+  }
+
+  // Seal: encode every freshly built span (with its slice and deleted
+  // bits) into the segment tier, and attach the resident segment to the
+  // snapshot so pinned readers keep it alive across cache eviction.
+  // Spans that do not relocate cleanly are simply not cached.
+  if (span_path && cache != nullptr) {
+    const std::vector<bool> no_empty;
+    for (size_t i = 0;
+         i < spans.size() && i < seg_plan.components.size(); ++i) {
+      const SegmentSpan& sp = spans[i];
+      if (sp.grafted || !fresh_slices[i]) continue;
+      std::shared_ptr<const NodeTableSegment> seg = EncodeSegment(
+          s.system, s.adorned, empty ? *empty : no_empty,
+          seg_plan.components[i].pred_of_slot, sp.node_begin, sp.node_end,
+          sp.rule_begin, sp.rule_end, sp.ar_begin, sp.ar_end, sp.occ_base,
+          sp.occ_count, std::move(*fresh_slices[i]));
+      if (seg == nullptr) continue;
+      std::shared_ptr<const NodeTableSegment> resident = cache->StoreSegment(
+          PipelineCache::SegmentKey(comp_hashes[i], seg_mode_bits),
+          std::move(seg));
+      if (resident != nullptr) {
+        s.system.AttachSegment(i, std::move(resident));
+        ++s.stats.segments_encoded;
+      }
+    }
+  }
   s.stats.stage_scc_ns = timer.LapNs();
+
+  s.stats.segments_total = seg_stats.segments_total;
+  s.stats.segments_grafted = seg_stats.segments_grafted;
+  s.stats.segment_grafts_rejected = seg_stats.grafts_rejected;
+  s.stats.nodes_shared = seg_stats.nodes_shared;
+  s.stats.nodes_owned = seg_stats.nodes_owned;
+  for (const SegmentSpan& sp : s.system.spans()) {
+    if (sp.segment != nullptr) {
+      ++s.stats.segments_live;
+      s.stats.node_table_bytes += sp.segment->MemoryBytes();
+    }
+  }
 
   // Everything besides the cone that can influence a search's verdict
   // *or its step count*: option flags and budget, whether the Theorem 5
@@ -321,6 +499,24 @@ void SafetyAnalyzer::FoldBuildStats(const AnalysisSnapshot::Stats& stats) {
                                 std::memory_order_relaxed);
   c.fragments_rebuilt.fetch_add(stats.fragments_rebuilt,
                                 std::memory_order_relaxed);
+  c.segments_total.fetch_add(stats.segments_total,
+                             std::memory_order_relaxed);
+  c.segments_grafted.fetch_add(stats.segments_grafted,
+                               std::memory_order_relaxed);
+  c.segment_grafts_rejected.fetch_add(stats.segment_grafts_rejected,
+                                      std::memory_order_relaxed);
+  c.segments_encoded.fetch_add(stats.segments_encoded,
+                               std::memory_order_relaxed);
+  c.nodes_shared.fetch_add(stats.nodes_shared, std::memory_order_relaxed);
+  c.nodes_owned.fetch_add(stats.nodes_owned, std::memory_order_relaxed);
+  auto raise_to = [](std::atomic<uint64_t>& gauge, uint64_t seen) {
+    uint64_t cur = gauge.load(std::memory_order_relaxed);
+    while (cur < seen && !gauge.compare_exchange_weak(
+                             cur, seen, std::memory_order_relaxed)) {
+    }
+  };
+  raise_to(c.node_table_peak_nodes, stats.nodes);
+  raise_to(c.node_table_peak_bytes, stats.node_table_bytes);
 }
 
 std::shared_ptr<const AnalysisSnapshot> SafetyAnalyzer::snapshot() const {
@@ -454,6 +650,17 @@ SafetyAnalyzer::Counters SafetyAnalyzer::counters() const {
   c.stage_search_ns = sc.stage_search_ns.load(std::memory_order_relaxed);
   c.fragments_spliced = sc.fragments_spliced.load(std::memory_order_relaxed);
   c.fragments_rebuilt = sc.fragments_rebuilt.load(std::memory_order_relaxed);
+  c.segments_total = sc.segments_total.load(std::memory_order_relaxed);
+  c.segments_grafted = sc.segments_grafted.load(std::memory_order_relaxed);
+  c.segment_grafts_rejected =
+      sc.segment_grafts_rejected.load(std::memory_order_relaxed);
+  c.segments_encoded = sc.segments_encoded.load(std::memory_order_relaxed);
+  c.nodes_shared = sc.nodes_shared.load(std::memory_order_relaxed);
+  c.nodes_owned = sc.nodes_owned.load(std::memory_order_relaxed);
+  c.node_table_peak_nodes =
+      sc.node_table_peak_nodes.load(std::memory_order_relaxed);
+  c.node_table_peak_bytes =
+      sc.node_table_peak_bytes.load(std::memory_order_relaxed);
   return c;
 }
 

@@ -171,6 +171,23 @@ struct AnalysisSnapshot {
     /// by this build (both 0 without a cache).
     uint64_t fragments_spliced = 0;
     uint64_t fragments_rebuilt = 0;
+    /// Segment-path tallies of this build (all 0 without a cache, or
+    /// when the component partition is not contiguous): components
+    /// planned, grafted wholesale from cached segments, rejected at
+    /// graft validation, and freshly encoded into the segment tier.
+    uint64_t segments_total = 0;
+    uint64_t segments_grafted = 0;
+    uint64_t segment_grafts_rejected = 0;
+    uint64_t segments_encoded = 0;
+    /// Nodes appended from shared segments vs interned fresh by the
+    /// segment-planned build.
+    uint64_t nodes_shared = 0;
+    uint64_t nodes_owned = 0;
+    /// Segments this snapshot holds alive (grafted or freshly encoded)
+    /// and their resident bytes — the structurally shared part of the
+    /// node table.
+    uint64_t segments_live = 0;
+    uint64_t node_table_bytes = 0;
   };
   Stats stats;
 };
@@ -320,6 +337,19 @@ class SafetyAnalyzer {
     /// fresh, across every build.
     uint64_t fragments_spliced = 0;
     uint64_t fragments_rebuilt = 0;
+    /// Node-table segment tallies across every build (DESIGN.md, D15):
+    /// components planned / grafted / rejected / freshly encoded, and
+    /// nodes appended from shared segments vs interned fresh.
+    uint64_t segments_total = 0;
+    uint64_t segments_grafted = 0;
+    uint64_t segment_grafts_rejected = 0;
+    uint64_t segments_encoded = 0;
+    uint64_t nodes_shared = 0;
+    uint64_t nodes_owned = 0;
+    /// High-water marks across every snapshot this analyzer built: the
+    /// node-table size and the resident bytes of its live segments.
+    uint64_t node_table_peak_nodes = 0;
+    uint64_t node_table_peak_bytes = 0;
   };
   Counters counters() const;
 
@@ -360,6 +390,15 @@ class SafetyAnalyzer {
     std::atomic<uint64_t> stage_search_ns{0};
     std::atomic<uint64_t> fragments_spliced{0};
     std::atomic<uint64_t> fragments_rebuilt{0};
+    std::atomic<uint64_t> segments_total{0};
+    std::atomic<uint64_t> segments_grafted{0};
+    std::atomic<uint64_t> segment_grafts_rejected{0};
+    std::atomic<uint64_t> segments_encoded{0};
+    std::atomic<uint64_t> nodes_shared{0};
+    std::atomic<uint64_t> nodes_owned{0};
+    /// Gauges, maintained with compare-exchange max (not fetch_add).
+    std::atomic<uint64_t> node_table_peak_nodes{0};
+    std::atomic<uint64_t> node_table_peak_bytes{0};
   };
 
   /// Everything that outlives snapshot swaps and analyzer moves:

@@ -465,6 +465,50 @@ void PipelineCache::StoreFragments(
   }
 }
 
+CacheKey PipelineCache::SegmentKey(uint64_t component_hash,
+                                   uint32_t mode_bits) {
+  uint64_t lo = CombineHash(component_hash, mode_bits);
+  uint64_t hi = CombineHash(MixHash(component_hash ^ 0x7365676d656e7431ULL),
+                            mode_bits + 1);
+  return {hi, lo};
+}
+
+std::shared_ptr<const NodeTableSegment> PipelineCache::LookupSegment(
+    const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(segment_mu_);
+  auto it = segment_index_.find(key);
+  if (it == segment_index_.end()) {
+    ++segment_misses_;
+    return nullptr;
+  }
+  segments_.splice(segments_.begin(), segments_, it->second);
+  ++segment_hits_;
+  return segments_.front().second;
+}
+
+std::shared_ptr<const NodeTableSegment> PipelineCache::StoreSegment(
+    const CacheKey& key, std::shared_ptr<const NodeTableSegment> segment) {
+  if (segment == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(segment_mu_);
+  auto it = segment_index_.find(key);
+  if (it != segment_index_.end()) {
+    // Content-addressed: a racing builder encoded an equivalent span,
+    // so keep the incumbent — the caller adopts it, which is what lets
+    // consecutive snapshots share one allocation.
+    segments_.splice(segments_.begin(), segments_, it->second);
+    return segments_.front().second;
+  }
+  segments_.emplace_front(key, std::move(segment));
+  segment_index_[key] = segments_.begin();
+  ++segment_insertions_;
+  while (segments_.size() > kMaxSegmentEntries) {
+    segment_index_.erase(segments_.back().first);
+    segments_.pop_back();
+    ++segment_evictions_;
+  }
+  return segments_.front().second;
+}
+
 void PipelineCache::NoteInvalidatedCones(size_t count) {
   std::lock_guard<std::mutex> lock(misc_mu_);
   misc_stats_.cones_invalidated += count;
@@ -482,6 +526,13 @@ PipelineCacheStats PipelineCache::stats() const {
     out.fragment_misses = fragment_misses_;
     out.fragment_insertions = fragment_insertions_;
     out.fragment_evictions = fragment_evictions_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(segment_mu_);
+    out.segment_hits = segment_hits_;
+    out.segment_misses = segment_misses_;
+    out.segment_insertions = segment_insertions_;
+    out.segment_evictions = segment_evictions_;
   }
   {
     FdClosureCache::Stats fd = fd_closures_.stats();

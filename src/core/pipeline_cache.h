@@ -12,6 +12,7 @@
 
 #include "andor/adorn.h"
 #include "andor/fragment.h"
+#include "andor/segment.h"
 #include "andor/subset.h"
 #include "canonical/canonical.h"
 #include "fd/fd.h"
@@ -90,6 +91,12 @@ struct PipelineCacheStats {
   uint64_t fragment_misses = 0;
   uint64_t fragment_insertions = 0;
   uint64_t fragment_evictions = 0;
+  /// Node-table segment tier (per-component spans with prune verdicts
+  /// and SCC slices — andor/segment.h).
+  uint64_t segment_hits = 0;
+  uint64_t segment_misses = 0;
+  uint64_t segment_insertions = 0;
+  uint64_t segment_evictions = 0;
   /// Shared frozen FD closure indexes (FdClosureCache).
   uint64_t fd_index_hits = 0;
   uint64_t fd_index_misses = 0;
@@ -218,6 +225,26 @@ class PipelineCache {
   void StoreFragments(const CacheKey& key,
                       std::shared_ptr<const ConeFragment> fragments);
 
+  // --- Segment tier (thread-safe) ---------------------------------------
+
+  /// The cache key of one predicate component's node-table segment:
+  /// `component_hash` folds the component's ordered rule-guard sequence
+  /// and predicate emptiness bits, `mode_bits` the prune/closure flags
+  /// (everything the build + prune + condensation of the span read).
+  static CacheKey SegmentKey(uint64_t component_hash, uint32_t mode_bits);
+
+  /// Cached segment for the component, or null. Immutable and safe to
+  /// graft concurrently; grafting systems pin it by shared_ptr.
+  std::shared_ptr<const NodeTableSegment> LookupSegment(const CacheKey& key);
+
+  /// Stores a freshly encoded segment and returns the resident entry —
+  /// the incumbent if one already exists (content-addressed, so a
+  /// racing builder produced an equivalent encoding), else `segment`
+  /// itself. Callers attach the returned pointer to their spans so
+  /// consecutive snapshots share one allocation.
+  std::shared_ptr<const NodeTableSegment> StoreSegment(
+      const CacheKey& key, std::shared_ptr<const NodeTableSegment> segment);
+
   // --- Accounting -------------------------------------------------------
 
   /// Records `count` dirty cones from an incremental Update.
@@ -313,6 +340,22 @@ class PipelineCache {
   uint64_t fragment_misses_ = 0;
   uint64_t fragment_insertions_ = 0;
   uint64_t fragment_evictions_ = 0;
+
+  /// Segment tier: per-component node-table spans behind their own
+  /// lock, same shape as the fragment tier (probed once per component
+  /// per build). Segments outlive eviction while any snapshot pins
+  /// them — entries hold shared_ptrs.
+  static constexpr size_t kMaxSegmentEntries = 256;
+  mutable std::mutex segment_mu_;
+  using SegmentLru = std::list<
+      std::pair<CacheKey, std::shared_ptr<const NodeTableSegment>>>;
+  SegmentLru segments_;
+  std::unordered_map<CacheKey, SegmentLru::iterator, CacheKeyHash>
+      segment_index_;
+  uint64_t segment_hits_ = 0;
+  uint64_t segment_misses_ = 0;
+  uint64_t segment_insertions_ = 0;
+  uint64_t segment_evictions_ = 0;
 };
 
 }  // namespace hornsafe

@@ -4,6 +4,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <condition_variable>
@@ -169,6 +170,17 @@ void Server::AccumulateEphemeral(const SafetyAnalyzer::Counters& c) {
   ephemeral_totals_.stage_search_ns += c.stage_search_ns;
   ephemeral_totals_.fragments_spliced += c.fragments_spliced;
   ephemeral_totals_.fragments_rebuilt += c.fragments_rebuilt;
+  ephemeral_totals_.segments_total += c.segments_total;
+  ephemeral_totals_.segments_grafted += c.segments_grafted;
+  ephemeral_totals_.segment_grafts_rejected += c.segment_grafts_rejected;
+  ephemeral_totals_.segments_encoded += c.segments_encoded;
+  ephemeral_totals_.nodes_shared += c.nodes_shared;
+  ephemeral_totals_.nodes_owned += c.nodes_owned;
+  // Peaks are gauges: fold with max, not sum.
+  ephemeral_totals_.node_table_peak_nodes = std::max(
+      ephemeral_totals_.node_table_peak_nodes, c.node_table_peak_nodes);
+  ephemeral_totals_.node_table_peak_bytes = std::max(
+      ephemeral_totals_.node_table_peak_bytes, c.node_table_peak_bytes);
 }
 
 ExecContext Server::MakeExec(const Json& request) const {
@@ -394,6 +406,16 @@ Json Server::DoStats() const {
     c.stage_search_ns += ephemeral_totals_.stage_search_ns;
     c.fragments_spliced += ephemeral_totals_.fragments_spliced;
     c.fragments_rebuilt += ephemeral_totals_.fragments_rebuilt;
+    c.segments_total += ephemeral_totals_.segments_total;
+    c.segments_grafted += ephemeral_totals_.segments_grafted;
+    c.segment_grafts_rejected += ephemeral_totals_.segment_grafts_rejected;
+    c.segments_encoded += ephemeral_totals_.segments_encoded;
+    c.nodes_shared += ephemeral_totals_.nodes_shared;
+    c.nodes_owned += ephemeral_totals_.nodes_owned;
+    c.node_table_peak_nodes =
+        std::max(c.node_table_peak_nodes, ephemeral_totals_.node_table_peak_nodes);
+    c.node_table_peak_bytes =
+        std::max(c.node_table_peak_bytes, ephemeral_totals_.node_table_peak_bytes);
   }
   if (have_analyzer) {
     Json a = Json::Object();
@@ -415,6 +437,14 @@ Json Server::DoStats() const {
     a.Set("stage_search_ns", c.stage_search_ns);
     a.Set("fragments_spliced", c.fragments_spliced);
     a.Set("fragments_rebuilt", c.fragments_rebuilt);
+    a.Set("segments_total", c.segments_total);
+    a.Set("segments_grafted", c.segments_grafted);
+    a.Set("segment_grafts_rejected", c.segment_grafts_rejected);
+    a.Set("segments_encoded", c.segments_encoded);
+    a.Set("nodes_shared", c.nodes_shared);
+    a.Set("nodes_owned", c.nodes_owned);
+    a.Set("node_table_peak_nodes", c.node_table_peak_nodes);
+    a.Set("node_table_peak_bytes", c.node_table_peak_bytes);
     result.Set("analyzer", std::move(a));
   }
   if (options_.cache != nullptr) {
@@ -433,6 +463,10 @@ Json Server::DoStats() const {
     cs.Set("fragment_misses", s.fragment_misses);
     cs.Set("fragment_insertions", s.fragment_insertions);
     cs.Set("fragment_evictions", s.fragment_evictions);
+    cs.Set("segment_hits", s.segment_hits);
+    cs.Set("segment_misses", s.segment_misses);
+    cs.Set("segment_insertions", s.segment_insertions);
+    cs.Set("segment_evictions", s.segment_evictions);
     cs.Set("fd_index_hits", s.fd_index_hits);
     cs.Set("fd_index_misses", s.fd_index_misses);
     cs.Set("pred_hash_hits", s.pred_hash_hits);

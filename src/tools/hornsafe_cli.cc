@@ -65,6 +65,9 @@ struct CliFlags {
   int jobs = 1;
   /// Print fixpoint statistics after each evaluated query.
   bool stats = false;
+  /// check: emit analysis counters, per-stage wall clocks, and cache
+  /// stats as a single JSON object on stdout.
+  bool stats_json = false;
   /// On-disk pipeline-cache directory for `check` (empty = memory-only
   /// cache for the process lifetime).
   std::string cache_dir;
@@ -117,6 +120,8 @@ int Usage() {
                "worker threads (default 1; 0 = all hardware threads)\n"
                "  --stats                      print analysis counters "
                "(check) or fixpoint statistics per query (run/repl)\n"
+               "  --stats-json                 check: one JSON object with "
+               "per-stage wall clocks, analysis counters, and cache stats\n"
                "flags (lint):\n"
                "  --json                       one JSON object on stdout "
                "instead of file:line:col lines\n"
@@ -205,14 +210,98 @@ void PrintAnalyzerStats(const SafetyAnalyzer& analyzer) {
   }
   std::printf(
       "  fragments spliced / rebuilt: %llu / %llu\n"
+      "  segments grafted / total:    %llu / %llu (rejected %llu, encoded "
+      "%llu)\n"
+      "  nodes shared / owned:        %llu / %llu\n"
+      "  node table peak:             %llu nodes, %llu bytes\n"
       "  stage times (ms): canonicalize %.2f, fingerprint %.2f, fd %.2f, "
       "adorn %.2f, build %.2f, prune %.2f, scc %.2f, search %.2f\n",
       static_cast<unsigned long long>(c.fragments_spliced),
       static_cast<unsigned long long>(c.fragments_rebuilt),
+      static_cast<unsigned long long>(c.segments_grafted),
+      static_cast<unsigned long long>(c.segments_total),
+      static_cast<unsigned long long>(c.segment_grafts_rejected),
+      static_cast<unsigned long long>(c.segments_encoded),
+      static_cast<unsigned long long>(c.nodes_shared),
+      static_cast<unsigned long long>(c.nodes_owned),
+      static_cast<unsigned long long>(c.node_table_peak_nodes),
+      static_cast<unsigned long long>(c.node_table_peak_bytes),
       c.stage_canonicalize_ns / 1e6, c.stage_fingerprint_ns / 1e6,
       c.stage_fd_ns / 1e6, c.stage_adorn_ns / 1e6, c.stage_build_ns / 1e6,
       c.stage_prune_ns / 1e6, c.stage_scc_ns / 1e6,
       c.stage_search_ns / 1e6);
+}
+
+/// `check --stats-json`: one machine-readable JSON object on stdout.
+/// Per-stage wall clocks stay in nanoseconds (the native resolution);
+/// consumers convert. Shape mirrors the serve `stats` reply so the same
+/// tooling can parse both.
+void PrintStatsJson(const SafetyAnalyzer& analyzer,
+                    const PipelineCache* cache) {
+  SafetyAnalyzer::Counters c = analyzer.counters();
+  Json root = Json::Object();
+  Json a = Json::Object();
+  a.Set("positions_analyzed", c.positions_analyzed);
+  a.Set("subset_searches", c.subset_searches);
+  a.Set("steps", c.steps);
+  a.Set("graphs_checked", c.graphs_checked);
+  a.Set("memo_hits", c.memo_hits);
+  a.Set("memo_misses", c.memo_misses);
+  a.Set("scc_short_circuits", c.scc_short_circuits);
+  a.Set("parallel_tasks", c.parallel_tasks);
+  a.Set("serial_tasks", c.serial_tasks);
+  a.Set("cache_hits", c.cache_hits);
+  a.Set("cache_misses", c.cache_misses);
+  a.Set("fragments_spliced", c.fragments_spliced);
+  a.Set("fragments_rebuilt", c.fragments_rebuilt);
+  a.Set("segments_total", c.segments_total);
+  a.Set("segments_grafted", c.segments_grafted);
+  a.Set("segment_grafts_rejected", c.segment_grafts_rejected);
+  a.Set("segments_encoded", c.segments_encoded);
+  a.Set("nodes_shared", c.nodes_shared);
+  a.Set("nodes_owned", c.nodes_owned);
+  a.Set("node_table_peak_nodes", c.node_table_peak_nodes);
+  a.Set("node_table_peak_bytes", c.node_table_peak_bytes);
+  Json stages = Json::Object();
+  stages.Set("canonicalize_ns", c.stage_canonicalize_ns);
+  stages.Set("fingerprint_ns", c.stage_fingerprint_ns);
+  stages.Set("fd_ns", c.stage_fd_ns);
+  stages.Set("adorn_ns", c.stage_adorn_ns);
+  stages.Set("build_ns", c.stage_build_ns);
+  stages.Set("prune_ns", c.stage_prune_ns);
+  stages.Set("scc_ns", c.stage_scc_ns);
+  stages.Set("search_ns", c.stage_search_ns);
+  a.Set("stages", std::move(stages));
+  root.Set("analyzer", std::move(a));
+  if (cache != nullptr) {
+    PipelineCacheStats s = cache->stats();
+    Json cs = Json::Object();
+    cs.Set("verdict_hits", s.verdict_hits);
+    cs.Set("verdict_misses", s.verdict_misses);
+    cs.Set("verdict_insertions", s.verdict_insertions);
+    cs.Set("verdict_evictions", s.verdict_evictions);
+    cs.Set("disk_hits", s.disk_hits);
+    cs.Set("disk_misses", s.disk_misses);
+    cs.Set("disk_corrupt", s.disk_corrupt);
+    cs.Set("disk_write_failures", s.disk_write_failures);
+    cs.Set("cones_invalidated", s.cones_invalidated);
+    cs.Set("canon_hits", s.canon_hits);
+    cs.Set("canon_misses", s.canon_misses);
+    cs.Set("emptiness_hits", s.emptiness_hits);
+    cs.Set("emptiness_misses", s.emptiness_misses);
+    cs.Set("fragment_hits", s.fragment_hits);
+    cs.Set("fragment_misses", s.fragment_misses);
+    cs.Set("segment_hits", s.segment_hits);
+    cs.Set("segment_misses", s.segment_misses);
+    cs.Set("segment_insertions", s.segment_insertions);
+    cs.Set("segment_evictions", s.segment_evictions);
+    cs.Set("fd_index_hits", s.fd_index_hits);
+    cs.Set("fd_index_misses", s.fd_index_misses);
+    cs.Set("pred_hash_hits", s.pred_hash_hits);
+    cs.Set("pred_hash_misses", s.pred_hash_misses);
+    root.Set("cache", std::move(cs));
+  }
+  std::printf("%s\n", root.Dump().c_str());
 }
 
 void PrintCacheStats(const PipelineCache& cache) {
@@ -241,10 +330,13 @@ void PrintCacheStats(const PipelineCache& cache) {
       static_cast<unsigned long long>(s.emptiness_misses));
   std::printf(
       "  fragment hits / misses:   %llu / %llu\n"
+      "  segment hits / misses:    %llu / %llu\n"
       "  fd index hits / misses:   %llu / %llu\n"
       "  pred hash hits / misses:  %llu / %llu\n",
       static_cast<unsigned long long>(s.fragment_hits),
       static_cast<unsigned long long>(s.fragment_misses),
+      static_cast<unsigned long long>(s.segment_hits),
+      static_cast<unsigned long long>(s.segment_misses),
       static_cast<unsigned long long>(s.fd_index_hits),
       static_cast<unsigned long long>(s.fd_index_misses),
       static_cast<unsigned long long>(s.pred_hash_hits),
@@ -380,6 +472,7 @@ int CmdCheck(const char* path) {
     PrintAnalyzerStats(*analyzer);
     if (cache) PrintCacheStats(*cache);
   }
+  if (g_flags.stats_json) PrintStatsJson(*analyzer, cache.get());
   return all_safe ? 0 : 2;
 }
 
@@ -751,6 +844,10 @@ bool ParseFlags(int* argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--stats") == 0) {
       g_flags.stats = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--stats-json") == 0) {
+      g_flags.stats_json = true;
       continue;
     }
     if (std::strcmp(arg, "--no-cache") == 0) {

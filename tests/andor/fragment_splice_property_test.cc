@@ -122,12 +122,19 @@ TEST_P(FragmentSplicePropertyTest, SplicedSystemIsomorphicToFresh) {
     Program next = MustParse(text);
 
     uint64_t spliced_before = warm->counters().fragments_spliced;
+    uint64_t grafted_before = warm->counters().segments_grafted;
     auto up = warm->Update(next);
     ASSERT_TRUE(up.ok()) << up.status().ToString();
     // A single-cone edit leaves every other module clean: its fragments
     // must come back out of the cache, not be rebuilt.
     EXPECT_GT(warm->counters().fragments_spliced, spliced_before)
         << "edit " << edit << " spliced nothing in:\n" << text;
+    // Likewise each clean module's node-table segment must be grafted
+    // wholesale, never re-interned or rejected by validation.
+    EXPECT_GT(warm->counters().segments_grafted, grafted_before)
+        << "edit " << edit << " grafted nothing in:\n" << text;
+    EXPECT_EQ(warm->counters().segment_grafts_rejected, 0u)
+        << "edit " << edit << " in:\n" << text;
     EXPECT_GT(up->clean_predicates, 0u);
 
     auto cold = SafetyAnalyzer::Create(MustParse(text));
@@ -179,9 +186,53 @@ TEST_P(FragmentSplicePropertyTest, ConcurrentUpdatesWithPinnedChecks) {
   done.store(true, std::memory_order_release);
   for (std::thread& t : readers) t.join();
 
-  // The swaps really did reuse fragments from the shared tier.
+  // The swaps really did reuse fragments from the shared tier — and the
+  // segment tier: clean modules' node-table spans were grafted from
+  // segments shared with the snapshots the readers were pinning.
   EXPECT_GT(analyzer->counters().fragments_spliced, 0u);
   EXPECT_GT(cache.stats().fragment_hits, 0u);
+  EXPECT_GT(analyzer->counters().segments_grafted, 0u);
+  EXPECT_GT(cache.stats().segment_hits, 0u);
+}
+
+// P3. Retired snapshots co-own their segments: a snapshot pinned before
+// a burst of edits keeps rendering and answering bit-identically while
+// later builds graft (and the cache churns) the very segments it
+// shares.
+TEST_P(FragmentSplicePropertyTest, PinnedSnapshotStableAcrossSegmentChurn) {
+  Rng rng(GetParam() ^ 0x9d2c5680ULL);
+  Workload w(3, 3);
+  PipelineCache cache;
+  AnalyzerOptions opts;
+  opts.cache = &cache;
+  auto analyzer = SafetyAnalyzer::Create(MustParse(w.Render()), opts);
+  ASSERT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+
+  std::shared_ptr<const AnalysisSnapshot> pinned = analyzer->snapshot();
+  const std::string pinned_render =
+      pinned->system.ToString(pinned->canon->program);
+  PredicateId b2m0 = pinned->canon->program.FindPredicate("b2m0", 1);
+  ASSERT_NE(b2m0, kInvalidPredicate);
+  QueryAnalysis before = analyzer->AnalyzePredicate(*pinned, b2m0, 0, {});
+
+  for (int edit = 0; edit < 8; ++edit) {
+    w.variant[rng.Below(w.modules)]++;
+    auto up = analyzer->Update(MustParse(w.Render()));
+    ASSERT_TRUE(up.ok()) << up.status().ToString();
+  }
+  EXPECT_GT(analyzer->counters().segments_grafted, 0u);
+
+  // The retired snapshot is untouched by the churn: same rendering,
+  // same verdict, same step count.
+  EXPECT_EQ(pinned->system.ToString(pinned->canon->program),
+            pinned_render);
+  QueryAnalysis after = analyzer->AnalyzePredicate(*pinned, b2m0, 0, {});
+  EXPECT_EQ(after.overall, before.overall);
+  ASSERT_EQ(after.args.size(), before.args.size());
+  for (size_t k = 0; k < after.args.size(); ++k) {
+    EXPECT_EQ(after.args[k].safety, before.args[k].safety);
+    EXPECT_EQ(after.args[k].explanation, before.args[k].explanation);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FragmentSplicePropertyTest,

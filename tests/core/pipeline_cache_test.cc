@@ -8,6 +8,9 @@
 #include <fstream>
 #include <string>
 
+#include "core/analyzer.h"
+#include "parser/parser.h"
+
 namespace hornsafe {
 namespace {
 
@@ -249,6 +252,124 @@ TEST(PipelineCacheTest, FragmentTierEvictsLruButPinsStayAlive) {
             nullptr);
   EXPECT_NE(cache.LookupFragments(PipelineCache::FragmentKey(1499, true)),
             nullptr);
+}
+
+std::shared_ptr<const NodeTableSegment> OneNodeSegment(uint32_t tag) {
+  auto seg = std::make_shared<NodeTableSegment>();
+  seg->num_pred_slots = 1;
+  SegmentNode n;
+  n.kind = PropNodeKind::kHeadArg;
+  n.pred_slot = 0;
+  n.position = tag;
+  seg->nodes.push_back(n);
+  return seg;
+}
+
+TEST(PipelineCacheTest, SegmentTierRoundtripAndKeyStructure) {
+  PipelineCache cache;
+  CacheKey key = PipelineCache::SegmentKey(42, /*mode_bits=*/5);
+  EXPECT_EQ(cache.LookupSegment(key), nullptr);
+  std::shared_ptr<const NodeTableSegment> resident =
+      cache.StoreSegment(key, OneNodeSegment(7));
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(cache.LookupSegment(key).get(), resident.get());
+  // The prune-mode bits are part of the key: the same component hash
+  // built under different modes is a distinct entry.
+  EXPECT_EQ(cache.LookupSegment(PipelineCache::SegmentKey(42, 4)), nullptr);
+  PipelineCacheStats s = cache.stats();
+  EXPECT_EQ(s.segment_hits, 1u);
+  EXPECT_EQ(s.segment_misses, 2u);
+  EXPECT_EQ(s.segment_insertions, 1u);
+}
+
+TEST(PipelineCacheTest, SegmentTierKeepsIncumbentOnRacingStore) {
+  // Two builders racing on the same component produce equivalent
+  // encodings; the incumbent must win so every snapshot shares one
+  // object (and the accounting counts its nodes once).
+  PipelineCache cache;
+  CacheKey key = PipelineCache::SegmentKey(7, 1);
+  std::shared_ptr<const NodeTableSegment> first =
+      cache.StoreSegment(key, OneNodeSegment(1));
+  std::shared_ptr<const NodeTableSegment> second =
+      cache.StoreSegment(key, OneNodeSegment(1));
+  EXPECT_EQ(second.get(), first.get());
+  EXPECT_EQ(cache.stats().segment_insertions, 1u);
+}
+
+TEST(PipelineCacheTest, SegmentTierEvictsLruButPinsStayAlive) {
+  PipelineCache cache;
+  CacheKey key0 = PipelineCache::SegmentKey(0, 0);
+  std::shared_ptr<const NodeTableSegment> pinned =
+      cache.StoreSegment(key0, OneNodeSegment(0));
+  for (uint64_t i = 1; i < 300; ++i) {  // kMaxSegmentEntries is 256
+    cache.StoreSegment(PipelineCache::SegmentKey(i, 0),
+                       OneNodeSegment(static_cast<uint32_t>(i)));
+  }
+  PipelineCacheStats s = cache.stats();
+  EXPECT_EQ(s.segment_insertions, 300u);
+  EXPECT_GT(s.segment_evictions, 0u);
+  EXPECT_EQ(cache.LookupSegment(key0), nullptr);
+  EXPECT_NE(cache.LookupSegment(PipelineCache::SegmentKey(299, 0)), nullptr);
+  // Eviction dropped the cache's reference, not ours: a segment pinned
+  // by a retired snapshot stays fully usable.
+  EXPECT_EQ(pinned->nodes.size(), 1u);
+  EXPECT_EQ(pinned.use_count(), 1);
+}
+
+Program ParseOrDie(const std::string& text) {
+  auto r = ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+/// Two independent guarded-recursion modules — two predicate
+/// components, each encoded as its own segment.
+std::string TwoModuleText() {
+  return ".infinite f1/2.\n.fd f1: 2 -> 1.\n"
+         "r1(X) :- f1(X,Y), r1(Y), g1(Y).\n"
+         "r1(X) :- base1(X).\n"
+         "?- r1(X).\n"
+         ".infinite f2/2.\n.fd f2: 2 -> 1.\n"
+         "r2(X) :- f2(X,Y), r2(Y), g2(Y).\n"
+         "r2(X) :- base2(X).\n"
+         "?- r2(X).\n";
+}
+
+TEST(PipelineCacheTest, CorruptSegmentEntryFallsBackBitIdentical) {
+  PipelineCache cache;
+  AnalyzerOptions opts;
+  opts.cache = &cache;
+  auto prime = SafetyAnalyzer::Create(ParseOrDie(TwoModuleText()), opts);
+  ASSERT_TRUE(prime.ok()) << prime.status().ToString();
+  ASSERT_GT(prime->counters().segments_encoded, 0u);
+  // Mangle every resident entry in place (the spans hold the same
+  // objects the cache serves) so the next build's grafts cannot
+  // validate: pred_slot points far outside the slot table.
+  size_t mangled = 0;
+  for (const SegmentSpan& sp : prime->system().spans()) {
+    if (sp.segment == nullptr || sp.segment->nodes.empty()) continue;
+    const_cast<NodeTableSegment*>(sp.segment.get())
+        ->nodes.front()
+        .pred_slot = 1 << 20;
+    ++mangled;
+  }
+  ASSERT_GT(mangled, 0u);
+  auto warm = SafetyAnalyzer::Create(ParseOrDie(TwoModuleText()), opts);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  // Every graft was rejected by validation and re-interned fresh...
+  EXPECT_GT(warm->counters().segment_grafts_rejected, 0u);
+  EXPECT_EQ(warm->counters().segments_grafted, 0u);
+  // ...and the result is bit-identical to an uncached build.
+  auto cold = SafetyAnalyzer::Create(ParseOrDie(TwoModuleText()));
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(warm->system().ToString(warm->canonical()),
+            cold->system().ToString(cold->canonical()));
+  std::vector<QueryAnalysis> wq = warm->AnalyzeQueries();
+  std::vector<QueryAnalysis> cq = cold->AnalyzeQueries();
+  ASSERT_EQ(wq.size(), cq.size());
+  for (size_t i = 0; i < wq.size(); ++i) {
+    EXPECT_EQ(wq[i].overall, cq[i].overall) << "query " << i;
+  }
 }
 
 TEST(PipelineCacheTest, CanonTierSharesOneFrozenArtifact) {
