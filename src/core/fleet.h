@@ -1,0 +1,137 @@
+#ifndef HORNSAFE_CORE_FLEET_H_
+#define HORNSAFE_CORE_FLEET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/pipeline_cache.h"
+#include "lang/program.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace hornsafe {
+
+/// The fleet corpus driver: `hornsafe fleet <dir>` forks/execs N
+/// worker processes over a directory tree of programs, each analyzing
+/// its shard against one shared `--cache-dir`, and merges the results
+/// into one report. Programs sharing library modules hit the same
+/// verdict entries across processes (cone fingerprints are
+/// content-addressed), so the corpus warms the cache superlinearly in
+/// corpus overlap. Workers that crash (or are crash-injected via
+/// HORNSAFE_FAULTS process_kill) are respawned on their unfinished
+/// remainder; the shared cache's lease/recovery protocol (DESIGN.md,
+/// D16) guarantees the crash cannot corrupt other workers' verdicts.
+struct FleetOptions {
+  /// Directory tree scanned recursively for "*.hs" programs.
+  std::string corpus_dir;
+  /// Shared on-disk PipelineCache root; empty = each worker keeps a
+  /// private in-memory cache (still dedupes within its shard).
+  std::string cache_dir;
+  /// Worker processes (clamped to [1, 256] and the corpus size).
+  int procs = 1;
+  /// Analyzer threads per worker.
+  int jobs = 1;
+  /// Worker executable; empty = this binary (/proc/self/exe). Workers
+  /// are invoked as `<exe> fleet-worker --shard F --out F ...`.
+  std::string worker_exe;
+  /// HORNSAFE_FAULTS spec exported to workers (soaks); empty inherits
+  /// the parent environment unchanged.
+  std::string fault_spec;
+  /// Crash-respawn budget across all workers. A worker that dies
+  /// without its final summary line is respawned on the programs it
+  /// had not finished; past the budget the remainder is reported as
+  /// verdict "error".
+  int max_respawns = 16;
+  /// Run one PipelineCache::Compact pass (with these bounds) after the
+  /// workers finish.
+  bool compact_after = false;
+  PipelineCache::CompactionOptions compact_bounds;
+  /// Scratch directory for shard lists / worker output files; empty =
+  /// a fresh directory under TMPDIR, removed on completion.
+  std::string scratch_dir;
+};
+
+/// One program's outcome, as reported by its worker.
+struct FleetProgramResult {
+  std::string path;  ///< corpus-relative
+  /// "safe" | "unsafe" | "undecided" | "error" (load/analysis failure
+  /// or exhausted respawn budget).
+  std::string verdict;
+  uint64_t queries = 0;
+  double wall_seconds = 0;
+  std::string error;  ///< non-empty iff verdict == "error"
+  int worker = -1;    ///< shard index that produced the result
+};
+
+/// Merged fleet outcome: per-program verdicts (sorted by path) plus
+/// the aggregate cache and fault picture summed over worker summaries.
+struct FleetReport {
+  std::vector<FleetProgramResult> programs;
+  uint64_t procs = 0;
+  uint64_t corpus_size = 0;
+  uint64_t analyzed = 0;
+  uint64_t errors = 0;
+  double wall_seconds = 0;
+
+  // Cache stats summed across workers. In a cold fleet run every
+  // verdict-tier hit is a cross-program hit by construction: each
+  // program is analyzed exactly once, so its own stores cannot feed
+  // its own lookups — only another program's (same or different
+  // worker; disk_hits isolates the cross-*process* share).
+  uint64_t verdict_hits = 0;
+  uint64_t verdict_misses = 0;
+  uint64_t disk_hits = 0;
+  uint64_t disk_misses = 0;
+  uint64_t disk_corrupt = 0;
+  uint64_t disk_write_skips = 0;
+  uint64_t disk_read_failures = 0;
+  uint64_t stale_leases_recovered = 0;
+  uint64_t manifest_rollbacks = 0;
+  double verdict_hit_rate = 0;  ///< hits / (hits + misses), 0 when cold-empty
+
+  /// Faults the workers' injectors fired (summed per-kind over worker
+  /// summaries; kills are visible as worker_crashes instead — a killed
+  /// worker's counters die with it).
+  uint64_t faults_injected = 0;
+  uint64_t worker_crashes = 0;
+  uint64_t respawns = 0;
+
+  bool compaction_ran = false;
+  uint64_t compaction_entries_removed = 0;
+
+  Json ToJson() const;
+  std::string ToText() const;
+};
+
+/// Recursively lists "*.hs" files under `corpus_dir`, sorted by
+/// corpus-relative path.
+std::vector<std::string> ListCorpus(const std::string& corpus_dir);
+
+/// Runs the fleet: shard the corpus round-robin across `procs`
+/// workers, spawn and babysit them (respawning crashed ones on their
+/// remainder), merge per-program results and worker summaries.
+/// Fails only on driver-level errors (empty corpus, unusable scratch
+/// dir, spawn failure); per-program failures become "error" verdicts.
+Result<FleetReport> RunFleet(const FleetOptions& options);
+
+/// Loads one program from `path` for analysis (parse + whatever
+/// builtin registration the caller's analysis mode needs).
+using ProgramLoader =
+    std::function<Result<Program>(const std::string& path)>;
+
+/// Worker-side entry point (the CLI dispatches `fleet-worker` here):
+/// analyzes every "<rel>\t<abs>" line of `shard_file` against
+/// `cache_dir`, appending one JSON line per program and a final
+/// summary line (cache + fault counters) to `out_file`. Returns the
+/// process exit code. `loader` parses each program (null = bare
+/// ParseProgram).
+int FleetWorkerMain(const std::string& shard_file,
+                    const std::string& out_file,
+                    const std::string& cache_dir, int jobs,
+                    const ProgramLoader& loader);
+
+}  // namespace hornsafe
+
+#endif  // HORNSAFE_CORE_FLEET_H_

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -12,12 +13,40 @@
 
 #include "lang/struct_hash.h"
 #include "util/fault.h"
+#include "util/proc.h"
 #include "util/strings.h"
 
 namespace hornsafe {
 namespace {
 
 constexpr char kDiskMagic[4] = {'H', 'S', 'V', 'C'};
+constexpr char kManifestName[] = "MANIFEST";
+/// Manifest temp files deliberately avoid the ".tmp." marker so the
+/// entry-tmp sweep never races a manifest publish; they get their own
+/// "MANIFEST.new." sweep rule.
+constexpr char kManifestTmpPrefix[] = "MANIFEST.new.";
+
+/// Seconds since `p` was last written (0 on stat failure — a file we
+/// cannot stat is treated as brand new and left alone).
+int64_t FileAgeSeconds(const std::filesystem::path& p) {
+  std::error_code ec;
+  auto mtime = std::filesystem::last_write_time(p, ec);
+  if (ec) return 0;
+  auto now = std::filesystem::file_time_type::clock::now();
+  return std::chrono::duration_cast<std::chrono::seconds>(now - mtime)
+      .count();
+}
+
+bool IsTmpFileName(const std::string& name) {
+  return name.find(".tmp.") != std::string::npos ||
+         name.rfind(kManifestTmpPrefix, 0) == 0;
+}
+
+bool IsEntryFileName(const std::string& name) {
+  return name.size() > 4 &&
+         name.compare(name.size() - 4, 4, ".hsv") == 0 &&
+         !IsTmpFileName(name);
+}
 
 void AppendU32(std::string* out, uint32_t v) {
   for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
@@ -78,22 +107,208 @@ PipelineCache::PipelineCache(Options options)
       options_.max_entries >= kVerdictShards * 64 ? kVerdictShards : 1;
   shard_capacity_ =
       (options_.max_entries + shard_count_ - 1) / shard_count_;
-  // Sweep temp files abandoned by crashed writers: they are never
-  // renamed into place, so anything still matching "*.tmp.*" is dead
-  // weight from a previous process.
-  if (!options_.dir.empty()) {
-    std::error_code ec;
-    for (const auto& entry :
-         std::filesystem::directory_iterator(options_.dir, ec)) {
-      if (!entry.is_regular_file(ec)) continue;
-      if (entry.path().filename().string().find(".tmp.") ==
-          std::string::npos) {
-        continue;
+  if (options_.tmp_grace_seconds < 0) options_.tmp_grace_seconds = 0;
+  if (!options_.dir.empty()) OpenDiskTier();
+}
+
+std::string PipelineCache::ShardDirOf(const std::string& dir,
+                                      const CacheKey& key) {
+  static const char kHex[] = "0123456789abcdef";
+  char digit = kHex[key.lo & (kDiskShards - 1)];
+  return StrCat(dir, "/shard-", std::string(1, digit));
+}
+
+std::string PipelineCache::EntryPath(const std::string& dir,
+                                     const CacheKey& key) {
+  return StrCat(ShardDirOf(dir, key), "/", key.ToHex(), ".hsv");
+}
+
+uint64_t PipelineCache::SweepTmpFilesLocked(const std::string& shard_dir) {
+  namespace fs = std::filesystem;
+  uint64_t swept = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(shard_dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (!IsTmpFileName(name)) continue;
+    // Grace window: a tmp file younger than this may belong to a
+    // writer that raced us to the shard lease (acquired it after our
+    // try-lock, or is between create and lease in a crashed-and-
+    // restarted path). Past the window, a tmp under a lease we hold is
+    // provably abandoned.
+    if (FileAgeSeconds(entry.path()) < options_.tmp_grace_seconds) continue;
+    fs::remove(entry.path(), ec);
+    if (!ec) ++swept;
+  }
+  return swept;
+}
+
+void PipelineCache::OpenDiskTier() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) return;  // no disk tier this run; stores will retry creation
+
+  uint64_t migrated = 0;
+  uint64_t swept = 0;
+  // Migrate pre-shard flat-layout entries ("<dir>/<32 hex>-....hsv")
+  // into their shard so old caches stay warm across the layout change;
+  // top-level tmp and manifest-tmp leftovers age out under the grace
+  // window (no shard lease exists for the legacy layout).
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (IsTmpFileName(name)) {
+      if (FileAgeSeconds(entry.path()) >= options_.tmp_grace_seconds) {
+        fs::remove(entry.path(), ec);
+        if (!ec) ++swept;
       }
-      std::filesystem::remove(entry.path(), ec);
-      if (!ec) ++misc_stats_.tmp_files_swept;
+      continue;
+    }
+    // "<16 hex>-<16 hex>.hsv" — the shard digit is the last hex char
+    // of `lo` (EntryPath uses lo's low bits).
+    if (!IsEntryFileName(name) || name.size() != 37 || name[16] != '-') {
+      continue;
+    }
+    char digit = name[32];
+    bool hex = (digit >= '0' && digit <= '9') || (digit >= 'a' && digit <= 'f');
+    if (!hex) continue;
+    std::string shard_dir =
+        StrCat(options_.dir, "/shard-", std::string(1, digit));
+    fs::create_directories(shard_dir, ec);
+    fs::rename(entry.path(), fs::path(shard_dir) / name, ec);
+    if (!ec) ++migrated;
+  }
+
+  RecoverManifest();
+
+  // Per-shard crash recovery, under each shard's write lease. A busy
+  // lease means a live writer owns the shard right now — its tmp files
+  // are live and its lease record is current, so skip it entirely
+  // (this is what makes the open-time sweep safe against concurrent
+  // writers).
+  uint64_t stale = 0;
+  static const char kHex[] = "0123456789abcdef";
+  for (size_t s = 0; s < kDiskShards; ++s) {
+    std::string shard_dir =
+        StrCat(options_.dir, "/shard-", std::string(1, kHex[s]));
+    fs::create_directories(shard_dir, ec);
+    auto lock_or = FileLock::TryAcquire(StrCat(shard_dir, "/.lease"));
+    if (!lock_or.ok() || !lock_or.value().held()) continue;
+    FileLock lease = std::move(lock_or.value());
+    // A store clears its lease record before releasing; a non-empty
+    // record under a lease we could take is a writer that died
+    // mid-store. The pid + boot-id check guards against the one
+    // ambiguity flock cannot see: a record whose pid was recycled by
+    // an unrelated live process.
+    std::string record = lease.ReadRecord();
+    if (!record.empty() && LeaseRecordStale(record)) {
+      lease.WriteRecord("");
+      ++stale;
+    }
+    swept += SweepTmpFilesLocked(shard_dir);
+  }
+
+  std::lock_guard<std::mutex> lock(misc_mu_);
+  misc_stats_.legacy_entries_migrated += migrated;
+  misc_stats_.tmp_files_swept += swept;
+  misc_stats_.stale_leases_recovered += stale;
+}
+
+void PipelineCache::RecoverManifest() {
+  namespace fs = std::filesystem;
+  std::string path = StrCat(options_.dir, "/", kManifestName);
+  std::string data;
+  {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      char buf[256];
+      for (;;) {
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        data.append(buf, static_cast<size_t>(n));
+        if (data.size() > 4096) break;
+      }
+      ::close(fd);
     }
   }
+
+  // "HSMF 1 gen <G>\nsum <16 hex>\n" — the sum line is FNV over the
+  // first line, so a torn or bit-flipped manifest is detected, not
+  // trusted.
+  uint64_t generation = 0;
+  bool parsed = false;
+  if (!data.empty()) {
+    size_t nl = data.find('\n');
+    if (nl != std::string::npos && data.rfind("HSMF 1 gen ", 0) == 0) {
+      std::string line = data.substr(0, nl);
+      uint64_t g = 0;
+      bool num_ok = line.size() > 11;
+      for (size_t i = 11; i < line.size() && num_ok; ++i) {
+        if (line[i] < '0' || line[i] > '9') num_ok = false;
+        else g = g * 10 + static_cast<uint64_t>(line[i] - '0');
+      }
+      char want[32];
+      std::snprintf(want, sizeof(want), "sum %016llx",
+                    static_cast<unsigned long long>(Checksum(line)));
+      std::string rest = data.substr(nl + 1);
+      if (num_ok && rest.rfind(want, 0) == 0) {
+        generation = g;
+        parsed = true;
+      }
+    }
+  }
+
+  if (parsed) {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    manifest_generation_ = generation;
+    misc_stats_.manifest_generation = generation;
+    return;
+  }
+
+  // Missing or corrupt: roll back to a fresh generation. Election via
+  // the compaction lock keeps concurrent openers from stamping over
+  // each other; losing the election just means the winner repairs it.
+  bool corrupt = !data.empty();
+  auto lock_or = FileLock::TryAcquire(StrCat(options_.dir, "/.compact.lock"));
+  bool wrote = false;
+  if (lock_or.ok() && lock_or.value().held()) {
+    wrote = WriteManifestFile(1);
+  }
+  std::lock_guard<std::mutex> lock(misc_mu_);
+  manifest_generation_ = 1;
+  misc_stats_.manifest_generation = 1;
+  if (corrupt && wrote) ++misc_stats_.manifest_rollbacks;
+}
+
+bool PipelineCache::WriteManifestFile(uint64_t generation) {
+  std::string line = StrCat("HSMF 1 gen ", generation);
+  char sum[32];
+  std::snprintf(sum, sizeof(sum), "sum %016llx",
+                static_cast<unsigned long long>(Checksum(line)));
+  std::string data = StrCat(line, "\n", sum, "\n");
+  std::string path = StrCat(options_.dir, "/", kManifestName);
+  std::string tmp =
+      StrCat(options_.dir, "/", kManifestTmpPrefix, ::getpid());
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return false;
+  size_t off = 0;
+  bool ok = true;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (ok && ::fsync(fd) != 0) ok = false;
+  ::close(fd);
+  if (ok && ::rename(tmp.c_str(), path.c_str()) != 0) ok = false;
+  if (!ok) ::unlink(tmp.c_str());
+  return ok;
 }
 
 std::optional<CachedVerdict> PipelineCache::Lookup(const CacheKey& key) {
@@ -151,7 +366,7 @@ void PipelineCache::InsertLocked(Shard& shard, const CacheKey& key,
 }
 
 std::string PipelineCache::DiskPath(const CacheKey& key) const {
-  return StrCat(options_.dir, "/", key.ToHex(), ".hsv");
+  return EntryPath(options_.dir, key);
 }
 
 void PipelineCache::RetryBackoff(int attempt) {
@@ -171,6 +386,7 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
   std::string data;
   for (int attempt = 0;; ++attempt) {
     if (attempt > 0) RetryBackoff(attempt);
+    faults.MaybeCrash();
     // EIO is transient: retry with backoff, then degrade to a miss.
     if (faults.ShouldInject(FaultKind::kReadError)) {
       if (attempt < options_.disk_retries) continue;
@@ -270,7 +486,8 @@ std::optional<CachedVerdict> PipelineCache::DiskLookup(const CacheKey& key) {
 void PipelineCache::DiskStore(const CacheKey& key,
                               const CachedVerdict& verdict) {
   std::error_code ec;
-  std::filesystem::create_directories(options_.dir, ec);
+  std::string shard_dir = ShardDirOf(options_.dir, key);
+  std::filesystem::create_directories(shard_dir, ec);
 
   std::string payload;
   AppendU32(&payload, kDiskFormatVersion);
@@ -293,8 +510,42 @@ void PipelineCache::DiskStore(const CacheKey& key,
   // sees a torn entry. Transient failures (EIO, short write) retry
   // with backoff; ENOSPC downgrades the store to memory-only.
   std::string path = DiskPath(key);
-  std::string tmp = StrCat(path, ".tmp.", ::getpid());
+  std::string tmp = StrCat(path, ".tmp.", ::getpid(), ".",
+                           tmp_seq_.fetch_add(1, std::memory_order_relaxed));
   FaultInjector& faults = FaultInjector::Global();
+
+  faults.MaybeCrash();
+  // The shard write lease: held (blocking flock) for the whole store so
+  // sweepers and compactors know this shard has a live writer — a tmp
+  // file only ever exists while its writer holds the lease. The kernel
+  // drops the flock if we die; the pid+boot record we leave behind is
+  // what the next opener's stale-lease recovery reads. On every normal
+  // exit from this function the record is cleared before release, so a
+  // surviving record *is* the crash evidence.
+  auto lease_or = FileLock::Acquire(StrCat(shard_dir, "/.lease"));
+  if (!lease_or.ok()) {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.disk_write_failures;
+    return;
+  }
+  FileLock lease = std::move(lease_or.value());
+  lease.WriteRecord(FormatLeaseRecord(::getpid(), BootId()));
+  {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.lease_acquisitions;
+  }
+  struct ClearRecord {
+    FileLock* lease;
+    bool steal;
+    ~ClearRecord() {
+      // Normal exit erases the crash evidence; an injected steal leaves
+      // a dead foreign holder's record in its place (modeling a
+      // half-recovered crash or clock-skewed NFS client), which the
+      // next opener must classify stale and absorb.
+      lease->WriteRecord(steal ? FormatLeaseRecord(1 << 30, "stolen-boot")
+                               : "");
+    }
+  } clear_record{&lease, faults.ShouldInject(FaultKind::kLeaseSteal)};
 
   auto skip_full_disk = [&]() {
     ::unlink(tmp.c_str());
@@ -309,7 +560,16 @@ void PipelineCache::DiskStore(const CacheKey& key,
 
   for (int attempt = 0;; ++attempt) {
     if (attempt > 0) RetryBackoff(attempt);
-    if (faults.ShouldInject(FaultKind::kEnospc)) return skip_full_disk();
+    // One ENOSPC decision per attempt, spread uniformly over the three
+    // syscalls that can hit a full disk (open / fsync / rename), so
+    // the fault is visible in exactly one counter (disk_write_skips)
+    // no matter where it lands. -1 = not injected this attempt.
+    int enospc_at =
+        faults.ShouldInject(FaultKind::kEnospc)
+            ? static_cast<int>(faults.PickPoint(3))
+            : -1;
+    faults.MaybeCrash();
+    if (enospc_at == 0) return skip_full_disk();
     int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                     0644);
     if (fd < 0) {
@@ -342,10 +602,22 @@ void PipelineCache::DiskStore(const CacheKey& key,
       off += static_cast<size_t>(n);
     }
     if (io_ok && injected_failure) io_ok = false;
+    faults.MaybeCrash();
     // Flush file contents before the rename publishes them — without
     // this a crash after rename can leave a successfully named entry
-    // with zero-filled pages on journaled filesystems.
-    if (io_ok && ::fsync(fd) != 0) io_ok = false;
+    // with zero-filled pages on journaled filesystems. fsync is also
+    // where delayed-allocation filesystems first report a full disk,
+    // so ENOSPC here (real or injected) is a non-fatal skip, not a
+    // write failure.
+    if (io_ok) {
+      if (enospc_at == 1) {
+        io_ok = false;
+        full_disk = true;
+      } else if (::fsync(fd) != 0) {
+        full_disk = errno == ENOSPC || errno == EDQUOT;
+        io_ok = false;
+      }
+    }
     ::close(fd);
     if (!io_ok) {
       if (full_disk) return skip_full_disk();
@@ -362,14 +634,141 @@ void PipelineCache::DiskStore(const CacheKey& key,
       ::truncate(tmp.c_str(), static_cast<off_t>(
           faults.TornLength(data.size())));
     }
+    faults.MaybeCrash();
+    if (enospc_at == 2) return skip_full_disk();
     if (::rename(tmp.c_str(), path.c_str()) != 0) {
       if (errno == ENOSPC || errno == EDQUOT) return skip_full_disk();
       ::unlink(tmp.c_str());
       if (attempt < options_.disk_retries) continue;
       return fail();
     }
+    faults.MaybeCrash();
     return;
   }
+}
+
+Result<PipelineCache::CompactionResult> PipelineCache::Compact(
+    const CompactionOptions& bounds) {
+  namespace fs = std::filesystem;
+  if (options_.dir.empty()) {
+    return Status::NotFound("cache has no disk tier");
+  }
+  CompactionResult res;
+  FaultInjector& faults = FaultInjector::Global();
+
+  // Single-writer election: whoever holds .compact.lock runs the pass;
+  // everyone else reports a clean skip. The lock dies with the holder,
+  // so a killed compactor never blocks the next one.
+  auto lock_or = FileLock::TryAcquire(StrCat(options_.dir, "/.compact.lock"));
+  if (!lock_or.ok()) return lock_or.status();
+  if (!lock_or.value().held()) {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    ++misc_stats_.compactions_skipped;
+    res.ran = false;
+    res.generation = manifest_generation_;
+    return res;
+  }
+  FileLock compact_lock = std::move(lock_or.value());
+  compact_lock.WriteRecord(FormatLeaseRecord(::getpid(), BootId()));
+
+  // Collect entries shard by shard. Tmp sweeping needs the shard lease
+  // (same rule as open: never touch a live writer's tmp); entry
+  // unlinks do not — rename-over and unlink of a published entry are
+  // both atomic, and a reader that loses the race re-derives the
+  // verdict (a miss, never a torn read).
+  struct Entry {
+    std::string path;
+    uint64_t size;
+    int64_t age_seconds;
+  };
+  std::vector<Entry> entries;
+  uint64_t total_bytes = 0;
+  static const char kHex[] = "0123456789abcdef";
+  std::error_code ec;
+  for (size_t s = 0; s < kDiskShards; ++s) {
+    std::string shard_dir =
+        StrCat(options_.dir, "/shard-", std::string(1, kHex[s]));
+    auto shard_lock_or = FileLock::TryAcquire(StrCat(shard_dir, "/.lease"));
+    if (shard_lock_or.ok() && shard_lock_or.value().held()) {
+      std::string record = shard_lock_or.value().ReadRecord();
+      if (!record.empty() && LeaseRecordStale(record)) {
+        shard_lock_or.value().WriteRecord("");
+        std::lock_guard<std::mutex> lock(misc_mu_);
+        ++misc_stats_.stale_leases_recovered;
+      }
+      res.tmp_files_swept += SweepTmpFilesLocked(shard_dir);
+    }
+    for (const auto& entry : fs::directory_iterator(shard_dir, ec)) {
+      if (!entry.is_regular_file(ec)) continue;
+      std::string name = entry.path().filename().string();
+      if (!IsEntryFileName(name)) continue;
+      uint64_t size = entry.file_size(ec);
+      if (ec) size = 0;
+      entries.push_back(
+          {entry.path().string(), size, FileAgeSeconds(entry.path())});
+      total_bytes += size;
+    }
+  }
+  res.entries_scanned = entries.size();
+
+  // Oldest-first victim order; age-expired entries go unconditionally,
+  // then the tail until the size bound holds. Unlinks are idempotent —
+  // a compactor killed between any two of them leaves a smaller tier
+  // the next pass finishes shrinking.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.age_seconds > b.age_seconds;
+            });
+  for (const Entry& entry : entries) {
+    bool expired = bounds.max_age_seconds > 0 &&
+                   entry.age_seconds >= bounds.max_age_seconds;
+    bool over_budget =
+        bounds.max_bytes > 0 && total_bytes > bounds.max_bytes;
+    if (!expired && !over_budget) continue;
+    faults.MaybeCrash();
+    fs::remove(entry.path, ec);
+    if (ec) continue;
+    ++res.entries_removed;
+    res.bytes_removed += entry.size;
+    total_bytes -= entry.size;
+  }
+
+  // The generation bump is the pass's commit record: written last, via
+  // temp+rename, so a crash anywhere above leaves the old generation
+  // and an already-valid (just partially compacted) tier.
+  faults.MaybeCrash();
+  uint64_t next_gen;
+  {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    next_gen = manifest_generation_ + 1;
+  }
+  bool wrote = WriteManifestFile(next_gen);
+  {
+    std::lock_guard<std::mutex> lock(misc_mu_);
+    if (wrote) {
+      manifest_generation_ = next_gen;
+      misc_stats_.manifest_generation = next_gen;
+    }
+    ++misc_stats_.compactions_run;
+    misc_stats_.compaction_entries_removed += res.entries_removed;
+    misc_stats_.compaction_bytes_removed += res.bytes_removed;
+    misc_stats_.tmp_files_swept += res.tmp_files_swept;
+    res.generation = manifest_generation_;
+  }
+  compact_lock.WriteRecord("");
+  res.ran = true;
+  return res;
+}
+
+Result<PipelineCache::CompactionResult> PipelineCache::CompactDir(
+    const std::string& dir, const CompactionOptions& bounds) {
+  Options options;
+  options.max_entries = 64;  // tool handle: the memory tier is unused
+  options.dir = dir;
+  // Opening runs the full crash-recovery pass first — exactly what a
+  // standalone GC tool wants.
+  PipelineCache cache(options);
+  return cache.Compact(bounds);
 }
 
 std::optional<PipelineCache::CanonArtifact>

@@ -2,6 +2,7 @@
 #define HORNSAFE_CORE_PIPELINE_CACHE_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -18,6 +19,7 @@
 #include "fd/fd.h"
 #include "lang/fingerprint.h"
 #include "lang/program.h"
+#include "util/status.h"
 
 namespace hornsafe {
 
@@ -76,9 +78,33 @@ struct PipelineCacheStats {
   uint64_t disk_write_skips = 0;
   /// Transient disk faults that were retried (any tier, any attempt).
   uint64_t disk_retry_attempts = 0;
-  /// Stale "*.tmp.*" files from crashed writers removed when the disk
-  /// tier was opened.
+  /// Stale "*.tmp.*" files from crashed writers removed at open or
+  /// compaction. Only files older than the grace window and inside a
+  /// shard whose write lease the sweeper holds are eligible — a
+  /// concurrent writer's live tmp file is never swept (it holds the
+  /// lease while its tmp exists).
   uint64_t tmp_files_swept = 0;
+  // --- Multi-writer disk-tier coordination (DESIGN.md, D16) ---
+  /// Shard write leases taken by this process's stores.
+  uint64_t lease_acquisitions = 0;
+  /// Shard leases found at open/compaction whose recorded holder died
+  /// mid-store (dead pid or foreign boot id): the crash evidence was
+  /// cleared and the shard's abandoned tmp files became sweepable.
+  uint64_t stale_leases_recovered = 0;
+  /// Generation stamp of the cache manifest (a value, not a counter —
+  /// bumped by each completed compaction pass).
+  uint64_t manifest_generation = 0;
+  /// Manifests found missing-while-entries-exist or corrupt at open
+  /// and rolled back to a fresh generation.
+  uint64_t manifest_rollbacks = 0;
+  /// Pre-shard flat-layout entries moved into their shard at open.
+  uint64_t legacy_entries_migrated = 0;
+  /// Compaction passes completed by this handle / skipped because
+  /// another process held the compaction lock.
+  uint64_t compactions_run = 0;
+  uint64_t compactions_skipped = 0;
+  uint64_t compaction_entries_removed = 0;
+  uint64_t compaction_bytes_removed = 0;
   /// Dirty cones reported by SafetyAnalyzer::Update — edits whose cone
   /// fingerprints changed and whose old entries became unreachable.
   uint64_t cones_invalidated = 0;
@@ -134,19 +160,33 @@ struct PipelineCacheStats {
 /// single mutex (they are touched once per pipeline build, not per
 /// search, so striping them would buy nothing).
 ///
-/// Disk format: one file per key under `options.dir`, named
-/// "<key hex>.hsv", containing a magic tag, a format version, the
-/// verdict fields and an FNV checksum. Entries that fail any of those
-/// checks are treated as misses, counted in `disk_corrupt`, and
-/// unlinked so the next store repairs them (self-healing); files are
-/// written to a temp name, fsynced, and renamed, so concurrent readers
-/// and crashes never expose a torn entry. Transient I/O errors are
-/// retried with exponential backoff (`disk_retries`); a full disk
-/// (ENOSPC) downgrades the store to memory-only instead of failing the
+/// Disk format: one file per key under `options.dir/shard-<x>/` (16
+/// shards keyed by the low bits of `key.lo`), named "<key hex>.hsv",
+/// containing a magic tag, a format version, the verdict fields and an
+/// FNV checksum. Entries that fail any of those checks are treated as
+/// misses, counted in `disk_corrupt`, and unlinked so the next store
+/// repairs them (self-healing); files are written to a temp name,
+/// fsynced, and renamed, so concurrent readers and crashes never
+/// expose a torn entry. Transient I/O errors are retried with
+/// exponential backoff (`disk_retries`); a full disk (ENOSPC)
+/// downgrades the store to memory-only instead of failing the
 /// analysis. Every disk syscall is wrapped by the process-wide
 /// `FaultInjector` (util/fault.h), so the failure paths are exercised
-/// deterministically in tests. Stale "*.tmp.*" files left by crashed
-/// writers are swept when the disk tier is opened. See DESIGN.md, D13.
+/// deterministically in tests. See DESIGN.md, D13.
+///
+/// Multi-writer coordination (DESIGN.md, D16): any number of processes
+/// may share one cache directory. Writers take an advisory flock
+/// lease on the shard (`shard-<x>/.lease`) for the duration of a
+/// store and record "pid + boot id" in it; the kernel drops the flock
+/// if the writer dies, and the record left behind is the crash
+/// evidence the next opener uses (stale-lease recovery). Openers
+/// sweep abandoned "*.tmp.*" files only inside shards whose lease
+/// they can take and only past a grace window, so a live writer's tmp
+/// file is never deleted out from under it. A generation-stamped
+/// MANIFEST is repaired (rolled back to a fresh generation) when
+/// corrupt, and `Compact()` runs a single-writer (flock-elected),
+/// size- and age-bounded GC pass that is crash-interruptible at any
+/// syscall and resumable by the next caller.
 class PipelineCache {
  public:
   struct Options {
@@ -163,11 +203,50 @@ class PipelineCache {
     /// Backoff before retry k is `retry_backoff_us << (k-1)`
     /// microseconds (exponential, capped by the retry count).
     uint32_t retry_backoff_us = 100;
+    /// Abandoned "*.tmp.*" files are only swept once older than this —
+    /// the second guard (after the shard lease) against deleting a
+    /// concurrent writer's live tmp file. Tests set 0 to make sweeps
+    /// immediate.
+    int64_t tmp_grace_seconds = 60;
   };
 
   /// Bump when CachedVerdict's serialized layout changes; readers treat
   /// any other version as a miss.
   static constexpr uint32_t kDiskFormatVersion = 1;
+
+  /// Disk-tier shard fan-out. Writers lease one shard at a time, so 16
+  /// shards keep N fleet workers (typically <= cores) off each other's
+  /// locks the same way the in-memory stripes do.
+  static constexpr size_t kDiskShards = 16;
+
+  /// Shard subdirectory of `key` under `dir` ("<dir>/shard-<x>").
+  static std::string ShardDirOf(const std::string& dir, const CacheKey& key);
+  /// Full on-disk path of `key`'s entry ("<shard dir>/<key hex>.hsv").
+  /// Exposed so tests and tools can place or inspect entries without
+  /// re-deriving the layout.
+  static std::string EntryPath(const std::string& dir, const CacheKey& key);
+
+  /// Bounds for one compaction/GC pass over the disk tier.
+  struct CompactionOptions {
+    /// Target total entry bytes; oldest entries are removed until the
+    /// tier fits. 0 disables the size bound.
+    uint64_t max_bytes = 0;
+    /// Entries older than this are removed regardless of size. 0
+    /// disables the age bound.
+    int64_t max_age_seconds = 0;
+  };
+
+  struct CompactionResult {
+    /// False when another process held the compaction lock — the pass
+    /// was skipped, not failed (single-writer election).
+    bool ran = false;
+    uint64_t entries_scanned = 0;
+    uint64_t entries_removed = 0;
+    uint64_t bytes_removed = 0;
+    uint64_t tmp_files_swept = 0;
+    /// Manifest generation after the pass.
+    uint64_t generation = 0;
+  };
 
   PipelineCache() : PipelineCache(Options{}) {}
   explicit PipelineCache(Options options);
@@ -245,6 +324,25 @@ class PipelineCache {
   std::shared_ptr<const NodeTableSegment> StoreSegment(
       const CacheKey& key, std::shared_ptr<const NodeTableSegment> segment);
 
+  // --- Disk-tier maintenance (thread-safe) ------------------------------
+
+  /// Runs one compaction/GC pass over the disk tier: elects itself the
+  /// single compactor via `<dir>/.compact.lock` (busy -> `ran=false`),
+  /// removes age-expired entries, then the oldest entries until the
+  /// tier fits `max_bytes`, sweeps abandoned tmp files (under each
+  /// shard's lease, past the grace window), and bumps the manifest
+  /// generation. Every step is idempotent, so a compactor killed at
+  /// any syscall leaves a tier the next open or pass recovers; errors
+  /// are returned only for a missing disk tier or lock syscall
+  /// failure.
+  Result<CompactionResult> Compact(const CompactionOptions& bounds);
+
+  /// Convenience for tools (`hornsafe cache-compact`, the fleet
+  /// driver): opens `dir` — running the full crash-recovery pass — and
+  /// compacts it.
+  static Result<CompactionResult> CompactDir(const std::string& dir,
+                                             const CompactionOptions& bounds);
+
   // --- Accounting -------------------------------------------------------
 
   /// Records `count` dirty cones from an incremental Update.
@@ -290,6 +388,18 @@ class PipelineCache {
   std::optional<CachedVerdict> DiskLookup(const CacheKey& key);
   void DiskStore(const CacheKey& key, const CachedVerdict& verdict);
   std::string DiskPath(const CacheKey& key) const;
+  /// Open-time disk recovery: create the shard layout, migrate legacy
+  /// flat entries, repair the manifest, recover stale leases and sweep
+  /// abandoned tmp files (lease + grace guarded).
+  void OpenDiskTier();
+  /// Reads/repairs `<dir>/MANIFEST`, setting manifest_generation_.
+  void RecoverManifest();
+  /// Writes the manifest at `generation` (temp + fsync + rename);
+  /// best-effort — the next open repairs a failed write.
+  bool WriteManifestFile(uint64_t generation);
+  /// Sweeps "*.tmp.*" files in `shard_dir` older than the grace
+  /// window. Caller must hold the shard lease.
+  uint64_t SweepTmpFilesLocked(const std::string& shard_dir);
   /// Counts a retry and sleeps `retry_backoff_us << (attempt-1)` µs.
   void RetryBackoff(int attempt);
   /// Inserts into `shard`'s LRU assuming its lock is held; evicts as
@@ -309,6 +419,13 @@ class PipelineCache {
   /// the usual striped-LRU approximation).
   size_t shard_capacity_ = 1;
   std::array<Shard, kVerdictShards> shards_;
+
+  /// Manifest generation observed at open (or written by the last
+  /// compaction through this handle). Guarded by misc_mu_.
+  uint64_t manifest_generation_ = 0;
+  /// Distinguishes concurrent stores from one process (tmp file names
+  /// are "<entry>.tmp.<pid>.<seq>").
+  std::atomic<uint64_t> tmp_seq_{0};
 
   /// Guards the artifact tiers and the non-verdict counters (disk,
   /// invalidation, canon/emptiness). Never held during disk I/O.

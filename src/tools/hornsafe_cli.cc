@@ -43,6 +43,7 @@
 #include "constraints/consistency.h"
 #include "core/analyzer.h"
 #include "core/finiteness.h"
+#include "core/fleet.h"
 #include "core/report.h"
 #include "core/server.h"
 #include "core/termination.h"
@@ -89,6 +90,20 @@ struct CliFlags {
   bool json = false;
   /// lint: comma-separated diagnostic codes to suppress.
   std::string suppress;
+  /// fleet: worker process count.
+  long procs = 1;
+  /// fleet: HORNSAFE_FAULTS spec exported to workers (soak tooling).
+  std::string faults;
+  /// fleet: run a compaction pass over --cache-dir after the workers
+  /// finish.
+  bool compact = false;
+  /// fleet/cache-compact: compaction size bound in MiB (0 = none).
+  long max_mb = 0;
+  /// fleet/cache-compact: compaction age bound in seconds (0 = none).
+  long max_age_s = 0;
+  /// fleet-worker (internal): shard list file and output file.
+  std::string shard_file;
+  std::string out_file;
 };
 
 CliFlags g_flags;
@@ -115,6 +130,11 @@ int Usage() {
                "the program\n"
                "  serve [file]                 line-delimited JSON analysis "
                "server (stdin/stdout or --socket)\n"
+               "  fleet <dir>                  analyze every *.hs under "
+               "<dir> across --procs worker processes sharing --cache-dir; "
+               "merged report (--json for machines)\n"
+               "  cache-compact                size/age-bounded GC pass over "
+               "--cache-dir (single-writer, crash-resumable)\n"
                "flags (check/run/repl/explain):\n"
                "  --jobs N                     analyze/evaluate with N "
                "worker threads (default 1; 0 = all hardware threads)\n"
@@ -146,7 +166,18 @@ int Usage() {
                "with an 'unavailable' error instead of applying "
                "backpressure\n"
                "  --socket PATH                serve over a unix-domain "
-               "socket instead of stdin/stdout\n");
+               "socket instead of stdin/stdout\n"
+               "flags (fleet/cache-compact):\n"
+               "  --procs N                    fleet worker processes "
+               "(default 1)\n"
+               "  --compact                    fleet: run one compaction "
+               "pass after the workers finish\n"
+               "  --max-mb N                   compaction size bound in MiB "
+               "(0 = none)\n"
+               "  --max-age-s N                compaction age bound in "
+               "seconds (0 = none)\n"
+               "  --faults SPEC                fleet: export "
+               "HORNSAFE_FAULTS=SPEC to the workers (soak tooling)\n");
   return 1;
 }
 
@@ -299,6 +330,11 @@ void PrintStatsJson(const SafetyAnalyzer& analyzer,
     cs.Set("fd_index_misses", s.fd_index_misses);
     cs.Set("pred_hash_hits", s.pred_hash_hits);
     cs.Set("pred_hash_misses", s.pred_hash_misses);
+    cs.Set("lease_acquisitions", s.lease_acquisitions);
+    cs.Set("stale_leases_recovered", s.stale_leases_recovered);
+    cs.Set("manifest_generation", s.manifest_generation);
+    cs.Set("manifest_rollbacks", s.manifest_rollbacks);
+    cs.Set("compactions_run", s.compactions_run);
     root.Set("cache", std::move(cs));
   }
   std::printf("%s\n", root.Dump().c_str());
@@ -341,6 +377,23 @@ void PrintCacheStats(const PipelineCache& cache) {
       static_cast<unsigned long long>(s.fd_index_misses),
       static_cast<unsigned long long>(s.pred_hash_hits),
       static_cast<unsigned long long>(s.pred_hash_misses));
+  if (s.lease_acquisitions + s.stale_leases_recovered +
+          s.manifest_rollbacks + s.compactions_run + s.compactions_skipped >
+      0) {
+    std::printf(
+        "  shard leases taken:       %llu (stale recovered %llu)\n"
+        "  manifest generation:      %llu (rollbacks %llu)\n"
+        "  compactions run/skipped:  %llu / %llu (removed %llu entries, "
+        "%llu bytes)\n",
+        static_cast<unsigned long long>(s.lease_acquisitions),
+        static_cast<unsigned long long>(s.stale_leases_recovered),
+        static_cast<unsigned long long>(s.manifest_generation),
+        static_cast<unsigned long long>(s.manifest_rollbacks),
+        static_cast<unsigned long long>(s.compactions_run),
+        static_cast<unsigned long long>(s.compactions_skipped),
+        static_cast<unsigned long long>(s.compaction_entries_removed),
+        static_cast<unsigned long long>(s.compaction_bytes_removed));
+  }
 }
 
 /// Prints the merged lint diagnostics for `program` to stdout, one per
@@ -836,6 +889,81 @@ int CmdMatrix(const char* path, const char* spec) {
   return 0;
 }
 
+int CmdFleet(const char* dir) {
+  FleetOptions options;
+  options.corpus_dir = dir;
+  options.cache_dir = g_flags.cache_dir;
+  options.procs = static_cast<int>(g_flags.procs);
+  options.jobs = g_flags.jobs;
+  options.fault_spec = g_flags.faults;
+  options.compact_after = g_flags.compact;
+  options.compact_bounds.max_bytes =
+      static_cast<uint64_t>(g_flags.max_mb) << 20;
+  options.compact_bounds.max_age_seconds = g_flags.max_age_s;
+  auto report = RunFleet(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  if (g_flags.json) {
+    std::printf("%s\n", report.value().ToJson().Dump().c_str());
+  } else {
+    std::printf("%s", report.value().ToText().c_str());
+  }
+  return report.value().errors > 0 ? 2 : 0;
+}
+
+int CmdFleetWorker() {
+  if (g_flags.shard_file.empty() || g_flags.out_file.empty()) {
+    std::fprintf(stderr, "fleet-worker: --shard and --out are required\n");
+    return 1;
+  }
+  // Same loader as `check`: referenced standard builtins registered so
+  // fleet verdicts agree with per-program `hornsafe check` runs.
+  return FleetWorkerMain(
+      g_flags.shard_file, g_flags.out_file, g_flags.cache_dir, g_flags.jobs,
+      [](const std::string& path) { return Load(path.c_str()); });
+}
+
+int CmdCacheCompact() {
+  if (g_flags.cache_dir.empty()) {
+    std::fprintf(stderr, "cache-compact: --cache-dir is required\n");
+    return 1;
+  }
+  PipelineCache::CompactionOptions bounds;
+  bounds.max_bytes = static_cast<uint64_t>(g_flags.max_mb) << 20;
+  bounds.max_age_seconds = g_flags.max_age_s;
+  auto result = PipelineCache::CompactDir(g_flags.cache_dir, bounds);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineCache::CompactionResult& r = result.value();
+  if (g_flags.json) {
+    Json j = Json::Object();
+    j.Set("ran", r.ran);
+    j.Set("entries_scanned", r.entries_scanned);
+    j.Set("entries_removed", r.entries_removed);
+    j.Set("bytes_removed", r.bytes_removed);
+    j.Set("tmp_files_swept", r.tmp_files_swept);
+    j.Set("generation", r.generation);
+    std::printf("%s\n", j.Dump().c_str());
+  } else if (!r.ran) {
+    std::printf("compaction skipped: another compactor holds the lock\n");
+  } else {
+    std::printf(
+        "compacted %s: scanned %llu entr(ies), removed %llu (%llu bytes), "
+        "swept %llu tmp file(s), generation %llu\n",
+        g_flags.cache_dir.c_str(),
+        static_cast<unsigned long long>(r.entries_scanned),
+        static_cast<unsigned long long>(r.entries_removed),
+        static_cast<unsigned long long>(r.bytes_removed),
+        static_cast<unsigned long long>(r.tmp_files_swept),
+        static_cast<unsigned long long>(r.generation));
+  }
+  return 0;
+}
+
 /// Consumes `--jobs N` / `--jobs=N` / `--stats` anywhere on the command
 /// line, compacting argv in place. Returns false on a malformed flag.
 bool ParseFlags(int* argc, char** argv) {
@@ -870,6 +998,39 @@ bool ParseFlags(int* argc, char** argv) {
       g_flags.shed = true;
       continue;
     }
+    if (std::strcmp(arg, "--compact") == 0) {
+      g_flags.compact = true;
+      continue;
+    }
+    // String-valued fleet flags (--name VALUE or --name=VALUE).
+    struct StrFlag {
+      const char* name;
+      std::string* target;
+    };
+    const StrFlag kStrFlags[] = {
+        {"--faults", &g_flags.faults},
+        {"--shard", &g_flags.shard_file},
+        {"--out", &g_flags.out_file},
+    };
+    bool str_consumed = false;
+    for (const StrFlag& f : kStrFlags) {
+      size_t len = std::strlen(f.name);
+      if (std::strncmp(arg, f.name, len) == 0 && arg[len] == '=') {
+        *f.target = arg + len + 1;
+        str_consumed = true;
+        break;
+      }
+      if (std::strcmp(arg, f.name) == 0) {
+        if (i + 1 >= *argc) {
+          std::fprintf(stderr, "%s requires a value\n", f.name);
+          return false;
+        }
+        *f.target = argv[++i];
+        str_consumed = true;
+        break;
+      }
+    }
+    if (str_consumed) continue;
     if (std::strcmp(arg, "--json") == 0) {
       g_flags.json = true;
       continue;
@@ -909,6 +1070,9 @@ bool ParseFlags(int* argc, char** argv) {
         {"--deadline-ms", &g_flags.deadline_ms, 0, 86'400'000},
         {"--max-queue", &g_flags.max_queue, 1, 1 << 20},
         {"--workers", &g_flags.workers, 0, 4096},
+        {"--procs", &g_flags.procs, 1, 256},
+        {"--max-mb", &g_flags.max_mb, 0, 1 << 20},
+        {"--max-age-s", &g_flags.max_age_s, 0, 1'000'000'000},
     };
     bool consumed = false;
     for (const NumFlag& f : kNumFlags) {
@@ -951,7 +1115,14 @@ int Main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
     return CmdServe(argc >= 3 ? argv[2] : nullptr);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "fleet-worker") == 0) {
+    return CmdFleetWorker();
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "cache-compact") == 0) {
+    return CmdCacheCompact();
+  }
   if (argc < 3) return Usage();
+  if (std::strcmp(argv[1], "fleet") == 0) return CmdFleet(argv[2]);
   const char* cmd = argv[1];
   if (std::strcmp(cmd, "check") == 0) return CmdCheck(argv[2]);
   if (std::strcmp(cmd, "run") == 0) return CmdRun(argv[2]);

@@ -1,5 +1,8 @@
 #include "util/fault.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <cstdlib>
 
 #include "util/rng.h"
@@ -8,8 +11,8 @@ namespace hornsafe {
 namespace {
 
 const char* kKindKeys[] = {
-    "read_error", "write_error", "short_write",
-    "torn_rename", "bit_flip",   "enospc",
+    "read_error",   "write_error", "short_write",  "torn_rename",
+    "bit_flip",     "enospc",      "process_kill", "lease_steal",
 };
 static_assert(sizeof(kKindKeys) / sizeof(kKindKeys[0]) ==
                   static_cast<size_t>(FaultKind::kNumKinds),
@@ -110,6 +113,23 @@ bool FaultInjector::ShouldInject(FaultKind kind) {
   if (draw >= probability_[i]) return false;
   ++counters_.injected[i];
   return true;
+}
+
+void FaultInjector::MaybeCrash() {
+  if (!ShouldInject(FaultKind::kProcessKill)) return;
+  // SIGKILL cannot be caught: the process ends at this syscall exactly
+  // as a real crash would — no flushing, no destructors. Held flocks
+  // are released by the kernel; everything else is the crash-recovery
+  // path's problem.
+  ::kill(::getpid(), SIGKILL);
+  // Not reached (but keeps the compiler honest if kill ever fails).
+  std::abort();
+}
+
+size_t FaultInjector::PickPoint(size_t n) {
+  if (n <= 1) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<size_t>(NextRandom() % n);
 }
 
 void FaultInjector::CorruptOneBit(std::string* data) {

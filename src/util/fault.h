@@ -23,9 +23,19 @@ namespace hornsafe {
 ///   kBitFlip     — one bit of the read-back payload is flipped
 ///                  (models media corruption); persistent until the
 ///                  checksum catches it and the reader unlinks.
-///   kEnospc      — the temp file cannot be created or extended
-///                  (ENOSPC); persistent for the write attempt, treated
+///   kEnospc      — the filesystem is full (ENOSPC) at one uniformly
+///                  chosen wrap point of the store (open / fsync /
+///                  rename); persistent for the write attempt, treated
 ///                  as a non-fatal skip.
+///   kProcessKill — the process dies by SIGKILL at the wrap point
+///                  (models a crash at that exact syscall: no
+///                  destructors, no atexit handlers, held flocks
+///                  dropped by the kernel). Drawn via MaybeCrash().
+///   kLeaseSteal  — the just-written shard lease record is overwritten
+///                  with a dead foreign holder's record (models a
+///                  half-recovered crash or clock-skewed NFS client);
+///                  the next opener's stale-lease recovery must absorb
+///                  it.
 enum class FaultKind : uint8_t {
   kReadError = 0,
   kWriteError,
@@ -33,6 +43,8 @@ enum class FaultKind : uint8_t {
   kTornRename,
   kBitFlip,
   kEnospc,
+  kProcessKill,
+  kLeaseSteal,
   kNumKinds,  // sentinel
 };
 
@@ -73,7 +85,29 @@ class FaultInjector {
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   /// Draws one decision for `kind`. Never fires when disabled.
+  ///
+  /// Counter/injection parity contract: every decision that fires is
+  /// counted exactly once in `counters().injected[kind]`, and every
+  /// call site is wired so one fired decision surfaces in exactly one
+  /// caller-side failure counter (see the parity tests in
+  /// tests/util/fault_test and tests/core/cache_fault_test). Kinds
+  /// with zero probability consume no random draw, so adding wrap
+  /// points for a disabled kind never perturbs the decision sequence
+  /// of an enabled one.
   bool ShouldInject(FaultKind kind);
+
+  /// Draws kProcessKill and, when it fires, raises SIGKILL on the
+  /// calling process — execution does not continue past this call. A
+  /// kill is counted in `injected` before raising, but the counters
+  /// die with the process; observers are the parent's waitpid status
+  /// and the cache's crash-recovery path.
+  void MaybeCrash();
+
+  /// Uniform draw in [0, n) — used to spread a single fired decision
+  /// across n wrap points (e.g. which store syscall hits ENOSPC), so
+  /// the fault stays visible in exactly one counter no matter where it
+  /// lands. Returns 0 for n <= 1.
+  size_t PickPoint(size_t n);
 
   /// Flips one pseudo-randomly chosen bit of `*data` (no-op on empty).
   void CorruptOneBit(std::string* data);

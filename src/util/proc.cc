@@ -1,0 +1,271 @@
+#include "util/proc.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/strings.h"
+
+extern char** environ;
+
+namespace hornsafe {
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return StrCat(what, ": ", std::strerror(errno));
+}
+
+int OpenLockFile(const std::string& path) {
+  // O_CREAT without O_EXCL: every locker must converge on one inode.
+  return ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+}
+
+std::string ReadAllFromFd(int fd) {
+  std::string out;
+  char buf[4096];
+  ::lseek(fd, 0, SEEK_SET);
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+    if (out.size() >= 4096) break;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FileLock> FileLock::Acquire(const std::string& path) {
+  int fd = OpenLockFile(path);
+  if (fd < 0) return Status::Unavailable(ErrnoText("open lock file"));
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return Status::Unavailable(ErrnoText("flock"));
+  }
+  return FileLock(fd);
+}
+
+Result<FileLock> FileLock::TryAcquire(const std::string& path) {
+  int fd = OpenLockFile(path);
+  if (fd < 0) return Status::Unavailable(ErrnoText("open lock file"));
+  int rc;
+  do {
+    rc = ::flock(fd, LOCK_EX | LOCK_NB);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    if (errno == EWOULDBLOCK || errno == EAGAIN) return FileLock();  // busy
+    return Status::Unavailable(ErrnoText("flock"));
+  }
+  return FileLock(fd);
+}
+
+void FileLock::Release() {
+  if (fd_ < 0) return;
+  // close() drops the flock with it.
+  ::close(fd_);
+  fd_ = -1;
+}
+
+bool FileLock::WriteRecord(const std::string& record) {
+  if (fd_ < 0) return false;
+  if (::ftruncate(fd_, 0) != 0) return false;
+  if (::lseek(fd_, 0, SEEK_SET) < 0) return false;
+  size_t off = 0;
+  while (off < record.size()) {
+    ssize_t n = ::write(fd_, record.data() + off, record.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+std::string FileLock::ReadRecord() const {
+  if (fd_ < 0) return "";
+  return ReadAllFromFd(fd_);
+}
+
+std::string ReadLockRecord(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return "";
+  std::string out = ReadAllFromFd(fd);
+  ::close(fd);
+  return out;
+}
+
+const std::string& BootId() {
+  static const std::string* id = [] {
+    std::string text;
+    int fd = ::open("/proc/sys/kernel/random/boot_id", O_RDONLY | O_CLOEXEC);
+    if (fd >= 0) {
+      text = ReadAllFromFd(fd);
+      ::close(fd);
+    }
+    while (!text.empty() &&
+           (text.back() == '\n' || text.back() == '\r' ||
+            text.back() == ' ')) {
+      text.pop_back();
+    }
+    if (text.empty()) text = "unknown-boot";
+    return new std::string(std::move(text));
+  }();
+  return *id;
+}
+
+bool ProcessAlive(pid_t pid) {
+  if (pid <= 0) return false;
+  if (::kill(pid, 0) == 0) return true;
+  return errno == EPERM;
+}
+
+std::string FormatLeaseRecord(pid_t pid, const std::string& boot_id) {
+  return StrCat("pid ", static_cast<long long>(pid), " boot ", boot_id, "\n");
+}
+
+bool ParseLeaseRecord(const std::string& record, pid_t* pid,
+                      std::string* boot_id) {
+  // "pid <n> boot <id>\n"
+  if (record.rfind("pid ", 0) != 0) return false;
+  size_t p = 4;
+  size_t sp = record.find(' ', p);
+  if (sp == std::string::npos) return false;
+  long long value = 0;
+  for (size_t i = p; i < sp; ++i) {
+    char c = record[i];
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+    if (value > 1LL << 31) return false;
+  }
+  if (sp == p) return false;
+  if (record.compare(sp, 6, " boot ") != 0) return false;
+  size_t id_begin = sp + 6;
+  size_t id_end = record.find_first_of("\n\r", id_begin);
+  if (id_end == std::string::npos) id_end = record.size();
+  if (id_end == id_begin) return false;
+  *pid = static_cast<pid_t>(value);
+  *boot_id = record.substr(id_begin, id_end - id_begin);
+  return true;
+}
+
+bool LeaseRecordStale(const std::string& record) {
+  if (record.empty()) return false;  // nothing claimed
+  pid_t pid = 0;
+  std::string boot;
+  if (!ParseLeaseRecord(record, &pid, &boot)) return true;
+  if (boot != BootId()) return true;
+  return !ProcessAlive(pid);
+}
+
+Result<pid_t> SpawnProcess(const std::vector<std::string>& argv,
+                           const SpawnOptions& options) {
+  if (argv.empty()) return Status::Internal("empty argv");
+
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const std::string& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+
+  std::vector<char*> cenv;
+  if (!options.extra_env.empty()) {
+    for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+      cenv.push_back(*e);
+    }
+    for (const std::string& e : options.extra_env) {
+      cenv.push_back(const_cast<char*>(e.c_str()));
+    }
+    cenv.push_back(nullptr);
+  }
+
+  pid_t pid = ::fork();
+  if (pid < 0) return Status::Unavailable(ErrnoText("fork"));
+  if (pid == 0) {
+    // Child: redirect, then exec. Only async-signal-safe calls here.
+    if (!options.stdout_path.empty()) {
+      int fd = ::open(options.stdout_path.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::close(fd);
+      }
+    }
+    if (!options.stderr_path.empty()) {
+      int fd = ::open(options.stderr_path.c_str(),
+                      O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDERR_FILENO);
+        ::close(fd);
+      }
+    }
+    if (cenv.empty()) {
+      ::execv(cargv[0], cargv.data());
+    } else {
+      ::execve(cargv[0], cargv.data(), cenv.data());
+    }
+    ::_exit(127);
+  }
+  return pid;
+}
+
+namespace {
+
+WaitResult DecodeStatus(int status) {
+  WaitResult out;
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(status);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<WaitResult> WaitProcess(pid_t pid) {
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, 0);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Unavailable(ErrnoText("waitpid"));
+  return DecodeStatus(status);
+}
+
+Result<std::optional<WaitResult>> PollProcess(pid_t pid) {
+  int status = 0;
+  pid_t rc;
+  do {
+    rc = ::waitpid(pid, &status, WNOHANG);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Status::Unavailable(ErrnoText("waitpid"));
+  if (rc == 0) return std::optional<WaitResult>();
+  return std::optional<WaitResult>(DecodeStatus(status));
+}
+
+void KillProcess(pid_t pid) {
+  if (pid > 0) ::kill(pid, SIGKILL);
+}
+
+std::string SelfExePath(const std::string& fallback) {
+  char buf[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return fallback;
+  buf[n] = '\0';
+  return std::string(buf, static_cast<size_t>(n));
+}
+
+}  // namespace hornsafe

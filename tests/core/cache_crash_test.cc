@@ -1,0 +1,220 @@
+// Satellite S3: kill-9-at-a-random-syscall crash recovery. A child
+// process analyzes against the shared disk cache with process_kill
+// injection armed, so it dies by SIGKILL at whatever wrapped syscall
+// the seed selects — mid-write, between fsync and rename, holding a
+// shard lease. The parent then reopens the same directory and must
+// find a cleanly recoverable tier whose warm verdicts are
+// bit-identical to a cold, fault-free run.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.h"
+#include "core/pipeline_cache.h"
+#include "parser/parser.h"
+#include "util/fault.h"
+#include "util/proc.h"
+#include "util/strings.h"
+
+namespace hornsafe {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kProgram[] =
+    ".infinite t/2.\n"
+    ".fd t: 2 -> 1.\n"
+    "r(X) :- t(X,Y), r(Y), a(Y).\n"
+    "r(X) :- b(X).\n"
+    "s(X,Y) :- t(X,Z), s(Z,Y).\n"
+    "s(X,Y) :- b(X), b(Y).\n"
+    "q(X) :- t(X,Y), q(Y), c(Y).\n"
+    "q(X) :- d(X).\n"
+    "?- r(X).\n"
+    "?- s(X,Y).\n"
+    "?- q(X).\n";
+
+class CacheCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           StrCat("hornsafe_cache_crash_",
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name(),
+                  "_", getpid());
+    fs::remove_all(dir_);
+    auto parsed = ParseProgram(kProgram);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    program_ = std::make_unique<Program>(std::move(*parsed));
+  }
+
+  void TearDown() override {
+    FaultInjector::Global().Configure("");
+    fs::remove_all(dir_);
+  }
+
+  /// Analyzes against the shared disk dir and renders every verdict.
+  std::vector<std::string> Analyze(PipelineCacheStats* stats_out = nullptr) {
+    PipelineCache::Options copts;
+    copts.dir = dir_.string();
+    copts.retry_backoff_us = 0;
+    copts.tmp_grace_seconds = 0;  // sweep a crashed child's tmps now
+    PipelineCache cache(copts);
+    AnalyzerOptions opts;
+    opts.cache = &cache;
+    auto analyzer = SafetyAnalyzer::Create(*program_, opts);
+    EXPECT_TRUE(analyzer.ok()) << analyzer.status().ToString();
+    std::vector<std::string> out;
+    if (!analyzer.ok()) return out;
+    for (QueryAnalysis& q : analyzer->AnalyzeQueries()) {
+      for (const ArgumentVerdict& a : q.args) {
+        out.push_back(StrCat(SafetyName(a.safety), "|", a.steps, "|",
+                             a.explanation));
+      }
+    }
+    if (stats_out != nullptr) *stats_out = cache.stats();
+    return out;
+  }
+
+  /// Forks a child that arms `spec` and runs `body`; returns true when
+  /// the child died by SIGKILL (i.e. the injector actually fired).
+  template <typename Fn>
+  bool RunChildWithFaults(const std::string& spec, Fn body) {
+    pid_t pid = fork();
+    EXPECT_GE(pid, 0);
+    if (pid == 0) {
+      // Injector state is per-process: configuring here cannot leak
+      // into the parent or sibling children.
+      if (!FaultInjector::Global().Configure(spec)) _exit(3);
+      body();
+      _exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    if (WIFSIGNALED(status)) {
+      EXPECT_EQ(WTERMSIG(status), SIGKILL);
+      return true;
+    }
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child failed with status " << status;
+    return false;
+  }
+
+  fs::path dir_;
+  std::unique_ptr<Program> program_;
+};
+
+TEST_F(CacheCrashTest, KillAtRandomSyscallAlwaysLeavesRecoverableCache) {
+  // Fault-free golden verdicts (also populates the dir — remove it so
+  // every seed starts from whatever its predecessor's crash left).
+  std::vector<std::string> golden = Analyze();
+  ASSERT_FALSE(golden.empty());
+  fs::remove_all(dir_);
+
+  int kills = 0;
+  for (int seed = 1; seed <= 8; ++seed) {
+    bool killed = RunChildWithFaults(
+        StrCat("process_kill=0.2,seed=", seed), [&] { Analyze(); });
+    kills += killed ? 1 : 0;
+    // Reopen after the (possible) crash: must come up clean and the
+    // warm verdicts must be bit-identical to the cold run.
+    PipelineCacheStats stats;
+    std::vector<std::string> warm = Analyze(&stats);
+    EXPECT_EQ(warm, golden) << "seed " << seed;
+    EXPECT_EQ(stats.disk_write_failures, 0u) << "seed " << seed;
+  }
+  // The harness is vacuous unless some children actually died mid-
+  // syscall. The seeds are fixed, so this is deterministic, not flaky.
+  EXPECT_GE(kills, 3);
+}
+
+TEST_F(CacheCrashTest, CrashWhileHoldingLeaseIsRecoveredByNextOpen) {
+  // A writer killed while holding a shard lease (record written, tmp
+  // file in flight) leaves exactly the on-disk state a real mid-store
+  // crash does: the kernel freed the flock, the record and tmp file
+  // survive. The next open must observe the stale record, clear it,
+  // sweep the tmp, and keep the shard writable.
+  fs::path shard = dir_ / "shard-5";
+  fs::create_directories(shard);
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    auto lease = FileLock::Acquire((shard / ".lease").string());
+    if (!lease.ok() || !lease->held()) _exit(2);
+    lease->WriteRecord(FormatLeaseRecord(::getpid(), BootId()));
+    std::ofstream((shard / "55.hsv.tmp.1.0").string()) << "half a write";
+    std::ofstream((dir_ / "ready").string()) << "1";
+    for (;;) pause();
+  }
+  while (!fs::exists(dir_ / "ready")) usleep(1000);
+  KillProcess(pid);
+  auto reaped = WaitProcess(pid);
+  ASSERT_TRUE(reaped.ok() && reaped->signaled);
+  fs::remove(dir_ / "ready");
+
+  PipelineCacheStats stats;
+  std::vector<std::string> warm = Analyze(&stats);
+  EXPECT_FALSE(warm.empty());
+  EXPECT_GE(stats.stale_leases_recovered, 1u);
+  EXPECT_GE(stats.tmp_files_swept, 1u);
+  EXPECT_FALSE(fs::exists(shard / "55.hsv.tmp.1.0"));
+  EXPECT_EQ(stats.disk_write_failures, 0u);
+  // A second open sees a fully quiesced tier.
+  PipelineCacheStats second;
+  Analyze(&second);
+  EXPECT_EQ(second.stale_leases_recovered, 0u);
+}
+
+TEST_F(CacheCrashTest, CrashedCompactionIsResumable) {
+  // Populate, then let compactors crash at random unlink/manifest
+  // syscalls; a later fault-free pass must complete and the tier must
+  // still serve bit-identical verdicts.
+  std::vector<std::string> golden = Analyze();
+  int kills = 0;
+  for (int seed = 1; seed <= 6; ++seed) {
+    Analyze();  // re-populate what previous crashes removed
+    kills += RunChildWithFaults(
+                 StrCat("process_kill=0.3,seed=", seed),
+                 [&] {
+                   auto r = PipelineCache::CompactDir(
+                       dir_.string(), {.max_bytes = 256});
+                   if (!r.ok()) _exit(4);
+                 })
+                 ? 1
+                 : 0;
+    std::vector<std::string> warm = Analyze();
+    EXPECT_EQ(warm, golden) << "seed " << seed;
+  }
+  EXPECT_GE(kills, 1);
+  // The crashes never wedged the compaction lock: a clean pass runs.
+  auto final_pass = PipelineCache::CompactDir(dir_.string(), {});
+  ASSERT_TRUE(final_pass.ok()) << final_pass.status().ToString();
+  EXPECT_TRUE(final_pass->ran);
+}
+
+TEST_F(CacheCrashTest, StolenLeaseRecordIsAbsorbed) {
+  // kLeaseSteal swaps the shard lease record for a dead foreign
+  // holder's mid-store. The store itself must still succeed, and the
+  // next opener treats the record as a stale lease, not an error.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("lease_steal=1,seed=6"));
+  std::vector<std::string> golden = Analyze();
+  ASSERT_FALSE(golden.empty());
+  FaultInjector::Global().Configure("");
+  PipelineCacheStats stats;
+  std::vector<std::string> warm = Analyze(&stats);
+  EXPECT_EQ(warm, golden);
+  EXPECT_GE(stats.stale_leases_recovered, 1u);
+}
+
+}  // namespace
+}  // namespace hornsafe

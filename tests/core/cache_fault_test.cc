@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "core/pipeline_cache.h"
 #include "parser/parser.h"
 #include "util/fault.h"
+#include "util/proc.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -80,7 +83,8 @@ class CacheFaultTest : public ::testing::Test {
 
   std::vector<fs::path> EntryFiles() const {
     std::vector<fs::path> files;
-    for (const auto& e : fs::directory_iterator(dir_)) {
+    if (!fs::exists(dir_)) return files;
+    for (const auto& e : fs::recursive_directory_iterator(dir_)) {
       if (e.path().extension() == ".hsv") files.push_back(e.path());
     }
     return files;
@@ -88,6 +92,7 @@ class CacheFaultTest : public ::testing::Test {
 
   fs::path dir_;
   std::unique_ptr<Program> program_;
+  PipelineCacheStats last_stats_;
 };
 
 TEST_F(CacheFaultTest, RandomizedCorruptionAlwaysCleanMissNeverWrongVerdict) {
@@ -181,19 +186,193 @@ TEST_F(CacheFaultTest, EnospcIsANonFatalSkip) {
 }
 
 TEST_F(CacheFaultTest, StaleTmpFilesAreSweptOnOpen) {
-  fs::create_directories(dir_);
+  // Abandoned tmp files in the legacy flat root and inside a shard both
+  // get swept once past the grace window (0 here = immediately).
+  fs::path shard = dir_ / "shard-0";
+  fs::create_directories(shard);
   std::ofstream(dir_ / "deadbeef.hsv.tmp.12345") << "partial write";
-  std::ofstream(dir_ / "cafe.hsv.tmp.99") << "x";
+  std::ofstream(shard / "cafe.hsv.tmp.99.0") << "x";
   PipelineCache::Options copts;
   copts.dir = dir_.string();
+  copts.tmp_grace_seconds = 0;
   PipelineCache cache(copts);
   EXPECT_EQ(cache.stats().tmp_files_swept, 2u);
-  int remaining = 0;
-  for (const auto& e : fs::directory_iterator(dir_)) {
-    (void)e;
-    ++remaining;
+  EXPECT_TRUE(EntryFiles().empty());
+  EXPECT_FALSE(fs::exists(dir_ / "deadbeef.hsv.tmp.12345"));
+  EXPECT_FALSE(fs::exists(shard / "cafe.hsv.tmp.99.0"));
+}
+
+TEST_F(CacheFaultTest, FreshTmpFilesSurviveTheGraceWindow) {
+  // A live writer's seconds-old tmp file must NOT be swept by a
+  // concurrent opener (satellite S2): under the default grace window a
+  // fresh tmp survives, and only a backdated one is reclaimed.
+  fs::path shard = dir_ / "shard-7";
+  fs::create_directories(shard);
+  fs::path fresh = shard / "11.hsv.tmp.42.0";
+  fs::path stale = shard / "22.hsv.tmp.43.0";
+  std::ofstream(fresh) << "in flight";
+  std::ofstream(stale) << "abandoned";
+  fs::last_write_time(
+      stale, fs::file_time_type::clock::now() - std::chrono::hours(2));
+  PipelineCache::Options copts;
+  copts.dir = dir_.string();  // default tmp_grace_seconds = 60
+  PipelineCache cache(copts);
+  EXPECT_EQ(cache.stats().tmp_files_swept, 1u);
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_FALSE(fs::exists(stale));
+}
+
+TEST_F(CacheFaultTest, BusyShardsAreSkippedByTheOpenSweep) {
+  // The other S2 guard: an opener never sweeps a shard whose write
+  // lease is held — even a backdated tmp file survives there.
+  fs::path shard = dir_ / "shard-3";
+  fs::create_directories(shard);
+  fs::path tmp = shard / "33.hsv.tmp.44.0";
+  std::ofstream(tmp) << "writer still alive";
+  fs::last_write_time(
+      tmp, fs::file_time_type::clock::now() - std::chrono::hours(2));
+  auto lease = FileLock::TryAcquire((shard / ".lease").string());
+  ASSERT_TRUE(lease.ok() && lease->held());
+  ASSERT_TRUE(lease->WriteRecord(FormatLeaseRecord(::getpid(), BootId())));
+  PipelineCache::Options copts;
+  copts.dir = dir_.string();
+  copts.tmp_grace_seconds = 0;
+  PipelineCache cache(copts);
+  EXPECT_EQ(cache.stats().tmp_files_swept, 0u);
+  EXPECT_EQ(cache.stats().stale_leases_recovered, 0u);
+  EXPECT_TRUE(fs::exists(tmp));
+  lease->Release();
+  // Once the writer is gone (lease free, record left by a crash from a
+  // dead boot), the next open recovers the shard and sweeps.
+  {
+    auto relock = FileLock::TryAcquire((shard / ".lease").string());
+    ASSERT_TRUE(relock.ok() && relock->held());
+    ASSERT_TRUE(relock->WriteRecord(FormatLeaseRecord(1, "some-other-boot")));
   }
-  EXPECT_EQ(remaining, 0);
+  PipelineCache second(copts);
+  EXPECT_EQ(second.stats().stale_leases_recovered, 1u);
+  EXPECT_EQ(second.stats().tmp_files_swept, 1u);
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST_F(CacheFaultTest, InjectedFaultCounterParity) {
+  // Satellite S1: every injected disk fault is visible in exactly one
+  // stats counter. Each kind is driven alone at probability 1 with
+  // retries disabled, so `injected[kind]` must equal its counter.
+  auto stats_with = [&](const char* spec, int* injected_out,
+                        FaultKind kind) {
+    fs::remove_all(dir_);
+    PipelineCache::Options copts;
+    copts.dir = dir_.string();
+    copts.disk_retries = 0;
+    copts.retry_backoff_us = 0;
+    // Populate one valid entry fault-free, then run one faulted store
+    // and one faulted fresh-instance lookup.
+    FaultInjector::Global().Configure("");
+    CacheKey key{12345, 67890};
+    CachedVerdict v;
+    v.verdict = Safety::kSafe;
+    v.steps = 11;
+    v.explanation = "parity probe";
+    {
+      PipelineCache warmup(copts);
+      warmup.Store(key, v);
+    }
+    ASSERT_TRUE(FaultInjector::Global().Configure(spec));
+    FaultInjector::Counters before = FaultInjector::Global().counters();
+    PipelineCache cache(copts);
+    CacheKey key2{22222, 33333};
+    cache.Store(key2, v);   // exercises the write path
+    cache.Lookup(key);      // exercises the read path (disk, not memory)
+    FaultInjector::Counters after = FaultInjector::Global().counters();
+    FaultInjector::Global().Configure("");
+    *injected_out =
+        static_cast<int>(after.injected[static_cast<size_t>(kind)] -
+                         before.injected[static_cast<size_t>(kind)]);
+    ASSERT_GT(*injected_out, 0) << spec;
+    last_stats_ = cache.stats();
+  };
+
+  int n = 0;
+  stats_with("read_error=1,seed=7", &n, FaultKind::kReadError);
+  EXPECT_EQ(last_stats_.disk_read_failures, static_cast<uint64_t>(n));
+  EXPECT_EQ(last_stats_.disk_write_failures + last_stats_.disk_corrupt +
+                last_stats_.disk_write_skips,
+            0u);
+
+  stats_with("write_error=1,seed=7", &n, FaultKind::kWriteError);
+  EXPECT_EQ(last_stats_.disk_write_failures, static_cast<uint64_t>(n));
+  EXPECT_EQ(last_stats_.disk_read_failures + last_stats_.disk_corrupt +
+                last_stats_.disk_write_skips,
+            0u);
+
+  stats_with("short_write=1,seed=7", &n, FaultKind::kShortWrite);
+  EXPECT_EQ(last_stats_.disk_write_failures, static_cast<uint64_t>(n));
+  EXPECT_EQ(last_stats_.disk_read_failures + last_stats_.disk_corrupt +
+                last_stats_.disk_write_skips,
+            0u);
+
+  // ENOSPC: the S1 regression — every injection lands in
+  // disk_write_skips no matter which syscall (open/fsync/rename) it
+  // strikes, never in disk_write_failures.
+  stats_with("enospc=1,seed=7", &n, FaultKind::kEnospc);
+  EXPECT_EQ(last_stats_.disk_write_skips, static_cast<uint64_t>(n));
+  EXPECT_EQ(last_stats_.disk_read_failures + last_stats_.disk_corrupt +
+                last_stats_.disk_write_failures,
+            0u);
+}
+
+TEST_F(CacheFaultTest, TornRenameSurfacesAsCorruptOrMissOnRead) {
+  // torn_rename damages the entry at WRITE time (truncated payload
+  // behind a "successful" rename); the wrap point that observes it is
+  // the next fresh-instance read, which counts disk_corrupt (and
+  // self-heals) — or disk_misses when the tear left nothing behind.
+  fs::remove_all(dir_);
+  PipelineCache::Options copts;
+  copts.dir = dir_.string();
+  copts.disk_retries = 0;
+  copts.retry_backoff_us = 0;
+  CacheKey key{777, 888};
+  CachedVerdict v;
+  v.verdict = Safety::kSafe;
+  v.explanation = "corruption probe";
+  ASSERT_TRUE(FaultInjector::Global().Configure("torn_rename=1,seed=3"));
+  {
+    PipelineCache writer(copts);
+    writer.Store(key, v);
+    // The tear is silent at write time: no write-side counter moves.
+    EXPECT_EQ(writer.stats().disk_write_failures, 0u);
+    EXPECT_EQ(writer.stats().disk_write_skips, 0u);
+  }
+  FaultInjector::Global().Configure("");
+  PipelineCache reader(copts);
+  EXPECT_FALSE(reader.Lookup(key).has_value());
+  EXPECT_EQ(reader.stats().disk_corrupt + reader.stats().disk_misses, 1u);
+}
+
+TEST_F(CacheFaultTest, BitFlipSurfacesAsCorruptAtTheReadPoint) {
+  // bit_flip corrupts the READ-back payload (media corruption): a
+  // clean entry on disk, a flipped bit in the reader's buffer. The
+  // checksum must catch every injection as disk_corrupt.
+  fs::remove_all(dir_);
+  PipelineCache::Options copts;
+  copts.dir = dir_.string();
+  copts.disk_retries = 0;
+  copts.retry_backoff_us = 0;
+  CacheKey key{777, 888};
+  CachedVerdict v;
+  v.verdict = Safety::kSafe;
+  v.explanation = "corruption probe";
+  {
+    PipelineCache writer(copts);
+    writer.Store(key, v);
+  }
+  ASSERT_TRUE(FaultInjector::Global().Configure("bit_flip=1,seed=3"));
+  PipelineCache reader(copts);
+  EXPECT_FALSE(reader.Lookup(key).has_value());
+  FaultInjector::Global().Configure("");
+  EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+  EXPECT_EQ(reader.stats().disk_read_failures, 0u);
 }
 
 }  // namespace

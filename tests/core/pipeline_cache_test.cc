@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +11,7 @@
 
 #include "core/analyzer.h"
 #include "parser/parser.h"
+#include "util/proc.h"
 
 namespace hornsafe {
 namespace {
@@ -113,7 +115,7 @@ TEST(PipelineCacheTest, CorruptEntryIsAMissAndIsDeleted) {
   {
     PipelineCache writer(opts);
     writer.Store(Key(7), SafeVerdict(9));
-    entry = fs::path(dir.str()) / (Key(7).ToHex() + ".hsv");
+    entry = PipelineCache::EntryPath(dir.str(), Key(7));
     ASSERT_TRUE(fs::exists(entry));
     // Flip a payload byte: the checksum must catch it.
     std::fstream f(entry,
@@ -138,8 +140,9 @@ TEST(PipelineCacheTest, TruncatedAndGarbageEntriesAreMisses) {
   opts.dir = dir.str();
   fs::create_directories(dir.path);
   auto write_file = [&](const CacheKey& key, const std::string& bytes) {
-    std::ofstream f(fs::path(dir.str()) / (key.ToHex() + ".hsv"),
-                    std::ios::binary);
+    fs::path entry = PipelineCache::EntryPath(dir.str(), key);
+    fs::create_directories(entry.parent_path());
+    std::ofstream f(entry, std::ios::binary);
     f << bytes;
   };
   write_file(Key(1), "");                          // empty
@@ -160,7 +163,7 @@ TEST(PipelineCacheTest, VersionMismatchIsAMiss) {
   {
     PipelineCache writer(opts);
     writer.Store(Key(5), SafeVerdict(9));
-    entry = fs::path(dir.str()) / (Key(5).ToHex() + ".hsv");
+    entry = PipelineCache::EntryPath(dir.str(), Key(5));
     // Bump the on-disk format version field (bytes 4..7, after magic).
     std::fstream f(entry,
                    std::ios::in | std::ios::out | std::ios::binary);
@@ -170,6 +173,115 @@ TEST(PipelineCacheTest, VersionMismatchIsAMiss) {
   PipelineCache reader(opts);
   EXPECT_FALSE(reader.Lookup(Key(5)).has_value());
   EXPECT_EQ(reader.stats().disk_corrupt, 1u);
+}
+
+TEST(PipelineCacheTest, ShardLayoutIsKeyedByLowBits) {
+  CacheKey k{0xabc, 0x123};  // lo & 0xf == 3
+  EXPECT_EQ(PipelineCache::ShardDirOf("/d", k), "/d/shard-3");
+  EXPECT_EQ(PipelineCache::EntryPath("/d", k),
+            "/d/shard-3/" + k.ToHex() + ".hsv");
+}
+
+TEST(PipelineCacheTest, LegacyFlatEntriesAreMigratedOnOpen) {
+  TempDir dir("legacy");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  {
+    PipelineCache writer(opts);
+    writer.Store(Key(9), SafeVerdict(77));
+  }
+  // Simulate a pre-shard cache: move the entry up to the flat root.
+  fs::path sharded = PipelineCache::EntryPath(dir.str(), Key(9));
+  fs::path flat = fs::path(dir.str()) / (Key(9).ToHex() + ".hsv");
+  fs::rename(sharded, flat);
+  PipelineCache reader(opts);
+  EXPECT_EQ(reader.stats().legacy_entries_migrated, 1u);
+  EXPECT_FALSE(fs::exists(flat));
+  auto hit = reader.Lookup(Key(9));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->steps, 77u);
+}
+
+TEST(PipelineCacheTest, ManifestIsCreatedAndCorruptionRollsBack) {
+  TempDir dir("manifest");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  fs::path manifest = fs::path(dir.str()) / "MANIFEST";
+  {
+    PipelineCache cache(opts);
+    EXPECT_TRUE(fs::exists(manifest));
+    EXPECT_EQ(cache.stats().manifest_generation, 1u);
+    EXPECT_EQ(cache.stats().manifest_rollbacks, 0u);
+    cache.Store(Key(1), SafeVerdict(1));
+  }
+  // A garbled manifest (bad checksum line) is rolled back on open.
+  std::ofstream(manifest) << "HSMF 1 gen 41\nsum 0000000000000000\n";
+  PipelineCache reopened(opts);
+  EXPECT_EQ(reopened.stats().manifest_rollbacks, 1u);
+  EXPECT_GE(reopened.stats().manifest_generation, 1u);
+  EXPECT_TRUE(reopened.Lookup(Key(1)).has_value());
+}
+
+TEST(PipelineCacheTest, CompactionEnforcesSizeAndAgeBounds) {
+  TempDir dir("compact");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  PipelineCache cache(opts);
+  for (uint64_t i = 0; i < 32; ++i) cache.Store(Key(i), SafeVerdict(i));
+  uint64_t gen0 = cache.stats().manifest_generation;
+
+  // Unbounded pass: a no-op apart from the generation bump.
+  auto noop = cache.Compact({});
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+  EXPECT_TRUE(noop->ran);
+  EXPECT_EQ(noop->entries_removed, 0u);
+  EXPECT_EQ(noop->generation, gen0 + 1);
+
+  // Size bound: shrink to ~4 entries' worth of bytes.
+  uint64_t entry_bytes =
+      fs::file_size(PipelineCache::EntryPath(dir.str(), Key(0)));
+  auto sized = cache.Compact({.max_bytes = 4 * entry_bytes});
+  ASSERT_TRUE(sized.ok()) << sized.status().ToString();
+  EXPECT_TRUE(sized->ran);
+  EXPECT_GE(sized->entries_removed, 28u);
+  EXPECT_GT(sized->bytes_removed, 0u);
+
+  // Age bound: backdate the survivors, then expire anything older
+  // than ten seconds.
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    if (e.path().extension() == ".hsv") {
+      fs::last_write_time(
+          e.path(), fs::file_time_type::clock::now() - std::chrono::hours(1));
+    }
+  }
+  auto aged = cache.Compact({.max_age_seconds = 10});
+  ASSERT_TRUE(aged.ok()) << aged.status().ToString();
+  uint64_t remaining = 0;
+  for (const auto& e : fs::recursive_directory_iterator(dir.path)) {
+    if (e.path().extension() == ".hsv") ++remaining;
+  }
+  EXPECT_EQ(remaining, 0u);
+  EXPECT_EQ(cache.stats().compactions_run, 3u);
+  EXPECT_GT(cache.stats().compaction_entries_removed, 0u);
+}
+
+TEST(PipelineCacheTest, CompactionIsSingleWriterElected) {
+  TempDir dir("compactlock");
+  PipelineCache::Options opts;
+  opts.dir = dir.str();
+  PipelineCache cache(opts);
+  cache.Store(Key(3), SafeVerdict(3));
+  // Hold the compaction lock as "another process" would.
+  auto held = FileLock::TryAcquire(dir.str() + "/.compact.lock");
+  ASSERT_TRUE(held.ok() && held->held());
+  auto skipped = cache.Compact({});
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+  EXPECT_FALSE(skipped->ran);
+  EXPECT_EQ(cache.stats().compactions_skipped, 1u);
+  held->Release();
+  auto ran = cache.Compact({});
+  ASSERT_TRUE(ran.ok());
+  EXPECT_TRUE(ran->ran);
 }
 
 TEST(PipelineCacheTest, KeyHexIsFilesystemSafeAndUnique) {

@@ -1,7 +1,10 @@
 #include "util/fault.h"
 
 #include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <csignal>
 #include <string>
 
 namespace hornsafe {
@@ -116,6 +119,79 @@ TEST(FaultKindTest, NamesMatchSpecKeys) {
   EXPECT_STREQ(FaultKindName(FaultKind::kReadError), "read_error");
   EXPECT_STREQ(FaultKindName(FaultKind::kTornRename), "torn_rename");
   EXPECT_STREQ(FaultKindName(FaultKind::kEnospc), "enospc");
+  EXPECT_STREQ(FaultKindName(FaultKind::kProcessKill), "process_kill");
+  EXPECT_STREQ(FaultKindName(FaultKind::kLeaseSteal), "lease_steal");
+}
+
+TEST(FaultKindTest, EveryKindRoundTripsThroughConfigure) {
+  FaultInjector inj;
+  for (size_t k = 0; k < static_cast<size_t>(FaultKind::kNumKinds); ++k) {
+    std::string spec = std::string(FaultKindName(static_cast<FaultKind>(k))) +
+                       "=1";
+    EXPECT_TRUE(inj.Configure(spec)) << spec;
+    EXPECT_TRUE(inj.ShouldInject(static_cast<FaultKind>(k))) << spec;
+  }
+}
+
+TEST(FaultInjectorTest, ZeroProbabilityKindsConsumeNoRandomDraw) {
+  // Adding wrap points for a disabled kind must not perturb the
+  // decision sequence of an enabled one — otherwise a fault spec used
+  // by a replay test would diverge the moment a new wrap point lands.
+  auto draw = [](bool interleave_disabled) {
+    FaultInjector inj;
+    EXPECT_TRUE(inj.Configure("bit_flip=0.5,seed=11"));
+    std::string bits;
+    for (int i = 0; i < 100; ++i) {
+      if (interleave_disabled) {
+        inj.ShouldInject(FaultKind::kProcessKill);  // prob 0: no draw
+        inj.ShouldInject(FaultKind::kLeaseSteal);
+      }
+      bits += inj.ShouldInject(FaultKind::kBitFlip) ? '1' : '0';
+    }
+    return bits;
+  };
+  EXPECT_EQ(draw(false), draw(true));
+}
+
+TEST(FaultInjectorTest, PickPointStaysInBoundsAndCoversAllPoints) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("enospc=1,seed=13"));
+  EXPECT_EQ(inj.PickPoint(0), 0u);
+  EXPECT_EQ(inj.PickPoint(1), 0u);
+  bool seen[3] = {};
+  for (int i = 0; i < 200; ++i) {
+    size_t p = inj.PickPoint(3);
+    ASSERT_LT(p, 3u);
+    seen[p] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+}
+
+TEST(FaultInjectorTest, MaybeCrashIsANoOpWhenDisabled) {
+  FaultInjector inj;
+  ASSERT_TRUE(inj.Configure("read_error=1"));  // process_kill stays 0
+  inj.MaybeCrash();                            // must return
+  EXPECT_EQ(inj.counters()
+                .injected[static_cast<size_t>(FaultKind::kProcessKill)],
+            0u);
+}
+
+TEST(FaultInjectorTest, MaybeCrashKillsTheProcessWithSigkill) {
+  // The real thing, observed from a parent: the child configures
+  // process_kill=1, calls MaybeCrash, and must die by SIGKILL without
+  // reaching _exit(0).
+  pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FaultInjector inj;
+    if (!inj.Configure("process_kill=1,seed=2")) _exit(3);
+    inj.MaybeCrash();
+    _exit(0);  // not reached
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
 }
 
 }  // namespace
